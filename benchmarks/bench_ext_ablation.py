@@ -1,0 +1,104 @@
+"""Extension experiment `ext-ablation` — which parts of the heuristic matter?
+
+Three design choices of the paper's algorithm are ablated on the HiperLAN/2
+case and on synthetic workloads:
+
+* **step-2 refinement** — the local search after the greedy first fit
+  (compare the full mapper against the step-1-only first-fit baseline);
+* **first-improvement versus best-improvement** in step 2 (the paper
+  evaluates one reassignment per iteration; best-improvement evaluates all);
+* **desirability ordering** in step 1 (energy-only, as in the worked example,
+  versus energy plus a communication estimate).
+"""
+
+from repro.baselines.first_fit import FirstFitMapper
+from repro.mapping.result import MappingStatus
+from repro.spatialmapper.config import DesirabilityMetric, MapperConfig, Step2Strategy
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.spatialmapper.step1_implementation import select_implementations
+from repro.spatialmapper.step2_tile_assignment import refine_tile_assignment
+from repro.workloads.synthetic import SyntheticConfig, generate_application, generate_platform
+
+
+def test_ablation_step2_refinement_reduces_communication(benchmark, case_study, fast_config):
+    """Dropping step 2 keeps the mapping feasible but costs communication:
+    on the paper's example the Manhattan cost goes from 7 back up to 11."""
+    als, platform, library = case_study
+    full_mapper = SpatialMapper(platform, library, fast_config)
+
+    full = benchmark(full_mapper.map, als)
+    step1_only = FirstFitMapper(platform, library, fast_config).map(als)
+
+    assert full.status is MappingStatus.FEASIBLE
+    assert step1_only.status is MappingStatus.FEASIBLE
+    assert full.manhattan_cost == 7.0
+    assert step1_only.manhattan_cost == 11.0
+    assert full.energy_nj_per_iteration <= step1_only.energy_nj_per_iteration
+    benchmark.extra_info["manhattan_with_step2"] = full.manhattan_cost
+    benchmark.extra_info["manhattan_without_step2"] = step1_only.manhattan_cost
+
+
+def test_ablation_first_vs_best_improvement(benchmark, case_study, fast_config):
+    """Both step-2 strategies reach the same final cost on the paper's case;
+    best-improvement needs fewer evaluated reassignments."""
+    als, platform, library = case_study
+
+    def run_both():
+        step1 = select_implementations(als, platform, library, config=fast_config)
+        first = refine_tile_assignment(
+            step1.mapping, als, platform,
+            config=MapperConfig(step2_strategy=Step2Strategy.FIRST_IMPROVEMENT),
+        )
+        best = refine_tile_assignment(
+            step1.mapping, als, platform,
+            config=MapperConfig(step2_strategy=Step2Strategy.BEST_IMPROVEMENT),
+        )
+        return first, best
+
+    first, best = benchmark(run_both)
+    assert first.final_cost == best.final_cost == 7.0
+    assert len(best.trace.iterations) <= len(first.trace.iterations)
+    benchmark.extra_info["first_improvement_iterations"] = len(first.trace.iterations)
+    benchmark.extra_info["best_improvement_iterations"] = len(best.trace.iterations)
+
+
+def test_ablation_desirability_metric_on_synthetic_workloads(benchmark, fast_config):
+    """Adding the communication estimate to the step-1 desirability never
+    hurts feasibility on the synthetic suite and tends to reduce energy."""
+    seeds = (11, 12, 13)
+
+    def run_sweep():
+        outcomes = []
+        for seed in seeds:
+            application = generate_application(
+                seed=seed, config=SyntheticConfig(stages=5, period_ns=40_000.0)
+            )
+            platform = generate_platform(seed=seed + 500, width=4, height=4)
+            energy_only = SpatialMapper(
+                platform,
+                application.library,
+                MapperConfig(desirability_metric=DesirabilityMetric.ENERGY,
+                             analysis_iterations=3),
+            ).map(application.als)
+            with_comm = SpatialMapper(
+                platform,
+                application.library,
+                MapperConfig(
+                    desirability_metric=DesirabilityMetric.ENERGY_AND_COMMUNICATION,
+                    analysis_iterations=3,
+                ),
+            ).map(application.als)
+            outcomes.append((energy_only, with_comm))
+        return outcomes
+
+    outcomes = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    for energy_only, with_comm in outcomes:
+        assert energy_only.status is MappingStatus.FEASIBLE
+        assert with_comm.status is MappingStatus.FEASIBLE
+    mean_energy_only = sum(e.energy_nj_per_iteration for e, _ in outcomes) / len(outcomes)
+    mean_with_comm = sum(w.energy_nj_per_iteration for _, w in outcomes) / len(outcomes)
+    # The communication-aware ordering must not be worse on average than the
+    # paper's energy-only ordering by more than a couple of percent.
+    assert mean_with_comm <= mean_energy_only * 1.02
+    benchmark.extra_info["mean_energy_only_nj"] = round(mean_energy_only, 1)
+    benchmark.extra_info["mean_energy_and_comm_nj"] = round(mean_with_comm, 1)

@@ -1,0 +1,37 @@
+"""Figure 1 — the HiperLAN/2 receiver KPN.
+
+Regenerates the application-level specification of the receiver (processes
+and per-channel token counts) and benchmarks how long building and validating
+the ALS takes (this happens on every application start request at run time).
+"""
+
+from repro.reporting import experiments
+from repro.workloads import hiperlan2
+
+#: Token counts on the data channels as printed in Figure 1 of the paper.
+PAPER_CHANNEL_TOKENS = {
+    "c_adc_pfx": 80,
+    "c_pfx_frq": 64,
+    "c_frq_iofdm": 64,
+    "c_iofdm_rem": 52,
+}
+
+
+def test_fig1_receiver_kpn(benchmark):
+    report = benchmark(experiments.experiment_figure1)
+
+    tokens = report.data["channel_tokens"]
+    for channel, expected in PAPER_CHANNEL_TOKENS.items():
+        assert tokens[channel] == expected
+    # The demapper output b depends on the mode: 3 tokens (12 bytes) for BPSK
+    # up to 96 tokens (384 bytes) for 64-QAM.
+    assert hiperlan2.output_tokens_for_mode("BPSK12") == 3
+    assert hiperlan2.output_tokens_for_mode("QAM64_34") == 96
+    assert set(report.data["processes"]) == {
+        "adc", "prefix_removal", "freq_offset_correction", "inverse_ofdm",
+        "remainder", "sink", "ctrl",
+    }
+    benchmark.extra_info["channel_tokens"] = tokens
+    benchmark.extra_info["output_tokens_per_mode"] = {
+        mode: hiperlan2.output_tokens_for_mode(mode) for mode in hiperlan2.HIPERLAN2_MODES
+    }

@@ -1,0 +1,21 @@
+"""Figure 2 — the hypothetical MPSoC.
+
+Regenerates the 3x3-mesh platform (two ARMs, two Montiums, the A/D source,
+the Sink and three unused tiles) and benchmarks platform construction, which
+the run-time manager performs once at boot.
+"""
+
+from repro.reporting import experiments
+
+
+def test_fig2_mpsoc_layout(benchmark):
+    report = benchmark(experiments.experiment_figure2)
+
+    counts = report.data["tile_type_counts"]
+    assert report.data["routers"] == 9
+    assert counts == {"ARM": 2, "MONTIUM": 2, "IO": 2, "OTHER": 3}
+    positions = report.data["positions"]
+    assert len(positions) == 9
+    assert len(set(positions.values())) == 9  # one tile per router
+    benchmark.extra_info["tile_type_counts"] = counts
+    benchmark.extra_info["positions"] = {k: list(v) for k, v in positions.items()}

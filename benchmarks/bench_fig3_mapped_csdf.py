@@ -1,0 +1,49 @@
+"""Figure 3 — the final mapped CSDF graph.
+
+Runs the complete four-step mapper on the HiperLAN/2 case and regenerates the
+mapped CSDF graph: the four process actors on their final tiles, one 4-cycle
+router actor per hop of every routed channel, and the buffer capacities B_i
+computed by the step-4 dataflow analysis.  The benchmark times the full
+``SpatialMapper.map`` call (steps 1-4 including the analysis).
+"""
+
+from repro.reporting import experiments
+
+#: Final assignment of Table 2 / Figure 3.
+PAPER_FINAL_ASSIGNMENT = {
+    "prefix_removal": "arm2",
+    "freq_offset_correction": "arm1",
+    "inverse_ofdm": "montium2",
+    "remainder": "montium1",
+}
+
+
+def test_fig3_mapped_csdf_graph(benchmark):
+    report = benchmark(experiments.experiment_figure3)
+
+    assert report.data["feasible"]
+    assignment = {
+        process: tile
+        for process, tile in report.data["assignment"].items()
+        if process in PAPER_FINAL_ASSIGNMENT
+    }
+    assert assignment == PAPER_FINAL_ASSIGNMENT
+
+    # One router actor per hop; the total hop count equals the final
+    # Manhattan cost of Table 2 (7) on the uncongested NoC.
+    hops = report.data["per_channel_hops"]
+    assert sum(hops.values()) == 7
+    assert report.data["router_actor_count"] == 7
+
+    # Step 4 produced a buffer capacity for every data channel and the mapped
+    # graph sustains the 4 us period.
+    buffers = report.data["buffer_capacities"]
+    assert set(buffers) == {
+        "c_adc_pfx", "c_pfx_frq", "c_frq_iofdm", "c_iofdm_rem", "c_rem_sink"
+    }
+    assert all(capacity >= 1 for capacity in buffers.values())
+    assert report.data["achieved_period_ns"] <= report.data["required_period_ns"]
+
+    benchmark.extra_info["per_channel_hops"] = hops
+    benchmark.extra_info["buffer_capacities"] = buffers
+    benchmark.extra_info["achieved_period_ns"] = report.data["achieved_period_ns"]

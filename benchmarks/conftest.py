@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or one of the
+extension experiments described in DESIGN.md).  The raw rows/series are
+attached to the pytest-benchmark ``extra_info`` so they appear in the JSON
+output, and the qualitative claims of the paper (who wins, what the cost
+trajectory looks like) are asserted so a regression in the reproduction fails
+the benchmark run loudly rather than silently producing different numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spatialmapper.config import MapperConfig
+from repro.workloads import hiperlan2
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The HiperLAN/2 case study: (ALS, platform, implementation library)."""
+    return hiperlan2.build_case_study()
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """Mapper configuration with a reduced analysis horizon for benchmarking."""
+    return MapperConfig(analysis_iterations=4)

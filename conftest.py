@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites also run from
+a plain checkout (without ``pip install -e .``), e.g. in offline CI
+environments.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

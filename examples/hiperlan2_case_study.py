@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""The paper's worked example, end to end (section 4 of the paper).
+
+Reproduces, in order:
+
+* Figure 1 — the HiperLAN/2 receiver KPN;
+* Table 1  — the ARM/Montium implementation library;
+* Figure 2 — the 3x3-mesh MPSoC;
+* Table 2  — the step-2 processor-assignment iterations (cost 11 -> 9 -> 7);
+* Figure 3 — the final mapped CSDF graph with router actors and buffers B_i;
+* Section 4.5 — runtime and memory footprint of the mapper itself.
+
+Run with:  python examples/hiperlan2_case_study.py
+"""
+
+from repro import SpatialMapper
+from repro.reporting import energy_breakdown, experiments
+from repro.workloads import hiperlan2
+
+
+def main():
+    for report in experiments.all_experiments():
+        print("=" * 78)
+        print(f"Experiment {report.experiment}")
+        print("=" * 78)
+        print(report.text)
+        print()
+
+    table2 = experiments.experiment_table2()
+    trajectory = table2.data["cost_trajectory"]
+    print(f"Step-2 cost trajectory (paper: 11 -> 11 -> 9 -> 7): {trajectory}")
+
+    figure3 = experiments.experiment_figure3()
+    print(f"Final mapping feasible: {figure3.data['feasible']}")
+    print(f"Assignment: {figure3.data['assignment']}")
+    print(f"Buffer capacities B_i: {figure3.data['buffer_capacities']}")
+    print()
+
+    # Where does the energy of the final mapping go?
+    als, platform, library = hiperlan2.build_case_study()
+    result = SpatialMapper(platform, library).map(als)
+    print(energy_breakdown(result.mapping, als, platform).as_table())
+
+
+if __name__ == "__main__":
+    main()

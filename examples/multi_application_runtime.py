@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Run-time resource management with several streaming applications.
+
+The paper's motivation (section 1.3) is that the set of co-running
+applications is only known at run time.  This example plays a scenario on the
+Figure-2 MPSoC: the HiperLAN/2 receiver starts, a digital-radio receiver
+arrives while it is running (and is rejected — the platform is full), the
+HiperLAN/2 receiver stops, and the digital-radio receiver is admitted on the
+freed resources.  Admissions, rejections and the energy account are printed.
+
+Run with:  python examples/multi_application_runtime.py
+"""
+
+from repro import MapperConfig, RuntimeResourceManager, Scenario, StartEvent, StopEvent, run_scenario
+from repro.reporting import format_table
+from repro.workloads import hiperlan2
+from repro.workloads.receivers import build_drm_library, build_drm_receiver_als
+
+
+def main():
+    platform = hiperlan2.build_mpsoc()
+    manager = RuntimeResourceManager(platform, config=MapperConfig(analysis_iterations=4))
+
+    receiver = hiperlan2.build_receiver_als()
+    receiver_library = hiperlan2.build_implementation_library()
+    radio = build_drm_receiver_als()
+    radio_library = build_drm_library()
+
+    millisecond = 1_000_000.0
+    scenario = (
+        Scenario("wlan_then_radio", duration_ns=10 * millisecond)
+        .add(StartEvent(time_ns=0.0, als=receiver, library=receiver_library))
+        .add(StartEvent(time_ns=2 * millisecond, als=radio, library=radio_library))
+        .add(StopEvent(time_ns=5 * millisecond, application=receiver.name))
+        .add(StartEvent(time_ns=6 * millisecond, als=build_drm_receiver_als(),
+                        library=radio_library))
+    )
+
+    outcome = run_scenario(manager, scenario)
+
+    rows = []
+    for name in outcome.admitted:
+        rows.append((name, "admitted", ""))
+    for name, reason in outcome.rejected:
+        rows.append((name, "rejected", reason[:60]))
+    print(format_table(["Application", "Decision", "Reason"], rows,
+                       title=f"Scenario {outcome.scenario!r}"))
+    print()
+    print(f"admission rate : {outcome.admission_rate:.0%}")
+    print(f"total energy   : {outcome.total_energy_nj / 1e6:.3f} mJ over "
+          f"{outcome.end_time_ns / millisecond:.0f} ms")
+    print(f"average power  : {outcome.energy.average_power_mw(outcome.end_time_ns):.1f} mW")
+    print()
+
+    print("Per-application energy:")
+    for name, energy in outcome.energy.per_application_nj.items():
+        print(f"  {name:20s} {energy / 1e6:.3f} mJ")
+
+    print()
+    print("Still running at the end of the scenario:")
+    for app in manager.running_applications:
+        print(f"  {app.name} ({app.power_mw():.1f} mW)")
+
+
+if __name__ == "__main__":
+    main()

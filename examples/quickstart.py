@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Quickstart: map a small streaming application onto a small MPSoC.
+
+This example builds everything from scratch with the public API — a 2x2-mesh
+platform with two general-purpose tiles and one DSP tile, a three-kernel
+pipeline with per-tile-type implementations, and a QoS constraint — then runs
+the run-time spatial mapper and prints the resulting mapping.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    ApplicationLevelSpec,
+    Channel,
+    Implementation,
+    ImplementationLibrary,
+    KPNGraph,
+    MapperConfig,
+    PlatformBuilder,
+    Process,
+    ProcessKind,
+    QoSConstraints,
+    SpatialMapper,
+)
+from repro.csdf.phase import PhaseVector
+from repro.reporting import render_mapping, render_platform
+
+
+def build_platform():
+    """A 2x2 mesh with two GPP tiles, one DSP tile and one I/O tile."""
+    return (
+        PlatformBuilder("quickstart_mpsoc")
+        .mesh(2, 2, link_capacity_bits_per_s=1e9)
+        .tile_type("GPP", frequency_mhz=200, description="general-purpose core")
+        .tile_type("DSP", frequency_mhz=150, description="signal-processing core")
+        .tile_type("IO", frequency_mhz=100, is_processing=False)
+        .tile("gpp0", "GPP", (0, 0))
+        .tile("gpp1", "GPP", (1, 0))
+        .tile("dsp0", "DSP", (0, 1))
+        .tile("io0", "IO", (1, 1))
+        .build()
+    )
+
+
+def build_application():
+    """A source -> filter -> fft -> detect -> sink pipeline with a 20 us period."""
+    kpn = KPNGraph("sensor_pipeline")
+    kpn.add_process(Process("source", ProcessKind.SOURCE, pinned_tile="io0"))
+    kpn.add_process(Process("filter"))
+    kpn.add_process(Process("fft"))
+    kpn.add_process(Process("detect"))
+    kpn.add_process(Process("sink", ProcessKind.SINK, pinned_tile="io0"))
+    kpn.add_channel(Channel("c0", "source", "filter", tokens_per_iteration=64))
+    kpn.add_channel(Channel("c1", "filter", "fft", tokens_per_iteration=64))
+    kpn.add_channel(Channel("c2", "fft", "detect", tokens_per_iteration=32))
+    kpn.add_channel(Channel("c3", "detect", "sink", tokens_per_iteration=4))
+    return ApplicationLevelSpec(kpn=kpn, qos=QoSConstraints(period_ns=20_000.0))
+
+
+def build_library():
+    """Implementations: every kernel runs on the GPP; filter and fft also on the DSP."""
+
+    def implementation(process, tile_type, tokens_in, tokens_out, wcet, energy):
+        return Implementation(
+            process=process,
+            tile_type=tile_type,
+            wcet_cycles=PhaseVector([1.0, wcet - 2.0, 1.0]),
+            input_rates={"*": PhaseVector([tokens_in, 0.0, 0.0])},
+            output_rates={"*": PhaseVector([0.0, 0.0, tokens_out])},
+            energy_nj_per_iteration=energy,
+            memory_bytes=4096,
+        )
+
+    return ImplementationLibrary(
+        [
+            implementation("filter", "GPP", 64, 64, wcet=900, energy=120.0),
+            implementation("filter", "DSP", 64, 64, wcet=400, energy=55.0),
+            implementation("fft", "GPP", 64, 32, wcet=1500, energy=210.0),
+            implementation("fft", "DSP", 64, 32, wcet=600, energy=90.0),
+            implementation("detect", "GPP", 32, 4, wcet=300, energy=40.0),
+        ]
+    )
+
+
+def main():
+    platform = build_platform()
+    application = build_application()
+    library = build_library()
+
+    print(render_platform(platform))
+    print()
+
+    mapper = SpatialMapper(platform, library, MapperConfig())
+    result = mapper.map(application)
+
+    print(f"mapping status : {result.status.value}")
+    print(f"energy         : {result.energy_nj_per_iteration:.1f} nJ per iteration")
+    print(f"manhattan cost : {result.manhattan_cost:g}")
+    if result.feasibility is not None:
+        print(
+            "throughput     : achieved period "
+            f"{result.feasibility.achieved_period_ns:.0f} ns "
+            f"(required {application.period_ns:.0f} ns)"
+        )
+    print(f"mapper runtime : {result.runtime_s * 1e3:.2f} ms")
+    print()
+    print(render_mapping(result.mapping, platform))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Synthetic design-space exploration: heuristic versus baselines.
+
+The paper's conclusions call for synthetic benchmarks "based on the class of
+applications that can reasonably be expected for MPSoCs in the future".  This
+example generates random streaming applications and random mesh platforms of
+growing size, maps each application with the run-time heuristic and with three
+baselines (first-fit only, random placement, simulated annealing), and prints
+energy and mapping-time comparisons.
+
+Run with:  python examples/synthetic_design_space.py
+"""
+
+import time
+
+from repro import MapperConfig, SpatialMapper
+from repro.baselines import FirstFitMapper, RandomMapper, SimulatedAnnealingMapper
+from repro.mapping.result import MappingStatus
+from repro.reporting import format_table
+from repro.workloads.synthetic import SyntheticConfig, generate_application, generate_platform
+
+CONFIG = MapperConfig(analysis_iterations=3)
+
+
+def evaluate(name, mapper, als):
+    begin = time.perf_counter()
+    result = mapper.map(als)
+    elapsed_ms = (time.perf_counter() - begin) * 1e3
+    feasible = result.status is MappingStatus.FEASIBLE
+    return {
+        "mapper": name,
+        "feasible": feasible,
+        "energy": result.energy_nj_per_iteration if feasible else float("nan"),
+        "time_ms": elapsed_ms,
+    }
+
+
+def main():
+    rows = []
+    for mesh in (3, 4, 5):
+        for seed in (1, 2):
+            app = generate_application(
+                seed=seed,
+                config=SyntheticConfig(stages=mesh + 2, period_ns=40_000.0),
+            )
+            platform = generate_platform(seed=seed + 100, width=mesh, height=mesh)
+            mappers = [
+                ("heuristic", SpatialMapper(platform, app.library, CONFIG)),
+                ("first-fit", FirstFitMapper(platform, app.library, CONFIG)),
+                ("random(10)", RandomMapper(platform, app.library, CONFIG, trials=10, seed=seed)),
+                ("annealing", SimulatedAnnealingMapper(platform, app.library, CONFIG,
+                                                       iterations=300, seed=seed)),
+            ]
+            for name, mapper in mappers:
+                outcome = evaluate(name, mapper, app.als)
+                rows.append(
+                    (
+                        f"{mesh}x{mesh}",
+                        app.als.name,
+                        name,
+                        "yes" if outcome["feasible"] else "no",
+                        f"{outcome['energy']:.0f}" if outcome["feasible"] else "-",
+                        f"{outcome['time_ms']:.1f}",
+                    )
+                )
+    print(
+        format_table(
+            ["Mesh", "Application", "Mapper", "Feasible", "Energy [nJ/iter]", "Time [ms]"],
+            rows,
+            title="Synthetic design-space exploration",
+            align_right=(4, 5),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Process implementations and the implementation library.
+
+For a heterogeneous platform each process of a streaming application may have
+several *implementations*, one per tile type it can run on (Table 1 of the
+paper lists ARM and Montium implementations of the HiperLAN/2 processes).
+An implementation carries the CSDF behaviour of the process on that tile type
+(per-phase token rates and worst-case execution times), its average energy per
+graph iteration and its memory requirement.  The
+:class:`~repro.appmodel.library.ImplementationLibrary` indexes implementations
+by process and tile type and is one of the two inputs of the spatial mapper
+(the other being the platform state).
+"""
+
+from repro.appmodel.implementation import Implementation
+from repro.appmodel.library import ImplementationLibrary
+from repro.appmodel.parser import parse_phase_notation, format_phase_notation
+
+__all__ = [
+    "Implementation",
+    "ImplementationLibrary",
+    "parse_phase_notation",
+    "format_phase_notation",
+]

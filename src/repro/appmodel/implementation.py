@@ -1,0 +1,163 @@
+"""Process implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.csdf.actor import CSDFActor
+from repro.csdf.phase import PhaseVector
+from repro.exceptions import ModelError
+from repro.platform.resources import ResourceRequirement
+from repro.units import cycles_to_ns
+
+#: Port name used when an implementation declares a single rate vector for
+#: all of its inputs (or outputs).
+DEFAULT_PORT = "*"
+
+
+@dataclass(frozen=True)
+class Implementation:
+    """One implementation of a process for a particular tile type.
+
+    The implementation is described, as in Table 1 of the paper, by a CSDF
+    actor: per-phase input token rates, output token rates and worst-case
+    execution times, plus the average energy per graph iteration and the
+    memory the implementation needs on its tile.
+
+    Rates are stored per *port*.  A port is normally the name of the KPN
+    channel the rate applies to; the special port :data:`DEFAULT_PORT` (``"*"``)
+    provides a fallback used for every channel without an explicit entry,
+    which keeps the common single-input/single-output case concise.
+
+    Parameters
+    ----------
+    process:
+        Name of the KPN process this implements.
+    tile_type:
+        Name of the tile type the implementation runs on.
+    wcet_cycles:
+        Per-phase worst-case execution time, in clock cycles of the tile type.
+    input_rates / output_rates:
+        Per-port, per-phase token rates.  Every vector must have the same
+        number of phases as ``wcet_cycles`` (or exactly one phase, meaning a
+        constant rate).
+    energy_nj_per_iteration:
+        Average energy consumed per graph iteration (nJ/symbol in Table 1).
+    memory_bytes:
+        Tile memory required by the implementation.
+    name:
+        Optional explicit name; defaults to ``"<process>@<tile_type>"``.
+    """
+
+    process: str
+    tile_type: str
+    wcet_cycles: PhaseVector
+    input_rates: dict[str, PhaseVector] = field(default_factory=dict)
+    output_rates: dict[str, PhaseVector] = field(default_factory=dict)
+    energy_nj_per_iteration: float = 0.0
+    memory_bytes: int = 0
+    name: str = ""
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.process:
+            raise ModelError("implementation must name its process")
+        if not self.tile_type:
+            raise ModelError(f"implementation of {self.process!r} must name a tile type")
+        if not isinstance(self.wcet_cycles, PhaseVector):
+            object.__setattr__(self, "wcet_cycles", PhaseVector(self.wcet_cycles))
+        normalised_inputs = {
+            port: rates if isinstance(rates, PhaseVector) else PhaseVector(rates)
+            for port, rates in self.input_rates.items()
+        }
+        normalised_outputs = {
+            port: rates if isinstance(rates, PhaseVector) else PhaseVector(rates)
+            for port, rates in self.output_rates.items()
+        }
+        object.__setattr__(self, "input_rates", normalised_inputs)
+        object.__setattr__(self, "output_rates", normalised_outputs)
+        for direction, table in (("input", normalised_inputs), ("output", normalised_outputs)):
+            for port, rates in table.items():
+                if len(rates) not in (1, self.phases):
+                    raise ModelError(
+                        f"implementation {self.qualified_name!r}: {direction} rates for port "
+                        f"{port!r} have {len(rates)} phases, expected 1 or {self.phases}"
+                    )
+        if self.energy_nj_per_iteration < 0:
+            raise ModelError(
+                f"implementation {self.qualified_name!r}: energy must be non-negative"
+            )
+        if self.memory_bytes < 0:
+            raise ModelError(
+                f"implementation {self.qualified_name!r}: memory must be non-negative"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", self.qualified_name)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def qualified_name(self) -> str:
+        """``"<process>@<tile_type>"``."""
+        return f"{self.process}@{self.tile_type}"
+
+    @property
+    def phases(self) -> int:
+        """Number of phases of the implementation's CSDF actor."""
+        return len(self.wcet_cycles)
+
+    @property
+    def total_wcet_cycles(self) -> float:
+        """Worst-case cycles of one full phase cycle (one graph iteration)."""
+        return self.wcet_cycles.total()
+
+    def consumption_rates(self, port: str) -> PhaseVector:
+        """Consumption rates for a port, with per-phase length matching the actor."""
+        return self._rates(self.input_rates, port, "input")
+
+    def production_rates(self, port: str) -> PhaseVector:
+        """Production rates for a port, with per-phase length matching the actor."""
+        return self._rates(self.output_rates, port, "output")
+
+    def _rates(self, table: dict[str, PhaseVector], port: str, direction: str) -> PhaseVector:
+        rates = table.get(port, table.get(DEFAULT_PORT))
+        if rates is None:
+            raise ModelError(
+                f"implementation {self.qualified_name!r} declares no {direction} rates for "
+                f"port {port!r} and no default port"
+            )
+        if len(rates) == 1 and self.phases > 1:
+            return PhaseVector.constant(rates[0], self.phases)
+        return rates
+
+    def resource_requirement(self) -> ResourceRequirement:
+        """Tile resources the implementation needs."""
+        return ResourceRequirement(
+            memory_bytes=self.memory_bytes,
+            compute_cycles_per_iteration=self.total_wcet_cycles,
+        )
+
+    def execution_times_ns(self, frequency_hz: float) -> PhaseVector:
+        """Per-phase execution times in nanoseconds at the given tile frequency."""
+        return PhaseVector(tuple(cycles_to_ns(c, frequency_hz) for c in self.wcet_cycles))
+
+    def as_actor(
+        self,
+        frequency_hz: float,
+        *,
+        actor_name: str | None = None,
+        tile: str | None = None,
+        role: str = "process",
+    ) -> CSDFActor:
+        """Instantiate the implementation as a CSDF actor running at ``frequency_hz``."""
+        return CSDFActor(
+            name=actor_name or self.process,
+            execution_times_ns=self.execution_times_ns(frequency_hz),
+            wcet_cycles=self.wcet_cycles,
+            frequency_hz=frequency_hz,
+            tile=tile,
+            role=role,
+            metadata={"implementation": self.qualified_name},
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.qualified_name

@@ -1,0 +1,105 @@
+"""The implementation library: all known implementations, indexed."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.appmodel.implementation import Implementation
+from repro.exceptions import ModelError
+
+
+class ImplementationLibrary:
+    """Indexes implementations by process and tile type.
+
+    The library answers the two questions the spatial mapper keeps asking:
+
+    * which implementations exist for process *p* (step 1 chooses among them)?
+    * which implementation of *p* runs on tile type *t* (adequacy check)?
+    """
+
+    def __init__(self, implementations: Iterable[Implementation] = ()) -> None:
+        self._by_process: dict[str, dict[str, Implementation]] = {}
+        for implementation in implementations:
+            self.add(implementation)
+
+    def add(self, implementation: Implementation) -> Implementation:
+        """Register an implementation.
+
+        At most one implementation per (process, tile type) pair is allowed —
+        the paper's model has a single entry per pair in Table 1.  Register a
+        second one by giving the processes different names (e.g. a low-power
+        variant modelled as a distinct process).
+        """
+        per_type = self._by_process.setdefault(implementation.process, {})
+        if implementation.tile_type in per_type:
+            raise ModelError(
+                f"duplicate implementation for process {implementation.process!r} on tile "
+                f"type {implementation.tile_type!r}"
+            )
+        per_type[implementation.tile_type] = implementation
+        return implementation
+
+    def add_all(self, implementations: Iterable[Implementation]) -> None:
+        """Register several implementations."""
+        for implementation in implementations:
+            self.add(implementation)
+
+    # ------------------------------------------------------------------ #
+    def processes(self) -> tuple[str, ...]:
+        """All processes that have at least one implementation."""
+        return tuple(self._by_process.keys())
+
+    def implementations(self) -> tuple[Implementation, ...]:
+        """Every registered implementation."""
+        return tuple(
+            implementation
+            for per_type in self._by_process.values()
+            for implementation in per_type.values()
+        )
+
+    def implementations_for(self, process: str) -> tuple[Implementation, ...]:
+        """All implementations of the given process (may be empty)."""
+        return tuple(self._by_process.get(process, {}).values())
+
+    def implementation_for(self, process: str, tile_type: str) -> Implementation:
+        """The implementation of ``process`` on ``tile_type``; raises if absent."""
+        try:
+            return self._by_process[process][tile_type]
+        except KeyError:
+            raise ModelError(
+                f"no implementation of process {process!r} for tile type {tile_type!r}"
+            ) from None
+
+    def has_implementation(self, process: str, tile_type: str) -> bool:
+        """Whether an implementation of ``process`` exists for ``tile_type``."""
+        return tile_type in self._by_process.get(process, {})
+
+    def tile_types_for(self, process: str) -> tuple[str, ...]:
+        """Tile types the process can run on."""
+        return tuple(self._by_process.get(process, {}).keys())
+
+    def cheapest_for(self, process: str) -> Implementation:
+        """The implementation of ``process`` with the lowest energy per iteration."""
+        candidates = self.implementations_for(process)
+        if not candidates:
+            raise ModelError(f"no implementations registered for process {process!r}")
+        return min(candidates, key=lambda impl: impl.energy_nj_per_iteration)
+
+    def restricted_to(self, tile_types: Iterable[str]) -> "ImplementationLibrary":
+        """A new library containing only implementations for the given tile types."""
+        allowed = set(tile_types)
+        return ImplementationLibrary(
+            impl for impl in self.implementations() if impl.tile_type in allowed
+        )
+
+    def __iter__(self) -> Iterator[Implementation]:
+        return iter(self.implementations())
+
+    def __len__(self) -> int:
+        return len(self.implementations())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ImplementationLibrary(processes={len(self._by_process)}, "
+            f"implementations={len(self.implementations())})"
+        )

@@ -1,0 +1,135 @@
+"""Parser and formatter for the paper's compact phase notation.
+
+Table 1 of the paper writes per-phase vectors in a run-length notation such as
+``<8^2, (8,0)^8>``: two phases with value 8, followed by the pattern ``8, 0``
+repeated eight times (16 phases), for 18 phases in total.  This module parses
+such strings into flat tuples and renders flat tuples back into the compact
+notation, so the implementation library can be written (and reported) exactly
+as the paper prints it.
+
+Values may be symbolic expressions in a single variable (the paper uses ``b``
+for the mode-dependent output size of the demapper, e.g. ``73-b``); pass the
+variable bindings to :func:`parse_phase_notation` to resolve them.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_PATTERN = re.compile(r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)|(?P<caret>\^)|(?P<atom>[^(),^<>\s][^(),^<>]*))")
+
+
+def _evaluate_atom(text: str, variables: dict[str, float]) -> float:
+    """Evaluate a numeric or simple symbolic atom such as ``73-b`` or ``b+2``."""
+    text = text.strip()
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    # Restrict to a safe arithmetic subset: names, numbers, + - * / and spaces.
+    if not re.fullmatch(r"[A-Za-z0-9_+\-*/. ]+", text):
+        raise ValueError(f"invalid phase value expression {text!r}")
+    names = set(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", text))
+    unknown = names - set(variables)
+    if unknown:
+        raise ValueError(
+            f"expression {text!r} uses unbound variables {sorted(unknown)}; "
+            "pass them via the variables mapping"
+        )
+    return float(eval(text, {"__builtins__": {}}, dict(variables)))  # noqa: S307
+
+
+def parse_phase_notation(text: str, variables: dict[str, float] | None = None) -> tuple[float, ...]:
+    """Parse a compact phase string like ``"<8^2, (8,0)^8>"`` into a flat tuple.
+
+    Parameters
+    ----------
+    text:
+        The notation.  Angle brackets are optional.
+    variables:
+        Bindings for symbolic values (e.g. ``{"b": 6}``).
+
+    Examples
+    --------
+    >>> parse_phase_notation("<64, 0, 0>")
+    (64.0, 0.0, 0.0)
+    >>> parse_phase_notation("<8^2, (8,0)^8>")[:5]
+    (8.0, 8.0, 8.0, 0.0, 8.0)
+    >>> parse_phase_notation("<1^52, 73-b, 1^b>", {"b": 6})[52]
+    67.0
+    """
+    variables = dict(variables or {})
+    body = text.strip()
+    if body.startswith("<") and body.endswith(">"):
+        body = body[1:-1]
+    if not body.strip():
+        raise ValueError("empty phase notation")
+
+    # Split top-level comma-separated elements (commas inside parentheses group patterns).
+    elements: list[str] = []
+    depth = 0
+    current = ""
+    for char in body:
+        if char == "(":
+            depth += 1
+            current += char
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced parentheses in {text!r}")
+            current += char
+        elif char == "," and depth == 0:
+            elements.append(current)
+            current = ""
+        else:
+            current += char
+    if depth != 0:
+        raise ValueError(f"unbalanced parentheses in {text!r}")
+    elements.append(current)
+
+    values: list[float] = []
+    for element in elements:
+        element = element.strip()
+        if not element:
+            raise ValueError(f"empty element in phase notation {text!r}")
+        if "^" in element:
+            base_text, _, count_text = element.rpartition("^")
+            count_value = _evaluate_atom(count_text, variables)
+            if count_value < 0 or count_value != int(count_value):
+                raise ValueError(f"repetition count must be a non-negative integer: {element!r}")
+            count = int(count_value)
+        else:
+            base_text, count = element, 1
+        base_text = base_text.strip()
+        if base_text.startswith("(") and base_text.endswith(")"):
+            inner = base_text[1:-1]
+            pattern = tuple(
+                _evaluate_atom(part, variables) for part in inner.split(",") if part.strip()
+            )
+            if not pattern:
+                raise ValueError(f"empty pattern in {element!r}")
+            values.extend(pattern * count)
+        else:
+            values.extend([_evaluate_atom(base_text, variables)] * count)
+    return tuple(values)
+
+
+def format_phase_notation(values: tuple[float, ...] | list[float]) -> str:
+    """Render a flat phase tuple in the paper's run-length notation.
+
+    Only plain runs are compressed (``x^n``); alternating patterns are left
+    expanded, which is sufficient for reporting.
+    """
+    if not values:
+        raise ValueError("cannot format an empty phase vector")
+    parts: list[str] = []
+    index = 0
+    while index < len(values):
+        value = values[index]
+        run = 1
+        while index + run < len(values) and values[index + run] == value:
+            run += 1
+        rendered = f"{value:g}"
+        parts.append(rendered if run == 1 else f"{rendered}^{run}")
+        index += run
+    return "<" + ", ".join(parts) + ">"

@@ -1,0 +1,38 @@
+"""Baseline mappers used for comparison with the paper's heuristic.
+
+The paper itself compares qualitatively against related work (design-time
+assignment, homogeneous bin packing); these baselines make the comparison
+quantitative on our models:
+
+* :class:`~repro.baselines.exhaustive.ExhaustiveMapper` — optimal (for small
+  instances) by enumerating all implementation/tile combinations;
+* :class:`~repro.baselines.random_mapper.RandomMapper` — random adequate
+  placements, best of N trials;
+* :class:`~repro.baselines.first_fit.FirstFitMapper` — the paper's step 1
+  only (greedy desirability + first fit), without the step-2 local search;
+* :class:`~repro.baselines.simulated_annealing.SimulatedAnnealingMapper` — a
+  classic single-level metaheuristic over placements;
+* :class:`~repro.baselines.design_time.DesignTimeMapper` — a mapping frozen
+  at design time on an empty platform, which at run time may collide with the
+  applications already running (the scenario motivating the paper).
+
+All baselines share the mapper interface (``map(als, state) -> MappingResult``)
+and reuse the same routing and feasibility analysis (steps 3-4), so results
+differ only in the placement strategy.
+"""
+
+from repro.baselines.common import complete_and_evaluate
+from repro.baselines.exhaustive import ExhaustiveMapper
+from repro.baselines.random_mapper import RandomMapper
+from repro.baselines.first_fit import FirstFitMapper
+from repro.baselines.simulated_annealing import SimulatedAnnealingMapper
+from repro.baselines.design_time import DesignTimeMapper
+
+__all__ = [
+    "complete_and_evaluate",
+    "ExhaustiveMapper",
+    "RandomMapper",
+    "FirstFitMapper",
+    "SimulatedAnnealingMapper",
+    "DesignTimeMapper",
+]

@@ -1,0 +1,80 @@
+"""Shared machinery of the baseline mappers."""
+
+from __future__ import annotations
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.cost import manhattan_cost, mapping_energy_nj
+from repro.mapping.mapping import Mapping
+from repro.mapping.properties import adherence_violations
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.step3_routing import route_channels
+from repro.spatialmapper.step4_feasibility import check_feasibility
+
+
+def complete_and_evaluate(
+    mapping: Mapping,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    library: ImplementationLibrary,
+    *,
+    state: PlatformState | None = None,
+    config: MapperConfig | None = None,
+    run_feasibility: bool = True,
+) -> MappingResult:
+    """Route the channels of a placement, analyse it and wrap it in a result.
+
+    Baselines produce only the process placement; this helper applies the
+    same steps 3 and 4 the paper's mapper uses so all strategies are judged
+    by identical criteria.
+    """
+    config = config or MapperConfig()
+    step3 = route_channels(mapping, als, platform, state=state, config=config)
+    current = step3.mapping
+    result = MappingResult(
+        mapping=current,
+        status=MappingStatus.ADEQUATE,
+        energy_nj_per_iteration=mapping_energy_nj(current, als, platform, config.cost_model),
+        manhattan_cost=manhattan_cost(current, als, platform),
+    )
+    if not step3.succeeded:
+        result.diagnostics = [f.message for f in step3.feedback]
+        return result
+
+    violations = adherence_violations(current, platform, library, state, als)
+    if violations:
+        result.diagnostics = violations
+        return result
+    result.status = MappingStatus.ADHERENT
+
+    if not run_feasibility:
+        return result
+    step4 = check_feasibility(current, als, platform, library, state=state, config=config)
+    result.mapping = step4.mapping
+    result.feasibility = step4.report
+    result.mapped_csdf = step4.mapped_csdf
+    result.energy_nj_per_iteration = mapping_energy_nj(
+        step4.mapping, als, platform, config.cost_model
+    )
+    result.manhattan_cost = manhattan_cost(step4.mapping, als, platform)
+    if step4.feasible:
+        result.status = MappingStatus.FEASIBLE
+    else:
+        result.diagnostics = [step4.report.reason]
+    return result
+
+
+def better_result(best: MappingResult | None, candidate: MappingResult) -> MappingResult:
+    """The better of two results: higher status first, then lower energy."""
+    if best is None:
+        return candidate
+    if candidate.status.at_least(best.status) and candidate.status is not best.status:
+        return candidate
+    if candidate.status is best.status and (
+        candidate.energy_nj_per_iteration < best.energy_nj_per_iteration
+    ):
+        return candidate
+    return best

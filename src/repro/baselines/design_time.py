@@ -1,0 +1,141 @@
+"""Design-time mapping baseline.
+
+Section 1.3 of the paper argues that a design-time mapping must be computed
+under worst-case assumptions because the set of co-running applications is
+unknown, whereas a run-time mapping can exploit the actual platform state.
+This baseline makes that comparison concrete:
+
+* at *design time* the mapping of an application is computed once, on an
+  empty platform, with the same heuristic the run-time mapper uses;
+* at *run time* the frozen mapping is only usable when all its tiles and
+  routes are still available; otherwise the baseline either rejects the
+  application or (optionally) falls back to a conservative worst-case
+  mapping restricted to the general-purpose tile type.
+
+The energy/acceptance gap between this baseline and the run-time
+:class:`~repro.spatialmapper.mapper.SpatialMapper` over multi-application
+scenarios is what the ``ext-runtime`` benchmark measures.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.baselines.common import complete_and_evaluate
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.mapping import Mapping
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.mapper import SpatialMapper
+
+
+class DesignTimeMapper:
+    """A mapping frozen at design time, replayed at run time.
+
+    Parameters
+    ----------
+    fallback_tile_type:
+        Tile type of the conservative fallback mapping (typically the
+        general-purpose processor).  ``None`` disables the fallback: when the
+        frozen mapping collides with running applications the request is
+        rejected.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ImplementationLibrary,
+        config: MapperConfig | None = None,
+        *,
+        fallback_tile_type: str | None = None,
+    ) -> None:
+        self.platform = platform
+        self.library = library
+        self.config = config or MapperConfig()
+        self.fallback_tile_type = fallback_tile_type
+        self._design_time_mappings: dict[str, Mapping] = {}
+
+    # ------------------------------------------------------------------ #
+    def precompute(self, als: ApplicationLevelSpec) -> MappingResult:
+        """Compute and freeze the design-time mapping of an application (empty platform)."""
+        mapper = SpatialMapper(self.platform, self.library, self.config)
+        result = mapper.map(als, PlatformState(self.platform))
+        if result.status is not MappingStatus.FAILED:
+            self._design_time_mappings[als.name] = result.mapping
+        return result
+
+    def has_design_time_mapping(self, application: str) -> bool:
+        """Whether a frozen mapping exists for the application."""
+        return application in self._design_time_mappings
+
+    # ------------------------------------------------------------------ #
+    def map(
+        self, als: ApplicationLevelSpec, state: PlatformState | None = None
+    ) -> MappingResult:
+        """Replay the frozen mapping against the current platform state."""
+        start = time.perf_counter()
+        state = state if state is not None else PlatformState(self.platform)
+        if als.name not in self._design_time_mappings:
+            self.precompute(als)
+        frozen = self._design_time_mappings.get(als.name)
+        if frozen is None:
+            result = MappingResult(mapping=Mapping(als.name), status=MappingStatus.FAILED)
+            result.diagnostics = ["no design-time mapping could be computed"]
+            result.runtime_s = time.perf_counter() - start
+            return result
+
+        if self._placements_available(frozen, state):
+            placement = Mapping(als.name)
+            placement.assign_all(frozen.assignments)
+            result = complete_and_evaluate(
+                placement, als, self.platform, self.library, state=state, config=self.config
+            )
+            result.runtime_s = time.perf_counter() - start
+            return result
+
+        if self.fallback_tile_type is not None:
+            result = self._fallback(als, state)
+            result.runtime_s = time.perf_counter() - start
+            return result
+
+        result = MappingResult(mapping=frozen.copy(), status=MappingStatus.FAILED)
+        result.diagnostics = [
+            "design-time mapping collides with already-running applications and no fallback "
+            "is configured"
+        ]
+        result.runtime_s = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _placements_available(self, frozen: Mapping, state: PlatformState) -> bool:
+        """Whether every tile of the frozen mapping still has a free slot and memory."""
+        needed_slots: dict[str, int] = {}
+        needed_memory: dict[str, int] = {}
+        for assignment in frozen.assignments:
+            if assignment.implementation is None:
+                continue
+            needed_slots[assignment.tile] = needed_slots.get(assignment.tile, 0) + 1
+            needed_memory[assignment.tile] = (
+                needed_memory.get(assignment.tile, 0) + assignment.implementation.memory_bytes
+            )
+        for tile_name, count in needed_slots.items():
+            if state.free_process_slots(tile_name) < count:
+                return False
+            if state.free_memory_bytes(tile_name) < needed_memory[tile_name]:
+                return False
+        return True
+
+    def _fallback(self, als: ApplicationLevelSpec, state: PlatformState) -> MappingResult:
+        """Worst-case fallback: map with implementations of the fallback tile type only."""
+        restricted = self.library.restricted_to([self.fallback_tile_type])
+        mapper = SpatialMapper(self.platform, restricted, self.config)
+        result = mapper.map(als, state)
+        result.diagnostics.insert(
+            0,
+            f"design-time mapping unavailable; fell back to {self.fallback_tile_type}-only "
+            "worst-case mapping",
+        )
+        return result

@@ -1,0 +1,145 @@
+"""Exhaustive (optimal) mapper for small problem instances.
+
+Spatial mapping is a Generalised Assignment Problem and therefore
+NP-complete; exhaustive search is only viable for small instances such as the
+HiperLAN/2 case (4 processes, 4 candidate tiles).  The exhaustive mapper
+enumerates every adequate implementation/tile combination, evaluates the full
+energy objective and (optionally) the feasibility analysis, and returns the
+cheapest feasible mapping.  It provides the optimality reference used by the
+scalability benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.baselines.common import better_result, complete_and_evaluate
+from repro.exceptions import MappingError
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.assignment import ProcessAssignment
+from repro.mapping.cost import mapping_energy_nj
+from repro.mapping.mapping import Mapping
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+
+
+class ExhaustiveMapper:
+    """Enumerate all adequate placements and keep the best feasible one.
+
+    Parameters
+    ----------
+    platform / library / config:
+        Same meaning as for :class:`~repro.spatialmapper.mapper.SpatialMapper`.
+    max_combinations:
+        Safety cap on the number of enumerated placements; exceeding it raises
+        :class:`~repro.exceptions.MappingError` so callers notice they asked
+        for an exhaustive search on an instance that is too large.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ImplementationLibrary,
+        config: MapperConfig | None = None,
+        *,
+        max_combinations: int = 200_000,
+    ) -> None:
+        self.platform = platform
+        self.library = library
+        self.config = config or MapperConfig()
+        self.max_combinations = max_combinations
+        #: Number of placements enumerated by the last :meth:`map` call.
+        self.evaluated_placements = 0
+
+    def map(
+        self, als: ApplicationLevelSpec, state: PlatformState | None = None
+    ) -> MappingResult:
+        """Return the cheapest feasible mapping (or the best infeasible one found)."""
+        start = time.perf_counter()
+        state = state if state is not None else PlatformState(self.platform)
+        processes = [p.name for p in als.kpn.mappable_processes()]
+
+        per_process_options: list[list[ProcessAssignment]] = []
+        for process_name in processes:
+            options: list[ProcessAssignment] = []
+            for implementation in self.library.implementations_for(process_name):
+                for tile in self.platform.tiles_of_type(implementation.tile_type):
+                    if not tile.is_processing:
+                        continue
+                    options.append(ProcessAssignment(process_name, tile.name, implementation))
+            if not options:
+                result = MappingResult(mapping=Mapping(als.name), status=MappingStatus.FAILED)
+                result.diagnostics = [f"process {process_name!r} has no adequate placement"]
+                return result
+            per_process_options.append(options)
+
+        total = 1
+        for options in per_process_options:
+            total *= len(options)
+        if total > self.max_combinations:
+            raise MappingError(
+                f"exhaustive search would enumerate {total} placements "
+                f"(cap: {self.max_combinations}); use the heuristic mapper instead"
+            )
+
+        # Enumerate every slot-respecting placement and rank it by the energy
+        # objective (computation energy plus the Manhattan communication
+        # estimate).  The expensive routing + dataflow analysis then runs in
+        # ascending energy order and stops at the first feasible placement:
+        # because feasibility does not depend on the objective, that placement
+        # is the minimum-energy feasible one.
+        ranked: list[tuple[float, Mapping]] = []
+        self.evaluated_placements = 0
+        for combination in itertools.product(*per_process_options):
+            self.evaluated_placements += 1
+            if not self._respects_slots(combination, state):
+                continue
+            mapping = Mapping(als.name)
+            for process in als.kpn.pinned_processes():
+                mapping.assign(ProcessAssignment(process.name, process.pinned_tile))
+            mapping.assign_all(combination)
+            estimate = mapping_energy_nj(mapping, als, self.platform, self.config.cost_model)
+            ranked.append((estimate, mapping))
+        ranked.sort(key=lambda item: item[0])
+
+        best: MappingResult | None = None
+        for _, mapping in ranked:
+            candidate = complete_and_evaluate(
+                mapping, als, self.platform, self.library, state=state, config=self.config
+            )
+            best = better_result(best, candidate)
+            if candidate.status is MappingStatus.FEASIBLE:
+                best = candidate
+                break
+
+        if best is None:
+            best = MappingResult(mapping=Mapping(als.name), status=MappingStatus.FAILED)
+            best.diagnostics = ["no placement respects the tile process-slot budgets"]
+        best.runtime_s = time.perf_counter() - start
+        best.iterations = self.evaluated_placements
+        return best
+
+    def _respects_slots(
+        self, combination: tuple[ProcessAssignment, ...], state: PlatformState
+    ) -> bool:
+        """Cheap pre-filter: per-tile slot and memory budgets."""
+        per_tile_count: dict[str, int] = {}
+        per_tile_memory: dict[str, int] = {}
+        for assignment in combination:
+            per_tile_count[assignment.tile] = per_tile_count.get(assignment.tile, 0) + 1
+            per_tile_memory[assignment.tile] = (
+                per_tile_memory.get(assignment.tile, 0) + assignment.implementation.memory_bytes
+            )
+        for tile_name, count in per_tile_count.items():
+            tile = self.platform.tile(tile_name)
+            used = state.used_process_slots(tile_name)
+            if used + count > tile.resources.max_processes:
+                return False
+            used_memory = state.used_memory_bytes(tile_name)
+            if used_memory + per_tile_memory[tile_name] > tile.resources.memory_bytes:
+                return False
+        return True

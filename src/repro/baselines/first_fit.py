@@ -1,0 +1,54 @@
+"""First-fit baseline: the paper's step 1 without the step-2 refinement.
+
+This baseline isolates the contribution of the local-search refinement: it
+runs the desirability-ordered greedy packing (step 1) and then goes straight
+to routing and feasibility checking.  Comparing it against the full mapper is
+the "does step 2 matter?" ablation of the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.baselines.common import complete_and_evaluate
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.step1_implementation import select_implementations
+
+
+class FirstFitMapper:
+    """Greedy desirability-ordered first-fit placement (step 1 only)."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ImplementationLibrary,
+        config: MapperConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.library = library
+        self.config = config or MapperConfig()
+
+    def map(
+        self, als: ApplicationLevelSpec, state: PlatformState | None = None
+    ) -> MappingResult:
+        """Place processes greedily and evaluate the resulting mapping."""
+        start = time.perf_counter()
+        state = state if state is not None else PlatformState(self.platform)
+        step1 = select_implementations(
+            als, self.platform, self.library, state=state, config=self.config
+        )
+        if not step1.succeeded:
+            result = MappingResult(mapping=step1.mapping, status=MappingStatus.FAILED)
+            result.diagnostics = [f.message for f in step1.feedback]
+            result.runtime_s = time.perf_counter() - start
+            return result
+        result = complete_and_evaluate(
+            step1.mapping, als, self.platform, self.library, state=state, config=self.config
+        )
+        result.runtime_s = time.perf_counter() - start
+        return result

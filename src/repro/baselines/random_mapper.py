@@ -1,0 +1,99 @@
+"""Random-placement baseline."""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.baselines.common import better_result, complete_and_evaluate
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.assignment import ProcessAssignment
+from repro.mapping.mapping import Mapping
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+
+
+class RandomMapper:
+    """Best of N random adequate placements.
+
+    Each trial assigns every process a uniformly random implementation and a
+    uniformly random tile of that implementation's type that still has a free
+    slot; the best result over ``trials`` attempts is returned.  This is the
+    weakest sensible baseline: it respects adequacy and slot budgets but
+    ignores communication entirely.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ImplementationLibrary,
+        config: MapperConfig | None = None,
+        *,
+        trials: int = 20,
+        seed: int = 0,
+    ) -> None:
+        if trials < 1:
+            raise ValueError("trials must be at least 1")
+        self.platform = platform
+        self.library = library
+        self.config = config or MapperConfig()
+        self.trials = trials
+        self.seed = seed
+
+    def map(
+        self, als: ApplicationLevelSpec, state: PlatformState | None = None
+    ) -> MappingResult:
+        """Return the best mapping over the configured number of random trials."""
+        start = time.perf_counter()
+        state = state if state is not None else PlatformState(self.platform)
+        rng = random.Random(self.seed)
+        best: MappingResult | None = None
+        for _ in range(self.trials):
+            mapping = self._random_placement(als, state, rng)
+            if mapping is None:
+                continue
+            candidate = complete_and_evaluate(
+                mapping, als, self.platform, self.library, state=state, config=self.config
+            )
+            best = better_result(best, candidate)
+        if best is None:
+            best = MappingResult(mapping=Mapping(als.name), status=MappingStatus.FAILED)
+            best.diagnostics = ["no random trial produced an adequate placement"]
+        best.runtime_s = time.perf_counter() - start
+        best.iterations = self.trials
+        return best
+
+    def _random_placement(
+        self, als: ApplicationLevelSpec, state: PlatformState, rng: random.Random
+    ) -> Mapping | None:
+        """One random adequate placement, or ``None`` when a process cannot be placed."""
+        mapping = Mapping(als.name)
+        for process in als.kpn.pinned_processes():
+            mapping.assign(ProcessAssignment(process.name, process.pinned_tile))
+        slots_left = {
+            tile.name: tile.resources.max_processes - state.used_process_slots(tile.name)
+            for tile in self.platform.processing_tiles()
+        }
+        for process in als.kpn.mappable_processes():
+            implementations = list(self.library.implementations_for(process.name))
+            rng.shuffle(implementations)
+            placed = False
+            for implementation in implementations:
+                tiles = [
+                    tile
+                    for tile in self.platform.tiles_of_type(implementation.tile_type)
+                    if tile.is_processing and slots_left.get(tile.name, 0) > 0
+                ]
+                if not tiles:
+                    continue
+                tile = rng.choice(tiles)
+                mapping.assign(ProcessAssignment(process.name, tile.name, implementation))
+                slots_left[tile.name] -= 1
+                placed = True
+                break
+            if not placed:
+                return None
+        return mapping

@@ -1,0 +1,199 @@
+"""Simulated-annealing baseline.
+
+A classic single-level metaheuristic over complete placements: the state is
+an adequate assignment of every process to (implementation, tile); neighbours
+change one process's tile, swap two same-type processes or switch a process
+to a different implementation; the objective is the full energy cost with a
+penalty for slot-budget violations.  This is the kind of monolithic search
+the paper's hierarchical decomposition competes with: it can find good
+solutions but needs far more cost evaluations than the four-step heuristic,
+which is exactly what the scalability benchmark measures.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.baselines.common import complete_and_evaluate
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.assignment import ProcessAssignment
+from repro.mapping.cost import mapping_energy_nj
+from repro.mapping.mapping import Mapping
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.step1_implementation import select_implementations
+
+
+class SimulatedAnnealingMapper:
+    """Simulated annealing over complete adequate placements.
+
+    Parameters
+    ----------
+    iterations:
+        Number of annealing steps (cost evaluations).
+    initial_temperature / cooling:
+        Geometric cooling schedule: ``T_k = initial_temperature * cooling**k``.
+    slot_penalty_nj:
+        Penalty added to the objective per over-subscribed process slot, so
+        the search can move through (but is pushed away from) inadherent
+        states.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ImplementationLibrary,
+        config: MapperConfig | None = None,
+        *,
+        iterations: int = 500,
+        initial_temperature: float = 50.0,
+        cooling: float = 0.98,
+        slot_penalty_nj: float = 500.0,
+        seed: int = 0,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        if not (0 < cooling < 1):
+            raise ValueError("cooling must be in (0, 1)")
+        self.platform = platform
+        self.library = library
+        self.config = config or MapperConfig()
+        self.iterations = iterations
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.slot_penalty_nj = slot_penalty_nj
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def map(
+        self, als: ApplicationLevelSpec, state: PlatformState | None = None
+    ) -> MappingResult:
+        """Anneal a placement and evaluate the best state found."""
+        start = time.perf_counter()
+        state = state if state is not None else PlatformState(self.platform)
+        rng = random.Random(self.seed)
+
+        step1 = select_implementations(
+            als, self.platform, self.library, state=state, config=self.config
+        )
+        if not step1.succeeded:
+            result = MappingResult(mapping=step1.mapping, status=MappingStatus.FAILED)
+            result.diagnostics = [f.message for f in step1.feedback]
+            result.runtime_s = time.perf_counter() - start
+            return result
+
+        current = step1.mapping
+        current_cost = self._objective(current, als, state)
+        best_mapping = current
+        best_cost = current_cost
+        temperature = self.initial_temperature
+
+        for _ in range(self.iterations):
+            neighbour = self._neighbour(current, als, rng)
+            if neighbour is None:
+                break
+            neighbour_cost = self._objective(neighbour, als, state)
+            delta = neighbour_cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                current = neighbour
+                current_cost = neighbour_cost
+                if current_cost < best_cost:
+                    best_mapping = current
+                    best_cost = current_cost
+            temperature *= self.cooling
+
+        result = complete_and_evaluate(
+            best_mapping, als, self.platform, self.library, state=state, config=self.config
+        )
+        result.runtime_s = time.perf_counter() - start
+        result.iterations = self.iterations
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _objective(
+        self, mapping: Mapping, als: ApplicationLevelSpec, state: PlatformState
+    ) -> float:
+        """Energy objective plus a penalty per over-subscribed process slot."""
+        energy = mapping_energy_nj(mapping, als, self.platform, self.config.cost_model)
+        penalty = 0.0
+        for tile in self.platform.processing_tiles():
+            occupancy = state.used_process_slots(tile.name) + len(
+                mapping.processes_on(tile.name)
+            )
+            overflow = occupancy - tile.resources.max_processes
+            if overflow > 0:
+                penalty += overflow * self.slot_penalty_nj
+        return energy + penalty
+
+    def _neighbour(
+        self, mapping: Mapping, als: ApplicationLevelSpec, rng: random.Random
+    ) -> Mapping | None:
+        """A random neighbouring placement (move, swap or implementation change)."""
+        processes = [
+            p.name
+            for p in als.kpn.mappable_processes()
+            if mapping.is_assigned(p.name) and mapping.assignment(p.name).implementation
+        ]
+        if not processes:
+            return None
+        process_name = rng.choice(processes)
+        assignment = mapping.assignment(process_name)
+        moves = ["move", "swap", "reimplement"]
+        rng.shuffle(moves)
+        for move in moves:
+            if move == "move":
+                tiles = [
+                    t.name
+                    for t in self.platform.tiles_of_type(assignment.implementation.tile_type)
+                    if t.is_processing and t.name != assignment.tile
+                ]
+                if not tiles:
+                    continue
+                neighbour = mapping.copy()
+                neighbour.assign(assignment.moved_to(rng.choice(tiles)))
+                return neighbour
+            if move == "swap":
+                partners = [
+                    other
+                    for other in processes
+                    if other != process_name
+                    and mapping.assignment(other).implementation is not None
+                    and mapping.assignment(other).implementation.tile_type
+                    == assignment.implementation.tile_type
+                    and mapping.assignment(other).tile != assignment.tile
+                ]
+                if not partners:
+                    continue
+                partner = rng.choice(partners)
+                neighbour = mapping.copy()
+                partner_assignment = mapping.assignment(partner)
+                neighbour.assign(assignment.moved_to(partner_assignment.tile))
+                neighbour.assign(partner_assignment.moved_to(assignment.tile))
+                return neighbour
+            if move == "reimplement":
+                alternatives = [
+                    impl
+                    for impl in self.library.implementations_for(process_name)
+                    if impl.tile_type != assignment.implementation.tile_type
+                ]
+                if not alternatives:
+                    continue
+                implementation = rng.choice(alternatives)
+                tiles = [
+                    t.name
+                    for t in self.platform.tiles_of_type(implementation.tile_type)
+                    if t.is_processing
+                ]
+                if not tiles:
+                    continue
+                neighbour = mapping.copy()
+                neighbour.assign(
+                    ProcessAssignment(process_name, rng.choice(tiles), implementation)
+                )
+                return neighbour
+        return None

@@ -1,0 +1,32 @@
+"""Cyclo-Static Data Flow (CSDF) models and analyses.
+
+The paper uses CSDF graphs [Bilsen et al., 1996] as the fine-grained
+specification of process *implementations* and of the fully mapped
+application (Figure 3): actors are labelled with a worst-case execution time
+per phase and edges with per-phase token production and consumption rates.
+Feasibility of a spatial mapping (step 4 of the algorithm) is decided by a
+dataflow analysis of the mapped CSDF graph.
+
+This package provides the graph model (:mod:`repro.csdf.actor`,
+:mod:`repro.csdf.edge`, :mod:`repro.csdf.graph`), repetition-vector /
+consistency analysis (:mod:`repro.csdf.repetition`) and the analyses used by
+step 4 (:mod:`repro.csdf.analysis`).
+"""
+
+from repro.csdf.phase import PhaseVector, expand_phase_spec
+from repro.csdf.actor import CSDFActor
+from repro.csdf.edge import CSDFEdge
+from repro.csdf.graph import CSDFGraph
+from repro.csdf.repetition import repetition_vector, is_consistent
+from repro.csdf.builder import CSDFBuilder
+
+__all__ = [
+    "PhaseVector",
+    "expand_phase_spec",
+    "CSDFActor",
+    "CSDFEdge",
+    "CSDFGraph",
+    "repetition_vector",
+    "is_consistent",
+    "CSDFBuilder",
+]

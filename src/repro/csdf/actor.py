@@ -1,0 +1,85 @@
+"""CSDF actors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.csdf.phase import PhaseVector
+from repro.exceptions import CSDFError
+
+
+@dataclass(frozen=True)
+class CSDFActor:
+    """A cyclo-static dataflow actor.
+
+    An actor executes in a fixed cyclic sequence of *phases*.  In each phase
+    it consumes tokens from its input edges, computes for the phase's
+    execution time, and produces tokens on its output edges.  Token rates are
+    attached to the edges (they may differ per edge); the actor itself only
+    carries the number of phases and the per-phase execution time.
+
+    Parameters
+    ----------
+    name:
+        Unique actor name within its graph.
+    execution_times_ns:
+        Per-phase execution time in nanoseconds.  The number of phases of the
+        actor is the length of this vector.
+    wcet_cycles:
+        Optional per-phase worst-case execution time in clock cycles, kept for
+        reporting (Table 1 / Figure 3 are expressed in clock cycles).  When
+        provided it must have the same number of phases.
+    frequency_hz:
+        Optional clock frequency used to derive ``execution_times_ns`` from
+        ``wcet_cycles`` (informational).
+    tile:
+        Optional name of the tile or router this actor models (set for mapped
+        graphs, Figure 3).
+    role:
+        Free-form role tag, e.g. ``"process"``, ``"router"``, ``"source"``,
+        ``"sink"``.  Used by reports and by the latency analysis to identify
+        the ends of the pipeline.
+    """
+
+    name: str
+    execution_times_ns: PhaseVector
+    wcet_cycles: PhaseVector | None = None
+    frequency_hz: float | None = None
+    tile: str | None = None
+    role: str = "process"
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CSDFError("actor name must be a non-empty string")
+        if not isinstance(self.execution_times_ns, PhaseVector):
+            object.__setattr__(
+                self, "execution_times_ns", PhaseVector(self.execution_times_ns)
+            )
+        if self.wcet_cycles is not None and not isinstance(self.wcet_cycles, PhaseVector):
+            object.__setattr__(self, "wcet_cycles", PhaseVector(self.wcet_cycles))
+        if self.wcet_cycles is not None and len(self.wcet_cycles) != len(
+            self.execution_times_ns
+        ):
+            raise CSDFError(
+                f"actor {self.name!r}: wcet_cycles has {len(self.wcet_cycles)} phases "
+                f"but execution_times_ns has {len(self.execution_times_ns)}"
+            )
+        if self.frequency_hz is not None and self.frequency_hz <= 0:
+            raise CSDFError(f"actor {self.name!r}: frequency must be positive")
+
+    @property
+    def phases(self) -> int:
+        """Number of phases in the actor's cyclic schedule."""
+        return len(self.execution_times_ns)
+
+    def execution_time_ns(self, phase_index: int) -> float:
+        """Execution time (ns) of the given (cyclic) phase."""
+        return self.execution_times_ns.at(phase_index)
+
+    def total_execution_time_ns(self) -> float:
+        """Total execution time of one full phase cycle, in nanoseconds."""
+        return self.execution_times_ns.total()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

@@ -1,0 +1,108 @@
+"""Buffer-capacity computation for CSDF graphs.
+
+Step 4 of the paper's algorithm computes, for the mapped application, the
+buffer capacities ``B_i`` (Figure 3) that the consuming tiles must reserve.
+The paper delegates this to the analysis of Wiggers et al. (DAC 2007); this
+module provides a functional substitute built on the self-timed simulator:
+
+* :func:`sufficient_buffer_capacities` observes the maximum buffer occupancy
+  while the graph executes with its sources released at the required period
+  and unbounded buffers.  Granting each channel its observed maximum is
+  sufficient to sustain the period (the bounded execution can then follow the
+  same schedule as the unbounded one).
+* :func:`minimize_buffer_capacities` additionally shrinks each capacity by
+  binary search, re-validating the throughput with bounded buffers after each
+  trial.  This yields smaller (though not necessarily globally minimal)
+  capacities and is used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.csdf.analysis.simulation import simulate
+from repro.csdf.analysis.throughput import is_period_sustainable
+from repro.csdf.graph import CSDFGraph
+from repro.exceptions import DeadlockError
+
+
+def _lower_bound_capacity(graph: CSDFGraph, edge_name: str) -> int:
+    """Smallest capacity that does not structurally block a single firing."""
+    edge = graph.edge(edge_name)
+    bound = max(edge.production_rates.max(), edge.consumption_rates.max(), 1)
+    return int(max(bound, edge.initial_tokens))
+
+
+def sufficient_buffer_capacities(
+    graph: CSDFGraph,
+    period_ns: float | None = None,
+    iterations: int = 10,
+) -> dict[str, int]:
+    """Per-edge buffer capacities sufficient to sustain ``period_ns``.
+
+    When ``period_ns`` is ``None`` the graph runs fully self-timed (maximum
+    throughput); otherwise the sources are released once per period, which is
+    the configuration relevant for the mapper's feasibility check.
+
+    Raises :class:`~repro.exceptions.DeadlockError` if the graph cannot
+    complete a single iteration even with unbounded buffers.
+    """
+    unbounded = graph.copy(f"{graph.name}__unbounded")
+    for edge in graph.edges:
+        if edge.capacity is not None:
+            unbounded.replace_edge(edge.with_capacity(None))
+    result = simulate(unbounded, iterations=iterations, source_period_ns=period_ns)
+    if result.deadlocked and result.completed_iterations == 0:
+        raise DeadlockError(
+            f"graph {graph.name!r} cannot complete an iteration even with unbounded buffers"
+        )
+    capacities: dict[str, int] = {}
+    for edge in graph.edges:
+        observed = result.max_occupancy.get(edge.name, 0)
+        capacities[edge.name] = max(observed, _lower_bound_capacity(graph, edge.name))
+    return capacities
+
+
+def apply_buffer_capacities(graph: CSDFGraph, capacities: dict[str, int]) -> CSDFGraph:
+    """Return a copy of ``graph`` with the given per-edge buffer capacities."""
+    bounded = graph.copy(f"{graph.name}__bounded")
+    for edge_name, capacity in capacities.items():
+        edge = graph.edge(edge_name)
+        bounded.replace_edge(edge.with_capacity(int(capacity)))
+    return bounded
+
+
+def minimize_buffer_capacities(
+    graph: CSDFGraph,
+    period_ns: float,
+    iterations: int = 8,
+    edges: tuple[str, ...] | None = None,
+) -> dict[str, int]:
+    """Shrink buffer capacities while keeping ``period_ns`` sustainable.
+
+    Starting from :func:`sufficient_buffer_capacities`, each edge capacity is
+    reduced by binary search (edges processed one at a time, in graph order).
+    The result is a per-edge capacity vector under which
+    :func:`~repro.csdf.analysis.throughput.is_period_sustainable` still holds.
+    """
+    capacities = sufficient_buffer_capacities(graph, period_ns, iterations=iterations)
+    if edges is None:
+        edges = tuple(capacities.keys())
+
+    for edge_name in edges:
+        low = _lower_bound_capacity(graph, edge_name)
+        high = capacities[edge_name]
+        if high <= low:
+            capacities[edge_name] = low
+            continue
+        best = high
+        while low <= high:
+            candidate = (low + high) // 2
+            trial = dict(capacities)
+            trial[edge_name] = candidate
+            bounded = apply_buffer_capacities(graph, trial)
+            if is_period_sustainable(bounded, period_ns, iterations=iterations):
+                best = candidate
+                high = candidate - 1
+            else:
+                low = candidate + 1
+        capacities[edge_name] = best
+    return capacities

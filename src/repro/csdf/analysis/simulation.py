@@ -1,0 +1,324 @@
+"""Self-timed execution of CSDF graphs.
+
+The simulator executes a CSDF graph under *self-timed* semantics: every actor
+fires as soon as it has sufficient input tokens (for its current phase) and
+sufficient space on its bounded output buffers, and each firing occupies the
+actor for the phase's execution time (no auto-concurrency — an actor models a
+kernel running on a single tile and can only execute one firing at a time).
+
+The simulator supports two refinements needed by the feasibility analysis of
+the spatial mapper:
+
+* **periodic sources** — actors can be constrained to start their k-th graph
+  iteration no earlier than ``k * period``, modelling an A/D converter that
+  delivers one OFDM symbol every 4 us;
+* **bounded buffers** — edges with a finite ``capacity`` exert back-pressure.
+
+The result object records every firing, per-edge maximum buffer occupancy,
+iteration completion times, the steady-state period estimate and deadlock
+information.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.csdf.graph import CSDFGraph
+from repro.csdf.repetition import repetition_vector
+from repro.exceptions import DeadlockError
+from repro.kpn.process import ProcessKind  # noqa: F401  (re-exported for convenience in tests)
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One completed firing of an actor."""
+
+    actor: str
+    firing_index: int
+    phase_index: int
+    start_ns: float
+    finish_ns: float
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a self-timed simulation."""
+
+    graph_name: str
+    iterations_requested: int
+    repetitions: dict[str, int]
+    firings: dict[str, list[FiringRecord]]
+    max_occupancy: dict[str, int]
+    iteration_finish_times_ns: list[float] = field(default_factory=list)
+    deadlocked: bool = False
+    deadlock_time_ns: float | None = None
+    end_time_ns: float = 0.0
+
+    @property
+    def completed_iterations(self) -> int:
+        """Number of full graph iterations that completed."""
+        return len(self.iteration_finish_times_ns)
+
+    def firings_of(self, actor: str) -> list[FiringRecord]:
+        """All firings of the given actor, in order."""
+        return self.firings.get(actor, [])
+
+    def steady_state_period_ns(self, warmup_iterations: int | None = None) -> float:
+        """Average iteration period after discarding a warm-up prefix.
+
+        Raises :class:`~repro.exceptions.DeadlockError` when no complete
+        iteration was executed (e.g. because the graph deadlocked early).
+        """
+        finishes = self.iteration_finish_times_ns
+        if not finishes:
+            raise DeadlockError(
+                f"graph {self.graph_name!r}: no complete iteration was executed"
+            )
+        if len(finishes) == 1:
+            return finishes[0]
+        if warmup_iterations is None:
+            warmup_iterations = len(finishes) // 2
+        warmup_iterations = min(warmup_iterations, len(finishes) - 2)
+        warmup_iterations = max(warmup_iterations, 0)
+        span = finishes[-1] - finishes[warmup_iterations]
+        intervals = len(finishes) - 1 - warmup_iterations
+        if intervals <= 0:
+            return finishes[-1] - finishes[-2]
+        return span / intervals
+
+    def iteration_latency_ns(self, source: str, sink: str, iteration: int) -> float:
+        """Latency of one iteration from the source's first start to the sink's last finish."""
+        source_rep = self.repetitions[source]
+        sink_rep = self.repetitions[sink]
+        source_firings = self.firings_of(source)
+        sink_firings = self.firings_of(sink)
+        first = iteration * source_rep
+        last = (iteration + 1) * sink_rep - 1
+        if first >= len(source_firings) or last >= len(sink_firings):
+            raise DeadlockError(
+                f"iteration {iteration} did not complete for actors {source!r}/{sink!r}"
+            )
+        return sink_firings[last].finish_ns - source_firings[first].start_ns
+
+
+class SelfTimedSimulator:
+    """Event-driven self-timed simulator for CSDF graphs.
+
+    Parameters
+    ----------
+    graph:
+        The graph to execute.  Must be rate-consistent.
+    iterations:
+        Number of graph iterations to execute (each actor ``a`` fires
+        ``iterations * repetition_vector[a]`` times).
+    source_period_ns:
+        Optional period constraint applied to *source* actors (actors without
+        input edges, or the explicit set in ``periodic_actors``): the firings
+        belonging to iteration ``k`` may not start before ``k * period``.
+    periodic_actors:
+        Names of the actors the period constraint applies to.  Defaults to
+        all source actors when a period is given.
+    """
+
+    def __init__(
+        self,
+        graph: CSDFGraph,
+        iterations: int = 10,
+        *,
+        source_period_ns: float | None = None,
+        periodic_actors: tuple[str, ...] | None = None,
+    ) -> None:
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        if source_period_ns is not None and source_period_ns <= 0:
+            raise ValueError("source_period_ns must be positive")
+        self._graph = graph
+        self._iterations = iterations
+        self._repetitions = repetition_vector(graph)
+        self._source_period_ns = source_period_ns
+        if source_period_ns is None:
+            self._periodic_actors: frozenset[str] = frozenset()
+        elif periodic_actors is not None:
+            unknown = [a for a in periodic_actors if not graph.has_actor(a)]
+            if unknown:
+                raise ValueError(f"unknown periodic actors: {unknown}")
+            self._periodic_actors = frozenset(periodic_actors)
+        else:
+            self._periodic_actors = frozenset(a.name for a in graph.sources())
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute the graph and return the simulation result."""
+        graph = self._graph
+        repetitions = self._repetitions
+        target = {name: repetitions[name] * self._iterations for name in repetitions}
+
+        tokens: dict[str, int] = {e.name: e.initial_tokens for e in graph.edges}
+        max_occupancy: dict[str, int] = {e.name: e.initial_tokens for e in graph.edges}
+        phase: dict[str, int] = {name: 0 for name in graph.actor_names}
+        fired: dict[str, int] = {name: 0 for name in graph.actor_names}
+        busy: dict[str, bool] = {name: False for name in graph.actor_names}
+        firings: dict[str, list[FiringRecord]] = {name: [] for name in graph.actor_names}
+
+        inputs = {name: graph.input_edges(name) for name in graph.actor_names}
+        outputs = {name: graph.output_edges(name) for name in graph.actor_names}
+
+        # (finish_time, sequence, actor, phase_index, start_time)
+        pending: list[tuple[float, int, str, int, float]] = []
+        sequence = 0
+        now = 0.0
+        deadlocked = False
+        deadlock_time: float | None = None
+
+        def can_start(actor_name: str) -> bool:
+            if busy[actor_name] or fired[actor_name] >= target[actor_name]:
+                return False
+            if actor_name in self._periodic_actors and self._source_period_ns is not None:
+                iteration_index = fired[actor_name] // repetitions[actor_name]
+                if now + 1e-12 < iteration_index * self._source_period_ns:
+                    return False
+            current_phase = phase[actor_name]
+            for edge in inputs[actor_name]:
+                needed = edge.consumption_rates.at(current_phase)
+                if tokens[edge.name] + 1e-9 < needed:
+                    return False
+            for edge in outputs[actor_name]:
+                if edge.capacity is None:
+                    continue
+                produced = edge.production_rates.at(current_phase)
+                if tokens[edge.name] + produced > edge.capacity + 1e-9:
+                    return False
+            return True
+
+        def start(actor_name: str) -> None:
+            nonlocal sequence
+            current_phase = phase[actor_name]
+            for edge in inputs[actor_name]:
+                tokens[edge.name] -= int(edge.consumption_rates.at(current_phase))
+            # Space for the tokens produced by this firing is reserved at the
+            # start (that is what the capacity check above admits), so the
+            # occupancy statistics must account for it here — otherwise the
+            # reported maxima would not be sufficient buffer capacities.
+            for edge in outputs[actor_name]:
+                projected = tokens[edge.name] + int(edge.production_rates.at(current_phase))
+                if projected > max_occupancy[edge.name]:
+                    max_occupancy[edge.name] = projected
+            duration = graph.actor(actor_name).execution_time_ns(current_phase)
+            busy[actor_name] = True
+            sequence += 1
+            heapq.heappush(pending, (now + duration, sequence, actor_name, current_phase, now))
+
+        def finish(actor_name: str, finished_phase: int, start_time: float, finish_time: float) -> None:
+            for edge in outputs[actor_name]:
+                produced = int(edge.production_rates.at(finished_phase))
+                tokens[edge.name] += produced
+                if tokens[edge.name] > max_occupancy[edge.name]:
+                    max_occupancy[edge.name] = tokens[edge.name]
+            firings[actor_name].append(
+                FiringRecord(
+                    actor=actor_name,
+                    firing_index=fired[actor_name],
+                    phase_index=finished_phase,
+                    start_ns=start_time,
+                    finish_ns=finish_time,
+                )
+            )
+            fired[actor_name] += 1
+            phase[actor_name] = (finished_phase + 1) % graph.actor(actor_name).phases
+            busy[actor_name] = False
+
+        all_done = lambda: all(fired[name] >= target[name] for name in fired)  # noqa: E731
+
+        while not all_done():
+            started_any = True
+            while started_any:
+                started_any = False
+                for actor_name in graph.actor_names:
+                    if can_start(actor_name):
+                        start(actor_name)
+                        started_any = True
+            if pending:
+                finish_time, _, actor_name, finished_phase, start_time = heapq.heappop(pending)
+                now = finish_time
+                finish(actor_name, finished_phase, start_time, finish_time)
+                continue
+            # Nothing running and nothing can start.  Either every remaining
+            # actor is a periodic source waiting for its next release, or the
+            # graph is deadlocked.
+            next_release = self._next_source_release(fired, repetitions, target)
+            if next_release is not None and next_release > now:
+                now = next_release
+                continue
+            deadlocked = True
+            deadlock_time = now
+            break
+
+        iteration_finishes = self._iteration_finish_times(firings, repetitions, target)
+        return SimulationResult(
+            graph_name=graph.name,
+            iterations_requested=self._iterations,
+            repetitions=dict(repetitions),
+            firings=firings,
+            max_occupancy=max_occupancy,
+            iteration_finish_times_ns=iteration_finishes,
+            deadlocked=deadlocked,
+            deadlock_time_ns=deadlock_time,
+            end_time_ns=now,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _next_source_release(
+        self,
+        fired: dict[str, int],
+        repetitions: dict[str, int],
+        target: dict[str, int],
+    ) -> float | None:
+        """Earliest future release time of any periodic source, or ``None``."""
+        if self._source_period_ns is None:
+            return None
+        releases = []
+        for actor_name in self._periodic_actors:
+            if fired[actor_name] >= target[actor_name]:
+                continue
+            iteration_index = fired[actor_name] // repetitions[actor_name]
+            releases.append(iteration_index * self._source_period_ns)
+        if not releases:
+            return None
+        return min(releases)
+
+    def _iteration_finish_times(
+        self,
+        firings: dict[str, list[FiringRecord]],
+        repetitions: dict[str, int],
+        target: dict[str, int],
+    ) -> list[float]:
+        """Completion time of each fully finished graph iteration."""
+        completed = self._iterations
+        for actor_name, records in firings.items():
+            completed = min(completed, len(records) // repetitions[actor_name])
+        finishes: list[float] = []
+        for k in range(completed):
+            finish = 0.0
+            for actor_name, records in firings.items():
+                last = (k + 1) * repetitions[actor_name] - 1
+                finish = max(finish, records[last].finish_ns)
+            finishes.append(finish)
+        return finishes
+
+
+def simulate(
+    graph: CSDFGraph,
+    iterations: int = 10,
+    *,
+    source_period_ns: float | None = None,
+    periodic_actors: tuple[str, ...] | None = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`SelfTimedSimulator` and run it."""
+    simulator = SelfTimedSimulator(
+        graph,
+        iterations,
+        source_period_ns=source_period_ns,
+        periodic_actors=periodic_actors,
+    )
+    return simulator.run()

@@ -1,0 +1,78 @@
+"""Throughput analysis of CSDF graphs.
+
+Two complementary estimates are provided:
+
+* :func:`processor_bound_period_ns` — an analytic lower bound on the
+  achievable iteration period: per actor, the total execution time of all its
+  firings in one graph iteration (an actor cannot execute two firings at the
+  same time).  This bound is cheap and is used by the mapper's early steps to
+  discard hopeless implementation choices.
+* :func:`minimal_period_ns` — the steady-state period measured by self-timed
+  simulation, which accounts for data dependencies, phase interleavings and
+  bounded buffers.  This is the value step 4 of the mapper compares against
+  the application's required period.
+"""
+
+from __future__ import annotations
+
+from repro.csdf.analysis.simulation import simulate
+from repro.csdf.graph import CSDFGraph
+from repro.csdf.repetition import repetition_vector
+from repro.exceptions import DeadlockError
+
+
+def processor_bound_period_ns(graph: CSDFGraph) -> float:
+    """Lower bound on the iteration period: the busiest actor's workload per iteration."""
+    repetitions = repetition_vector(graph)
+    bound = 0.0
+    for actor in graph.actors:
+        cycles_per_iteration = repetitions[actor.name] / actor.phases
+        workload = actor.total_execution_time_ns() * cycles_per_iteration
+        bound = max(bound, workload)
+    return bound
+
+
+def minimal_period_ns(graph: CSDFGraph, iterations: int = 10, warmup: int | None = None) -> float:
+    """Steady-state iteration period of the self-timed execution (ns).
+
+    Raises :class:`~repro.exceptions.DeadlockError` when the graph deadlocks
+    before completing a single iteration.
+    """
+    result = simulate(graph, iterations=iterations)
+    if result.deadlocked and result.completed_iterations == 0:
+        raise DeadlockError(
+            f"graph {graph.name!r} deadlocks at t={result.deadlock_time_ns} ns"
+        )
+    return result.steady_state_period_ns(warmup)
+
+
+def is_period_sustainable(
+    graph: CSDFGraph,
+    period_ns: float,
+    iterations: int = 10,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether the graph can sustain one iteration every ``period_ns`` nanoseconds.
+
+    The check runs the graph with its sources released periodically at
+    ``period_ns`` and verifies that (a) it does not deadlock, and (b) the
+    backlog does not grow: the completion time of the last simulated
+    iteration stays within one period of the ideal schedule.
+    """
+    if period_ns <= 0:
+        raise ValueError("period_ns must be positive")
+    result = simulate(graph, iterations=iterations, source_period_ns=period_ns)
+    if result.deadlocked:
+        return False
+    if result.completed_iterations < iterations:
+        return False
+    finishes = result.iteration_finish_times_ns
+    # Under a sustainable period, iteration k finishes at most (latency + k * period);
+    # compare the last iterations against the first to detect an unbounded backlog.
+    reference = finishes[0]
+    slack = period_ns * (1 + tolerance)
+    for k, finish in enumerate(finishes):
+        ideal = reference + k * period_ns
+        if finish > ideal + slack:
+            return False
+    return True

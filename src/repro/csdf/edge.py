@@ -1,0 +1,92 @@
+"""CSDF edges (token channels with per-phase rates)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.csdf.phase import PhaseVector
+from repro.exceptions import CSDFError
+
+
+@dataclass(frozen=True)
+class CSDFEdge:
+    """A directed token channel between two CSDF actors.
+
+    Parameters
+    ----------
+    name:
+        Unique edge name within the graph.
+    source / target:
+        Names of the producing and consuming actors.
+    production_rates:
+        Per-phase production rates, aligned with the *source* actor's phases.
+    consumption_rates:
+        Per-phase consumption rates, aligned with the *target* actor's phases.
+    initial_tokens:
+        Number of tokens present on the edge before execution starts.
+    capacity:
+        Optional buffer capacity (in tokens).  ``None`` models an unbounded
+        FIFO; a bounded capacity introduces back-pressure in the self-timed
+        simulation.  The B_i annotations of Figure 3 are such capacities.
+    """
+
+    name: str
+    source: str
+    target: str
+    production_rates: PhaseVector
+    consumption_rates: PhaseVector
+    initial_tokens: int = 0
+    capacity: int | None = None
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CSDFError("edge name must be a non-empty string")
+        if not self.source or not self.target:
+            raise CSDFError(f"edge {self.name!r} must name a source and a target actor")
+        if not isinstance(self.production_rates, PhaseVector):
+            object.__setattr__(self, "production_rates", PhaseVector(self.production_rates))
+        if not isinstance(self.consumption_rates, PhaseVector):
+            object.__setattr__(self, "consumption_rates", PhaseVector(self.consumption_rates))
+        if self.initial_tokens < 0:
+            raise CSDFError(f"edge {self.name!r}: initial_tokens must be non-negative")
+        if self.capacity is not None:
+            if self.capacity <= 0:
+                raise CSDFError(f"edge {self.name!r}: capacity must be positive or None")
+            if self.initial_tokens > self.capacity:
+                raise CSDFError(
+                    f"edge {self.name!r}: initial tokens ({self.initial_tokens}) exceed "
+                    f"capacity ({self.capacity})"
+                )
+        if self.production_rates.is_zero() and self.consumption_rates.is_zero():
+            raise CSDFError(f"edge {self.name!r} never carries any tokens")
+
+    @property
+    def total_production(self) -> float:
+        """Tokens produced per full phase cycle of the source actor."""
+        return self.production_rates.total()
+
+    @property
+    def total_consumption(self) -> float:
+        """Tokens consumed per full phase cycle of the target actor."""
+        return self.consumption_rates.total()
+
+    def is_self_loop(self) -> bool:
+        """Whether source and target are the same actor (allowed in CSDF)."""
+        return self.source == self.target
+
+    def with_capacity(self, capacity: int | None) -> "CSDFEdge":
+        """Return a copy of this edge with a different buffer capacity."""
+        return CSDFEdge(
+            name=self.name,
+            source=self.source,
+            target=self.target,
+            production_rates=self.production_rates,
+            consumption_rates=self.consumption_rates,
+            initial_tokens=self.initial_tokens,
+            capacity=capacity,
+            metadata=dict(self.metadata),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}: {self.source} -> {self.target}"

@@ -1,0 +1,199 @@
+"""The CSDF graph container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.csdf.actor import CSDFActor
+from repro.csdf.edge import CSDFEdge
+from repro.csdf.phase import PhaseVector
+from repro.exceptions import CSDFError
+
+
+class CSDFGraph:
+    """A cyclo-static dataflow graph: actors connected by token channels.
+
+    The container enforces referential integrity and that edge rate vectors
+    are compatible with the phase counts of their endpoint actors: the
+    production-rate vector of an edge must have either one phase (constant
+    rate) or exactly as many phases as the source actor, and likewise for the
+    consumption rates and the target actor.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise CSDFError("CSDF graph name must be a non-empty string")
+        self.name = name
+        self._actors: dict[str, CSDFActor] = {}
+        self._edges: dict[str, CSDFEdge] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_actor(self, actor: CSDFActor) -> CSDFActor:
+        """Add an actor; names must be unique."""
+        if actor.name in self._actors:
+            raise CSDFError(f"duplicate actor name {actor.name!r} in graph {self.name!r}")
+        self._actors[actor.name] = actor
+        return actor
+
+    def add_edge(self, edge: CSDFEdge) -> CSDFEdge:
+        """Add an edge; endpoints must exist and rate vectors must be compatible.
+
+        A rate vector with a single phase attached to a multi-phase actor is a
+        shorthand for "the same rate in every phase"; it is expanded here so
+        that per-cycle totals (used by the repetition vector) and per-phase
+        rates (used by the simulator) always agree.
+        """
+        if edge.name in self._edges:
+            raise CSDFError(f"duplicate edge name {edge.name!r} in graph {self.name!r}")
+        for endpoint in (edge.source, edge.target):
+            if endpoint not in self._actors:
+                raise CSDFError(
+                    f"edge {edge.name!r} references unknown actor {endpoint!r}"
+                )
+        source = self._actors[edge.source]
+        target = self._actors[edge.target]
+        if len(edge.production_rates) not in (1, source.phases):
+            raise CSDFError(
+                f"edge {edge.name!r}: production rates have {len(edge.production_rates)} "
+                f"phases but source actor {source.name!r} has {source.phases}"
+            )
+        if len(edge.consumption_rates) not in (1, target.phases):
+            raise CSDFError(
+                f"edge {edge.name!r}: consumption rates have {len(edge.consumption_rates)} "
+                f"phases but target actor {target.name!r} has {target.phases}"
+            )
+        edge = self._expand_constant_rates(edge, source.phases, target.phases)
+        self._edges[edge.name] = edge
+        return edge
+
+    @staticmethod
+    def _expand_constant_rates(
+        edge: CSDFEdge, source_phases: int, target_phases: int
+    ) -> CSDFEdge:
+        """Expand single-phase rate shorthands to the endpoint actors' phase counts."""
+        production = edge.production_rates
+        consumption = edge.consumption_rates
+        if len(production) == 1 and source_phases > 1:
+            production = PhaseVector.constant(production[0], source_phases)
+        if len(consumption) == 1 and target_phases > 1:
+            consumption = PhaseVector.constant(consumption[0], target_phases)
+        if production is edge.production_rates and consumption is edge.consumption_rates:
+            return edge
+        return CSDFEdge(
+            name=edge.name,
+            source=edge.source,
+            target=edge.target,
+            production_rates=production,
+            consumption_rates=consumption,
+            initial_tokens=edge.initial_tokens,
+            capacity=edge.capacity,
+            metadata=dict(edge.metadata),
+        )
+
+    def add_actors(self, actors: Iterable[CSDFActor]) -> None:
+        """Add several actors at once."""
+        for actor in actors:
+            self.add_actor(actor)
+
+    def add_edges(self, edges: Iterable[CSDFEdge]) -> None:
+        """Add several edges at once."""
+        for edge in edges:
+            self.add_edge(edge)
+
+    def replace_edge(self, edge: CSDFEdge) -> CSDFEdge:
+        """Replace an existing edge (same name) — used to set buffer capacities."""
+        if edge.name not in self._edges:
+            raise CSDFError(f"cannot replace unknown edge {edge.name!r}")
+        existing = self._edges[edge.name]
+        if (existing.source, existing.target) != (edge.source, edge.target):
+            raise CSDFError(
+                f"replacement for edge {edge.name!r} must keep the same endpoints"
+            )
+        edge = self._expand_constant_rates(
+            edge, self._actors[edge.source].phases, self._actors[edge.target].phases
+        )
+        self._edges[edge.name] = edge
+        return edge
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def actors(self) -> tuple[CSDFActor, ...]:
+        """All actors in insertion order."""
+        return tuple(self._actors.values())
+
+    @property
+    def edges(self) -> tuple[CSDFEdge, ...]:
+        """All edges in insertion order."""
+        return tuple(self._edges.values())
+
+    @property
+    def actor_names(self) -> tuple[str, ...]:
+        """Actor names in insertion order."""
+        return tuple(self._actors.keys())
+
+    def actor(self, name: str) -> CSDFActor:
+        """Return the actor called ``name``."""
+        try:
+            return self._actors[name]
+        except KeyError:
+            raise CSDFError(f"unknown actor {name!r} in graph {self.name!r}") from None
+
+    def edge(self, name: str) -> CSDFEdge:
+        """Return the edge called ``name``."""
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise CSDFError(f"unknown edge {name!r} in graph {self.name!r}") from None
+
+    def has_actor(self, name: str) -> bool:
+        """Whether an actor with the given name exists."""
+        return name in self._actors
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_actor(name)
+
+    def __iter__(self) -> Iterator[CSDFActor]:
+        return iter(self._actors.values())
+
+    def __len__(self) -> int:
+        return len(self._actors)
+
+    def input_edges(self, actor_name: str) -> tuple[CSDFEdge, ...]:
+        """Edges whose target is the given actor."""
+        self.actor(actor_name)
+        return tuple(e for e in self._edges.values() if e.target == actor_name)
+
+    def output_edges(self, actor_name: str) -> tuple[CSDFEdge, ...]:
+        """Edges whose source is the given actor."""
+        self.actor(actor_name)
+        return tuple(e for e in self._edges.values() if e.source == actor_name)
+
+    def actors_with_role(self, role: str) -> tuple[CSDFActor, ...]:
+        """All actors carrying the given role tag."""
+        return tuple(a for a in self._actors.values() if a.role == role)
+
+    def sources(self) -> tuple[CSDFActor, ...]:
+        """Actors with no input edges."""
+        return tuple(a for a in self._actors.values() if not self.input_edges(a.name))
+
+    def sinks(self) -> tuple[CSDFActor, ...]:
+        """Actors with no output edges."""
+        return tuple(a for a in self._actors.values() if not self.output_edges(a.name))
+
+    def copy(self, name: str | None = None) -> "CSDFGraph":
+        """A shallow structural copy (actors and edges are immutable and shared)."""
+        clone = CSDFGraph(name or self.name)
+        clone.add_actors(self.actors)
+        for edge in self.edges:
+            clone.add_edge(edge)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSDFGraph(name={self.name!r}, actors={len(self._actors)}, "
+            f"edges={len(self._edges)})"
+        )

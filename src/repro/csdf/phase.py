@@ -1,0 +1,162 @@
+"""Phase vectors: per-phase values of cyclo-static actors and edges.
+
+The paper (Table 1) uses the compact notation ``<x^n, y^m>`` for ``n + m``
+phases where the first ``n`` phases carry value ``x`` and the last ``m``
+phases value ``y``, e.g. ``<8^2, (8,0)^8>`` for the input rates of the
+ARM prefix-removal implementation.  :func:`expand_phase_spec` expands such a
+compact specification (given as Python tuples) into a flat tuple of values,
+and :class:`PhaseVector` wraps the flat tuple with cyclic indexing, totals
+and equality semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+
+def expand_phase_spec(spec: Sequence) -> tuple[float, ...]:
+    """Expand a compact phase specification into a flat tuple of per-phase values.
+
+    The specification is a sequence whose elements are either
+
+    * a number ``x`` — one phase with value ``x``;
+    * a pair ``(x, n)`` with ``n`` an ``int`` repetition count — ``n`` phases
+      with value ``x`` (the paper's ``x^n``); or
+    * a pair ``((x, y, ...), n)`` — the inner pattern repeated ``n`` times
+      (the paper's ``(x, y)^n``).
+
+    Examples
+    --------
+    >>> expand_phase_spec([(8, 2), ((8, 0), 8)])[:6]
+    (8, 8, 8, 0, 8, 0)
+    >>> expand_phase_spec([64, 0, 0])
+    (64, 0, 0)
+    """
+    values: list[float] = []
+    for element in spec:
+        if isinstance(element, (int, float)):
+            values.append(element)
+            continue
+        if not isinstance(element, (tuple, list)) or len(element) != 2:
+            raise ValueError(f"invalid phase specification element {element!r}")
+        pattern, count = element
+        if not isinstance(count, int) or count < 0:
+            raise ValueError(f"repetition count must be a non-negative int, got {count!r}")
+        if isinstance(pattern, (int, float)):
+            values.extend([pattern] * count)
+        elif isinstance(pattern, (tuple, list)):
+            for _ in range(count):
+                values.extend(pattern)
+        else:
+            raise ValueError(f"invalid phase pattern {pattern!r}")
+    return tuple(float(v) if isinstance(v, float) else v for v in values)
+
+
+class PhaseVector:
+    """An immutable per-phase vector of non-negative numbers.
+
+    Instances behave like read-only sequences with *cyclic* indexing helpers:
+    phase ``k`` of an actor with ``n`` phases uses entry ``k mod n``.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[float] | Sequence) -> None:
+        vals = tuple(values)
+        if not vals:
+            raise ValueError("a phase vector must have at least one phase")
+        for v in vals:
+            if not isinstance(v, (int, float)):
+                raise ValueError(f"phase values must be numbers, got {v!r}")
+            if v < 0:
+                raise ValueError(f"phase values must be non-negative, got {v!r}")
+        self._values = vals
+
+    @classmethod
+    def from_spec(cls, spec: Sequence) -> "PhaseVector":
+        """Build a phase vector from a compact specification (see :func:`expand_phase_spec`)."""
+        return cls(expand_phase_spec(spec))
+
+    @classmethod
+    def constant(cls, value: float, phases: int = 1) -> "PhaseVector":
+        """A vector with ``phases`` identical entries."""
+        if phases < 1:
+            raise ValueError("a phase vector must have at least one phase")
+        return cls((value,) * phases)
+
+    # -- sequence protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> float:
+        return self._values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PhaseVector):
+            return self._values == other._values
+        if isinstance(other, (tuple, list)):
+            return self._values == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        return f"PhaseVector({list(self._values)!r})"
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def values(self) -> tuple[float, ...]:
+        """The flat per-phase values."""
+        return self._values
+
+    @property
+    def phases(self) -> int:
+        """Number of phases."""
+        return len(self._values)
+
+    def at(self, phase_index: int) -> float:
+        """Value at (cyclic) phase ``phase_index``."""
+        return self._values[phase_index % len(self._values)]
+
+    def total(self) -> float:
+        """Sum over one full cycle of phases."""
+        return sum(self._values)
+
+    def max(self) -> float:
+        """Maximum per-phase value."""
+        return max(self._values)
+
+    def is_zero(self) -> bool:
+        """Whether all phases are zero."""
+        return all(v == 0 for v in self._values)
+
+    def repeated(self, times: int) -> "PhaseVector":
+        """A new vector with the phase pattern repeated ``times`` times."""
+        if times < 1:
+            raise ValueError("repetition count must be at least 1")
+        return PhaseVector(self._values * times)
+
+    def scaled(self, factor: float) -> "PhaseVector":
+        """A new vector with every value multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return PhaseVector(tuple(v * factor for v in self._values))
+
+    def compact_str(self) -> str:
+        """Render in the paper's run-length notation, e.g. ``<8^2, 0^3>``."""
+        parts: list[str] = []
+        index = 0
+        values = self._values
+        while index < len(values):
+            value = values[index]
+            run = 1
+            while index + run < len(values) and values[index + run] == value:
+                run += 1
+            rendered = f"{value:g}"
+            parts.append(rendered if run == 1 else f"{rendered}^{run}")
+            index += run
+        return "<" + ", ".join(parts) + ">"

@@ -1,0 +1,126 @@
+"""Repetition vectors and rate consistency of CSDF graphs.
+
+A CSDF graph is *consistent* when there is a repetition vector ``r`` such
+that, when every actor ``a`` fires ``r[a]`` times (i.e. completes
+``r[a] / phases(a)`` full phase cycles), the number of tokens on every edge
+returns to its initial value.  Consistency is a prerequisite for a graph to
+execute indefinitely with bounded memory; the spatial mapper refuses to
+analyse inconsistent graphs (they indicate a modelling error).
+
+Following the standard CSDF treatment we solve the balance equations on
+whole phase cycles: if ``q[a]`` is the number of *phase cycles* actor ``a``
+completes per graph iteration, then for every edge ``e`` from ``a`` to ``b``::
+
+    q[a] * total_production(e) == q[b] * total_consumption(e)
+
+The per-firing repetition vector is then ``r[a] = q[a] * phases(a)``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import lcm
+
+from repro.csdf.graph import CSDFGraph
+from repro.exceptions import InconsistentGraphError
+
+
+def cycle_vector(graph: CSDFGraph) -> dict[str, int]:
+    """Return the number of full phase cycles each actor completes per iteration.
+
+    Raises
+    ------
+    InconsistentGraphError
+        If the balance equations have no solution (rate-inconsistent graph).
+    """
+    if len(graph) == 0:
+        raise InconsistentGraphError(f"graph {graph.name!r} has no actors")
+
+    ratios: dict[str, Fraction | None] = {name: None for name in graph.actor_names}
+
+    # Process connected components seeded from each unvisited actor.
+    for seed in graph.actor_names:
+        if ratios[seed] is not None:
+            continue
+        ratios[seed] = Fraction(1)
+        stack = [seed]
+        while stack:
+            current = stack.pop()
+            current_ratio = ratios[current]
+            assert current_ratio is not None
+            for edge in graph.output_edges(current):
+                if edge.total_production == 0 and edge.total_consumption == 0:
+                    continue
+                if edge.total_production == 0 or edge.total_consumption == 0:
+                    raise InconsistentGraphError(
+                        f"edge {edge.name!r} produces or consumes zero tokens per cycle; "
+                        "the graph cannot be rate-consistent"
+                    )
+                implied = current_ratio * Fraction(edge.total_production) / Fraction(
+                    edge.total_consumption
+                )
+                _assign(ratios, edge.target, implied, edge.name, stack)
+            for edge in graph.input_edges(current):
+                if edge.total_production == 0 and edge.total_consumption == 0:
+                    continue
+                if edge.total_production == 0 or edge.total_consumption == 0:
+                    raise InconsistentGraphError(
+                        f"edge {edge.name!r} produces or consumes zero tokens per cycle; "
+                        "the graph cannot be rate-consistent"
+                    )
+                implied = current_ratio * Fraction(edge.total_consumption) / Fraction(
+                    edge.total_production
+                )
+                _assign(ratios, edge.source, implied, edge.name, stack)
+
+    # Scale to the smallest integer solution.
+    denominators = [ratio.denominator for ratio in ratios.values() if ratio is not None]
+    scale = lcm(*denominators) if denominators else 1
+    scaled = {name: int(ratio * scale) for name, ratio in ratios.items() if ratio is not None}
+    numerators = [value for value in scaled.values() if value > 0]
+    if not numerators:
+        raise InconsistentGraphError(f"graph {graph.name!r} has a degenerate repetition vector")
+    from math import gcd
+
+    divisor = numerators[0]
+    for value in numerators[1:]:
+        divisor = gcd(divisor, value)
+    return {name: value // divisor for name, value in scaled.items()}
+
+
+def _assign(
+    ratios: dict[str, Fraction | None],
+    actor: str,
+    implied: Fraction,
+    edge_name: str,
+    stack: list[str],
+) -> None:
+    """Record the cycle ratio implied for ``actor`` or detect an inconsistency."""
+    existing = ratios.get(actor)
+    if existing is None:
+        ratios[actor] = implied
+        stack.append(actor)
+    elif existing != implied:
+        raise InconsistentGraphError(
+            f"rate inconsistency detected at edge {edge_name!r}: actor {actor!r} would "
+            f"need cycle ratios {existing} and {implied}"
+        )
+
+
+def repetition_vector(graph: CSDFGraph) -> dict[str, int]:
+    """Return the per-firing repetition vector of a consistent CSDF graph.
+
+    Entry ``r[a]`` is the number of firings (phase executions) of actor ``a``
+    per graph iteration.
+    """
+    cycles = cycle_vector(graph)
+    return {name: cycles[name] * graph.actor(name).phases for name in cycles}
+
+
+def is_consistent(graph: CSDFGraph) -> bool:
+    """Whether the graph has a valid repetition vector."""
+    try:
+        cycle_vector(graph)
+    except InconsistentGraphError:
+        return False
+    return True

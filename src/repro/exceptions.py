@@ -1,0 +1,69 @@
+"""Exception hierarchy for the spatial-mapping library.
+
+All exceptions raised by this package derive from :class:`ReproError`, so a
+caller embedding the mapper in a resource manager can catch a single base
+class.  The sub-classes mirror the major subsystems: model construction,
+dataflow analysis, platform/NoC handling and the mapping process itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ModelError(ReproError):
+    """An application or platform model is malformed or inconsistent."""
+
+
+class KPNError(ModelError):
+    """A Kahn Process Network is malformed (unknown process, duplicate name, ...)."""
+
+
+class CSDFError(ModelError):
+    """A cyclo-static dataflow graph is malformed or inconsistent."""
+
+
+class InconsistentGraphError(CSDFError):
+    """A CSDF graph has no repetition vector (rate inconsistency)."""
+
+
+class DeadlockError(CSDFError):
+    """Self-timed execution of a CSDF graph deadlocks."""
+
+
+class PlatformError(ModelError):
+    """A platform description is malformed (unknown tile, bad topology, ...)."""
+
+
+class RoutingError(ReproError):
+    """No route satisfying the capacity constraints could be found."""
+
+
+class MappingError(ReproError):
+    """A mapping operation failed (inadequate, inadherent or infeasible result)."""
+
+
+class InadequateMappingError(MappingError):
+    """A process was assigned to a tile type for which it has no implementation."""
+
+
+class InadherentMappingError(MappingError):
+    """A mapping over-subscribes a tile or a NoC link."""
+
+
+class InfeasibleMappingError(MappingError):
+    """A mapping violates the application's QoS constraints."""
+
+
+class NoFeasibleMappingError(MappingError):
+    """The spatial mapper exhausted its search without finding a feasible mapping."""
+
+
+class AdmissionError(ReproError):
+    """The run-time resource manager rejected an application start request."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration value passed to an algorithm."""

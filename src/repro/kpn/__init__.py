@@ -1,0 +1,26 @@
+"""Kahn Process Network (KPN) application model.
+
+A streaming DSP application is described at the functional level as a Kahn
+Process Network: a set of :class:`~repro.kpn.process.Process` nodes connected
+by :class:`~repro.kpn.channel.Channel` edges (unbounded FIFO channels in the
+KPN semantics; bounded buffers are only introduced once the application is
+mapped).  Together with the :class:`~repro.kpn.qos.QoSConstraints` this forms
+the Application Level Specification (ALS) of the paper (section 4.1).
+"""
+
+from repro.kpn.process import Process, ProcessKind
+from repro.kpn.channel import Channel
+from repro.kpn.graph import KPNGraph
+from repro.kpn.qos import QoSConstraints
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.validation import validate_kpn
+
+__all__ = [
+    "Process",
+    "ProcessKind",
+    "Channel",
+    "KPNGraph",
+    "QoSConstraints",
+    "ApplicationLevelSpec",
+    "validate_kpn",
+]

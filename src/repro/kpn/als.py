@@ -1,0 +1,59 @@
+"""Application Level Specification (ALS).
+
+The paper (section 4.1) defines the ALS as "the graph describing functional
+dependencies of the processes and the QoS constraints together".  This module
+bundles the two and is the unit of work handed to the spatial mapper and to
+the run-time resource manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kpn.graph import KPNGraph
+from repro.kpn.qos import QoSConstraints
+from repro.kpn.validation import validate_kpn
+
+
+@dataclass
+class ApplicationLevelSpec:
+    """A streaming application: its KPN plus its QoS constraints.
+
+    Parameters
+    ----------
+    kpn:
+        Functional decomposition of the application.
+    qos:
+        Quality-of-Service constraints (iteration period, optional latency).
+    name:
+        Application name; defaults to the KPN name.
+    """
+
+    kpn: KPNGraph
+    qos: QoSConstraints
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = self.kpn.name
+        validate_kpn(self.kpn)
+
+    @property
+    def period_ns(self) -> float:
+        """Required iteration period of the application in nanoseconds."""
+        return self.qos.period_ns
+
+    def mappable_process_names(self) -> tuple[str, ...]:
+        """Names of processes the mapper must place."""
+        return tuple(p.name for p in self.kpn.mappable_processes())
+
+    def pinned_assignments(self) -> dict[str, str]:
+        """Mapping from pinned process name to the tile it is bound to."""
+        return {p.name: p.pinned_tile for p in self.kpn.pinned_processes() if p.pinned_tile}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ApplicationLevelSpec(name={self.name!r}, "
+            f"processes={len(self.kpn)}, period_ns={self.qos.period_ns})"
+        )

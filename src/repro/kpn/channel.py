@@ -1,0 +1,71 @@
+"""Channels (FIFO edges) of a Kahn Process Network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Channel:
+    """A directed FIFO channel between two processes.
+
+    In the application-level specification the channel is annotated with the
+    amount of data transported per application iteration (per OFDM symbol in
+    the HiperLAN/2 example of the paper, Figure 1) so that the mapper can
+    estimate communication load before the detailed CSDF model is available.
+
+    Parameters
+    ----------
+    name:
+        Unique channel name within the KPN.
+    source / target:
+        Names of the producing and consuming processes.
+    tokens_per_iteration:
+        Number of tokens communicated per graph iteration (e.g. 32-bit
+        complex samples per OFDM symbol).
+    token_size_bits:
+        Size of a single token in bits (32 for the HiperLAN/2 samples).
+    is_control:
+        ``True`` for control channels that are not part of the data stream
+        and therefore excluded from the communication cost model (the
+        CTRL -> Demapping edge of Figure 1).
+    """
+
+    name: str
+    source: str
+    target: str
+    tokens_per_iteration: float = 1.0
+    token_size_bits: int = 32
+    is_control: bool = False
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("channel name must be a non-empty string")
+        if not self.source or not self.target:
+            raise ValueError(f"channel {self.name!r} must have a source and a target process")
+        if self.source == self.target:
+            raise ValueError(f"channel {self.name!r} is a self-loop ({self.source!r})")
+        if self.tokens_per_iteration < 0:
+            raise ValueError(
+                f"channel {self.name!r}: tokens_per_iteration must be non-negative"
+            )
+        if self.token_size_bits <= 0:
+            raise ValueError(f"channel {self.name!r}: token_size_bits must be positive")
+
+    @property
+    def bits_per_iteration(self) -> float:
+        """Total number of bits transported over this channel per iteration."""
+        return self.tokens_per_iteration * self.token_size_bits
+
+    @property
+    def bytes_per_iteration(self) -> float:
+        """Total number of bytes transported over this channel per iteration."""
+        return self.bits_per_iteration / 8.0
+
+    def endpoints(self) -> tuple[str, str]:
+        """Return ``(source, target)`` process names."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}: {self.source} -> {self.target}"

@@ -1,0 +1,202 @@
+"""The Kahn Process Network graph container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import KPNError
+from repro.kpn.channel import Channel
+from repro.kpn.process import Process, ProcessKind
+
+
+class KPNGraph:
+    """A directed graph of processes connected by FIFO channels.
+
+    The graph is the functional decomposition of a streaming application
+    (Figure 1 of the paper).  It deliberately carries no timing information;
+    timing lives in the per-implementation CSDF descriptions
+    (:mod:`repro.appmodel`).
+
+    The container enforces referential integrity: a channel can only be added
+    once both its endpoint processes exist, and process/channel names are
+    unique.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise KPNError("KPN graph name must be a non-empty string")
+        self.name = name
+        self._processes: dict[str, Process] = {}
+        self._channels: dict[str, Channel] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_process(self, process: Process) -> Process:
+        """Add a process to the graph and return it.
+
+        Raises :class:`~repro.exceptions.KPNError` if a process with the same
+        name already exists.
+        """
+        if process.name in self._processes:
+            raise KPNError(f"duplicate process name {process.name!r} in KPN {self.name!r}")
+        self._processes[process.name] = process
+        return process
+
+    def add_channel(self, channel: Channel) -> Channel:
+        """Add a channel to the graph and return it.
+
+        Both endpoint processes must already be present.
+        """
+        if channel.name in self._channels:
+            raise KPNError(f"duplicate channel name {channel.name!r} in KPN {self.name!r}")
+        for endpoint in channel.endpoints():
+            if endpoint not in self._processes:
+                raise KPNError(
+                    f"channel {channel.name!r} references unknown process {endpoint!r}"
+                )
+        self._channels[channel.name] = channel
+        return channel
+
+    def add_processes(self, processes: Iterable[Process]) -> None:
+        """Add several processes at once."""
+        for process in processes:
+            self.add_process(process)
+
+    def add_channels(self, channels: Iterable[Channel]) -> None:
+        """Add several channels at once."""
+        for channel in channels:
+            self.add_channel(channel)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        """All processes in insertion order."""
+        return tuple(self._processes.values())
+
+    @property
+    def channels(self) -> tuple[Channel, ...]:
+        """All channels in insertion order."""
+        return tuple(self._channels.values())
+
+    @property
+    def process_names(self) -> tuple[str, ...]:
+        """Names of all processes in insertion order."""
+        return tuple(self._processes.keys())
+
+    def process(self, name: str) -> Process:
+        """Return the process called ``name`` or raise :class:`KPNError`."""
+        try:
+            return self._processes[name]
+        except KeyError:
+            raise KPNError(f"unknown process {name!r} in KPN {self.name!r}") from None
+
+    def channel(self, name: str) -> Channel:
+        """Return the channel called ``name`` or raise :class:`KPNError`."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise KPNError(f"unknown channel {name!r} in KPN {self.name!r}") from None
+
+    def has_process(self, name: str) -> bool:
+        """Whether a process with the given name exists."""
+        return name in self._processes
+
+    def has_channel(self, name: str) -> bool:
+        """Whether a channel with the given name exists."""
+        return name in self._channels
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_process(name)
+
+    def __iter__(self) -> Iterator[Process]:
+        return iter(self._processes.values())
+
+    def __len__(self) -> int:
+        return len(self._processes)
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the mapper
+    # ------------------------------------------------------------------ #
+    def mappable_processes(self) -> tuple[Process, ...]:
+        """Processes the spatial mapper must assign (kernels and control processes)."""
+        return tuple(p for p in self._processes.values() if p.is_mappable)
+
+    def pinned_processes(self) -> tuple[Process, ...]:
+        """Processes pinned to fixed tiles (sources and sinks)."""
+        return tuple(p for p in self._processes.values() if p.is_pinned)
+
+    def data_channels(self) -> tuple[Channel, ...]:
+        """Channels that belong to the streaming data path (non-control)."""
+        return tuple(c for c in self._channels.values() if not c.is_control)
+
+    def channels_of(self, process_name: str) -> tuple[Channel, ...]:
+        """All channels incident to the given process (incoming and outgoing)."""
+        self.process(process_name)
+        return tuple(
+            c
+            for c in self._channels.values()
+            if process_name in c.endpoints()
+        )
+
+    def incoming_channels(self, process_name: str) -> tuple[Channel, ...]:
+        """Channels whose target is the given process."""
+        self.process(process_name)
+        return tuple(c for c in self._channels.values() if c.target == process_name)
+
+    def outgoing_channels(self, process_name: str) -> tuple[Channel, ...]:
+        """Channels whose source is the given process."""
+        self.process(process_name)
+        return tuple(c for c in self._channels.values() if c.source == process_name)
+
+    def neighbours(self, process_name: str) -> tuple[str, ...]:
+        """Names of all processes connected to the given process by a channel."""
+        self.process(process_name)
+        seen: dict[str, None] = {}
+        for channel in self._channels.values():
+            if channel.source == process_name:
+                seen.setdefault(channel.target)
+            elif channel.target == process_name:
+                seen.setdefault(channel.source)
+        return tuple(seen.keys())
+
+    def sources(self) -> tuple[Process, ...]:
+        """Processes of kind :attr:`~repro.kpn.process.ProcessKind.SOURCE`."""
+        return tuple(p for p in self._processes.values() if p.kind is ProcessKind.SOURCE)
+
+    def sinks(self) -> tuple[Process, ...]:
+        """Processes of kind :attr:`~repro.kpn.process.ProcessKind.SINK`."""
+        return tuple(p for p in self._processes.values() if p.kind is ProcessKind.SINK)
+
+    def topological_order(self) -> tuple[str, ...]:
+        """Return process names in a topological order of the data channels.
+
+        Control channels are ignored (they may introduce cycles with the data
+        path, e.g. feedback from a demapper to a controller).  Raises
+        :class:`KPNError` if the data-path graph is cyclic.
+        """
+        indegree: dict[str, int] = {name: 0 for name in self._processes}
+        successors: dict[str, list[str]] = {name: [] for name in self._processes}
+        for channel in self.data_channels():
+            indegree[channel.target] += 1
+            successors[channel.source].append(channel.target)
+        ready = [name for name, degree in indegree.items() if degree == 0]
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for successor in successors[current]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+        if len(order) != len(self._processes):
+            raise KPNError(f"KPN {self.name!r} has a cycle in its data channels")
+        return tuple(order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KPNGraph(name={self.name!r}, processes={len(self._processes)}, "
+            f"channels={len(self._channels)})"
+        )

@@ -1,0 +1,89 @@
+"""Processes of a Kahn Process Network."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ProcessKind(enum.Enum):
+    """Role of a process in the application graph.
+
+    The paper's HiperLAN/2 example distinguishes ordinary computational
+    kernels from the fixed source (the A/D converter tile), the fixed sink
+    (the tile that consumes the receiver output) and the control process
+    which is "not part of the data stream" (section 4.1).  Source and sink
+    processes are pinned to specific tiles by the application-level
+    specification and are not assigned by the spatial mapper; control
+    processes are excluded from the data-path cost model.
+    """
+
+    #: A computational kernel that must be assigned to a tile by the mapper.
+    KERNEL = "kernel"
+    #: A data source pinned to a fixed tile (e.g. an A/D converter).
+    SOURCE = "source"
+    #: A data sink pinned to a fixed tile.
+    SINK = "sink"
+    #: A control process outside the data stream; it is neither spatially
+    #: mapped nor part of the communication cost model.
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Process:
+    """A single process (task) of a streaming application.
+
+    Parameters
+    ----------
+    name:
+        Unique name of the process within its KPN.
+    kind:
+        Role of the process, see :class:`ProcessKind`.
+    pinned_tile:
+        For :attr:`ProcessKind.SOURCE` and :attr:`ProcessKind.SINK`
+        processes, the name of the tile the process is bound to.  ``None``
+        for processes placed by the mapper.
+    description:
+        Optional human-readable description (only used in reports).
+    """
+
+    name: str
+    kind: ProcessKind = ProcessKind.KERNEL
+    pinned_tile: str | None = None
+    description: str = ""
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("process name must be a non-empty string")
+        if self.is_pinned and self.pinned_tile is None:
+            raise ValueError(
+                f"process {self.name!r} of kind {self.kind.value} must name its pinned tile"
+            )
+        if not self.is_pinned and self.pinned_tile is not None:
+            raise ValueError(
+                f"process {self.name!r} of kind {self.kind.value} must not be pinned to a tile"
+            )
+
+    @property
+    def is_pinned(self) -> bool:
+        """Whether the process is bound to a fixed tile (sources and sinks)."""
+        return self.kind in (ProcessKind.SOURCE, ProcessKind.SINK)
+
+    @property
+    def is_mappable(self) -> bool:
+        """Whether the spatial mapper has to choose a tile for this process.
+
+        Control processes are "not part of the data stream" (paper, section
+        4.1) and are excluded from the spatial mapping, exactly as the
+        worked HiperLAN/2 example omits the CTRL block from Figure 3.
+        """
+        return self.kind is ProcessKind.KERNEL
+
+    @property
+    def is_data_process(self) -> bool:
+        """Whether the process is part of the streaming data path."""
+        return self.kind is not ProcessKind.CONTROL
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

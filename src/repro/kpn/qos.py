@@ -1,0 +1,68 @@
+"""Quality-of-Service constraints of a streaming application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import NS_PER_S
+
+
+@dataclass(frozen=True)
+class QoSConstraints:
+    """QoS constraints attached to an application-level specification.
+
+    The paper's spatial mapper checks, in step 4, that the mapped application
+    still satisfies its QoS constraints.  For streaming applications the two
+    relevant constraints are the *throughput* (the source produces one graph
+    iteration — e.g. one OFDM symbol — every ``period_ns`` nanoseconds and the
+    pipeline must keep up) and an optional end-to-end *latency* bound.
+
+    Parameters
+    ----------
+    period_ns:
+        Required iteration period in nanoseconds.  The HiperLAN/2 receiver
+        must accept one OFDM symbol every 4 us, i.e. ``period_ns = 4000``.
+    max_latency_ns:
+        Optional upper bound on the source-to-sink latency of one iteration.
+        ``None`` means no latency constraint.
+    max_energy_nj_per_iteration:
+        Optional energy budget per iteration.  This is not a hard QoS
+        constraint in the paper (energy is the optimisation objective), but a
+        resource manager may use it for admission control.
+    """
+
+    period_ns: float
+    max_latency_ns: float | None = None
+    max_energy_nj_per_iteration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.period_ns <= 0:
+            raise ValueError(f"period_ns must be positive, got {self.period_ns!r}")
+        if self.max_latency_ns is not None and self.max_latency_ns <= 0:
+            raise ValueError(f"max_latency_ns must be positive, got {self.max_latency_ns!r}")
+        if (
+            self.max_energy_nj_per_iteration is not None
+            and self.max_energy_nj_per_iteration <= 0
+        ):
+            raise ValueError("max_energy_nj_per_iteration must be positive")
+
+    @property
+    def throughput_iterations_per_s(self) -> float:
+        """Required throughput expressed in graph iterations per second."""
+        return NS_PER_S / self.period_ns
+
+    def satisfied_by(self, achieved_period_ns: float, latency_ns: float | None = None) -> bool:
+        """Return ``True`` iff an achieved period (and optional latency) meets the constraints.
+
+        A small relative tolerance (1e-9) absorbs floating-point rounding in
+        the analysis results.
+        """
+        tolerance = 1e-9 * self.period_ns
+        if achieved_period_ns > self.period_ns + tolerance:
+            return False
+        if self.max_latency_ns is not None:
+            if latency_ns is None:
+                return False
+            if latency_ns > self.max_latency_ns + 1e-9 * self.max_latency_ns:
+                return False
+        return True

@@ -1,0 +1,68 @@
+"""Structural validation of Kahn Process Networks."""
+
+from __future__ import annotations
+
+from repro.exceptions import KPNError
+from repro.kpn.graph import KPNGraph
+from repro.kpn.process import ProcessKind
+
+
+def validate_kpn(kpn: KPNGraph) -> None:
+    """Check structural well-formedness of a KPN; raise :class:`KPNError` if broken.
+
+    The checks are the preconditions the spatial mapper relies on:
+
+    * the graph is non-empty;
+    * every non-control process is reachable through data channels, i.e. no
+      kernel is completely disconnected from the data path;
+    * sources have no incoming data channels and sinks no outgoing ones;
+    * every pinned process names a tile (already enforced per-process, but
+      re-checked here for graphs assembled from raw dictionaries).
+    """
+    if len(kpn) == 0:
+        raise KPNError(f"KPN {kpn.name!r} has no processes")
+
+    data_channels = kpn.data_channels()
+    connected: set[str] = set()
+    for channel in data_channels:
+        connected.add(channel.source)
+        connected.add(channel.target)
+
+    for process in kpn.processes:
+        if process.kind is ProcessKind.CONTROL:
+            continue
+        if len(kpn) > 1 and process.name not in connected:
+            raise KPNError(
+                f"process {process.name!r} in KPN {kpn.name!r} is not connected "
+                "to the data path"
+            )
+
+    for process in kpn.sources():
+        if kpn.incoming_channels(process.name):
+            incoming = [c.name for c in kpn.incoming_channels(process.name) if not c.is_control]
+            if incoming:
+                raise KPNError(
+                    f"source process {process.name!r} has incoming data channels {incoming}"
+                )
+        if process.pinned_tile is None:
+            raise KPNError(f"source process {process.name!r} must be pinned to a tile")
+
+    for process in kpn.sinks():
+        outgoing = [c.name for c in kpn.outgoing_channels(process.name) if not c.is_control]
+        if outgoing:
+            raise KPNError(
+                f"sink process {process.name!r} has outgoing data channels {outgoing}"
+            )
+        if process.pinned_tile is None:
+            raise KPNError(f"sink process {process.name!r} must be pinned to a tile")
+
+    # A KPN with data channels must have at least one process producing data
+    # into the network and one consuming it (otherwise the QoS throughput
+    # constraint is meaningless).
+    if data_channels:
+        has_producer = any(not kpn.incoming_channels(p.name) for p in kpn.processes)
+        has_consumer = any(not kpn.outgoing_channels(p.name) for p in kpn.processes)
+        if not (has_producer and has_consumer):
+            raise KPNError(
+                f"KPN {kpn.name!r} data path has no clear producer/consumer structure"
+            )

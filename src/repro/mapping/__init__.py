@@ -1,0 +1,35 @@
+"""Spatial mappings: assignments, routes, quality criteria and cost models.
+
+A *spatial mapping* (paper section 1.3) assigns every process of a streaming
+application to a tile (via a chosen implementation) and every channel to a
+path through the NoC.  The paper defines three nested quality criteria —
+adequate, adherent, feasible — implemented in
+:mod:`repro.mapping.properties`, and evaluates mappings by their energy cost,
+implemented in :mod:`repro.mapping.cost`.
+"""
+
+from repro.mapping.assignment import ProcessAssignment, ChannelRoute
+from repro.mapping.mapping import Mapping
+from repro.mapping.properties import (
+    adequacy_violations,
+    adherence_violations,
+    is_adequate,
+    is_adherent,
+)
+from repro.mapping.cost import CostModel, manhattan_cost, mapping_energy_nj
+from repro.mapping.result import MappingResult, MappingStatus
+
+__all__ = [
+    "ProcessAssignment",
+    "ChannelRoute",
+    "Mapping",
+    "adequacy_violations",
+    "adherence_violations",
+    "is_adequate",
+    "is_adherent",
+    "CostModel",
+    "manhattan_cost",
+    "mapping_energy_nj",
+    "MappingResult",
+    "MappingStatus",
+]

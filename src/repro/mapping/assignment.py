@@ -1,0 +1,90 @@
+"""Atomic pieces of a spatial mapping: process assignments and channel routes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.appmodel.implementation import Implementation
+from repro.exceptions import MappingError
+from repro.platform.noc import Position
+
+
+@dataclass(frozen=True)
+class ProcessAssignment:
+    """A process bound to a tile through a chosen implementation.
+
+    For pinned processes (sources/sinks, which have no implementation to
+    choose) ``implementation`` is ``None``.
+    """
+
+    process: str
+    tile: str
+    implementation: Implementation | None = None
+
+    def __post_init__(self) -> None:
+        if not self.process:
+            raise MappingError("assignment must name a process")
+        if not self.tile:
+            raise MappingError(f"assignment of {self.process!r} must name a tile")
+        if self.implementation is not None and self.implementation.process != self.process:
+            raise MappingError(
+                f"assignment of {self.process!r} uses implementation of "
+                f"{self.implementation.process!r}"
+            )
+
+    @property
+    def tile_type(self) -> str | None:
+        """Tile type required by the chosen implementation (``None`` for pinned processes)."""
+        return self.implementation.tile_type if self.implementation else None
+
+    @property
+    def energy_nj_per_iteration(self) -> float:
+        """Computation energy of the chosen implementation per graph iteration."""
+        return self.implementation.energy_nj_per_iteration if self.implementation else 0.0
+
+    def moved_to(self, tile: str) -> "ProcessAssignment":
+        """The same assignment on a different tile."""
+        return ProcessAssignment(self.process, tile, self.implementation)
+
+
+@dataclass(frozen=True)
+class ChannelRoute:
+    """A channel bound to a path of routers through the NoC.
+
+    The path includes the routers of the source and the target tile; a path
+    of length one means both processes share a tile and the channel stays in
+    local memory.
+    """
+
+    channel: str
+    source_tile: str
+    target_tile: str
+    path: tuple[Position, ...]
+    required_bits_per_s: float = 0.0
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.channel:
+            raise MappingError("route must name its channel")
+        if not self.path:
+            raise MappingError(f"route for channel {self.channel!r} has an empty path")
+        if self.required_bits_per_s < 0:
+            raise MappingError(
+                f"route for channel {self.channel!r} has a negative throughput requirement"
+            )
+        object.__setattr__(self, "path", tuple(tuple(p) for p in self.path))
+
+    @property
+    def hops(self) -> int:
+        """Number of router-to-router hops (0 when source and target share a tile)."""
+        return len(self.path) - 1
+
+    @property
+    def router_count(self) -> int:
+        """Number of routers traversed (including source and target routers)."""
+        return len(self.path)
+
+    @property
+    def is_local(self) -> bool:
+        """Whether the channel stays on a single tile."""
+        return self.hops == 0

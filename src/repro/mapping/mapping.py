@@ -1,0 +1,167 @@
+"""The Mapping container: process assignments plus channel routes."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import MappingError
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.assignment import ChannelRoute, ProcessAssignment
+
+
+class Mapping:
+    """A (possibly partial) spatial mapping of one application.
+
+    A mapping is built up step by step by the spatial mapper: step 1/2 add
+    process assignments, step 3 adds channel routes and step 4 adds buffer
+    capacities.  The container is deliberately permissive — partial and even
+    inadherent mappings are representable, because intermediate states of the
+    heuristic are exactly that; quality is judged by
+    :mod:`repro.mapping.properties` and :mod:`repro.mapping.cost`.
+    """
+
+    def __init__(self, application: str) -> None:
+        if not application:
+            raise MappingError("mapping must name its application")
+        self.application = application
+        self._assignments: dict[str, ProcessAssignment] = {}
+        self._routes: dict[str, ChannelRoute] = {}
+        self._buffer_capacities: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Assignments
+    # ------------------------------------------------------------------ #
+    def assign(self, assignment: ProcessAssignment) -> ProcessAssignment:
+        """Add or replace the assignment of a process."""
+        self._assignments[assignment.process] = assignment
+        return assignment
+
+    def assign_all(self, assignments: Iterable[ProcessAssignment]) -> None:
+        """Add or replace several assignments."""
+        for assignment in assignments:
+            self.assign(assignment)
+
+    def unassign(self, process: str) -> None:
+        """Remove the assignment of a process (no-op when absent)."""
+        self._assignments.pop(process, None)
+
+    @property
+    def assignments(self) -> tuple[ProcessAssignment, ...]:
+        """All process assignments in insertion order."""
+        return tuple(self._assignments.values())
+
+    def assignment(self, process: str) -> ProcessAssignment:
+        """Return the assignment of ``process``; raises when unassigned."""
+        try:
+            return self._assignments[process]
+        except KeyError:
+            raise MappingError(
+                f"process {process!r} is not assigned in mapping of {self.application!r}"
+            ) from None
+
+    def is_assigned(self, process: str) -> bool:
+        """Whether the process already has an assignment."""
+        return process in self._assignments
+
+    def tile_of(self, process: str) -> str:
+        """Tile the process is assigned to."""
+        return self.assignment(process).tile
+
+    def processes_on(self, tile: str) -> tuple[str, ...]:
+        """Processes assigned to the given tile."""
+        return tuple(a.process for a in self._assignments.values() if a.tile == tile)
+
+    def assigned_processes(self) -> tuple[str, ...]:
+        """Names of all assigned processes."""
+        return tuple(self._assignments.keys())
+
+    def used_tiles(self) -> tuple[str, ...]:
+        """Tiles hosting at least one process of this mapping."""
+        seen: dict[str, None] = {}
+        for assignment in self._assignments.values():
+            seen.setdefault(assignment.tile)
+        return tuple(seen.keys())
+
+    # ------------------------------------------------------------------ #
+    # Routes
+    # ------------------------------------------------------------------ #
+    def add_route(self, route: ChannelRoute) -> ChannelRoute:
+        """Add or replace the route of a channel."""
+        self._routes[route.channel] = route
+        return route
+
+    def remove_route(self, channel: str) -> None:
+        """Remove a channel's route (no-op when absent)."""
+        self._routes.pop(channel, None)
+
+    def clear_routes(self) -> None:
+        """Remove all routes (used when step 2 invalidates previously routed channels)."""
+        self._routes.clear()
+
+    @property
+    def routes(self) -> tuple[ChannelRoute, ...]:
+        """All channel routes in insertion order."""
+        return tuple(self._routes.values())
+
+    def route(self, channel: str) -> ChannelRoute:
+        """Return the route of ``channel``; raises when unrouted."""
+        try:
+            return self._routes[channel]
+        except KeyError:
+            raise MappingError(
+                f"channel {channel!r} is not routed in mapping of {self.application!r}"
+            ) from None
+
+    def is_routed(self, channel: str) -> bool:
+        """Whether the channel has a route."""
+        return channel in self._routes
+
+    # ------------------------------------------------------------------ #
+    # Buffers
+    # ------------------------------------------------------------------ #
+    def set_buffer_capacity(self, channel: str, capacity_tokens: int) -> None:
+        """Record the buffer capacity computed for a channel (step 4)."""
+        if capacity_tokens < 1:
+            raise MappingError(
+                f"buffer capacity for channel {channel!r} must be at least 1 token"
+            )
+        self._buffer_capacities[channel] = int(capacity_tokens)
+
+    @property
+    def buffer_capacities(self) -> dict[str, int]:
+        """Per-channel buffer capacities (tokens); empty until step 4 ran."""
+        return dict(self._buffer_capacities)
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def is_complete(self, als: ApplicationLevelSpec) -> bool:
+        """Whether every process and every data channel of the application is mapped."""
+        for process in als.kpn.processes:
+            if process.is_mappable and not self.is_assigned(process.name):
+                return False
+        for channel in als.kpn.data_channels():
+            if not self.is_routed(channel.name):
+                return False
+        return True
+
+    def copy(self) -> "Mapping":
+        """An independent copy (assignments and routes are immutable and shared)."""
+        clone = Mapping(self.application)
+        clone._assignments = dict(self._assignments)
+        clone._routes = dict(self._routes)
+        clone._buffer_capacities = dict(self._buffer_capacities)
+        return clone
+
+    def computation_energy_nj(self) -> float:
+        """Total computation energy per iteration over all assigned implementations."""
+        return sum(a.energy_nj_per_iteration for a in self._assignments.values())
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Mapping(application={self.application!r}, assignments={len(self._assignments)}, "
+            f"routes={len(self._routes)})"
+        )

@@ -1,0 +1,166 @@
+"""Quality criteria of spatial mappings: adequate, adherent, feasible.
+
+Paper, section 3:
+
+* A mapping is **adequate** if for all processes there is an implementation
+  available for the type of tile to which it is assigned.
+* A mapping is **adherent** when it is adequate and no tile is assigned more
+  processes than it can serve (and, once channels are routed, no NoC link
+  carries more guaranteed throughput than its capacity).
+* A mapping is **feasible** if it is adherent and all the application's QoS
+  constraints are met — this last check needs the dataflow analysis of step 4
+  and therefore lives in :mod:`repro.spatialmapper.step4_feasibility`; here we
+  only combine its verdict.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+
+
+def adequacy_violations(
+    mapping: Mapping,
+    platform: Platform,
+    library: ImplementationLibrary,
+) -> list[str]:
+    """Human-readable adequacy violations (empty list means adequate).
+
+    A violation is reported when an assigned process either carries no
+    implementation at all, carries an implementation for a different tile
+    type than the tile it sits on, or sits on a tile type for which the
+    library has no implementation of that process.
+    """
+    violations: list[str] = []
+    for assignment in mapping.assignments:
+        tile = platform.tile(assignment.tile)
+        if assignment.implementation is None:
+            # Pinned processes (sources/sinks) carry no implementation; they are
+            # adequate by definition as long as they sit on their pinned tile.
+            continue
+        if assignment.implementation.tile_type != tile.type_name:
+            violations.append(
+                f"process {assignment.process!r} uses a {assignment.implementation.tile_type} "
+                f"implementation but is assigned to tile {tile.name!r} of type {tile.type_name}"
+            )
+        if not library.has_implementation(assignment.process, tile.type_name):
+            violations.append(
+                f"process {assignment.process!r} has no implementation for tile type "
+                f"{tile.type_name} (tile {tile.name!r})"
+            )
+    return violations
+
+
+def adherence_violations(
+    mapping: Mapping,
+    platform: Platform,
+    library: ImplementationLibrary,
+    state: PlatformState | None = None,
+    als: ApplicationLevelSpec | None = None,
+) -> list[str]:
+    """Human-readable adherence violations (empty list means adherent).
+
+    Checks, on top of adequacy: per-tile process-slot and memory budgets
+    (taking the existing allocations in ``state`` into account) and, for every
+    routed channel, link capacities and path connectivity.
+    """
+    violations = adequacy_violations(mapping, platform, library)
+
+    # --- tile budgets -------------------------------------------------- #
+    per_tile: dict[str, list] = defaultdict(list)
+    for assignment in mapping.assignments:
+        if assignment.implementation is not None:
+            per_tile[assignment.tile].append(assignment)
+    for tile_name, assignments in per_tile.items():
+        tile = platform.tile(tile_name)
+        existing_slots = state.used_process_slots(tile_name) if state else 0
+        existing_memory = state.used_memory_bytes(tile_name) if state else 0
+        slots = existing_slots + len(assignments)
+        if slots > tile.resources.max_processes:
+            violations.append(
+                f"tile {tile_name!r} would host {slots} processes but serves at most "
+                f"{tile.resources.max_processes}"
+            )
+        memory = existing_memory + sum(a.implementation.memory_bytes for a in assignments)
+        if memory > tile.resources.memory_bytes:
+            violations.append(
+                f"tile {tile_name!r} would need {memory} bytes of memory but has "
+                f"{tile.resources.memory_bytes}"
+            )
+        if not tile.is_processing:
+            violations.append(f"tile {tile_name!r} is not a processing tile")
+
+    # --- routed channels ------------------------------------------------ #
+    link_demand: dict[str, float] = defaultdict(float)
+    for route in mapping.routes:
+        path = route.path
+        for a, b in zip(path, path[1:]):
+            if not platform.noc.has_link(a, b):
+                violations.append(
+                    f"route of channel {route.channel!r} uses missing link {a} -> {b}"
+                )
+                continue
+            link_demand[platform.noc.link(a, b).name] += route.required_bits_per_s
+        # The route must start and end at the routers of the mapped endpoint tiles.
+        source_position = platform.tile(route.source_tile).position
+        target_position = platform.tile(route.target_tile).position
+        if path[0] != source_position or path[-1] != target_position:
+            violations.append(
+                f"route of channel {route.channel!r} does not connect the routers of its "
+                f"endpoint tiles ({route.source_tile!r} -> {route.target_tile!r})"
+            )
+    for link in platform.noc.links:
+        demand = link_demand.get(link.name, 0.0)
+        existing = state.link_load_bits_per_s(link.name) if state else 0.0
+        if demand + existing > link.capacity_bits_per_s + 1e-9:
+            violations.append(
+                f"link {link.name!r} would carry {demand + existing:.3g} bit/s but offers "
+                f"{link.capacity_bits_per_s:.3g} bit/s"
+            )
+
+    # --- endpoint consistency between routes and assignments ------------ #
+    if als is not None:
+        for route in mapping.routes:
+            channel = als.kpn.channel(route.channel)
+            expectations = (
+                (channel.source, route.source_tile),
+                (channel.target, route.target_tile),
+            )
+            for process_name, tile_name in expectations:
+                process = als.kpn.process(process_name)
+                if process.is_pinned:
+                    if process.pinned_tile != tile_name:
+                        violations.append(
+                            f"route of channel {route.channel!r} attaches pinned process "
+                            f"{process_name!r} to tile {tile_name!r} instead of "
+                            f"{process.pinned_tile!r}"
+                        )
+                elif mapping.is_assigned(process_name) and mapping.tile_of(process_name) != tile_name:
+                    violations.append(
+                        f"route of channel {route.channel!r} assumes process {process_name!r} on "
+                        f"tile {tile_name!r} but it is assigned to {mapping.tile_of(process_name)!r}"
+                    )
+    return violations
+
+
+def is_adequate(
+    mapping: Mapping, platform: Platform, library: ImplementationLibrary
+) -> bool:
+    """Whether the mapping is adequate (see module docstring)."""
+    return not adequacy_violations(mapping, platform, library)
+
+
+def is_adherent(
+    mapping: Mapping,
+    platform: Platform,
+    library: ImplementationLibrary,
+    state: PlatformState | None = None,
+    als: ApplicationLevelSpec | None = None,
+) -> bool:
+    """Whether the mapping is adherent (see module docstring)."""
+    return not adherence_violations(mapping, platform, library, state, als)

@@ -1,0 +1,42 @@
+"""Heterogeneous tiled MPSoC platform model.
+
+A platform (paper section 1.1 and 4.3) is a set of *tiles* — a processing
+element plus its network interface — interconnected by a Network-on-Chip with
+predictable (guaranteed-throughput) routers.  The model separates the static
+platform description (:class:`~repro.platform.platform.Platform`) from the
+run-time allocation state (:class:`~repro.platform.state.PlatformState`), so
+that mappers and the resource manager never mutate the hardware description.
+"""
+
+from repro.platform.tile_type import TileType
+from repro.platform.resources import ResourceBudget, ResourceRequirement
+from repro.platform.tile import Tile
+from repro.platform.noc import Router, Link, NoC
+from repro.platform.topology import build_mesh_noc
+from repro.platform.routing import (
+    manhattan_distance,
+    xy_route,
+    capacity_aware_shortest_path,
+    route_hop_count,
+)
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.platform.builder import PlatformBuilder
+
+__all__ = [
+    "TileType",
+    "ResourceBudget",
+    "ResourceRequirement",
+    "Tile",
+    "Router",
+    "Link",
+    "NoC",
+    "build_mesh_noc",
+    "manhattan_distance",
+    "xy_route",
+    "capacity_aware_shortest_path",
+    "route_hop_count",
+    "Platform",
+    "PlatformState",
+    "PlatformBuilder",
+]

@@ -1,0 +1,122 @@
+"""Convenience builder for platforms."""
+
+from __future__ import annotations
+
+from repro.exceptions import PlatformError
+from repro.platform.noc import NoC
+from repro.platform.platform import Platform
+from repro.platform.resources import ResourceBudget
+from repro.platform.tile import Tile
+from repro.platform.tile_type import TileType
+from repro.platform.topology import build_mesh_noc
+
+
+class PlatformBuilder:
+    """Fluent builder for :class:`~repro.platform.platform.Platform` instances.
+
+    Example
+    -------
+    >>> platform = (
+    ...     PlatformBuilder("demo")
+    ...     .mesh(2, 2)
+    ...     .tile_type("ARM", frequency_mhz=100)
+    ...     .tile("arm0", "ARM", (0, 0))
+    ...     .tile("arm1", "ARM", (1, 0))
+    ...     .build()
+    ... )
+    >>> len(platform)
+    2
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._noc: NoC | None = None
+        self._types: dict[str, TileType] = {}
+        self._tiles: list[Tile] = []
+        self._allow_shared_routers = False
+
+    def mesh(
+        self,
+        width: int,
+        height: int,
+        *,
+        link_capacity_bits_per_s: float = 1e9,
+        router_latency_cycles: int = 4,
+        router_frequency_mhz: float = 100.0,
+    ) -> "PlatformBuilder":
+        """Use a ``width`` x ``height`` mesh NoC."""
+        self._noc = build_mesh_noc(
+            width,
+            height,
+            link_capacity_bits_per_s=link_capacity_bits_per_s,
+            router_latency_cycles=router_latency_cycles,
+            router_frequency_hz=router_frequency_mhz * 1e6,
+            name=f"{self._name}_noc",
+        )
+        return self
+
+    def noc(self, noc: NoC) -> "PlatformBuilder":
+        """Use an explicitly constructed NoC."""
+        self._noc = noc
+        return self
+
+    def allow_shared_routers(self, allow: bool = True) -> "PlatformBuilder":
+        """Allow several tiles to share one router."""
+        self._allow_shared_routers = allow
+        return self
+
+    def tile_type(
+        self,
+        name: str,
+        *,
+        frequency_mhz: float = 100.0,
+        is_processing: bool = True,
+        idle_power_mw: float = 0.0,
+        description: str = "",
+    ) -> "PlatformBuilder":
+        """Declare (or overwrite) a tile type."""
+        self._types[name] = TileType(
+            name=name,
+            frequency_hz=frequency_mhz * 1e6,
+            is_processing=is_processing,
+            idle_power_mw=idle_power_mw,
+            description=description,
+        )
+        return self
+
+    def tile(
+        self,
+        name: str,
+        type_name: str,
+        position: tuple[int, int],
+        *,
+        max_processes: int = 1,
+        memory_bytes: int = 1 << 20,
+        ni_capacity_bits_per_s: float | None = None,
+    ) -> "PlatformBuilder":
+        """Add a tile of a previously declared type at a router position."""
+        if type_name not in self._types:
+            raise PlatformError(
+                f"tile {name!r} uses undeclared tile type {type_name!r}; "
+                "declare it with .tile_type() first"
+            )
+        self._tiles.append(
+            Tile(
+                name=name,
+                tile_type=self._types[type_name],
+                position=tuple(position),
+                resources=ResourceBudget(
+                    max_processes=max_processes, memory_bytes=memory_bytes
+                ),
+                ni_capacity_bits_per_s=ni_capacity_bits_per_s,
+            )
+        )
+        return self
+
+    def build(self) -> Platform:
+        """Assemble and return the platform."""
+        if self._noc is None:
+            raise PlatformError("no NoC configured; call .mesh() or .noc() first")
+        platform = Platform(self._name, self._noc, allow_shared_routers=self._allow_shared_routers)
+        platform.add_tiles(self._tiles)
+        return platform

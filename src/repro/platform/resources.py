@@ -1,0 +1,81 @@
+"""Resource budgets of tiles and resource requirements of implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PlatformError
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """The resources a tile offers to mapped processes.
+
+    Parameters
+    ----------
+    max_processes:
+        Maximum number of processes the tile can serve concurrently.  A
+        coarse-grained reconfigurable tile such as the Montium hosts a single
+        kernel; a general-purpose ARM tile may time-share a small number of
+        light kernels.
+    memory_bytes:
+        Local data memory available for process state and stream buffers.
+    compute_cycles_per_period:
+        Processing budget expressed as available clock cycles per application
+        period (used by adherence checks when several processes share a
+        tile).  ``None`` means "not constrained at this level" (the detailed
+        check happens in the CSDF analysis of step 4).
+    """
+
+    max_processes: int = 1
+    memory_bytes: int = 1 << 20
+    compute_cycles_per_period: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_processes < 0:
+            raise PlatformError("max_processes must be non-negative")
+        if self.memory_bytes < 0:
+            raise PlatformError("memory_bytes must be non-negative")
+        if self.compute_cycles_per_period is not None and self.compute_cycles_per_period < 0:
+            raise PlatformError("compute_cycles_per_period must be non-negative")
+
+
+@dataclass(frozen=True)
+class ResourceRequirement:
+    """The resources a process implementation needs from its hosting tile.
+
+    Parameters
+    ----------
+    memory_bytes:
+        Data memory required (code, state, local buffers).
+    compute_cycles_per_iteration:
+        Worst-case cycles consumed per graph iteration (one OFDM symbol for
+        the HiperLAN/2 case).  Used for tile-level utilisation checks.
+    """
+
+    memory_bytes: int = 0
+    compute_cycles_per_iteration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes < 0:
+            raise PlatformError("memory_bytes must be non-negative")
+        if self.compute_cycles_per_iteration < 0:
+            raise PlatformError("compute_cycles_per_iteration must be non-negative")
+
+    def fits_within(self, budget: ResourceBudget, period_cycles: float | None = None) -> bool:
+        """Whether this requirement alone fits in the given budget.
+
+        ``period_cycles`` expresses the application period in tile clock
+        cycles; when both it and the budget's compute limit are known, the
+        cycle demand is also checked.
+        """
+        if budget.max_processes < 1:
+            return False
+        if self.memory_bytes > budget.memory_bytes:
+            return False
+        limit = budget.compute_cycles_per_period
+        if limit is None and period_cycles is not None:
+            limit = period_cycles
+        if limit is not None and self.compute_cycles_per_iteration > limit:
+            return False
+        return True

@@ -1,0 +1,138 @@
+"""Routing over the NoC.
+
+The spatial mapper uses three routing-related primitives:
+
+* :func:`manhattan_distance` — the hop-count estimate used by step 2's
+  communication-cost model;
+* :func:`xy_route` — deterministic dimension-ordered routing, used as a cheap
+  deterministic route and as a tie-breaking reference;
+* :func:`capacity_aware_shortest_path` — the route search of step 3: a
+  shortest path over only those links that still have sufficient residual
+  capacity for the channel's throughput requirement.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+
+from repro.exceptions import RoutingError
+from repro.platform.noc import NoC, Position
+
+
+def manhattan_distance(a: Position, b: Position) -> int:
+    """Manhattan (L1) distance between two grid positions."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def route_hop_count(path: tuple[Position, ...]) -> int:
+    """Number of router-to-router hops on a path (``len(path) - 1``)."""
+    if not path:
+        return 0
+    return len(path) - 1
+
+
+def xy_route(noc: NoC, source: Position, target: Position) -> tuple[Position, ...]:
+    """Dimension-ordered (X first, then Y) route between two routers.
+
+    Only valid for mesh-like topologies where every intermediate link exists;
+    raises :class:`~repro.exceptions.RoutingError` otherwise.
+    """
+    source = tuple(source)
+    target = tuple(target)
+    noc.router(source)
+    noc.router(target)
+    path = [source]
+    x, y = source
+    tx, ty = target
+    while x != tx:
+        x += 1 if tx > x else -1
+        path.append((x, y))
+    while y != ty:
+        y += 1 if ty > y else -1
+        path.append((x, y))
+    for a, b in zip(path, path[1:]):
+        if not noc.has_link(a, b):
+            raise RoutingError(f"XY route {source} -> {target} needs missing link {a} -> {b}")
+    return tuple(path)
+
+
+def capacity_aware_shortest_path(
+    noc: NoC,
+    source: Position,
+    target: Position,
+    required_bits_per_s: float = 0.0,
+    link_loads_bits_per_s: Mapping[str, float] | None = None,
+) -> tuple[Position, ...]:
+    """Shortest router path whose links all have enough residual capacity.
+
+    Parameters
+    ----------
+    noc:
+        The network.
+    source / target:
+        Router positions of the producing and consuming tiles.
+    required_bits_per_s:
+        Throughput demand of the channel being routed.
+    link_loads_bits_per_s:
+        Current allocation per link (keyed by :attr:`Link.name`), typically
+        taken from :class:`~repro.platform.state.PlatformState`.  Links whose
+        residual capacity is below the requirement are excluded from the
+        search, exactly as described for step 3 of the algorithm.
+
+    Returns
+    -------
+    tuple of positions
+        The router positions along the path, including source and target.
+        When ``source == target`` the path is the single position.
+
+    Raises
+    ------
+    RoutingError
+        When no path with sufficient residual capacity exists.
+    """
+    source = tuple(source)
+    target = tuple(target)
+    noc.router(source)
+    noc.router(target)
+    if required_bits_per_s < 0:
+        raise RoutingError("required throughput must be non-negative")
+    loads = link_loads_bits_per_s or {}
+
+    if source == target:
+        return (source,)
+
+    # Dijkstra over hop count with deterministic tie-breaking on position so
+    # that equal-length routes are chosen reproducibly.
+    distances: dict[Position, int] = {source: 0}
+    previous: dict[Position, Position] = {}
+    queue: list[tuple[int, Position]] = [(0, source)]
+    visited: set[Position] = set()
+    while queue:
+        distance, position = heapq.heappop(queue)
+        if position in visited:
+            continue
+        visited.add(position)
+        if position == target:
+            break
+        for neighbour in sorted(noc.neighbours(position)):
+            link = noc.link(position, neighbour)
+            residual = link.capacity_bits_per_s - loads.get(link.name, 0.0)
+            if residual + 1e-9 < required_bits_per_s:
+                continue
+            candidate = distance + 1
+            if candidate < distances.get(neighbour, float("inf")):
+                distances[neighbour] = candidate
+                previous[neighbour] = position
+                heapq.heappush(queue, (candidate, neighbour))
+
+    if target not in distances:
+        raise RoutingError(
+            f"no path from {source} to {target} with {required_bits_per_s:.3g} bit/s "
+            "residual capacity on every link"
+        )
+    path = [target]
+    while path[-1] != source:
+        path.append(previous[path[-1]])
+    path.reverse()
+    return tuple(path)

@@ -1,0 +1,204 @@
+"""Run-time allocation state of a platform.
+
+The platform description (:class:`~repro.platform.platform.Platform`) is
+immutable; everything that changes while applications start and stop lives in
+a :class:`PlatformState`:
+
+* which processes occupy which tile (and how much tile memory they use),
+* how much guaranteed throughput is allocated on every NoC link.
+
+The spatial mapper receives the *current* state when an application is
+started (this is exactly the run-time information the paper argues a
+design-time mapping cannot exploit) and returns the allocations of the new
+application; the run-time resource manager then commits or rolls back those
+allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PlatformError
+from repro.platform.noc import Position
+from repro.platform.platform import Platform
+
+
+@dataclass(frozen=True)
+class ProcessAllocation:
+    """A process occupying a slot on a tile."""
+
+    application: str
+    process: str
+    tile: str
+    memory_bytes: int = 0
+    compute_cycles_per_iteration: float = 0.0
+
+
+@dataclass(frozen=True)
+class LinkAllocation:
+    """Guaranteed throughput reserved on a NoC link for one channel."""
+
+    application: str
+    channel: str
+    link: str
+    bits_per_s: float
+
+
+@dataclass
+class PlatformState:
+    """Mutable allocation bookkeeping on top of an immutable platform."""
+
+    platform: Platform
+    _tile_occupants: dict[str, list[ProcessAllocation]] = field(default_factory=dict)
+    _link_allocations: dict[str, list[LinkAllocation]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Tiles
+    # ------------------------------------------------------------------ #
+    def occupants(self, tile_name: str) -> tuple[ProcessAllocation, ...]:
+        """Processes currently allocated on the tile."""
+        self.platform.tile(tile_name)
+        return tuple(self._tile_occupants.get(tile_name, ()))
+
+    def used_process_slots(self, tile_name: str) -> int:
+        """Number of occupied process slots on the tile."""
+        return len(self.occupants(tile_name))
+
+    def free_process_slots(self, tile_name: str) -> int:
+        """Number of free process slots on the tile."""
+        tile = self.platform.tile(tile_name)
+        return tile.resources.max_processes - self.used_process_slots(tile_name)
+
+    def used_memory_bytes(self, tile_name: str) -> int:
+        """Memory already allocated on the tile."""
+        return sum(a.memory_bytes for a in self.occupants(tile_name))
+
+    def free_memory_bytes(self, tile_name: str) -> int:
+        """Memory still available on the tile."""
+        tile = self.platform.tile(tile_name)
+        return tile.resources.memory_bytes - self.used_memory_bytes(tile_name)
+
+    def can_host(
+        self,
+        tile_name: str,
+        memory_bytes: int = 0,
+        compute_cycles_per_iteration: float = 0.0,
+        period_cycles: float | None = None,
+    ) -> bool:
+        """Whether the tile can accept one more process with the given needs."""
+        tile = self.platform.tile(tile_name)
+        if not tile.is_processing:
+            return False
+        if self.free_process_slots(tile_name) < 1:
+            return False
+        if memory_bytes > self.free_memory_bytes(tile_name):
+            return False
+        budget = tile.resources.compute_cycles_per_period
+        if budget is None:
+            budget = period_cycles
+        if budget is not None:
+            used = sum(a.compute_cycles_per_iteration for a in self.occupants(tile_name))
+            if used + compute_cycles_per_iteration > budget + 1e-9:
+                return False
+        return True
+
+    def allocate_process(self, allocation: ProcessAllocation) -> None:
+        """Commit a process allocation; raises if the tile cannot host it."""
+        if not self.can_host(
+            allocation.tile,
+            allocation.memory_bytes,
+            allocation.compute_cycles_per_iteration,
+        ):
+            raise PlatformError(
+                f"tile {allocation.tile!r} cannot host process {allocation.process!r} "
+                f"of application {allocation.application!r}"
+            )
+        self._tile_occupants.setdefault(allocation.tile, []).append(allocation)
+
+    # ------------------------------------------------------------------ #
+    # Links
+    # ------------------------------------------------------------------ #
+    def link_load_bits_per_s(self, link_name: str) -> float:
+        """Throughput currently reserved on the link."""
+        return sum(a.bits_per_s for a in self._link_allocations.get(link_name, ()))
+
+    def link_loads(self) -> dict[str, float]:
+        """Current reservation per link name (only links with a non-zero load)."""
+        return {
+            name: sum(a.bits_per_s for a in allocations)
+            for name, allocations in self._link_allocations.items()
+            if allocations
+        }
+
+    def residual_capacity_bits_per_s(self, source: Position, target: Position) -> float:
+        """Residual capacity of the directed link ``source -> target``."""
+        link = self.platform.noc.link(source, target)
+        return link.capacity_bits_per_s - self.link_load_bits_per_s(link.name)
+
+    def allocate_link(self, allocation: LinkAllocation) -> None:
+        """Reserve throughput on a link; raises if the capacity would be exceeded."""
+        link = next(
+            (l for l in self.platform.noc.links if l.name == allocation.link), None
+        )
+        if link is None:
+            raise PlatformError(f"unknown link {allocation.link!r}")
+        residual = link.capacity_bits_per_s - self.link_load_bits_per_s(link.name)
+        if allocation.bits_per_s > residual + 1e-9:
+            raise PlatformError(
+                f"link {link.name!r} has only {residual:.3g} bit/s left; "
+                f"cannot reserve {allocation.bits_per_s:.3g} bit/s"
+            )
+        self._link_allocations.setdefault(link.name, []).append(allocation)
+
+    # ------------------------------------------------------------------ #
+    # Application-level operations
+    # ------------------------------------------------------------------ #
+    def applications(self) -> tuple[str, ...]:
+        """Names of applications with at least one live allocation."""
+        names: dict[str, None] = {}
+        for allocations in self._tile_occupants.values():
+            for allocation in allocations:
+                names.setdefault(allocation.application)
+        for allocations in self._link_allocations.values():
+            for allocation in allocations:
+                names.setdefault(allocation.application)
+        return tuple(names.keys())
+
+    def release_application(self, application: str) -> int:
+        """Release every allocation of the application; returns how many were removed."""
+        removed = 0
+        for tile_name, allocations in list(self._tile_occupants.items()):
+            kept = [a for a in allocations if a.application != application]
+            removed += len(allocations) - len(kept)
+            self._tile_occupants[tile_name] = kept
+        for link_name, allocations in list(self._link_allocations.items()):
+            kept = [a for a in allocations if a.application != application]
+            removed += len(allocations) - len(kept)
+            self._link_allocations[link_name] = kept
+        return removed
+
+    def copy(self) -> "PlatformState":
+        """A deep-enough copy for what-if exploration by mappers."""
+        clone = PlatformState(self.platform)
+        clone._tile_occupants = {name: list(a) for name, a in self._tile_occupants.items()}
+        clone._link_allocations = {name: list(a) for name, a in self._link_allocations.items()}
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def tile_utilisation(self) -> dict[str, float]:
+        """Fraction of process slots used per processing tile."""
+        utilisation: dict[str, float] = {}
+        for tile in self.platform.processing_tiles():
+            capacity = tile.resources.max_processes
+            utilisation[tile.name] = (
+                self.used_process_slots(tile.name) / capacity if capacity else 0.0
+            )
+        return utilisation
+
+    def occupied_tiles(self) -> tuple[str, ...]:
+        """Names of tiles with at least one allocated process."""
+        return tuple(
+            name for name, allocations in self._tile_occupants.items() if allocations
+        )

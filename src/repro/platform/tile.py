@@ -1,0 +1,78 @@
+"""Tiles: processing elements plus their network interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PlatformError
+from repro.platform.resources import ResourceBudget
+from repro.platform.tile_type import TileType
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A tile of the MPSoC: a processing element attached to a NoC router.
+
+    Parameters
+    ----------
+    name:
+        Unique tile name (``"arm1"``, ``"montium2"``, ``"adc"``...).
+    tile_type:
+        The tile's type (determines which implementations can run on it).
+    position:
+        ``(x, y)`` coordinates of the router the tile is attached to.  The
+        Manhattan distance between tile positions is the communication-cost
+        estimate of mapping step 2.
+    resources:
+        The tile's resource budget for hosted processes.
+    ni_capacity_bits_per_s:
+        Injection/ejection capacity of the tile's network interface.  ``None``
+        means unconstrained.
+    """
+
+    name: str
+    tile_type: TileType
+    position: tuple[int, int]
+    resources: ResourceBudget = field(default_factory=ResourceBudget)
+    ni_capacity_bits_per_s: float | None = None
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("tile name must be a non-empty string")
+        if len(self.position) != 2:
+            raise PlatformError(f"tile {self.name!r}: position must be an (x, y) pair")
+        if any(not isinstance(c, int) or c < 0 for c in self.position):
+            raise PlatformError(
+                f"tile {self.name!r}: position coordinates must be non-negative integers"
+            )
+        if self.ni_capacity_bits_per_s is not None and self.ni_capacity_bits_per_s <= 0:
+            raise PlatformError(f"tile {self.name!r}: NI capacity must be positive")
+
+    @property
+    def type_name(self) -> str:
+        """Name of the tile's type."""
+        return self.tile_type.name
+
+    @property
+    def is_processing(self) -> bool:
+        """Whether the tile can host mapped processes."""
+        return self.tile_type.is_processing and self.resources.max_processes > 0
+
+    @property
+    def frequency_hz(self) -> float:
+        """Clock frequency of the tile."""
+        return self.tile_type.frequency_hz
+
+    @property
+    def x(self) -> int:
+        """X (column) coordinate of the attached router."""
+        return self.position[0]
+
+    @property
+    def y(self) -> int:
+        """Y (row) coordinate of the attached router."""
+        return self.position[1]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}({self.type_name}@{self.position})"

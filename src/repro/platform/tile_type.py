@@ -1,0 +1,54 @@
+"""Tile types of a heterogeneous platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import PlatformError
+from repro.units import hz_from_mhz
+
+
+@dataclass(frozen=True)
+class TileType:
+    """A class of processing element (e.g. ARM, Montium, A/D front-end).
+
+    Implementations of processes are written *per tile type*: the
+    implementation library of Table 1 has one ARM and one Montium entry per
+    process.  The spatial mapper's step 1 therefore chooses a tile type for
+    every process by picking one of its implementations.
+
+    Parameters
+    ----------
+    name:
+        Unique type name (``"ARM"``, ``"MONTIUM"``, ...).
+    frequency_hz:
+        Clock frequency of tiles of this type, used to convert the WCETs of
+        Table 1 (clock cycles) into time.
+    is_processing:
+        Whether tiles of this type can host mapped processes.  I/O tiles
+        (A/D converters, sinks) and unused filler tiles are not processing
+        tiles; they can only hold pinned source/sink processes.
+    idle_power_mw:
+        Static power drawn by a powered-on tile of this type, in milliwatts.
+        Used by the extended energy model to reward switching off unused
+        tiles (section 3, step 2: "being able to turn off parts of the
+        system that are not being used").
+    """
+
+    name: str
+    frequency_hz: float = hz_from_mhz(100)
+    is_processing: bool = True
+    idle_power_mw: float = 0.0
+    description: str = ""
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlatformError("tile type name must be a non-empty string")
+        if self.frequency_hz <= 0:
+            raise PlatformError(f"tile type {self.name!r}: frequency must be positive")
+        if self.idle_power_mw < 0:
+            raise PlatformError(f"tile type {self.name!r}: idle power must be non-negative")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

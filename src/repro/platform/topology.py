@@ -1,0 +1,70 @@
+"""NoC topology builders."""
+
+from __future__ import annotations
+
+from repro.exceptions import PlatformError
+from repro.platform.noc import NoC, Router
+from repro.units import hz_from_mhz
+
+
+def build_mesh_noc(
+    width: int,
+    height: int,
+    *,
+    link_capacity_bits_per_s: float = 1e9,
+    router_latency_cycles: int = 4,
+    router_frequency_hz: float = hz_from_mhz(100),
+    name: str = "mesh",
+) -> NoC:
+    """Build a 2-D mesh NoC of ``width`` x ``height`` routers.
+
+    Each router is connected to its 4-neighbourhood by a pair of directed
+    guaranteed-throughput links of ``link_capacity_bits_per_s`` each.  The
+    hypothetical MPSoC of the paper's case study (Figure 2) uses a 3x3 mesh.
+    """
+    if width < 1 or height < 1:
+        raise PlatformError(f"mesh dimensions must be positive, got {width}x{height}")
+    noc = NoC(name)
+    for y in range(height):
+        for x in range(width):
+            noc.add_router(
+                Router(
+                    position=(x, y),
+                    latency_cycles=router_latency_cycles,
+                    frequency_hz=router_frequency_hz,
+                )
+            )
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                noc.add_bidirectional_link((x, y), (x + 1, y), link_capacity_bits_per_s)
+            if y + 1 < height:
+                noc.add_bidirectional_link((x, y), (x, y + 1), link_capacity_bits_per_s)
+    return noc
+
+
+def build_torus_noc(
+    width: int,
+    height: int,
+    *,
+    link_capacity_bits_per_s: float = 1e9,
+    router_latency_cycles: int = 4,
+    router_frequency_hz: float = hz_from_mhz(100),
+    name: str = "torus",
+) -> NoC:
+    """Build a 2-D torus NoC (mesh plus wrap-around links)."""
+    if width < 3 or height < 3:
+        raise PlatformError("a torus needs at least 3 routers per dimension")
+    noc = build_mesh_noc(
+        width,
+        height,
+        link_capacity_bits_per_s=link_capacity_bits_per_s,
+        router_latency_cycles=router_latency_cycles,
+        router_frequency_hz=router_frequency_hz,
+        name=name,
+    )
+    for y in range(height):
+        noc.add_bidirectional_link((width - 1, y), (0, y), link_capacity_bits_per_s)
+    for x in range(width):
+        noc.add_bidirectional_link((x, height - 1), (x, 0), link_capacity_bits_per_s)
+    return noc

@@ -1,0 +1,40 @@
+"""Reporting helpers: ASCII tables, graph rendering and experiment drivers.
+
+The experiment drivers in :mod:`repro.reporting.experiments` regenerate each
+table and figure of the paper from the library; the benchmarks and the
+examples both call into them, so the numbers printed by
+``pytest benchmarks/`` and by ``examples/hiperlan2_case_study.py`` come from
+one place.
+"""
+
+from repro.reporting.tables import format_table
+from repro.reporting.render import render_platform, render_kpn, render_mapping, render_csdf
+from repro.reporting.breakdown import EnergyBreakdown, energy_breakdown
+from repro.reporting.export import (
+    csdf_to_dot,
+    kpn_to_dot,
+    mapping_to_dict,
+    mapping_to_dot,
+    platform_to_dict,
+    result_to_dict,
+    save_json,
+)
+from repro.reporting import experiments
+
+__all__ = [
+    "format_table",
+    "render_platform",
+    "render_kpn",
+    "render_mapping",
+    "render_csdf",
+    "EnergyBreakdown",
+    "energy_breakdown",
+    "mapping_to_dict",
+    "result_to_dict",
+    "platform_to_dict",
+    "save_json",
+    "kpn_to_dot",
+    "csdf_to_dot",
+    "mapping_to_dot",
+    "experiments",
+]

@@ -1,0 +1,110 @@
+"""Energy breakdown of a mapping.
+
+The mapper's objective is a single scalar (nJ per graph iteration); for
+reports and for tuning the cost model it is useful to see where that energy
+goes: per process (computation), per channel (NoC traffic or local memory
+traffic) and per tile (which tiles must stay powered).  The breakdown uses
+exactly the same cost model as the mapper, so the totals match
+:func:`repro.mapping.cost.mapping_energy_nj` by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.cost import CostModel, _endpoint_tiles
+from repro.mapping.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.platform.routing import manhattan_distance
+from repro.reporting.tables import format_table
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-process, per-channel and per-tile energy of one mapping."""
+
+    application: str
+    computation_nj: dict[str, float] = field(default_factory=dict)
+    communication_nj: dict[str, float] = field(default_factory=dict)
+    activation_nj: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_computation_nj(self) -> float:
+        """Total computation energy per iteration."""
+        return sum(self.computation_nj.values())
+
+    @property
+    def total_communication_nj(self) -> float:
+        """Total communication energy per iteration."""
+        return sum(self.communication_nj.values())
+
+    @property
+    def total_activation_nj(self) -> float:
+        """Total tile-activation energy per iteration."""
+        return sum(self.activation_nj.values())
+
+    @property
+    def total_nj(self) -> float:
+        """Grand total, equal to :func:`repro.mapping.cost.mapping_energy_nj`."""
+        return (
+            self.total_computation_nj
+            + self.total_communication_nj
+            + self.total_activation_nj
+        )
+
+    def as_table(self) -> str:
+        """Render the breakdown as an ASCII table."""
+        rows: list[tuple] = []
+        for process, energy in sorted(self.computation_nj.items()):
+            rows.append(("computation", process, f"{energy:.2f}"))
+        for channel, energy in sorted(self.communication_nj.items()):
+            rows.append(("communication", channel, f"{energy:.2f}"))
+        for tile, energy in sorted(self.activation_nj.items()):
+            rows.append(("activation", tile, f"{energy:.2f}"))
+        rows.append(("total", "", f"{self.total_nj:.2f}"))
+        return format_table(
+            ["Contribution", "Entity", "Energy [nJ/iteration]"],
+            rows,
+            title=f"Energy breakdown of {self.application!r}",
+            align_right=(2,),
+        )
+
+
+def energy_breakdown(
+    mapping: Mapping,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    cost_model: CostModel | None = None,
+) -> EnergyBreakdown:
+    """Compute the per-entity energy breakdown of a (possibly partial) mapping."""
+    model = cost_model or CostModel()
+    breakdown = EnergyBreakdown(application=mapping.application)
+
+    for assignment in mapping.assignments:
+        if assignment.implementation is None:
+            continue
+        breakdown.computation_nj[assignment.process] = assignment.energy_nj_per_iteration
+
+    for channel in als.kpn.data_channels():
+        endpoints = _endpoint_tiles(mapping, als, channel)
+        if endpoints is None:
+            continue
+        source_tile, target_tile = endpoints
+        if mapping.is_routed(channel.name):
+            hops = mapping.route(channel.name).hops
+        else:
+            hops = manhattan_distance(
+                platform.tile(source_tile).position, platform.tile(target_tile).position
+            )
+        bits = channel.bits_per_iteration
+        if hops == 0:
+            energy = bits * model.local_channel_energy_per_bit_nj
+        else:
+            energy = bits * hops * model.energy_per_bit_per_hop_nj
+        breakdown.communication_nj[channel.name] = energy
+
+    for tile_name in mapping.used_tiles():
+        breakdown.activation_nj[tile_name] = model.tile_activation_energy_nj
+
+    return breakdown

@@ -1,0 +1,194 @@
+"""Export of models and results to plain dictionaries, JSON and Graphviz DOT.
+
+A run-time resource manager is rarely the last consumer of a mapping: traces
+are logged, visualised and compared across runs.  This module provides
+loss-conscious exports of the main artefacts:
+
+* :func:`mapping_to_dict` / :func:`result_to_dict` — a JSON-serialisable view
+  of a spatial mapping and of a full :class:`~repro.mapping.result.MappingResult`;
+* :func:`platform_to_dict` — the platform description (tiles, NoC);
+* :func:`kpn_to_dot` / :func:`csdf_to_dot` / :func:`mapping_to_dot` — Graphviz
+  DOT documents for the application graph, the mapped CSDF graph (Figure 3
+  style) and the platform with the mapping overlaid;
+* :func:`save_json` — write any of the dictionary exports to a file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.csdf.graph import CSDFGraph
+from repro.kpn.graph import KPNGraph
+from repro.mapping.mapping import Mapping
+from repro.mapping.result import MappingResult
+from repro.platform.platform import Platform
+
+
+# --------------------------------------------------------------------------- #
+# Dictionary exports
+# --------------------------------------------------------------------------- #
+def mapping_to_dict(mapping: Mapping) -> dict:
+    """A JSON-serialisable view of a spatial mapping."""
+    return {
+        "application": mapping.application,
+        "assignments": [
+            {
+                "process": assignment.process,
+                "tile": assignment.tile,
+                "implementation": (
+                    assignment.implementation.qualified_name
+                    if assignment.implementation
+                    else None
+                ),
+                "energy_nj_per_iteration": assignment.energy_nj_per_iteration,
+            }
+            for assignment in mapping.assignments
+        ],
+        "routes": [
+            {
+                "channel": route.channel,
+                "source_tile": route.source_tile,
+                "target_tile": route.target_tile,
+                "path": [list(position) for position in route.path],
+                "hops": route.hops,
+                "required_bits_per_s": route.required_bits_per_s,
+            }
+            for route in mapping.routes
+        ],
+        "buffer_capacities": mapping.buffer_capacities,
+    }
+
+
+def result_to_dict(result: MappingResult) -> dict:
+    """A JSON-serialisable view of a full mapping result."""
+    data = {
+        "status": result.status.value,
+        "energy_nj_per_iteration": result.energy_nj_per_iteration,
+        "manhattan_cost": result.manhattan_cost,
+        "iterations": result.iterations,
+        "runtime_s": result.runtime_s,
+        "diagnostics": list(result.diagnostics),
+        "mapping": mapping_to_dict(result.mapping),
+    }
+    if result.feasibility is not None:
+        data["feasibility"] = {
+            "required_period_ns": result.feasibility.required_period_ns,
+            "achieved_period_ns": result.feasibility.achieved_period_ns,
+            "latency_ns": result.feasibility.latency_ns,
+            "satisfied": result.feasibility.satisfied,
+            "reason": result.feasibility.reason,
+            "buffer_capacities": dict(result.feasibility.buffer_capacities),
+        }
+    return data
+
+
+def platform_to_dict(platform: Platform) -> dict:
+    """A JSON-serialisable view of a platform description."""
+    return {
+        "name": platform.name,
+        "tiles": [
+            {
+                "name": tile.name,
+                "type": tile.type_name,
+                "position": list(tile.position),
+                "frequency_hz": tile.frequency_hz,
+                "is_processing": tile.is_processing,
+                "max_processes": tile.resources.max_processes,
+                "memory_bytes": tile.resources.memory_bytes,
+            }
+            for tile in platform.tiles
+        ],
+        "noc": {
+            "routers": [
+                {
+                    "position": list(router.position),
+                    "latency_cycles": router.latency_cycles,
+                    "frequency_hz": router.frequency_hz,
+                }
+                for router in platform.noc.routers
+            ],
+            "links": [
+                {
+                    "source": list(link.source),
+                    "target": list(link.target),
+                    "capacity_bits_per_s": link.capacity_bits_per_s,
+                }
+                for link in platform.noc.links
+            ],
+        },
+    }
+
+
+def save_json(data: dict, path: str | Path, *, indent: int = 2) -> Path:
+    """Write a dictionary export to ``path`` as JSON and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=indent, sort_keys=True))
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Graphviz DOT exports
+# --------------------------------------------------------------------------- #
+def _dot_escape(label: str) -> str:
+    return label.replace('"', r"\"")
+
+
+def kpn_to_dot(kpn: KPNGraph) -> str:
+    """A Graphviz DOT document of an application's KPN (Figure 1 style)."""
+    lines = [f'digraph "{_dot_escape(kpn.name)}" {{', "  rankdir=LR;"]
+    for process in kpn.processes:
+        shape = {"source": "invhouse", "sink": "house", "control": "diamond"}.get(
+            process.kind.value, "box"
+        )
+        lines.append(f'  "{_dot_escape(process.name)}" [shape={shape}];')
+    for channel in kpn.channels:
+        style = " style=dashed" if channel.is_control else ""
+        label = f"{channel.tokens_per_iteration:g}"
+        lines.append(
+            f'  "{_dot_escape(channel.source)}" -> "{_dot_escape(channel.target)}" '
+            f'[label="{label}"{style}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def csdf_to_dot(graph: CSDFGraph) -> str:
+    """A Graphviz DOT document of a CSDF graph (Figure 3 style)."""
+    lines = [f'digraph "{_dot_escape(graph.name)}" {{', "  rankdir=LR;"]
+    for actor in graph.actors:
+        wcet = actor.wcet_cycles.compact_str() if actor.wcet_cycles else ""
+        label = _dot_escape(f"{actor.name}\n{wcet}")
+        shape = "circle" if actor.role == "router" else "box"
+        lines.append(f'  "{_dot_escape(actor.name)}" [shape={shape} label="{label}"];')
+    for edge in graph.edges:
+        capacity = f" B={edge.capacity}" if edge.capacity is not None else ""
+        lines.append(
+            f'  "{_dot_escape(edge.source)}" -> "{_dot_escape(edge.target)}" '
+            f'[label="{_dot_escape(capacity.strip())}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def mapping_to_dot(mapping: Mapping, platform: Platform) -> str:
+    """A Graphviz DOT document of the platform with the mapping overlaid.
+
+    Tiles become cluster-style nodes labelled with the processes mapped onto
+    them; routed channels become edges between the tiles they connect,
+    labelled with their hop count.
+    """
+    lines = [f'digraph "{_dot_escape(mapping.application)}_on_{_dot_escape(platform.name)}" {{']
+    lines.append("  node [shape=record];")
+    for tile in platform.tiles:
+        processes = mapping.processes_on(tile.name)
+        payload = "|".join(processes) if processes else "(idle)"
+        label = _dot_escape(f"{tile.name} [{tile.type_name}]|{payload}")
+        lines.append(f'  "{_dot_escape(tile.name)}" [label="{label}"];')
+    for route in mapping.routes:
+        lines.append(
+            f'  "{_dot_escape(route.source_tile)}" -> "{_dot_escape(route.target_tile)}" '
+            f'[label="{route.channel} ({route.hops} hops)"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

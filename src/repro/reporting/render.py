@@ -1,0 +1,81 @@
+"""Plain-text rendering of models (platforms, KPNs, mappings, CSDF graphs)."""
+
+from __future__ import annotations
+
+from repro.csdf.graph import CSDFGraph
+from repro.kpn.graph import KPNGraph
+from repro.mapping.mapping import Mapping
+from repro.platform.platform import Platform
+
+
+def render_platform(platform: Platform) -> str:
+    """Render the tile grid of a platform (one cell per router position)."""
+    positions = platform.noc.positions
+    width = max(x for x, _ in positions) + 1
+    height = max(y for _, y in positions) + 1
+    cells: dict[tuple[int, int], str] = {}
+    for tile in platform.tiles:
+        label = f"{tile.name}[{tile.type_name}]"
+        cells[tile.position] = label
+    column_width = max([len(c) for c in cells.values()] + [4]) + 2
+    lines = [f"Platform {platform.name!r} ({width}x{height} mesh, {len(platform)} tiles)"]
+    for y in range(height):
+        row = []
+        for x in range(width):
+            row.append(cells.get((x, y), "(router)").center(column_width))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_kpn(kpn: KPNGraph) -> str:
+    """Render a KPN as a list of processes and channels."""
+    lines = [f"KPN {kpn.name!r}: {len(kpn)} processes, {len(kpn.channels)} channels"]
+    for process in kpn.processes:
+        pinned = f" (pinned to {process.pinned_tile})" if process.is_pinned else ""
+        lines.append(f"  process {process.name} [{process.kind.value}]{pinned}")
+    for channel in kpn.channels:
+        control = " [control]" if channel.is_control else ""
+        lines.append(
+            f"  channel {channel.name}: {channel.source} -> {channel.target} "
+            f"({channel.tokens_per_iteration:g} tokens/iter){control}"
+        )
+    return "\n".join(lines)
+
+
+def render_mapping(mapping: Mapping, platform: Platform | None = None) -> str:
+    """Render a mapping: per-process tile (and implementation) plus per-channel route."""
+    lines = [f"Mapping of application {mapping.application!r}"]
+    for assignment in mapping.assignments:
+        implementation = (
+            assignment.implementation.qualified_name if assignment.implementation else "(pinned)"
+        )
+        lines.append(f"  {assignment.process} -> {assignment.tile}  [{implementation}]")
+    for route in mapping.routes:
+        hops = " -> ".join(str(p) for p in route.path)
+        lines.append(
+            f"  channel {route.channel}: {route.source_tile} => {route.target_tile} "
+            f"({route.hops} hops: {hops})"
+        )
+    if mapping.buffer_capacities:
+        for channel, capacity in mapping.buffer_capacities.items():
+            lines.append(f"  buffer B[{channel}] = {capacity} tokens")
+    return "\n".join(lines)
+
+
+def render_csdf(graph: CSDFGraph, *, show_rates: bool = False) -> str:
+    """Render a CSDF graph actor-by-actor (Figure 3 style, in text)."""
+    lines = [f"CSDF graph {graph.name!r}: {len(graph)} actors, {len(graph.edges)} edges"]
+    for actor in graph.actors:
+        wcet = actor.wcet_cycles.compact_str() if actor.wcet_cycles else "-"
+        tile = f" on {actor.tile}" if actor.tile else ""
+        lines.append(f"  actor {actor.name} [{actor.role}]{tile} wcet={wcet}")
+    for edge in graph.edges:
+        capacity = f", capacity={edge.capacity}" if edge.capacity is not None else ""
+        rates = ""
+        if show_rates:
+            rates = (
+                f" prod={edge.production_rates.compact_str()}"
+                f" cons={edge.consumption_rates.compact_str()}"
+            )
+        lines.append(f"  edge {edge.name}: {edge.source} -> {edge.target}{rates}{capacity}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Plain-text table rendering."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: str | None = None,
+    align_right: Sequence[int] = (),
+) -> str:
+    """Render a list of rows as a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Row data; cells are converted with ``str``.
+    title:
+        Optional title printed above the table.
+    align_right:
+        Indices of columns to right-align (numeric columns).
+    """
+    string_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    right = set(align_right)
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(cells):
+            if index in right:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    for row in string_rows:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

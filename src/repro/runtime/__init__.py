@@ -1,0 +1,28 @@
+"""Run-time resource management on top of the spatial mapper.
+
+The paper places the spatial mapper inside a run-time resource manager: the
+mapping is performed "always when a new streaming application is started"
+(section 1.3) against the *current* allocation state.  This package provides
+that surrounding machinery: an admission-controlling
+:class:`~repro.runtime.manager.RuntimeResourceManager`, scenario descriptions
+(sequences of application start/stop events) and accounting of energy and
+utilisation over a scenario, which the run-time-versus-design-time benchmark
+builds on.
+"""
+
+from repro.runtime.manager import RuntimeResourceManager, RunningApplication
+from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
+from repro.runtime.scenario import Scenario, ScenarioOutcome, run_scenario
+from repro.runtime.accounting import EnergyAccount
+
+__all__ = [
+    "RuntimeResourceManager",
+    "RunningApplication",
+    "ScenarioEvent",
+    "StartEvent",
+    "StopEvent",
+    "Scenario",
+    "ScenarioOutcome",
+    "run_scenario",
+    "EnergyAccount",
+]

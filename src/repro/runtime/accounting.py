@@ -1,0 +1,59 @@
+"""Energy and utilisation accounting over run-time scenarios."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.units import NS_PER_S
+
+
+@dataclass
+class EnergyAccount:
+    """Integrates application energy over a scenario timeline.
+
+    Every admitted application contributes ``energy_per_iteration / period``
+    (i.e. its average power) for the time span it is running.  The account is
+    driven by the scenario player, which reports admissions, departures and
+    the end of the scenario.
+    """
+
+    #: Running applications: name -> (start_time_ns, power_nj_per_ns).
+    _active: dict[str, tuple[float, float]] = field(default_factory=dict)
+    #: Accumulated energy of finished application runs, in nanojoules.
+    total_energy_nj: float = 0.0
+    #: Per-application accumulated energy, in nanojoules.
+    per_application_nj: dict[str, float] = field(default_factory=dict)
+
+    def start(self, application: str, time_ns: float, energy_nj_per_iteration: float,
+              period_ns: float) -> None:
+        """Record the admission of an application."""
+        power = energy_nj_per_iteration / period_ns
+        self._active[application] = (time_ns, power)
+
+    def stop(self, application: str, time_ns: float) -> None:
+        """Record the departure of an application and integrate its energy."""
+        if application not in self._active:
+            return
+        start_time, power = self._active.pop(application)
+        energy = power * max(time_ns - start_time, 0.0)
+        self.total_energy_nj += energy
+        self.per_application_nj[application] = (
+            self.per_application_nj.get(application, 0.0) + energy
+        )
+
+    def finish(self, time_ns: float) -> None:
+        """Close the account at the end of the scenario (stops everything still active)."""
+        for application in list(self._active.keys()):
+            self.stop(application, time_ns)
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Total energy in millijoules."""
+        return self.total_energy_nj / 1e6
+
+    def average_power_mw(self, duration_ns: float) -> float:
+        """Average power over a scenario duration, in milliwatts."""
+        if duration_ns <= 0:
+            return 0.0
+        watts = self.total_energy_nj / 1e9 / (duration_ns / NS_PER_S)
+        return watts * 1e3

@@ -1,0 +1,49 @@
+"""Scenario events: application arrivals and departures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.kpn.als import ApplicationLevelSpec
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """Base class of timed scenario events."""
+
+    time_ns: float
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise ValueError("event time must be non-negative")
+
+
+@dataclass(frozen=True)
+class StartEvent(ScenarioEvent):
+    """Request to start an application at a point in time."""
+
+    als: ApplicationLevelSpec = None  # type: ignore[assignment]
+    library: ImplementationLibrary | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.als is None:
+            raise ValueError("a start event needs an application specification")
+
+    @property
+    def application(self) -> str:
+        """Name of the application being started."""
+        return self.als.name
+
+
+@dataclass(frozen=True)
+class StopEvent(ScenarioEvent):
+    """Request to stop a running application at a point in time."""
+
+    application: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.application:
+            raise ValueError("a stop event must name the application to stop")

@@ -1,0 +1,176 @@
+"""The run-time resource manager: admission control around the spatial mapper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.exceptions import AdmissionError
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import LinkAllocation, PlatformState, ProcessAllocation
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.mapper import SpatialMapper
+
+
+@dataclass
+class RunningApplication:
+    """Bookkeeping entry for an admitted application."""
+
+    als: ApplicationLevelSpec
+    result: MappingResult
+    start_time_ns: float = 0.0
+
+    @property
+    def name(self) -> str:
+        """Application name."""
+        return self.als.name
+
+    @property
+    def energy_nj_per_iteration(self) -> float:
+        """Energy per iteration of the admitted mapping."""
+        return self.result.energy_nj_per_iteration
+
+    def power_mw(self) -> float:
+        """Average power of the application (energy per iteration / period)."""
+        return self.energy_nj_per_iteration / self.als.period_ns * 1e3
+
+
+class RuntimeResourceManager:
+    """Starts and stops streaming applications on one platform.
+
+    On a start request the manager invokes a mapper (the paper's
+    :class:`~repro.spatialmapper.mapper.SpatialMapper` by default, or any
+    object with the same ``map(als, state)`` interface, e.g. a baseline) and
+    commits the resulting allocations into its
+    :class:`~repro.platform.state.PlatformState` when the mapping is
+    admissible.  On a stop request all of the application's allocations are
+    released again.
+
+    Parameters
+    ----------
+    platform:
+        The managed platform.
+    library:
+        Implementation library covering every application that may be
+        started.  Per-application libraries can be supplied at start time.
+    require_feasible:
+        When ``True`` (default) only feasible mappings are admitted; when
+        ``False`` adherent mappings are accepted as well (useful for
+        experiments with mappers that skip the QoS analysis).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ImplementationLibrary | None = None,
+        config: MapperConfig | None = None,
+        *,
+        mapper_factory=None,
+        require_feasible: bool = True,
+    ) -> None:
+        self.platform = platform
+        self.library = library or ImplementationLibrary()
+        self.config = config or MapperConfig()
+        self.state = PlatformState(platform)
+        self.require_feasible = require_feasible
+        self._mapper_factory = mapper_factory or (
+            lambda platform_, library_, config_: SpatialMapper(platform_, library_, config_)
+        )
+        self._running: dict[str, RunningApplication] = {}
+        #: History of admission decisions: (application, admitted, reason).
+        self.decisions: list[tuple[str, bool, str]] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def running_applications(self) -> tuple[RunningApplication, ...]:
+        """All currently running applications."""
+        return tuple(self._running.values())
+
+    def is_running(self, application: str) -> bool:
+        """Whether an application with the given name is currently running."""
+        return application in self._running
+
+    # ------------------------------------------------------------------ #
+    def start(
+        self,
+        als: ApplicationLevelSpec,
+        *,
+        library: ImplementationLibrary | None = None,
+        time_ns: float = 0.0,
+    ) -> MappingResult:
+        """Map and admit an application; raises :class:`AdmissionError` on rejection."""
+        if als.name in self._running:
+            raise AdmissionError(f"application {als.name!r} is already running")
+        mapper = self._mapper_factory(self.platform, library or self.library, self.config)
+        result = mapper.map(als, self.state)
+        admissible = (
+            result.status is MappingStatus.FEASIBLE
+            if self.require_feasible
+            else result.status.at_least(MappingStatus.ADHERENT)
+        )
+        if not admissible:
+            reason = (
+                result.feasibility.reason
+                if result.feasibility and result.feasibility.reason
+                else f"mapping status {result.status.value}"
+            )
+            self.decisions.append((als.name, False, reason))
+            raise AdmissionError(f"application {als.name!r} rejected: {reason}")
+        self._commit(als, result)
+        self._running[als.name] = RunningApplication(als=als, result=result, start_time_ns=time_ns)
+        self.decisions.append((als.name, True, "admitted"))
+        return result
+
+    def try_start(
+        self,
+        als: ApplicationLevelSpec,
+        *,
+        library: ImplementationLibrary | None = None,
+        time_ns: float = 0.0,
+    ) -> MappingResult | None:
+        """Like :meth:`start` but returns ``None`` instead of raising on rejection."""
+        try:
+            return self.start(als, library=library, time_ns=time_ns)
+        except AdmissionError:
+            return None
+
+    def stop(self, application: str) -> None:
+        """Stop a running application and release all of its allocations."""
+        if application not in self._running:
+            raise AdmissionError(f"application {application!r} is not running")
+        self.state.release_application(application)
+        del self._running[application]
+
+    # ------------------------------------------------------------------ #
+    def total_power_mw(self) -> float:
+        """Aggregate average power of all running applications."""
+        return sum(app.power_mw() for app in self._running.values())
+
+    def _commit(self, als: ApplicationLevelSpec, result: MappingResult) -> None:
+        """Write the mapping's allocations into the platform state."""
+        mapping = result.mapping
+        for assignment in mapping.assignments:
+            if assignment.implementation is None:
+                continue
+            self.state.allocate_process(
+                ProcessAllocation(
+                    application=als.name,
+                    process=assignment.process,
+                    tile=assignment.tile,
+                    memory_bytes=assignment.implementation.memory_bytes,
+                    compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
+                )
+            )
+        for route in mapping.routes:
+            for a, b in zip(route.path, route.path[1:]):
+                link = self.platform.noc.link(a, b)
+                self.state.allocate_link(
+                    LinkAllocation(
+                        application=als.name,
+                        channel=route.channel,
+                        link=link.name,
+                        bits_per_s=route.required_bits_per_s,
+                    )
+                )

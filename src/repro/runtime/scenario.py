@@ -1,0 +1,86 @@
+"""Scenario player: drive a resource manager through a sequence of events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import AdmissionError
+from repro.runtime.accounting import EnergyAccount
+from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
+from repro.runtime.manager import RuntimeResourceManager
+
+
+@dataclass
+class Scenario:
+    """A named, time-ordered sequence of start/stop events."""
+
+    name: str
+    events: list[ScenarioEvent] = field(default_factory=list)
+    duration_ns: float | None = None
+
+    def add(self, event: ScenarioEvent) -> "Scenario":
+        """Append an event (events are sorted by time when the scenario runs)."""
+        self.events.append(event)
+        return self
+
+    def sorted_events(self) -> list[ScenarioEvent]:
+        """Events in non-decreasing time order (stable for equal times)."""
+        return sorted(self.events, key=lambda e: e.time_ns)
+
+    def end_time_ns(self) -> float:
+        """The scenario horizon: explicit duration or the last event time."""
+        if self.duration_ns is not None:
+            return self.duration_ns
+        if not self.events:
+            return 0.0
+        return max(e.time_ns for e in self.events)
+
+
+@dataclass
+class ScenarioOutcome:
+    """What happened when a scenario was played against a resource manager."""
+
+    scenario: str
+    admitted: list[str] = field(default_factory=list)
+    rejected: list[tuple[str, str]] = field(default_factory=list)
+    energy: EnergyAccount = field(default_factory=EnergyAccount)
+    end_time_ns: float = 0.0
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of start requests that were admitted."""
+        total = len(self.admitted) + len(self.rejected)
+        return len(self.admitted) / total if total else 0.0
+
+    @property
+    def total_energy_nj(self) -> float:
+        """Total energy consumed by admitted applications over the scenario."""
+        return self.energy.total_energy_nj
+
+
+def run_scenario(manager: RuntimeResourceManager, scenario: Scenario) -> ScenarioOutcome:
+    """Play a scenario against a resource manager and account energy/admissions."""
+    outcome = ScenarioOutcome(scenario=scenario.name)
+    for event in scenario.sorted_events():
+        if isinstance(event, StartEvent):
+            try:
+                result = manager.start(event.als, library=event.library, time_ns=event.time_ns)
+            except AdmissionError as error:
+                outcome.rejected.append((event.application, str(error)))
+                continue
+            outcome.admitted.append(event.application)
+            outcome.energy.start(
+                event.application,
+                event.time_ns,
+                result.energy_nj_per_iteration,
+                event.als.period_ns,
+            )
+        elif isinstance(event, StopEvent):
+            if manager.is_running(event.application):
+                manager.stop(event.application)
+                outcome.energy.stop(event.application, event.time_ns)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown scenario event type {type(event)!r}")
+    outcome.end_time_ns = scenario.end_time_ns()
+    outcome.energy.finish(outcome.end_time_ns)
+    return outcome

@@ -1,0 +1,91 @@
+"""Configuration of the spatial mapper."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.mapping.cost import CostModel
+
+
+class Step2Strategy(enum.Enum):
+    """Local-search strategy of step 2.
+
+    The paper evaluates one reassignment per iteration and keeps it only when
+    it improves the cost (Table 2 shows an evaluated-and-reverted iteration),
+    which corresponds to :attr:`FIRST_IMPROVEMENT`.  :attr:`BEST_IMPROVEMENT`
+    evaluates every candidate each iteration and applies the best one; it is
+    used by the ablation benchmarks.
+    """
+
+    FIRST_IMPROVEMENT = "first_improvement"
+    BEST_IMPROVEMENT = "best_improvement"
+
+
+class DesirabilityMetric(enum.Enum):
+    """What the step-1 desirability is computed from.
+
+    ``ENERGY`` uses only the implementations' computation energy (the Table 1
+    column), which is what the worked example of the paper uses.
+    ``ENERGY_AND_COMMUNICATION`` adds the Manhattan-distance communication
+    estimate towards already-placed neighbours, an extension evaluated in the
+    ablation benchmarks.
+    """
+
+    ENERGY = "energy"
+    ENERGY_AND_COMMUNICATION = "energy_and_communication"
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """All tunables of the four-step mapper.
+
+    Parameters
+    ----------
+    step2_strategy:
+        Local-search strategy (see :class:`Step2Strategy`).
+    step2_min_gain:
+        Minimum cost improvement for accepting a reassignment; iterations
+        improving by less are reverted ("a minimum gain from the current
+        iteration", section 3).
+    step2_max_iterations:
+        Hard cap on evaluated reassignments in step 2.
+    step2_weight_by_tokens:
+        Whether the Manhattan metric weights each channel by its token volume.
+    desirability_metric:
+        Basis of the step-1 desirability ordering.
+    max_feedback_iterations:
+        Maximum number of outer refinement iterations (step 4 / step 3
+        failures feeding back into steps 1-2).
+    analysis_iterations:
+        Number of graph iterations simulated by the step-4 dataflow analysis.
+    minimize_buffers:
+        When ``True``, step 4 additionally shrinks buffer capacities by
+        binary search (slower, smaller buffers).
+    cost_model:
+        Weights of the full energy objective.
+    keep_step2_trace:
+        Record every step-2 iteration (needed to regenerate Table 2).
+    """
+
+    step2_strategy: Step2Strategy = Step2Strategy.FIRST_IMPROVEMENT
+    step2_min_gain: float = 1e-9
+    step2_max_iterations: int = 1000
+    step2_weight_by_tokens: bool = False
+    desirability_metric: DesirabilityMetric = DesirabilityMetric.ENERGY
+    max_feedback_iterations: int = 8
+    analysis_iterations: int = 6
+    minimize_buffers: bool = False
+    cost_model: CostModel = field(default_factory=CostModel)
+    keep_step2_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.step2_min_gain < 0:
+            raise ConfigurationError("step2_min_gain must be non-negative")
+        if self.step2_max_iterations < 1:
+            raise ConfigurationError("step2_max_iterations must be at least 1")
+        if self.max_feedback_iterations < 1:
+            raise ConfigurationError("max_feedback_iterations must be at least 1")
+        if self.analysis_iterations < 1:
+            raise ConfigurationError("analysis_iterations must be at least 1")

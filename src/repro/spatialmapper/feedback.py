@@ -1,0 +1,98 @@
+"""Feedback between the steps of the spatial mapper.
+
+When a later step fails (no route with enough capacity, QoS violated, buffer
+does not fit), it does not simply give up: it produces *feedback* describing
+what went wrong, which the outer loop translates into exclusions — banned
+implementations or banned (process, tile) placements — before re-running the
+earlier steps.  "The feedback from a lower level may result in a completely
+different mapping on a higher level in a next iteration" (paper, section 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class FeedbackKind(enum.Enum):
+    """Classification of why a step failed."""
+
+    #: Step 1 could not find any implementation/tile for a process.
+    NO_IMPLEMENTATION = "no_implementation"
+    #: Step 3 could not route a channel with enough guaranteed throughput.
+    ROUTING_FAILED = "routing_failed"
+    #: Step 4 found the throughput constraint violated.
+    THROUGHPUT_VIOLATED = "throughput_violated"
+    #: Step 4 found the latency constraint violated.
+    LATENCY_VIOLATED = "latency_violated"
+    #: Step 4 could not fit the computed buffers into tile memory.
+    BUFFER_OVERFLOW = "buffer_overflow"
+    #: A structural adherence violation was detected after a step.
+    INADHERENT = "inadherent"
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """One piece of feedback emitted by a failing step.
+
+    Attributes
+    ----------
+    kind:
+        Failure classification.
+    step:
+        Index (1-4) of the step that produced the feedback.
+    message:
+        Human-readable explanation, kept in the mapper diagnostics.
+    culprit_process / culprit_channel / culprit_tile:
+        The entity the outer loop should act on, when identifiable.  For a
+        throughput violation this is typically the process whose
+        implementation is the bottleneck; the outer loop bans that
+        implementation and retries.
+    """
+
+    kind: FeedbackKind
+    step: int
+    message: str
+    culprit_process: str | None = None
+    culprit_channel: str | None = None
+    culprit_tile: str | None = None
+    culprit_tile_type: str | None = None
+
+
+@dataclass
+class ExclusionSet:
+    """Exclusions accumulated from feedback across refinement iterations.
+
+    ``banned_implementations`` holds (process, tile_type) pairs step 1 must
+    not choose again; ``banned_placements`` holds (process, tile) pairs steps
+    1-2 must not produce again.
+    """
+
+    banned_implementations: set[tuple[str, str]] = field(default_factory=set)
+    banned_placements: set[tuple[str, str]] = field(default_factory=set)
+
+    def ban_implementation(self, process: str, tile_type: str) -> None:
+        """Forbid choosing the given implementation again."""
+        self.banned_implementations.add((process, tile_type))
+
+    def ban_placement(self, process: str, tile: str) -> None:
+        """Forbid placing the process on the given tile again."""
+        self.banned_placements.add((process, tile))
+
+    def implementation_allowed(self, process: str, tile_type: str) -> bool:
+        """Whether step 1 may still pick this implementation."""
+        return (process, tile_type) not in self.banned_implementations
+
+    def placement_allowed(self, process: str, tile: str) -> bool:
+        """Whether the process may still be placed on the tile."""
+        return (process, tile) not in self.banned_placements
+
+    def copy(self) -> "ExclusionSet":
+        """An independent copy."""
+        return ExclusionSet(
+            banned_implementations=set(self.banned_implementations),
+            banned_placements=set(self.banned_placements),
+        )
+
+    def __len__(self) -> int:
+        return len(self.banned_implementations) + len(self.banned_placements)

@@ -1,0 +1,284 @@
+"""The spatial mapper: hierarchical search with iterative refinement.
+
+:class:`SpatialMapper` wires the four steps together.  Each refinement
+iteration runs steps 1-4 in order; when a step fails it emits feedback which
+the mapper translates into exclusions (banned implementations or banned
+placements) before restarting from step 1 — "the feedback from a lower level
+may result in a completely different mapping on a higher level in a next
+iteration" (paper, section 3).  The best mapping seen so far (by status, then
+energy) is kept and returned when the iteration budget runs out.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.exceptions import NoFeasibleMappingError
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.cost import manhattan_cost, mapping_energy_nj
+from repro.mapping.mapping import Mapping
+from repro.mapping.properties import adherence_violations
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.feedback import ExclusionSet, Feedback, FeedbackKind
+from repro.spatialmapper.step1_implementation import select_implementations
+from repro.spatialmapper.step2_tile_assignment import refine_tile_assignment
+from repro.spatialmapper.step3_routing import route_channels
+from repro.spatialmapper.step4_feasibility import check_feasibility
+from repro.spatialmapper.trace import MapperTrace
+
+
+class SpatialMapper:
+    """Run-time spatial mapper for one platform and implementation library.
+
+    The mapper is stateless between calls: every :meth:`map` call receives
+    the application and the *current* platform state and returns a
+    :class:`~repro.mapping.result.MappingResult`; committing the resulting
+    allocations is the job of the run-time resource manager
+    (:mod:`repro.runtime`).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ImplementationLibrary,
+        config: MapperConfig | None = None,
+    ) -> None:
+        self.platform = platform
+        self.library = library
+        self.config = config or MapperConfig()
+        #: Trace of the most recent :meth:`map` call (step-2 iterations, feedback log).
+        self.last_trace: MapperTrace = MapperTrace()
+
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        als: ApplicationLevelSpec,
+        state: PlatformState | None = None,
+        *,
+        raise_on_failure: bool = False,
+    ) -> MappingResult:
+        """Produce a spatial mapping for ``als`` given the current platform state.
+
+        Parameters
+        ----------
+        als:
+            The application to start.
+        state:
+            Current allocations of already-running applications; ``None``
+            means an idle platform.
+        raise_on_failure:
+            When ``True``, raise
+            :class:`~repro.exceptions.NoFeasibleMappingError` instead of
+            returning a non-feasible result.
+        """
+        start_time = time.perf_counter()
+        state = state if state is not None else PlatformState(self.platform)
+        exclusions = ExclusionSet()
+        trace = MapperTrace()
+        best: MappingResult | None = None
+        diagnostics: list[str] = []
+
+        for iteration in range(1, self.config.max_feedback_iterations + 1):
+            trace.refinement_iterations = iteration
+            candidate = self._single_pass(als, state, exclusions, trace, diagnostics)
+            candidate.iterations = iteration
+            best = self._better(best, candidate)
+            if candidate.status is MappingStatus.FEASIBLE:
+                best = candidate
+                break
+            if not self._apply_feedback(candidate, exclusions, trace, diagnostics):
+                diagnostics.append(
+                    f"iteration {iteration}: no applicable feedback left; stopping refinement"
+                )
+                break
+
+        assert best is not None
+        best.runtime_s = time.perf_counter() - start_time
+        best.diagnostics = diagnostics + best.diagnostics
+        self.last_trace = trace
+        if raise_on_failure and best.status is not MappingStatus.FEASIBLE:
+            raise NoFeasibleMappingError(
+                f"no feasible mapping found for application {als.name!r}: "
+                + (best.feasibility.reason if best.feasibility else best.status.value)
+            )
+        return best
+
+    # ------------------------------------------------------------------ #
+    def _single_pass(
+        self,
+        als: ApplicationLevelSpec,
+        state: PlatformState,
+        exclusions: ExclusionSet,
+        trace: MapperTrace,
+        diagnostics: list[str],
+    ) -> MappingResult:
+        """One pass through steps 1-4 under the current exclusions."""
+        # Step 1 — implementations and first-fit tiles.
+        step1 = select_implementations(
+            als,
+            self.platform,
+            self.library,
+            state=state,
+            config=self.config,
+            exclusions=exclusions,
+        )
+        if not step1.succeeded:
+            for feedback in step1.feedback:
+                diagnostics.append(f"step 1: {feedback.message}")
+            return self._result_for(step1.mapping, als, state, MappingStatus.FAILED, step1.feedback)
+
+        # Step 2 — local-search refinement of the tile assignment.
+        step2 = refine_tile_assignment(
+            step1.mapping,
+            als,
+            self.platform,
+            state=state,
+            config=self.config,
+            exclusions=exclusions,
+        )
+        trace.step2_traces.append(step2.trace)
+
+        # Step 3 — channel routing.
+        step3 = route_channels(
+            step2.mapping, als, self.platform, state=state, config=self.config
+        )
+        if not step3.succeeded:
+            for feedback in step3.feedback:
+                diagnostics.append(f"step 3: {feedback.message}")
+            return self._result_for(
+                step3.mapping, als, state, MappingStatus.ADEQUATE, step3.feedback
+            )
+
+        violations = adherence_violations(
+            step3.mapping, self.platform, self.library, state, als
+        )
+        if violations:
+            feedback = [
+                Feedback(kind=FeedbackKind.INADHERENT, step=3, message=v) for v in violations
+            ]
+            diagnostics.extend(f"adherence: {v}" for v in violations)
+            return self._result_for(step3.mapping, als, state, MappingStatus.ADEQUATE, feedback)
+
+        # Step 4 — QoS feasibility on the mapped CSDF graph.
+        step4 = check_feasibility(
+            step3.mapping,
+            als,
+            self.platform,
+            self.library,
+            state=state,
+            config=self.config,
+        )
+        status = MappingStatus.FEASIBLE if step4.feasible else MappingStatus.ADHERENT
+        if not step4.feasible:
+            diagnostics.append(f"step 4: {step4.report.reason}")
+        result = self._result_for(step4.mapping, als, state, status, step4.feedback)
+        result.feasibility = step4.report
+        result.mapped_csdf = step4.mapped_csdf
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _result_for(
+        self,
+        mapping: Mapping,
+        als: ApplicationLevelSpec,
+        state: PlatformState,
+        status: MappingStatus,
+        feedback: list[Feedback],
+    ) -> MappingResult:
+        """Assemble a :class:`MappingResult` with costs for a (partial) mapping."""
+        result = MappingResult(
+            mapping=mapping,
+            status=status,
+            energy_nj_per_iteration=mapping_energy_nj(
+                mapping, als, self.platform, self.config.cost_model
+            ),
+            manhattan_cost=manhattan_cost(mapping, als, self.platform),
+        )
+        result.diagnostics = [f.message for f in feedback]
+        result._pending_feedback = feedback  # type: ignore[attr-defined]
+        return result
+
+    def _better(
+        self, best: MappingResult | None, candidate: MappingResult
+    ) -> MappingResult:
+        """The better of two results: higher status first, lower energy second."""
+        if best is None:
+            return candidate
+        if candidate.status.at_least(best.status) and candidate.status is not best.status:
+            return candidate
+        if candidate.status is best.status and (
+            candidate.energy_nj_per_iteration < best.energy_nj_per_iteration
+        ):
+            return candidate
+        return best
+
+    def _apply_feedback(
+        self,
+        result: MappingResult,
+        exclusions: ExclusionSet,
+        trace: MapperTrace,
+        diagnostics: list[str],
+    ) -> bool:
+        """Translate the feedback of a failed pass into exclusions.
+
+        Returns ``True`` when at least one new exclusion was added (so a new
+        refinement iteration is worthwhile), ``False`` otherwise.
+        """
+        feedback_list: list[Feedback] = getattr(result, "_pending_feedback", [])
+        added = False
+        for feedback in feedback_list:
+            if feedback.kind is FeedbackKind.THROUGHPUT_VIOLATED and feedback.culprit_process:
+                if feedback.culprit_tile_type and exclusions.implementation_allowed(
+                    feedback.culprit_process, feedback.culprit_tile_type
+                ):
+                    exclusions.ban_implementation(
+                        feedback.culprit_process, feedback.culprit_tile_type
+                    )
+                    message = (
+                        f"feedback: banning implementation of {feedback.culprit_process!r} on "
+                        f"tile type {feedback.culprit_tile_type!r} (throughput bottleneck)"
+                    )
+                    trace.record_feedback(message)
+                    diagnostics.append(message)
+                    added = True
+            elif feedback.kind is FeedbackKind.ROUTING_FAILED and feedback.culprit_process:
+                tile = feedback.culprit_tile or (
+                    result.mapping.tile_of(feedback.culprit_process)
+                    if result.mapping.is_assigned(feedback.culprit_process)
+                    else None
+                )
+                if tile and exclusions.placement_allowed(feedback.culprit_process, tile):
+                    exclusions.ban_placement(feedback.culprit_process, tile)
+                    message = (
+                        f"feedback: banning placement of {feedback.culprit_process!r} on tile "
+                        f"{tile!r} (routing failed)"
+                    )
+                    trace.record_feedback(message)
+                    diagnostics.append(message)
+                    added = True
+            elif feedback.kind is FeedbackKind.BUFFER_OVERFLOW and feedback.culprit_tile:
+                for process in result.mapping.processes_on(feedback.culprit_tile):
+                    assignment = result.mapping.assignment(process)
+                    if assignment.implementation is None:
+                        continue
+                    if exclusions.placement_allowed(process, feedback.culprit_tile):
+                        exclusions.ban_placement(process, feedback.culprit_tile)
+                        message = (
+                            f"feedback: banning placement of {process!r} on tile "
+                            f"{feedback.culprit_tile!r} (buffer overflow)"
+                        )
+                        trace.record_feedback(message)
+                        diagnostics.append(message)
+                        added = True
+                        break
+            elif feedback.kind is FeedbackKind.INADHERENT and feedback.culprit_process:
+                if result.mapping.is_assigned(feedback.culprit_process):
+                    tile = result.mapping.tile_of(feedback.culprit_process)
+                    if exclusions.placement_allowed(feedback.culprit_process, tile):
+                        exclusions.ban_placement(feedback.culprit_process, tile)
+                        added = True
+        return added

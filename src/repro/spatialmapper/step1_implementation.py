@@ -1,0 +1,180 @@
+"""Step 1: assign implementations (tile types) to processes.
+
+The goal of the first step is to choose an implementation — and thereby a
+tile type — for every mappable process.  To prevent running into inadherence
+directly, only implementations for which an adhering mapping still exists are
+considered (i.e. some tile of that type can still host the process, given the
+platform state and the choices already made).  Processes are picked in order
+of decreasing *desirability* (see :mod:`repro.spatialmapper.desirability`)
+and packed first-fit onto a concrete tile, which guarantees that at least one
+concrete tile assignment exists after this step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.appmodel.implementation import Implementation
+from repro.appmodel.library import ImplementationLibrary
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.assignment import ProcessAssignment
+from repro.mapping.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.desirability import assignment_options, desirability
+from repro.spatialmapper.feedback import ExclusionSet, Feedback, FeedbackKind
+
+
+@dataclass
+class Step1Result:
+    """Outcome of step 1: a (partial) mapping plus any feedback raised."""
+
+    mapping: Mapping
+    feedback: list[Feedback] = field(default_factory=list)
+    order: list[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every mappable process received an implementation and a tile."""
+        return not self.feedback
+
+
+def _remaining_slots(
+    tile_name: str,
+    platform: Platform,
+    state: PlatformState | None,
+    mapping: Mapping,
+) -> int:
+    """Free process slots on a tile, accounting for state and in-progress choices."""
+    tile = platform.tile(tile_name)
+    used_existing = state.used_process_slots(tile_name) if state else 0
+    used_here = len(mapping.processes_on(tile_name))
+    return tile.resources.max_processes - used_existing - used_here
+
+
+def _remaining_memory(
+    tile_name: str,
+    platform: Platform,
+    state: PlatformState | None,
+    mapping: Mapping,
+) -> int:
+    """Free memory on a tile, accounting for state and in-progress choices."""
+    tile = platform.tile(tile_name)
+    used_existing = state.used_memory_bytes(tile_name) if state else 0
+    used_here = sum(
+        mapping.assignment(p).implementation.memory_bytes
+        for p in mapping.processes_on(tile_name)
+        if mapping.assignment(p).implementation is not None
+    )
+    return tile.resources.memory_bytes - used_existing - used_here
+
+
+def eligible_tiles(
+    implementation: Implementation,
+    platform: Platform,
+    state: PlatformState | None,
+    mapping: Mapping,
+    exclusions: ExclusionSet | None = None,
+) -> list[str]:
+    """Tiles of the implementation's type that can still host it (declaration order)."""
+    exclusions = exclusions or ExclusionSet()
+    tiles: list[str] = []
+    for tile in platform.tiles_of_type(implementation.tile_type):
+        if not tile.is_processing:
+            continue
+        if not exclusions.placement_allowed(implementation.process, tile.name):
+            continue
+        if _remaining_slots(tile.name, platform, state, mapping) < 1:
+            continue
+        if implementation.memory_bytes > _remaining_memory(tile.name, platform, state, mapping):
+            continue
+        tiles.append(tile.name)
+    return tiles
+
+
+def select_implementations(
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    library: ImplementationLibrary,
+    *,
+    state: PlatformState | None = None,
+    config: MapperConfig | None = None,
+    exclusions: ExclusionSet | None = None,
+) -> Step1Result:
+    """Run step 1 and return the greedy initial mapping.
+
+    The returned mapping assigns every mappable process an implementation and
+    a concrete tile (first-fit).  Pinned processes (sources/sinks) are added
+    with their pinned tile and no implementation.  When some process cannot
+    be assigned, feedback of kind
+    :attr:`~repro.spatialmapper.feedback.FeedbackKind.NO_IMPLEMENTATION` is
+    produced and the mapping stays partial.
+    """
+    config = config or MapperConfig()
+    exclusions = exclusions or ExclusionSet()
+    mapping = Mapping(als.name)
+
+    # Pinned processes are fixed by the ALS and not subject to choice.
+    for process in als.kpn.pinned_processes():
+        mapping.assign(ProcessAssignment(process.name, process.pinned_tile))
+
+    unassigned = [p.name for p in als.kpn.mappable_processes()]
+    declaration_rank = {name: index for index, name in enumerate(unassigned)}
+    result = Step1Result(mapping=mapping)
+
+    while unassigned:
+        # Re-evaluate desirability every iteration: tile availability changes
+        # as processes are packed, which changes which implementations still
+        # admit an adherent mapping.
+        scored: list[tuple[float, int, str, list]] = []
+        for process_name in unassigned:
+            candidates = []
+            for implementation in library.implementations_for(process_name):
+                if not exclusions.implementation_allowed(
+                    process_name, implementation.tile_type
+                ):
+                    continue
+                tiles = eligible_tiles(implementation, platform, state, mapping, exclusions)
+                if tiles:
+                    candidates.append((implementation, tiles))
+            options = assignment_options(
+                process_name,
+                candidates,
+                als=als,
+                platform=platform,
+                partial_mapping=mapping,
+                config=config,
+            )
+            score = desirability(options)
+            scored.append((score, declaration_rank[process_name], process_name, options))
+
+        # Most desirable first; ties broken by declaration order (the KPN order),
+        # which reproduces the worked example of the paper.
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        score, _, process_name, options = scored[0]
+        if not options:
+            result.feedback.append(
+                Feedback(
+                    kind=FeedbackKind.NO_IMPLEMENTATION,
+                    step=1,
+                    message=(
+                        f"process {process_name!r} has no implementation with an available "
+                        "tile (all candidate tiles occupied or excluded)"
+                    ),
+                    culprit_process=process_name,
+                )
+            )
+            unassigned.remove(process_name)
+            continue
+
+        # Cheapest option decides the implementation; the concrete tile is the
+        # first tile (platform declaration order) of that type that fits.
+        chosen = options[0].implementation
+        tiles = eligible_tiles(chosen, platform, state, mapping, exclusions)
+        tile_name = tiles[0]
+        mapping.assign(ProcessAssignment(process_name, tile_name, chosen))
+        result.order.append(process_name)
+        unassigned.remove(process_name)
+
+    return result

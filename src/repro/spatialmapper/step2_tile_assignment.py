@@ -1,0 +1,342 @@
+"""Step 2: improve the concrete tile assignment by local search.
+
+The greedy first-fit assignment of step 1 is refined by repeatedly trying,
+for every process, to (a) move it to the best available free tile of the same
+type or (b) swap it with another process mapped onto the same tile type.  The
+measure driving the search is the communication-cost estimate: the sum of the
+Manhattan distances of all the application's data channels (the "Cost" column
+of Table 2), optionally weighted by token volume.  A reassignment is kept
+only when it improves the cost by at least the configured minimum gain; step
+2 stops when a full pass over the candidates yields no improvement or when
+the iteration cap is reached.
+
+Because a process may only be reassigned to a tile of the same type as the
+one it already occupies, this step maintains adequacy by construction
+(paper, section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.cost import manhattan_cost
+from repro.mapping.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig, Step2Strategy
+from repro.spatialmapper.feedback import ExclusionSet
+from repro.spatialmapper.step1_implementation import _remaining_memory, _remaining_slots
+from repro.spatialmapper.trace import Step2Iteration, Step2Trace
+
+
+@dataclass(frozen=True)
+class _Move:
+    """Move one process to a free tile of the same type."""
+
+    process: str
+    target_tile: str
+
+    def describe(self, mapping: Mapping) -> str:
+        return f"move {self.process} from {mapping.tile_of(self.process)} to {self.target_tile}"
+
+
+@dataclass(frozen=True)
+class _Swap:
+    """Swap the tiles of two processes mapped onto the same tile type."""
+
+    process_a: str
+    process_b: str
+
+    def describe(self, mapping: Mapping) -> str:
+        return (
+            f"swap {self.process_a} ({mapping.tile_of(self.process_a)}) with "
+            f"{self.process_b} ({mapping.tile_of(self.process_b)})"
+        )
+
+
+@dataclass
+class Step2Result:
+    """Outcome of step 2: the refined mapping plus the iteration trace."""
+
+    mapping: Mapping
+    trace: Step2Trace = field(default_factory=Step2Trace)
+
+    @property
+    def final_cost(self) -> float:
+        """Communication cost after refinement."""
+        return self.trace.final_cost
+
+
+def _assignment_snapshot(mapping: Mapping, als: ApplicationLevelSpec) -> dict[str, str]:
+    """Process-to-tile snapshot of the mappable processes (for trace rows)."""
+    snapshot: dict[str, str] = {}
+    for process in als.kpn.mappable_processes():
+        if mapping.is_assigned(process.name):
+            snapshot[process.name] = mapping.tile_of(process.name)
+    return snapshot
+
+
+def _apply_move(mapping: Mapping, move: _Move) -> Mapping:
+    """A copy of the mapping with the move applied."""
+    candidate = mapping.copy()
+    candidate.assign(candidate.assignment(move.process).moved_to(move.target_tile))
+    return candidate
+
+
+def _apply_swap(mapping: Mapping, swap: _Swap) -> Mapping:
+    """A copy of the mapping with the swap applied."""
+    candidate = mapping.copy()
+    assignment_a = candidate.assignment(swap.process_a)
+    assignment_b = candidate.assignment(swap.process_b)
+    candidate.assign(assignment_a.moved_to(assignment_b.tile))
+    candidate.assign(assignment_b.moved_to(assignment_a.tile))
+    return candidate
+
+
+def _enumerate_candidates(
+    mapping: Mapping,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    state: PlatformState | None,
+    exclusions: ExclusionSet,
+) -> list[_Move | _Swap]:
+    """All candidate reassignments, in deterministic (KPN declaration) order.
+
+    For every mappable process we generate the moves to each free tile of the
+    same type (with enough memory and an allowed placement) and the swaps
+    with every *later* process currently mapped to the same tile type (so
+    each unordered pair appears exactly once).
+    """
+    candidates: list[_Move | _Swap] = []
+    processes = [p.name for p in als.kpn.mappable_processes() if mapping.is_assigned(p.name)]
+    rank = {name: index for index, name in enumerate(processes)}
+
+    for process_name in processes:
+        assignment = mapping.assignment(process_name)
+        if assignment.implementation is None:
+            continue
+        tile_type = platform.tile(assignment.tile).type_name
+        # Moves to free tiles of the same type.
+        for tile in platform.tiles_of_type(tile_type):
+            if tile.name == assignment.tile or not tile.is_processing:
+                continue
+            if not exclusions.placement_allowed(process_name, tile.name):
+                continue
+            if _remaining_slots(tile.name, platform, state, mapping) < 1:
+                continue
+            if assignment.implementation.memory_bytes > _remaining_memory(
+                tile.name, platform, state, mapping
+            ):
+                continue
+            candidates.append(_Move(process_name, tile.name))
+        # Swaps with later processes on the same tile type.
+        for other_name in processes:
+            if rank[other_name] <= rank[process_name]:
+                continue
+            other = mapping.assignment(other_name)
+            if other.implementation is None:
+                continue
+            if platform.tile(other.tile).type_name != tile_type:
+                continue
+            if other.tile == assignment.tile:
+                continue
+            if not exclusions.placement_allowed(process_name, other.tile):
+                continue
+            if not exclusions.placement_allowed(other_name, assignment.tile):
+                continue
+            candidates.append(_Swap(process_name, other_name))
+    return candidates
+
+
+def _candidate_applicable(
+    candidate: "_Move | _Swap",
+    mapping: Mapping,
+    platform: Platform,
+    state: PlatformState | None,
+    exclusions: ExclusionSet,
+) -> bool:
+    """Whether a candidate is still valid against the *current* mapping.
+
+    The first-improvement strategy enumerates its candidate list once per
+    pass; accepting a move mid-pass can invalidate later candidates (their
+    target tile may have filled up or a swapped process may have moved away),
+    so every candidate is re-checked just before evaluation.
+    """
+    if isinstance(candidate, _Move):
+        if not mapping.is_assigned(candidate.process):
+            return False
+        assignment = mapping.assignment(candidate.process)
+        if assignment.implementation is None or assignment.tile == candidate.target_tile:
+            return False
+        target = platform.tile(candidate.target_tile)
+        if target.type_name != assignment.implementation.tile_type:
+            return False
+        if not exclusions.placement_allowed(candidate.process, candidate.target_tile):
+            return False
+        if _remaining_slots(candidate.target_tile, platform, state, mapping) < 1:
+            return False
+        if assignment.implementation.memory_bytes > _remaining_memory(
+            candidate.target_tile, platform, state, mapping
+        ):
+            return False
+        return True
+    if not (mapping.is_assigned(candidate.process_a) and mapping.is_assigned(candidate.process_b)):
+        return False
+    assignment_a = mapping.assignment(candidate.process_a)
+    assignment_b = mapping.assignment(candidate.process_b)
+    if assignment_a.implementation is None or assignment_b.implementation is None:
+        return False
+    if assignment_a.tile == assignment_b.tile:
+        return False
+    if platform.tile(assignment_a.tile).type_name != platform.tile(assignment_b.tile).type_name:
+        return False
+    if not exclusions.placement_allowed(candidate.process_a, assignment_b.tile):
+        return False
+    if not exclusions.placement_allowed(candidate.process_b, assignment_a.tile):
+        return False
+    return True
+
+
+def refine_tile_assignment(
+    mapping: Mapping,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    *,
+    state: PlatformState | None = None,
+    config: MapperConfig | None = None,
+    exclusions: ExclusionSet | None = None,
+) -> Step2Result:
+    """Run the step-2 local search and return the refined mapping with its trace."""
+    config = config or MapperConfig()
+    exclusions = exclusions or ExclusionSet()
+    current = mapping.copy()
+
+    def cost_of(candidate_mapping: Mapping) -> float:
+        return manhattan_cost(
+            candidate_mapping,
+            als,
+            platform,
+            weighted_by_tokens=config.step2_weight_by_tokens,
+        )
+
+    trace = Step2Trace(
+        initial_assignment=_assignment_snapshot(current, als),
+        initial_cost=cost_of(current),
+    )
+    if config.step2_strategy is Step2Strategy.FIRST_IMPROVEMENT:
+        current = _first_improvement(current, als, platform, state, config, exclusions, trace, cost_of)
+    else:
+        current = _best_improvement(current, als, platform, state, config, exclusions, trace, cost_of)
+    return Step2Result(mapping=current, trace=trace)
+
+
+def _record(
+    trace: Step2Trace,
+    config: MapperConfig,
+    iteration: int,
+    candidate: _Move | _Swap,
+    mapping_before: Mapping,
+    candidate_mapping: Mapping,
+    als: ApplicationLevelSpec,
+    cost: float,
+    accepted: bool,
+) -> None:
+    """Append one iteration to the trace (when tracing is enabled)."""
+    if not config.keep_step2_trace:
+        return
+    remark = "Improvement, keep" if accepted else "No improvement, revert"
+    trace.iterations.append(
+        Step2Iteration(
+            iteration=iteration,
+            description=candidate.describe(mapping_before),
+            assignment=_assignment_snapshot(candidate_mapping, als),
+            cost=cost,
+            accepted=accepted,
+            remark=remark,
+        )
+    )
+
+
+def _first_improvement(
+    current: Mapping,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    state: PlatformState | None,
+    config: MapperConfig,
+    exclusions: ExclusionSet,
+    trace: Step2Trace,
+    cost_of,
+) -> Mapping:
+    """Evaluate one candidate per iteration; keep it only when it improves the cost."""
+    iteration = 0
+    current_cost = trace.initial_cost
+    while iteration < config.step2_max_iterations:
+        improved_in_pass = False
+        candidates = _enumerate_candidates(current, als, platform, state, exclusions)
+        if not candidates:
+            break
+        for candidate in candidates:
+            if iteration >= config.step2_max_iterations:
+                break
+            if not _candidate_applicable(candidate, current, platform, state, exclusions):
+                continue
+            iteration += 1
+            candidate_mapping = (
+                _apply_move(current, candidate)
+                if isinstance(candidate, _Move)
+                else _apply_swap(current, candidate)
+            )
+            candidate_cost = cost_of(candidate_mapping)
+            accepted = candidate_cost <= current_cost - max(config.step2_min_gain, 1e-12)
+            _record(
+                trace, config, iteration, candidate, current, candidate_mapping, als,
+                candidate_cost, accepted,
+            )
+            if accepted:
+                current = candidate_mapping
+                current_cost = candidate_cost
+                improved_in_pass = True
+        if not improved_in_pass:
+            break
+    return current
+
+
+def _best_improvement(
+    current: Mapping,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    state: PlatformState | None,
+    config: MapperConfig,
+    exclusions: ExclusionSet,
+    trace: Step2Trace,
+    cost_of,
+) -> Mapping:
+    """Evaluate all candidates each iteration and apply the best improving one."""
+    iteration = 0
+    current_cost = trace.initial_cost
+    while iteration < config.step2_max_iterations:
+        candidates = _enumerate_candidates(current, als, platform, state, exclusions)
+        best_candidate: _Move | _Swap | None = None
+        best_mapping: Mapping | None = None
+        best_cost = current_cost
+        for candidate in candidates:
+            candidate_mapping = (
+                _apply_move(current, candidate)
+                if isinstance(candidate, _Move)
+                else _apply_swap(current, candidate)
+            )
+            candidate_cost = cost_of(candidate_mapping)
+            if candidate_cost < best_cost - max(config.step2_min_gain, 1e-12):
+                best_candidate = candidate
+                best_mapping = candidate_mapping
+                best_cost = candidate_cost
+        if best_candidate is None or best_mapping is None:
+            break
+        iteration += 1
+        _record(
+            trace, config, iteration, best_candidate, current, best_mapping, als, best_cost, True
+        )
+        current = best_mapping
+        current_cost = best_cost
+    return current

@@ -1,0 +1,137 @@
+"""Step 3: assign channels to paths through the NoC.
+
+Channels are sorted by non-increasing throughput requirement and routed one
+by one; each channel gets a shortest path between the routers of its endpoint
+tiles over only those links that still have enough residual capacity
+(considering both the allocations of already-running applications and the
+channels routed earlier in this step).  Sorting heavy channels first increases
+the probability that a demanding channel still finds a short path (paper,
+section 3, step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import RoutingError
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.channel import Channel
+from repro.mapping.assignment import ChannelRoute
+from repro.mapping.mapping import Mapping
+from repro.platform.platform import Platform
+from repro.platform.routing import capacity_aware_shortest_path
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.feedback import Feedback, FeedbackKind
+from repro.units import NS_PER_S
+
+
+@dataclass
+class Step3Result:
+    """Outcome of step 3: the mapping with routes plus any feedback raised."""
+
+    mapping: Mapping
+    feedback: list[Feedback] = field(default_factory=list)
+    link_loads_bits_per_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every data channel received a route."""
+        return not self.feedback
+
+
+def channel_throughput_bits_per_s(channel: Channel, period_ns: float) -> float:
+    """Guaranteed throughput a channel needs, in bits per second."""
+    return channel.bits_per_iteration * NS_PER_S / period_ns
+
+
+def _endpoint_tile(als: ApplicationLevelSpec, mapping: Mapping, process_name: str) -> str | None:
+    """Tile hosting a channel endpoint, or ``None`` when it is not placed yet."""
+    process = als.kpn.process(process_name)
+    if process.is_pinned and process.pinned_tile is not None:
+        return process.pinned_tile
+    if mapping.is_assigned(process_name):
+        return mapping.tile_of(process_name)
+    return None
+
+
+def route_channels(
+    mapping: Mapping,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    *,
+    state: PlatformState | None = None,
+    config: MapperConfig | None = None,
+) -> Step3Result:
+    """Route every data channel of the application and return the updated mapping.
+
+    Channels between processes sharing a tile are recorded as local routes
+    (a single-router path, zero hops).  Channels that cannot be routed with
+    sufficient guaranteed throughput produce
+    :attr:`~repro.spatialmapper.feedback.FeedbackKind.ROUTING_FAILED`
+    feedback naming the channel and its endpoint tiles.
+    """
+    config = config or MapperConfig()
+    result_mapping = mapping.copy()
+    result_mapping.clear_routes()
+    result = Step3Result(mapping=result_mapping)
+
+    existing_loads = dict(state.link_loads()) if state else {}
+    period_ns = als.period_ns
+
+    channels = sorted(
+        als.kpn.data_channels(),
+        key=lambda c: (-channel_throughput_bits_per_s(c, period_ns), c.name),
+    )
+    for channel in channels:
+        source_tile = _endpoint_tile(als, result_mapping, channel.source)
+        target_tile = _endpoint_tile(als, result_mapping, channel.target)
+        if source_tile is None or target_tile is None:
+            result.feedback.append(
+                Feedback(
+                    kind=FeedbackKind.ROUTING_FAILED,
+                    step=3,
+                    message=(
+                        f"channel {channel.name!r} cannot be routed: endpoint process not placed"
+                    ),
+                    culprit_channel=channel.name,
+                )
+            )
+            continue
+        required = channel_throughput_bits_per_s(channel, period_ns)
+        source_position = platform.tile(source_tile).position
+        target_position = platform.tile(target_tile).position
+        try:
+            path = capacity_aware_shortest_path(
+                platform.noc,
+                source_position,
+                target_position,
+                required_bits_per_s=required,
+                link_loads_bits_per_s=existing_loads,
+            )
+        except RoutingError as error:
+            result.feedback.append(
+                Feedback(
+                    kind=FeedbackKind.ROUTING_FAILED,
+                    step=3,
+                    message=f"channel {channel.name!r}: {error}",
+                    culprit_channel=channel.name,
+                    culprit_process=channel.source,
+                    culprit_tile=source_tile,
+                )
+            )
+            continue
+        route = ChannelRoute(
+            channel=channel.name,
+            source_tile=source_tile,
+            target_tile=target_tile,
+            path=path,
+            required_bits_per_s=required,
+        )
+        result_mapping.add_route(route)
+        for a, b in zip(path, path[1:]):
+            link_name = platform.noc.link(a, b).name
+            existing_loads[link_name] = existing_loads.get(link_name, 0.0) + required
+
+    result.link_loads_bits_per_s = existing_loads
+    return result

@@ -1,0 +1,89 @@
+"""Traces of the mapping process, used for reporting and for Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Step2Iteration:
+    """One evaluated reassignment in step 2 of the algorithm.
+
+    Mirrors a row of Table 2 of the paper: the candidate assignment that was
+    evaluated, the resulting cost and whether it was kept or reverted.
+    """
+
+    iteration: int
+    description: str
+    assignment: dict[str, str]
+    cost: float
+    accepted: bool
+    remark: str
+
+    def as_row(self) -> tuple:
+        """Row form used by the reporting tables."""
+        return (self.iteration, self.description, f"{self.cost:g}", self.remark)
+
+
+@dataclass
+class Step2Trace:
+    """Full trace of step 2: the initial assignment plus every iteration."""
+
+    initial_assignment: dict[str, str] = field(default_factory=dict)
+    initial_cost: float = 0.0
+    iterations: list[Step2Iteration] = field(default_factory=list)
+
+    @property
+    def final_cost(self) -> float:
+        """Cost after the last accepted iteration."""
+        cost = self.initial_cost
+        for iteration in self.iterations:
+            if iteration.accepted:
+                cost = iteration.cost
+        return cost
+
+    @property
+    def accepted_iterations(self) -> list[Step2Iteration]:
+        """Only the iterations that improved (and were kept)."""
+        return [i for i in self.iterations if i.accepted]
+
+    def improving_prefix(self) -> list[Step2Iteration]:
+        """Iterations up to and including the last accepted improvement.
+
+        Table 2 of the paper lists the evaluated iterations up to the last
+        improvement and then notes "No further choices"; this helper returns
+        exactly that prefix.
+        """
+        last_accept = 0
+        for index, iteration in enumerate(self.iterations, start=1):
+            if iteration.accepted:
+                last_accept = index
+        return self.iterations[:last_accept]
+
+    def cost_trajectory(self) -> list[float]:
+        """Initial cost followed by the cost after each evaluated iteration."""
+        trajectory = [self.initial_cost]
+        current = self.initial_cost
+        for iteration in self.iterations:
+            if iteration.accepted:
+                current = iteration.cost
+            trajectory.append(current)
+        return trajectory
+
+
+@dataclass
+class MapperTrace:
+    """Trace of one complete mapper run (all refinement iterations)."""
+
+    step2_traces: list[Step2Trace] = field(default_factory=list)
+    feedback_log: list[str] = field(default_factory=list)
+    refinement_iterations: int = 0
+
+    @property
+    def last_step2_trace(self) -> Step2Trace | None:
+        """The step-2 trace of the final refinement iteration, if any."""
+        return self.step2_traces[-1] if self.step2_traces else None
+
+    def record_feedback(self, message: str) -> None:
+        """Append a feedback message to the log."""
+        self.feedback_log.append(message)

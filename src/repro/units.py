@@ -1,0 +1,100 @@
+"""Unit helpers used throughout the library.
+
+The paper mixes several units: worst-case execution times are given in clock
+cycles (Table 1), the QoS constraint of the HiperLAN/2 receiver is given in
+micro-seconds per OFDM symbol (4 us), and energies are given in nano-Joules
+per symbol.  Internally the library uses
+
+* **clock cycles** for WCETs attached to CSDF actors,
+* **nanoseconds** for absolute times, periods and latencies,
+* **nanojoules** for energies,
+* **Hertz** for clock frequencies, and
+* **tokens per nanosecond** (or per second where stated) for throughput.
+
+This module centralises the conversions so that quantities never change unit
+implicitly.  Every function takes and returns plain ``float``/``int`` values;
+the unit is part of the function name.
+"""
+
+from __future__ import annotations
+
+#: Number of nanoseconds in a microsecond.
+NS_PER_US = 1_000.0
+#: Number of nanoseconds in a millisecond.
+NS_PER_MS = 1_000_000.0
+#: Number of nanoseconds in a second.
+NS_PER_S = 1_000_000_000.0
+
+#: Convenience constant: 1 MHz expressed in Hz.
+MHZ = 1_000_000.0
+#: Convenience constant: 1 GHz expressed in Hz.
+GHZ = 1_000_000_000.0
+
+
+def cycles_to_ns(cycles: float, frequency_hz: float) -> float:
+    """Convert a duration in clock cycles into nanoseconds.
+
+    Parameters
+    ----------
+    cycles:
+        Number of clock cycles (may be fractional for average-case figures).
+    frequency_hz:
+        Clock frequency of the resource executing those cycles, in Hertz.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return cycles * NS_PER_S / frequency_hz
+
+
+def ns_to_cycles(duration_ns: float, frequency_hz: float) -> float:
+    """Convert a duration in nanoseconds into clock cycles at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz!r}")
+    return duration_ns * frequency_hz / NS_PER_S
+
+
+def us_to_ns(duration_us: float) -> float:
+    """Convert microseconds to nanoseconds."""
+    return duration_us * NS_PER_US
+
+
+def ms_to_ns(duration_ms: float) -> float:
+    """Convert milliseconds to nanoseconds."""
+    return duration_ms * NS_PER_MS
+
+
+def s_to_ns(duration_s: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return duration_s * NS_PER_S
+
+
+def ns_to_us(duration_ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return duration_ns / NS_PER_US
+
+
+def ns_to_ms(duration_ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return duration_ns / NS_PER_MS
+
+
+def hz_from_mhz(frequency_mhz: float) -> float:
+    """Convert a frequency in MHz to Hz."""
+    return frequency_mhz * MHZ
+
+
+def nj_to_j(energy_nj: float) -> float:
+    """Convert nanojoules to joules."""
+    return energy_nj / 1e9
+
+
+def j_to_nj(energy_j: float) -> float:
+    """Convert joules to nanojoules."""
+    return energy_j * 1e9
+
+
+def throughput_tokens_per_s(tokens: float, period_ns: float) -> float:
+    """Return the throughput, in tokens per second, of producing ``tokens`` every ``period_ns``."""
+    if period_ns <= 0:
+        raise ValueError(f"period must be positive, got {period_ns!r}")
+    return tokens * NS_PER_S / period_ns

@@ -1,0 +1,15 @@
+"""Workloads: the HiperLAN/2 case study, extra receivers and synthetic generators.
+
+:mod:`repro.workloads.hiperlan2` encodes the paper's worked example exactly
+(Figure 1 KPN, Table 1 implementation library, Figure 2 MPSoC, the 4 us QoS
+constraint).  :mod:`repro.workloads.receivers` adds further realistic
+streaming pipelines (a DRM-like digital-radio receiver and a simple
+image-processing pipeline) used by the multi-application examples, and
+:mod:`repro.workloads.synthetic` generates random applications and platforms
+for the scalability and ablation benchmarks the paper calls for in its
+conclusions.
+"""
+
+from repro.workloads import hiperlan2, receivers, synthetic
+
+__all__ = ["hiperlan2", "receivers", "synthetic"]

@@ -1,0 +1,156 @@
+"""Additional realistic streaming applications.
+
+The paper motivates run-time mapping with devices that run *several*
+streaming applications simultaneously (wireless baseband, digital radio,
+multimedia).  These extra workloads — kept deliberately in the same style as
+the HiperLAN/2 receiver — are used by the multi-application examples and the
+run-time-manager benchmarks:
+
+* :func:`build_drm_receiver_als` — a Digital Radio Mondiale-like receiver
+  chain (decimator, channel filter, OFDM demodulator, decoder);
+* :func:`build_image_pipeline_als` — a simple camera image pipeline
+  (debayer, denoise, scale);
+* matching implementation libraries with ARM and MONTIUM (and, for the image
+  pipeline, DSP) variants.
+
+The numbers are representative rather than measured; what matters for the
+experiments is that the applications have heterogeneous preferred tile types
+and non-trivial communication so that they compete for the same resources as
+the HiperLAN/2 receiver.
+"""
+
+from __future__ import annotations
+
+from repro.appmodel.implementation import DEFAULT_PORT, Implementation
+from repro.appmodel.library import ImplementationLibrary
+from repro.csdf.phase import PhaseVector
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.channel import Channel
+from repro.kpn.graph import KPNGraph
+from repro.kpn.process import Process, ProcessKind
+from repro.kpn.qos import QoSConstraints
+from repro.units import us_to_ns
+
+
+def _chain_kpn(
+    name: str,
+    stage_names: list[str],
+    tokens_between_stages: list[float],
+    source_tile: str,
+    sink_tile: str,
+    token_size_bits: int = 32,
+) -> KPNGraph:
+    """A source -> stages -> sink pipeline KPN."""
+    if len(tokens_between_stages) != len(stage_names) + 1:
+        raise ValueError("need one token count per channel (stages + 1)")
+    kpn = KPNGraph(name)
+    kpn.add_process(Process("source", ProcessKind.SOURCE, pinned_tile=source_tile))
+    for stage in stage_names:
+        kpn.add_process(Process(stage))
+    kpn.add_process(Process("sink", ProcessKind.SINK, pinned_tile=sink_tile))
+    nodes = ["source", *stage_names, "sink"]
+    for index, (producer, consumer) in enumerate(zip(nodes, nodes[1:])):
+        kpn.add_channel(
+            Channel(
+                f"c{index}_{producer}_{consumer}",
+                producer,
+                consumer,
+                tokens_per_iteration=tokens_between_stages[index],
+                token_size_bits=token_size_bits,
+            )
+        )
+    return kpn
+
+
+def _simple_impl(
+    process: str,
+    tile_type: str,
+    tokens_in: float,
+    tokens_out: float,
+    wcet_cycles: float,
+    energy_nj: float,
+    memory_bytes: int = 4096,
+) -> Implementation:
+    """A three-phase read/compute/write implementation."""
+    return Implementation(
+        process=process,
+        tile_type=tile_type,
+        wcet_cycles=PhaseVector([1.0, max(wcet_cycles - 2.0, 1.0), 1.0]),
+        input_rates={DEFAULT_PORT: PhaseVector([tokens_in, 0.0, 0.0])},
+        output_rates={DEFAULT_PORT: PhaseVector([0.0, 0.0, tokens_out])},
+        energy_nj_per_iteration=energy_nj,
+        memory_bytes=memory_bytes,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# DRM-like digital radio receiver
+# --------------------------------------------------------------------------- #
+def build_drm_receiver_als(
+    *,
+    period_ns: float = us_to_ns(20.0),
+    source_tile: str = "adc",
+    sink_tile: str = "sink",
+) -> ApplicationLevelSpec:
+    """A digital-radio receiver chain: decimate -> channel filter -> demodulate -> decode."""
+    kpn = _chain_kpn(
+        "drm_rx",
+        ["decimator", "channel_filter", "ofdm_demod", "decoder"],
+        tokens_between_stages=[96.0, 48.0, 48.0, 24.0, 12.0],
+        source_tile=source_tile,
+        sink_tile=sink_tile,
+    )
+    return ApplicationLevelSpec(kpn=kpn, qos=QoSConstraints(period_ns=period_ns))
+
+
+def build_drm_library() -> ImplementationLibrary:
+    """ARM and Montium implementations of the DRM receiver stages."""
+    library = ImplementationLibrary()
+    library.add(_simple_impl("decimator", "ARM", 96, 48, wcet_cycles=300, energy_nj=45))
+    library.add(_simple_impl("decimator", "MONTIUM", 96, 48, wcet_cycles=140, energy_nj=20))
+    library.add(_simple_impl("channel_filter", "ARM", 48, 48, wcet_cycles=620, energy_nj=90))
+    library.add(_simple_impl("channel_filter", "MONTIUM", 48, 48, wcet_cycles=260, energy_nj=38))
+    library.add(_simple_impl("ofdm_demod", "ARM", 48, 24, wcet_cycles=900, energy_nj=150))
+    library.add(_simple_impl("ofdm_demod", "MONTIUM", 48, 24, wcet_cycles=340, energy_nj=70))
+    library.add(_simple_impl("decoder", "ARM", 24, 12, wcet_cycles=500, energy_nj=85))
+    library.add(_simple_impl("decoder", "MONTIUM", 24, 12, wcet_cycles=380, energy_nj=60))
+    return library
+
+
+# --------------------------------------------------------------------------- #
+# Camera image pipeline
+# --------------------------------------------------------------------------- #
+def build_image_pipeline_als(
+    *,
+    period_ns: float = us_to_ns(50.0),
+    source_tile: str = "adc",
+    sink_tile: str = "sink",
+) -> ApplicationLevelSpec:
+    """A camera pipeline working on image lines: debayer -> denoise -> scale."""
+    kpn = _chain_kpn(
+        "image_pipeline",
+        ["debayer", "denoise", "scale"],
+        tokens_between_stages=[128.0, 128.0, 128.0, 64.0],
+        source_tile=source_tile,
+        sink_tile=sink_tile,
+    )
+    return ApplicationLevelSpec(kpn=kpn, qos=QoSConstraints(period_ns=period_ns))
+
+
+def build_image_library() -> ImplementationLibrary:
+    """ARM-only and ARM+Montium implementations of the image pipeline stages."""
+    library = ImplementationLibrary()
+    library.add(_simple_impl("debayer", "ARM", 128, 128, wcet_cycles=1500, energy_nj=210))
+    library.add(_simple_impl("debayer", "MONTIUM", 128, 128, wcet_cycles=640, energy_nj=95))
+    library.add(_simple_impl("denoise", "ARM", 128, 128, wcet_cycles=2400, energy_nj=330))
+    library.add(_simple_impl("denoise", "MONTIUM", 128, 128, wcet_cycles=900, energy_nj=140))
+    library.add(_simple_impl("scale", "ARM", 128, 64, wcet_cycles=700, energy_nj=110))
+    return library
+
+
+def merge_libraries(*libraries: ImplementationLibrary) -> ImplementationLibrary:
+    """Combine several libraries into one (process sets must be disjoint)."""
+    merged = ImplementationLibrary()
+    for library in libraries:
+        merged.add_all(library.implementations())
+    return merged

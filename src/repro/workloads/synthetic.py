@@ -1,0 +1,246 @@
+"""Synthetic application and platform generators.
+
+The paper's conclusions call for benchmarks with "far more complex real-life
+examples ... and synthetic cases based on the class of applications that can
+reasonably be expected for MPSoCs in the future".  This module provides those
+synthetic cases: random streaming applications (chains and series-parallel
+graphs) with heterogeneous implementations, and random tiled platforms with
+mesh NoCs.  All generators take an explicit seed and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.appmodel.implementation import DEFAULT_PORT, Implementation
+from repro.appmodel.library import ImplementationLibrary
+from repro.csdf.phase import PhaseVector
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.channel import Channel
+from repro.kpn.graph import KPNGraph
+from repro.kpn.process import Process, ProcessKind
+from repro.kpn.qos import QoSConstraints
+from repro.platform.builder import PlatformBuilder
+from repro.platform.platform import Platform
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Knobs of the synthetic application generator.
+
+    Parameters
+    ----------
+    stages:
+        Number of kernel processes in the application.
+    parallel_branches:
+        Number of parallel branches in the middle of the graph (1 = plain
+        chain, >1 = fork/join series-parallel shape).
+    period_ns:
+        Iteration period of the QoS constraint.
+    tokens_range:
+        Inclusive range the per-channel token counts are drawn from.
+    wcet_range_cycles:
+        Inclusive range of per-iteration WCETs of the *preferred* tile type;
+        the general-purpose fallback is 2-4x slower and 1.5-3x more
+        energy-hungry, mirroring the ARM/Montium ratios of Table 1.
+    tile_types:
+        Names of the tile types implementations are generated for.  The
+        first entry is the general-purpose type every process supports; each
+        process additionally gets an implementation on one random
+        specialised type with probability ``specialisation_probability``.
+    """
+
+    stages: int = 6
+    parallel_branches: int = 1
+    period_ns: float = 10_000.0
+    tokens_range: tuple[int, int] = (8, 64)
+    wcet_range_cycles: tuple[int, int] = (100, 600)
+    tile_types: tuple[str, ...] = ("GPP", "DSP", "ACCEL")
+    specialisation_probability: float = 0.8
+    token_size_bits: int = 32
+
+
+@dataclass
+class SyntheticApplication:
+    """A generated application: its ALS plus its implementation library."""
+
+    als: ApplicationLevelSpec
+    library: ImplementationLibrary
+    config: SyntheticConfig = field(default_factory=SyntheticConfig)
+
+
+def generate_application(
+    seed: int,
+    config: SyntheticConfig | None = None,
+    *,
+    name: str | None = None,
+    source_tile: str = "io_in",
+    sink_tile: str = "io_out",
+) -> SyntheticApplication:
+    """Generate a random streaming application with implementations.
+
+    The graph is a chain of ``stages`` kernels; when ``parallel_branches > 1``
+    the middle kernels are replicated into parallel branches between a fork
+    and a join stage, giving the series-parallel shapes typical of baseband
+    and multimedia pipelines.
+    """
+    config = config or SyntheticConfig()
+    if config.stages < 1:
+        raise ValueError("a synthetic application needs at least one stage")
+    rng = random.Random(seed)
+    app_name = name or f"synthetic_{seed}"
+    kpn = KPNGraph(app_name)
+    kpn.add_process(Process("source", ProcessKind.SOURCE, pinned_tile=source_tile))
+    kpn.add_process(Process("sink", ProcessKind.SINK, pinned_tile=sink_tile))
+
+    stage_names = [f"k{i}" for i in range(config.stages)]
+    for stage in stage_names:
+        kpn.add_process(Process(stage))
+
+    def tokens() -> int:
+        return rng.randint(*config.tokens_range)
+
+    channel_specs: list[tuple[str, str, int]] = []
+    if config.parallel_branches <= 1 or config.stages < 4:
+        nodes = ["source", *stage_names, "sink"]
+        for producer, consumer in zip(nodes, nodes[1:]):
+            channel_specs.append((producer, consumer, tokens()))
+    else:
+        fork, join = stage_names[0], stage_names[-1]
+        middle = stage_names[1:-1]
+        branches: list[list[str]] = [[] for _ in range(config.parallel_branches)]
+        for index, stage in enumerate(middle):
+            branches[index % config.parallel_branches].append(stage)
+        channel_specs.append(("source", fork, tokens()))
+        for branch in branches:
+            previous = fork
+            for stage in branch:
+                channel_specs.append((previous, stage, tokens()))
+                previous = stage
+            channel_specs.append((previous, join, tokens()))
+        channel_specs.append((join, "sink", tokens()))
+
+    for index, (producer, consumer, count) in enumerate(channel_specs):
+        kpn.add_channel(
+            Channel(
+                f"c{index}_{producer}_{consumer}",
+                producer,
+                consumer,
+                tokens_per_iteration=count,
+                token_size_bits=config.token_size_bits,
+            )
+        )
+
+    als = ApplicationLevelSpec(kpn=kpn, qos=QoSConstraints(period_ns=config.period_ns))
+    library = _generate_library(kpn, rng, config)
+    return SyntheticApplication(als=als, library=library, config=config)
+
+
+def _generate_library(
+    kpn: KPNGraph, rng: random.Random, config: SyntheticConfig
+) -> ImplementationLibrary:
+    """Implementations for every kernel: a GPP fallback plus an optional specialised one."""
+    library = ImplementationLibrary()
+    general_purpose = config.tile_types[0]
+    specialised_types = config.tile_types[1:]
+    for process in kpn.mappable_processes():
+        incoming = sum(c.tokens_per_iteration for c in kpn.incoming_channels(process.name)
+                       if not c.is_control)
+        outgoing = sum(c.tokens_per_iteration for c in kpn.outgoing_channels(process.name)
+                       if not c.is_control)
+        preferred_wcet = rng.randint(*config.wcet_range_cycles)
+        preferred_energy = preferred_wcet * rng.uniform(0.2, 0.5)
+
+        def implementation(tile_type: str, wcet: float, energy: float) -> Implementation:
+            return Implementation(
+                process=process.name,
+                tile_type=tile_type,
+                wcet_cycles=PhaseVector([1.0, max(wcet - 2.0, 1.0), 1.0]),
+                input_rates={DEFAULT_PORT: PhaseVector([incoming, 0.0, 0.0])},
+                output_rates={DEFAULT_PORT: PhaseVector([0.0, 0.0, outgoing])},
+                energy_nj_per_iteration=energy,
+                memory_bytes=rng.choice([2048, 4096, 8192]),
+            )
+
+        gpp_wcet = preferred_wcet * rng.uniform(2.0, 4.0)
+        gpp_energy = preferred_energy * rng.uniform(1.5, 3.0)
+        library.add(implementation(general_purpose, gpp_wcet, gpp_energy))
+        if specialised_types and rng.random() < config.specialisation_probability:
+            library.add(
+                implementation(rng.choice(specialised_types), preferred_wcet, preferred_energy)
+            )
+    return library
+
+
+def generate_platform(
+    seed: int,
+    *,
+    width: int = 3,
+    height: int = 3,
+    tile_type_mix: dict[str, float] | None = None,
+    frequency_mhz: float = 200.0,
+    link_capacity_bits_per_s: float = 4e9,
+    io_positions: tuple[tuple[int, int], tuple[int, int]] | None = None,
+    name: str | None = None,
+) -> Platform:
+    """Generate a ``width`` x ``height`` mesh platform with a random tile-type mix.
+
+    Two I/O tiles (``io_in`` and ``io_out``) are always placed (by default in
+    opposite corners) so that the synthetic applications' pinned source and
+    sink processes have a home; the remaining routers receive processing
+    tiles drawn from ``tile_type_mix`` (name -> probability weight).
+    """
+    rng = random.Random(seed)
+    mix = tile_type_mix or {"GPP": 0.5, "DSP": 0.3, "ACCEL": 0.2}
+    if not mix:
+        raise ValueError("tile_type_mix must not be empty")
+    builder = (
+        PlatformBuilder(name or f"synthetic_platform_{seed}")
+        .mesh(width, height, link_capacity_bits_per_s=link_capacity_bits_per_s,
+              router_frequency_mhz=frequency_mhz)
+        .tile_type("IO", frequency_mhz=frequency_mhz, is_processing=False)
+    )
+    for type_name in mix:
+        builder.tile_type(type_name, frequency_mhz=frequency_mhz)
+
+    if io_positions is None:
+        io_positions = ((0, 0), (width - 1, height - 1))
+    io_in, io_out = io_positions
+    builder.tile("io_in", "IO", io_in)
+    builder.tile("io_out", "IO", io_out)
+
+    type_names = list(mix.keys())
+    weights = [mix[t] for t in type_names]
+    counter = 0
+    for y in range(height):
+        for x in range(width):
+            if (x, y) in (tuple(io_in), tuple(io_out)):
+                continue
+            tile_type = rng.choices(type_names, weights=weights, k=1)[0]
+            counter += 1
+            builder.tile(
+                f"{tile_type.lower()}{counter}", tile_type, (x, y), memory_bytes=128 * 1024
+            )
+    return builder.build()
+
+
+def generate_scenario(
+    seed: int,
+    application_count: int,
+    *,
+    config: SyntheticConfig | None = None,
+) -> list[SyntheticApplication]:
+    """Generate several independent applications for a multi-application scenario.
+
+    Each application carries its own implementation library (applications may
+    reuse kernel names, so the libraries are kept per-application and passed
+    to the resource manager at start time rather than merged).
+    """
+    rng = random.Random(seed)
+    applications: list[SyntheticApplication] = []
+    for index in range(application_count):
+        app_seed = rng.randint(0, 2**31 - 1)
+        app = generate_application(app_seed, config, name=f"app{index}_{app_seed}")
+        applications.append(app)
+    return applications

@@ -1,0 +1,103 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.csdf.builder import CSDFBuilder
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.channel import Channel
+from repro.kpn.graph import KPNGraph
+from repro.kpn.process import Process, ProcessKind
+from repro.kpn.qos import QoSConstraints
+from repro.platform.builder import PlatformBuilder
+from repro.workloads import hiperlan2
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The HiperLAN/2 case study: (ALS, platform, implementation library)."""
+    return hiperlan2.build_case_study()
+
+
+@pytest.fixture()
+def hiperlan_als():
+    """A fresh HiperLAN/2 application-level specification."""
+    return hiperlan2.build_receiver_als()
+
+
+@pytest.fixture()
+def hiperlan_platform():
+    """A fresh Figure-2 MPSoC."""
+    return hiperlan2.build_mpsoc()
+
+
+@pytest.fixture()
+def hiperlan_library():
+    """A fresh Table-1 implementation library."""
+    return hiperlan2.build_implementation_library()
+
+
+@pytest.fixture()
+def small_platform():
+    """A 2x2 platform with two GPP tiles, one DSP tile and one I/O tile."""
+    return (
+        PlatformBuilder("small")
+        .mesh(2, 2, link_capacity_bits_per_s=1e9)
+        .tile_type("GPP", frequency_mhz=200)
+        .tile_type("DSP", frequency_mhz=100)
+        .tile_type("IO", frequency_mhz=100, is_processing=False)
+        .tile("gpp0", "GPP", (0, 0))
+        .tile("gpp1", "GPP", (1, 0))
+        .tile("dsp0", "DSP", (0, 1))
+        .tile("io0", "IO", (1, 1))
+        .build()
+    )
+
+
+@pytest.fixture()
+def two_stage_kpn():
+    """A source -> a -> b -> sink pipeline KPN."""
+    kpn = KPNGraph("two_stage")
+    kpn.add_process(Process("src", ProcessKind.SOURCE, pinned_tile="io0"))
+    kpn.add_process(Process("a"))
+    kpn.add_process(Process("b"))
+    kpn.add_process(Process("snk", ProcessKind.SINK, pinned_tile="io0"))
+    kpn.add_channel(Channel("c0", "src", "a", tokens_per_iteration=4))
+    kpn.add_channel(Channel("c1", "a", "b", tokens_per_iteration=4))
+    kpn.add_channel(Channel("c2", "b", "snk", tokens_per_iteration=2))
+    return kpn
+
+
+@pytest.fixture()
+def two_stage_als(two_stage_kpn):
+    """ALS wrapping the two-stage pipeline with a 10 us period."""
+    return ApplicationLevelSpec(kpn=two_stage_kpn, qos=QoSConstraints(period_ns=10_000.0))
+
+
+@pytest.fixture()
+def simple_chain_csdf():
+    """A three-actor CSDF chain a -> b -> c with unit rates."""
+    return (
+        CSDFBuilder("chain")
+        .actor("a", [10.0])
+        .actor("b", [20.0])
+        .actor("c", [5.0])
+        .edge("a", "b", production=[1], consumption=[1])
+        .edge("b", "c", production=[1], consumption=[1])
+        .build()
+    )
+
+
+@pytest.fixture()
+def multirate_csdf():
+    """A multi-rate CSDF graph: a produces 2, b consumes 1 and produces 3, c consumes 2."""
+    return (
+        CSDFBuilder("multirate")
+        .actor("a", [4.0])
+        .actor("b", [2.0])
+        .actor("c", [6.0])
+        .edge("a", "b", production=[2], consumption=[1])
+        .edge("b", "c", production=[3], consumption=[2])
+        .build()
+    )

@@ -1,0 +1,111 @@
+"""Cross-cutting integration tests: feedback refinement and baseline comparison."""
+
+import pytest
+
+from repro.baselines.exhaustive import ExhaustiveMapper
+from repro.baselines.first_fit import FirstFitMapper
+from repro.baselines.random_mapper import RandomMapper
+from repro.baselines.simulated_annealing import SimulatedAnnealingMapper
+from repro.mapping.result import MappingStatus
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.workloads import hiperlan2
+from repro.workloads.synthetic import SyntheticConfig, generate_application, generate_platform
+
+
+FAST = MapperConfig(analysis_iterations=3)
+
+
+class TestFeedbackRefinement:
+    def test_congested_noc_triggers_rerouting_feedback(self):
+        """With barely enough link capacity the first placement may not be
+        routable; the feedback loop must either find an alternative placement
+        or report a meaningful failure."""
+        als = hiperlan2.build_receiver_als()
+        library = hiperlan2.build_implementation_library()
+        # 700 Mbit/s links: the 640 Mbit/s A/D channel fits, but two channels
+        # can never share a link.
+        platform = hiperlan2.build_mpsoc(link_capacity_bits_per_s=700e6)
+        result = SpatialMapper(platform, library, FAST).map(als)
+        assert result.status in (MappingStatus.FEASIBLE, MappingStatus.ADEQUATE,
+                                 MappingStatus.ADHERENT)
+        assert result.diagnostics or result.is_feasible
+
+    def test_slow_montium_forces_arm_choice_via_feedback(self):
+        """If the Montium runs so slowly that its implementations violate the
+        throughput constraint, step-4 feedback must push the heavy kernels to
+        their ARM implementations (which then cannot sustain the period either,
+        so the mapper reports the best adherent mapping instead of feasible)."""
+        als = hiperlan2.build_receiver_als()
+        library = hiperlan2.build_implementation_library()
+        platform = hiperlan2.build_mpsoc(montium_frequency_mhz=10.0)
+        mapper = SpatialMapper(platform, library, FAST)
+        result = mapper.map(als)
+        assert not result.is_feasible
+        assert mapper.last_trace.refinement_iterations >= 2
+        assert any("banning implementation" in line for line in mapper.last_trace.feedback_log)
+
+    def test_feasible_first_pass_needs_no_feedback(self, case_study):
+        als, platform, library = case_study
+        mapper = SpatialMapper(platform, library, FAST)
+        result = mapper.map(als)
+        assert result.is_feasible
+        assert mapper.last_trace.refinement_iterations == 1
+        assert mapper.last_trace.feedback_log == []
+
+
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def synthetic_case(self):
+        app = generate_application(
+            seed=21, config=SyntheticConfig(stages=5, period_ns=20_000.0)
+        )
+        platform = generate_platform(seed=22, width=4, height=4)
+        return app, platform
+
+    def test_heuristic_matches_exhaustive_on_the_paper_case(self, case_study):
+        als, platform, library = case_study
+        heuristic = SpatialMapper(platform, library, FAST).map(als)
+        optimal = ExhaustiveMapper(platform, library, FAST).map(als)
+        assert heuristic.is_feasible and optimal.is_feasible
+        # On the HiperLAN/2 instance the heuristic finds the optimal
+        # computation-energy assignment (the communication estimate may differ
+        # by the routing detail, so compare the dominant computation term).
+        assert heuristic.mapping.computation_energy_nj() == pytest.approx(
+            optimal.mapping.computation_energy_nj()
+        )
+
+    def test_heuristic_not_worse_than_random(self, synthetic_case):
+        app, platform = synthetic_case
+        heuristic = SpatialMapper(platform, app.library, FAST).map(app.als)
+        random_best = RandomMapper(platform, app.library, FAST, trials=10, seed=1).map(app.als)
+        assert heuristic.status.at_least(random_best.status)
+        if heuristic.status is random_best.status is MappingStatus.FEASIBLE:
+            assert (
+                heuristic.energy_nj_per_iteration
+                <= random_best.energy_nj_per_iteration * 1.05
+            )
+
+    def test_step2_improves_on_first_fit_communication(self, synthetic_case):
+        app, platform = synthetic_case
+        heuristic = SpatialMapper(platform, app.library, FAST).map(app.als)
+        first_fit = FirstFitMapper(platform, app.library, FAST).map(app.als)
+        assert heuristic.manhattan_cost <= first_fit.manhattan_cost
+
+    def test_annealing_and_heuristic_agree_on_feasibility(self, synthetic_case):
+        app, platform = synthetic_case
+        heuristic = SpatialMapper(platform, app.library, FAST).map(app.als)
+        annealed = SimulatedAnnealingMapper(
+            platform, app.library, FAST, iterations=150, seed=2
+        ).map(app.als)
+        assert heuristic.is_feasible == annealed.is_feasible
+
+    def test_all_mappers_run_within_seconds(self, synthetic_case):
+        app, platform = synthetic_case
+        for mapper in (
+            SpatialMapper(platform, app.library, FAST),
+            FirstFitMapper(platform, app.library, FAST),
+            RandomMapper(platform, app.library, FAST, trials=5),
+        ):
+            result = mapper.map(app.als)
+            assert result.runtime_s < 10.0

@@ -1,0 +1,120 @@
+"""End-to-end reproduction of the paper's worked example (section 4).
+
+These tests tie all subsystems together exactly the way the paper does and
+assert the paper-level outcomes: the Table 2 iteration trace, the structure of
+the final mapped CSDF graph (Figure 3), and the feasibility of the final
+mapping under the 4 us QoS constraint.
+"""
+
+import pytest
+
+from repro.csdf.analysis.throughput import is_period_sustainable
+from repro.csdf.repetition import is_consistent
+from repro.mapping.properties import is_adequate, is_adherent
+from repro.mapping.result import MappingStatus
+from repro.reporting import experiments
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.workloads import hiperlan2
+
+
+@pytest.fixture(scope="module")
+def mapped_case_study():
+    als, platform, library = hiperlan2.build_case_study()
+    mapper = SpatialMapper(platform, library)
+    result = mapper.map(als)
+    return als, platform, library, mapper, result
+
+
+class TestTable2Reproduction:
+    def test_cost_trajectory(self, mapped_case_study):
+        _, _, _, mapper, _ = mapped_case_study
+        trace = mapper.last_trace.last_step2_trace
+        assert trace.initial_cost == 11.0
+        assert [i.cost for i in trace.improving_prefix()] == [11.0, 9.0, 7.0]
+
+    def test_initial_greedy_assignment_row(self, mapped_case_study):
+        _, _, _, mapper, _ = mapped_case_study
+        trace = mapper.last_trace.last_step2_trace
+        assert trace.initial_assignment == {
+            "prefix_removal": "arm1",
+            "freq_offset_correction": "arm2",
+            "inverse_ofdm": "montium1",
+            "remainder": "montium2",
+        }
+
+    def test_final_assignment_row(self, mapped_case_study):
+        _, _, _, _, result = mapped_case_study
+        assignment = {a.process: a.tile for a in result.mapping.assignments
+                      if a.implementation is not None}
+        assert assignment == {
+            "prefix_removal": "arm2",
+            "freq_offset_correction": "arm1",
+            "inverse_ofdm": "montium2",
+            "remainder": "montium1",
+        }
+
+    def test_experiment_driver_renders_paper_table(self):
+        report = experiments.experiment_table2()
+        rows = report.data["rows"]
+        # Initial row + 3 iterations + closing remark.
+        assert len(rows) == 5
+        assert rows[0][5] == "11" and rows[0][6] == "Initial (greedy) assignment"
+        assert rows[1][6] == "No improvement, revert"
+        assert rows[2][5] == "9" and rows[3][5] == "7"
+
+
+class TestFigure3Reproduction:
+    def test_mapping_quality_criteria(self, mapped_case_study):
+        als, platform, library, _, result = mapped_case_study
+        assert result.status is MappingStatus.FEASIBLE
+        assert is_adequate(result.mapping, platform, library)
+        assert is_adherent(result.mapping, platform, library, als=als)
+
+    def test_mapped_graph_structure(self, mapped_case_study):
+        als, _, _, _, result = mapped_case_study
+        graph = result.mapped_csdf
+        assert is_consistent(graph)
+        process_actors = [a for a in graph.actors if a.role == "process"]
+        router_actors = [a for a in graph.actors if a.role == "router"]
+        assert len(process_actors) == 4
+        assert len(router_actors) == sum(r.hops for r in result.mapping.routes)
+        # Figure 3 shows router actors with a 4-clock-cycle WCET between every
+        # pair of pipeline stages.
+        assert all(a.wcet_cycles == (4.0,) for a in router_actors)
+
+    def test_mapped_graph_sustains_the_4us_period(self, mapped_case_study):
+        als, _, _, _, result = mapped_case_study
+        assert is_period_sustainable(result.mapped_csdf, als.period_ns, iterations=4)
+
+    def test_buffer_capacities_exist_for_every_channel(self, mapped_case_study):
+        als, _, _, _, result = mapped_case_study
+        buffers = result.mapping.buffer_capacities
+        assert set(buffers) == {c.name for c in als.kpn.data_channels()}
+        assert all(capacity >= 1 for capacity in buffers.values())
+
+    def test_energy_breakdown(self, mapped_case_study):
+        als, platform, _, _, result = mapped_case_study
+        computation = result.mapping.computation_energy_nj()
+        assert computation == pytest.approx(60 + 62 + 143 + 76)
+        assert result.energy_nj_per_iteration >= computation
+
+
+class TestWholePaperPipeline:
+    def test_all_experiments_run(self):
+        reports = experiments.all_experiments()
+        assert len(reports) == 6
+        for report in reports:
+            assert report.text
+
+    def test_mapping_every_mode_is_feasible(self):
+        """All seven HiperLAN/2 modes can be started on the Figure 2 platform."""
+        platform = hiperlan2.build_mpsoc()
+        for mode in hiperlan2.HIPERLAN2_MODES:
+            als = hiperlan2.build_receiver_als(mode)
+            library = hiperlan2.build_implementation_library(mode)
+            result = SpatialMapper(platform, library).map(als)
+            assert result.status is MappingStatus.FEASIBLE, mode
+
+    def test_runtime_faster_than_a_second(self, mapped_case_study):
+        _, _, _, _, result = mapped_case_study
+        assert result.runtime_s < 1.0

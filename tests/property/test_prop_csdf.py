@@ -1,0 +1,105 @@
+"""Property-based tests of CSDF repetition vectors and self-timed execution.
+
+Random pipelines (chains of actors with random rates and execution times) are
+generated and three invariants checked:
+
+* the repetition vector balances every edge;
+* self-timed execution completes exactly ``iterations x repetitions`` firings
+  and never deadlocks on an acyclic chain;
+* the measured steady-state period is never below the processor bound, and
+  granting the observed buffer occupancies as capacities preserves the period.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.csdf.analysis.buffers import apply_buffer_capacities, sufficient_buffer_capacities
+from repro.csdf.analysis.simulation import simulate
+from repro.csdf.analysis.throughput import (
+    is_period_sustainable,
+    minimal_period_ns,
+    processor_bound_period_ns,
+)
+from repro.csdf.builder import CSDFBuilder
+from repro.csdf.repetition import repetition_vector
+
+
+@st.composite
+def random_chain(draw):
+    """A random acyclic chain of 2-5 actors with random rates."""
+    length = draw(st.integers(min_value=2, max_value=5))
+    builder = CSDFBuilder("random_chain")
+    for index in range(length):
+        phases = draw(st.integers(min_value=1, max_value=3))
+        times = [draw(st.integers(min_value=1, max_value=20)) for _ in range(phases)]
+        builder.actor(f"a{index}", [float(t) for t in times])
+    for index in range(length - 1):
+        production = draw(st.integers(min_value=1, max_value=4))
+        consumption = draw(st.integers(min_value=1, max_value=4))
+        builder.edge(f"a{index}", f"a{index + 1}",
+                     production=[production], consumption=[consumption])
+    return builder.build()
+
+
+class TestRepetitionProperties:
+    @given(random_chain())
+    @settings(max_examples=40, deadline=None)
+    def test_repetition_vector_balances_every_edge(self, graph):
+        repetitions = repetition_vector(graph)
+        for edge in graph.edges:
+            source = graph.actor(edge.source)
+            target = graph.actor(edge.target)
+            produced = repetitions[edge.source] / source.phases * edge.total_production
+            consumed = repetitions[edge.target] / target.phases * edge.total_consumption
+            assert abs(produced - consumed) < 1e-9
+
+    @given(random_chain())
+    @settings(max_examples=40, deadline=None)
+    def test_repetition_vector_is_minimal_positive(self, graph):
+        repetitions = repetition_vector(graph)
+        assert all(count >= 1 for count in repetitions.values())
+        # Dividing all cycle counts by any integer > 1 must break integrality.
+        cycle_counts = [repetitions[a.name] // graph.actor(a.name).phases for a in graph.actors]
+        from math import gcd
+        overall = cycle_counts[0]
+        for value in cycle_counts[1:]:
+            overall = gcd(overall, value)
+        assert overall == 1
+
+
+class TestSimulationProperties:
+    @given(random_chain(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_chain_never_deadlocks_and_completes(self, graph, iterations):
+        repetitions = repetition_vector(graph)
+        result = simulate(graph, iterations=iterations)
+        assert not result.deadlocked
+        assert result.completed_iterations == iterations
+        for actor in graph.actors:
+            assert len(result.firings_of(actor.name)) == repetitions[actor.name] * iterations
+
+    @given(random_chain())
+    @settings(max_examples=30, deadline=None)
+    def test_firings_of_one_actor_never_overlap(self, graph):
+        result = simulate(graph, iterations=2)
+        for records in result.firings.values():
+            for previous, current in zip(records, records[1:]):
+                assert current.start_ns >= previous.finish_ns - 1e-9
+
+    @given(random_chain())
+    @settings(max_examples=25, deadline=None)
+    def test_period_not_below_processor_bound(self, graph):
+        bound = processor_bound_period_ns(graph)
+        period = minimal_period_ns(graph, iterations=6)
+        assert period >= bound - 1e-6
+
+    @given(random_chain())
+    @settings(max_examples=20, deadline=None)
+    def test_observed_occupancy_is_a_sufficient_capacity(self, graph):
+        # Measure the steady-state period with a generous horizon, then ask for
+        # a period 5% above it: the buffer capacities observed at that rate
+        # must be enough for the bounded graph to keep up as well.
+        period = minimal_period_ns(graph, iterations=12) * 1.05
+        capacities = sufficient_buffer_capacities(graph, period_ns=period, iterations=8)
+        bounded = apply_buffer_capacities(graph, capacities)
+        assert is_period_sustainable(bounded, period, iterations=8)

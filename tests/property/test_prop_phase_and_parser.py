@@ -1,0 +1,79 @@
+"""Property-based tests for phase vectors and the phase-notation parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.appmodel.parser import format_phase_notation, parse_phase_notation
+from repro.csdf.phase import PhaseVector, expand_phase_spec
+
+phase_values = st.lists(
+    st.integers(min_value=0, max_value=1000), min_size=1, max_size=40
+)
+
+
+class TestPhaseVectorProperties:
+    @given(phase_values)
+    def test_total_equals_sum(self, values):
+        assert PhaseVector(values).total() == sum(values)
+
+    @given(phase_values)
+    def test_cyclic_access_wraps(self, values):
+        vector = PhaseVector(values)
+        for offset in range(3):
+            for index in range(len(values)):
+                assert vector.at(index + offset * len(values)) == values[index]
+
+    @given(phase_values, st.integers(min_value=1, max_value=4))
+    def test_repeated_scales_total(self, values, times):
+        vector = PhaseVector(values)
+        assert vector.repeated(times).total() == vector.total() * times
+        assert len(vector.repeated(times)) == len(vector) * times
+
+    @given(phase_values)
+    def test_compact_str_roundtrips_through_parser(self, values):
+        vector = PhaseVector(values)
+        parsed = parse_phase_notation(vector.compact_str())
+        assert list(parsed) == [float(v) for v in values]
+
+    @given(phase_values, st.integers(min_value=0, max_value=5))
+    def test_scaled_preserves_length(self, values, factor):
+        vector = PhaseVector(values)
+        scaled = vector.scaled(factor)
+        assert len(scaled) == len(vector)
+        assert scaled.total() == vector.total() * factor
+
+
+class TestSpecExpansion:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=50),
+                      st.integers(min_value=0, max_value=6)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_expansion_length_is_sum_of_counts(self, pairs):
+        spec = [(value, count) for value, count in pairs]
+        expanded = expand_phase_spec(spec)
+        assert len(expanded) == sum(count for _, count in pairs)
+
+    @given(st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=20))
+    def test_formatter_parser_roundtrip(self, values):
+        floats = tuple(float(v) for v in values)
+        assert parse_phase_notation(format_phase_notation(floats)) == floats
+
+
+class TestParserProperties:
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=60))
+    @settings(max_examples=50)
+    def test_run_length_notation(self, value, count):
+        parsed = parse_phase_notation(f"<{value}^{count}>")
+        assert len(parsed) == count
+        assert all(v == value for v in parsed)
+
+    @given(st.integers(min_value=1, max_value=96))
+    def test_variable_binding(self, b):
+        parsed = parse_phase_notation("<1^52, 73-b, 1^b>", {"b": min(b, 72)})
+        bound = min(b, 72)
+        assert len(parsed) == 52 + 1 + bound
+        assert parsed[52] == 73 - bound

@@ -1,0 +1,71 @@
+"""Property-based tests of NoC routing and the spatial mapper on synthetic workloads."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.properties import is_adequate, is_adherent
+from repro.mapping.result import MappingStatus
+from repro.platform.routing import capacity_aware_shortest_path, manhattan_distance
+from repro.platform.topology import build_mesh_noc
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.workloads.synthetic import SyntheticConfig, generate_application, generate_platform
+
+FAST = MapperConfig(analysis_iterations=2)
+
+positions = st.tuples(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4))
+
+
+class TestRoutingProperties:
+    @given(positions, positions)
+    @settings(max_examples=60, deadline=None)
+    def test_path_length_equals_manhattan_on_empty_mesh(self, source, target):
+        noc = build_mesh_noc(5, 5)
+        path = capacity_aware_shortest_path(noc, source, target)
+        assert len(path) - 1 == manhattan_distance(source, target)
+
+    @given(positions, positions)
+    @settings(max_examples=60, deadline=None)
+    def test_path_is_connected_and_simple(self, source, target):
+        noc = build_mesh_noc(5, 5)
+        path = capacity_aware_shortest_path(noc, source, target)
+        assert path[0] == tuple(source) and path[-1] == tuple(target)
+        for a, b in zip(path, path[1:]):
+            assert manhattan_distance(a, b) == 1
+        assert len(set(path)) == len(path)
+
+
+class TestMapperProperties:
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=12, deadline=None)
+    def test_mapper_output_is_always_structurally_valid(self, seed):
+        """Whatever the synthetic instance, a FEASIBLE/ADHERENT result must
+        actually satisfy the paper's adequacy and adherence definitions, and a
+        feasible result must be complete."""
+        app = generate_application(
+            seed, config=SyntheticConfig(stages=4, period_ns=50_000.0)
+        )
+        platform = generate_platform(seed + 1000, width=4, height=4)
+        result = SpatialMapper(platform, app.library, FAST).map(app.als)
+        if result.status in (MappingStatus.FEASIBLE, MappingStatus.ADHERENT):
+            assert is_adequate(result.mapping, platform, app.library)
+            assert is_adherent(result.mapping, platform, app.library, als=app.als)
+        if result.status is MappingStatus.FEASIBLE:
+            assert result.mapping.is_complete(app.als)
+            assert result.feasibility is not None
+            assert result.feasibility.achieved_period_ns <= app.als.period_ns * (1 + 1e-9)
+
+    @given(st.integers(min_value=0, max_value=40))
+    @settings(max_examples=8, deadline=None)
+    def test_mapper_is_deterministic(self, seed):
+        app = generate_application(
+            seed, config=SyntheticConfig(stages=3, period_ns=50_000.0)
+        )
+        platform = generate_platform(seed + 2000, width=3, height=3)
+        first = SpatialMapper(platform, app.library, FAST).map(app.als)
+        second = SpatialMapper(platform, app.library, FAST).map(app.als)
+        assert first.status is second.status
+        assert {a.process: a.tile for a in first.mapping.assignments} == {
+            a.process: a.tile for a in second.mapping.assignments
+        }
+        assert first.energy_nj_per_iteration == second.energy_nj_per_iteration

@@ -1,0 +1,131 @@
+"""Implementations and the implementation library."""
+
+import pytest
+
+from repro.appmodel.implementation import DEFAULT_PORT, Implementation
+from repro.appmodel.library import ImplementationLibrary
+from repro.csdf.phase import PhaseVector
+from repro.exceptions import ModelError
+
+
+def _impl(process="fft", tile_type="ARM", energy=10.0, phases=3):
+    return Implementation(
+        process=process,
+        tile_type=tile_type,
+        wcet_cycles=PhaseVector([1.0] * phases),
+        input_rates={DEFAULT_PORT: PhaseVector([4.0] + [0.0] * (phases - 1))},
+        output_rates={DEFAULT_PORT: PhaseVector([0.0] * (phases - 1) + [4.0])},
+        energy_nj_per_iteration=energy,
+        memory_bytes=1024,
+    )
+
+
+class TestImplementation:
+    def test_qualified_name(self):
+        assert _impl().qualified_name == "fft@ARM"
+        assert _impl().name == "fft@ARM"
+
+    def test_phases_and_total_wcet(self):
+        implementation = _impl(phases=4)
+        assert implementation.phases == 4
+        assert implementation.total_wcet_cycles == 4.0
+
+    def test_rate_lookup_uses_default_port(self):
+        implementation = _impl()
+        assert implementation.consumption_rates("some_channel").total() == 4.0
+        assert implementation.production_rates("another_channel").total() == 4.0
+
+    def test_explicit_port_preferred_over_default(self):
+        implementation = Implementation(
+            process="p",
+            tile_type="ARM",
+            wcet_cycles=PhaseVector([1.0]),
+            input_rates={DEFAULT_PORT: PhaseVector([1.0]), "special": PhaseVector([7.0])},
+            output_rates={DEFAULT_PORT: PhaseVector([1.0])},
+        )
+        assert implementation.consumption_rates("special").total() == 7.0
+        assert implementation.consumption_rates("other").total() == 1.0
+
+    def test_missing_port_without_default_raises(self):
+        implementation = Implementation(
+            process="p",
+            tile_type="ARM",
+            wcet_cycles=PhaseVector([1.0]),
+            input_rates={"only": PhaseVector([1.0])},
+            output_rates={DEFAULT_PORT: PhaseVector([1.0])},
+        )
+        with pytest.raises(ModelError):
+            implementation.consumption_rates("other")
+
+    def test_single_phase_rate_expanded_to_actor_phases(self):
+        implementation = Implementation(
+            process="p",
+            tile_type="ARM",
+            wcet_cycles=PhaseVector([1.0, 1.0, 1.0]),
+            input_rates={DEFAULT_PORT: PhaseVector([2.0])},
+            output_rates={DEFAULT_PORT: PhaseVector([2.0])},
+        )
+        assert len(implementation.consumption_rates("c")) == 3
+
+    def test_rate_phase_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            Implementation(
+                process="p",
+                tile_type="ARM",
+                wcet_cycles=PhaseVector([1.0, 1.0]),
+                input_rates={DEFAULT_PORT: PhaseVector([1.0, 1.0, 1.0])},
+                output_rates={DEFAULT_PORT: PhaseVector([1.0])},
+            )
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ModelError):
+            _impl(energy=-1.0)
+
+    def test_as_actor_converts_cycles_to_time(self):
+        actor = _impl().as_actor(100e6, tile="arm1")
+        assert actor.name == "fft"
+        assert actor.tile == "arm1"
+        assert actor.execution_times_ns == (10.0, 10.0, 10.0)
+
+    def test_resource_requirement(self):
+        requirement = _impl().resource_requirement()
+        assert requirement.memory_bytes == 1024
+        assert requirement.compute_cycles_per_iteration == 3.0
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        library = ImplementationLibrary([_impl(), _impl(tile_type="MONTIUM", energy=5.0)])
+        assert len(library) == 2
+        assert library.has_implementation("fft", "ARM")
+        assert library.implementation_for("fft", "MONTIUM").energy_nj_per_iteration == 5.0
+        assert library.tile_types_for("fft") == ("ARM", "MONTIUM")
+
+    def test_duplicate_pair_rejected(self):
+        library = ImplementationLibrary([_impl()])
+        with pytest.raises(ModelError):
+            library.add(_impl())
+
+    def test_unknown_lookup_raises(self):
+        library = ImplementationLibrary()
+        with pytest.raises(ModelError):
+            library.implementation_for("fft", "ARM")
+
+    def test_cheapest_for(self):
+        library = ImplementationLibrary([_impl(energy=10.0), _impl(tile_type="M", energy=3.0)])
+        assert library.cheapest_for("fft").tile_type == "M"
+
+    def test_cheapest_for_unknown_process_raises(self):
+        with pytest.raises(ModelError):
+            ImplementationLibrary().cheapest_for("nope")
+
+    def test_restricted_to(self):
+        library = ImplementationLibrary([_impl(), _impl(tile_type="M")])
+        restricted = library.restricted_to(["ARM"])
+        assert len(restricted) == 1
+        assert restricted.tile_types_for("fft") == ("ARM",)
+
+    def test_iteration_and_processes(self):
+        library = ImplementationLibrary([_impl(), _impl(process="fir")])
+        assert set(library.processes()) == {"fft", "fir"}
+        assert len(list(library)) == 2

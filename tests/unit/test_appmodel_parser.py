@@ -1,0 +1,76 @@
+"""The paper's phase-notation parser and formatter."""
+
+import pytest
+
+from repro.appmodel.parser import format_phase_notation, parse_phase_notation
+
+
+class TestParser:
+    def test_plain_list(self):
+        assert parse_phase_notation("<64, 0, 0>") == (64.0, 0.0, 0.0)
+
+    def test_angle_brackets_optional(self):
+        assert parse_phase_notation("64, 0, 0") == (64.0, 0.0, 0.0)
+
+    def test_scalar_repetition(self):
+        assert parse_phase_notation("<1^4>") == (1.0, 1.0, 1.0, 1.0)
+
+    def test_pattern_repetition(self):
+        assert parse_phase_notation("<(8,0)^3>") == (8.0, 0.0, 8.0, 0.0, 8.0, 0.0)
+
+    def test_paper_prefix_removal_arm_input(self):
+        values = parse_phase_notation("<8^2, (8,0)^8>")
+        assert len(values) == 18
+        assert sum(values) == 80
+
+    def test_paper_montium_inverse_ofdm(self):
+        values = parse_phase_notation("<1^64, 0^53>")
+        assert len(values) == 117
+        assert sum(values) == 64
+
+    def test_variables_in_values(self):
+        assert parse_phase_notation("<73-b>", {"b": 6}) == (67.0,)
+        assert parse_phase_notation("<b+2>", {"b": 6}) == (8.0,)
+
+    def test_variables_in_repetition_count(self):
+        assert parse_phase_notation("<1^b>", {"b": 3}) == (1.0, 1.0, 1.0)
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ValueError):
+            parse_phase_notation("<1^b>")
+
+    def test_unbalanced_parentheses_rejected(self):
+        with pytest.raises(ValueError):
+            parse_phase_notation("<(8,0^2>")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_phase_notation("<>")
+
+    def test_malicious_expression_rejected(self):
+        with pytest.raises(ValueError):
+            parse_phase_notation("<__import__('os').system('true')>")
+
+    def test_negative_repetition_rejected(self):
+        with pytest.raises(ValueError):
+            parse_phase_notation("<1^-2>")
+
+    def test_fractional_repetition_rejected(self):
+        with pytest.raises(ValueError):
+            parse_phase_notation("<1^1.5>")
+
+
+class TestFormatter:
+    def test_runs_are_compressed(self):
+        assert format_phase_notation((1, 1, 1, 0)) == "<1^3, 0>"
+
+    def test_single_value(self):
+        assert format_phase_notation((5,)) == "<5>"
+
+    def test_roundtrip_through_parser(self):
+        original = (8.0, 8.0, 0.0, 0.0, 0.0, 3.0)
+        assert parse_phase_notation(format_phase_notation(original)) == original
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_phase_notation(())

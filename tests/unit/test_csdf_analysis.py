@@ -1,0 +1,119 @@
+"""Throughput, buffer-sizing and latency analyses."""
+
+import pytest
+
+from repro.csdf.analysis.buffers import (
+    apply_buffer_capacities,
+    minimize_buffer_capacities,
+    sufficient_buffer_capacities,
+)
+from repro.csdf.analysis.latency import end_to_end_latency_ns
+from repro.csdf.analysis.throughput import (
+    is_period_sustainable,
+    minimal_period_ns,
+    processor_bound_period_ns,
+)
+from repro.csdf.builder import CSDFBuilder
+from repro.exceptions import CSDFError, DeadlockError
+
+
+class TestThroughput:
+    def test_processor_bound_of_chain(self, simple_chain_csdf):
+        assert processor_bound_period_ns(simple_chain_csdf) == pytest.approx(20.0)
+
+    def test_processor_bound_counts_repetitions(self, multirate_csdf):
+        # c fires 3 times per iteration at 6 ns each -> 18 ns dominates.
+        assert processor_bound_period_ns(multirate_csdf) == pytest.approx(18.0)
+
+    def test_minimal_period_at_least_processor_bound(self, multirate_csdf):
+        minimal = minimal_period_ns(multirate_csdf, iterations=10)
+        assert minimal >= processor_bound_period_ns(multirate_csdf) - 1e-9
+
+    def test_minimal_period_of_deadlocked_graph_raises(self):
+        graph = (
+            CSDFBuilder("deadlock")
+            .actor("a", [1.0])
+            .actor("b", [1.0])
+            .edge("a", "b", production=[1], consumption=[1])
+            .edge("b", "a", production=[1], consumption=[1])
+            .build()
+        )
+        with pytest.raises(DeadlockError):
+            minimal_period_ns(graph)
+
+    def test_sustainable_period(self, simple_chain_csdf):
+        assert is_period_sustainable(simple_chain_csdf, 25.0)
+        assert is_period_sustainable(simple_chain_csdf, 20.0)
+
+    def test_unsustainable_period(self, simple_chain_csdf):
+        assert not is_period_sustainable(simple_chain_csdf, 15.0)
+
+    def test_period_must_be_positive(self, simple_chain_csdf):
+        with pytest.raises(ValueError):
+            is_period_sustainable(simple_chain_csdf, 0.0)
+
+
+class TestBufferSizing:
+    def test_sufficient_capacities_sustain_period(self, simple_chain_csdf):
+        capacities = sufficient_buffer_capacities(simple_chain_csdf, period_ns=20.0)
+        bounded = apply_buffer_capacities(simple_chain_csdf, capacities)
+        assert is_period_sustainable(bounded, 20.0)
+
+    def test_capacities_at_least_max_rate(self, multirate_csdf):
+        capacities = sufficient_buffer_capacities(multirate_csdf, period_ns=None)
+        for edge in multirate_csdf.edges:
+            assert capacities[edge.name] >= max(
+                edge.production_rates.max(), edge.consumption_rates.max()
+            )
+
+    def test_minimized_capacities_not_larger_than_sufficient(self, simple_chain_csdf):
+        sufficient = sufficient_buffer_capacities(simple_chain_csdf, period_ns=25.0)
+        minimal = minimize_buffer_capacities(simple_chain_csdf, period_ns=25.0)
+        for edge_name, capacity in minimal.items():
+            assert capacity <= sufficient[edge_name]
+
+    def test_minimized_capacities_still_sustain_period(self, simple_chain_csdf):
+        minimal = minimize_buffer_capacities(simple_chain_csdf, period_ns=25.0)
+        bounded = apply_buffer_capacities(simple_chain_csdf, minimal)
+        assert is_period_sustainable(bounded, 25.0)
+
+    def test_slower_period_never_needs_bigger_buffers(self, multirate_csdf):
+        fast = sufficient_buffer_capacities(multirate_csdf, period_ns=18.0)
+        slow = sufficient_buffer_capacities(multirate_csdf, period_ns=100.0)
+        for edge_name in fast:
+            assert slow[edge_name] <= fast[edge_name]
+
+    def test_apply_capacities_returns_new_graph(self, simple_chain_csdf):
+        capacities = {e.name: 5 for e in simple_chain_csdf.edges}
+        bounded = apply_buffer_capacities(simple_chain_csdf, capacities)
+        assert all(e.capacity == 5 for e in bounded.edges)
+        assert all(e.capacity is None for e in simple_chain_csdf.edges)
+
+
+class TestLatency:
+    def test_latency_of_chain(self, simple_chain_csdf):
+        latency = end_to_end_latency_ns(simple_chain_csdf, "a", "c", iterations=4)
+        assert latency >= 35.0  # at least the sum of one firing per stage
+
+    def test_defaults_to_unique_source_and_sink(self, simple_chain_csdf):
+        assert end_to_end_latency_ns(simple_chain_csdf, iterations=3) > 0
+
+    def test_ambiguous_endpoints_rejected(self):
+        graph = (
+            CSDFBuilder("fork")
+            .actor("src", [1.0])
+            .actor("a", [1.0])
+            .actor("b", [1.0])
+            .edge("src", "a")
+            .edge("src", "b")
+            .build()
+        )
+        with pytest.raises(CSDFError):
+            end_to_end_latency_ns(graph)
+
+    def test_periodic_source_latency_not_smaller_than_self_timed(self, simple_chain_csdf):
+        self_timed = end_to_end_latency_ns(simple_chain_csdf, "a", "c", iterations=4)
+        periodic = end_to_end_latency_ns(
+            simple_chain_csdf, "a", "c", iterations=4, source_period_ns=100.0
+        )
+        assert periodic <= self_timed + 1e-9

@@ -1,0 +1,160 @@
+"""CSDF actors, edges, graphs and the builder."""
+
+import pytest
+
+from repro.csdf.actor import CSDFActor
+from repro.csdf.builder import CSDFBuilder
+from repro.csdf.edge import CSDFEdge
+from repro.csdf.graph import CSDFGraph
+from repro.csdf.phase import PhaseVector
+from repro.exceptions import CSDFError
+
+
+class TestActor:
+    def test_phases_from_execution_times(self):
+        actor = CSDFActor("a", PhaseVector([1.0, 2.0, 3.0]))
+        assert actor.phases == 3
+        assert actor.total_execution_time_ns() == 6.0
+
+    def test_execution_time_is_cyclic(self):
+        actor = CSDFActor("a", PhaseVector([1.0, 2.0]))
+        assert actor.execution_time_ns(0) == 1.0
+        assert actor.execution_time_ns(3) == 2.0
+
+    def test_sequences_are_coerced_to_phase_vectors(self):
+        actor = CSDFActor("a", [1.0, 2.0])
+        assert isinstance(actor.execution_times_ns, PhaseVector)
+
+    def test_wcet_phase_count_must_match(self):
+        with pytest.raises(CSDFError):
+            CSDFActor("a", PhaseVector([1.0, 2.0]), wcet_cycles=PhaseVector([1.0]))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CSDFError):
+            CSDFActor("", PhaseVector([1.0]))
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(CSDFError):
+            CSDFActor("a", PhaseVector([1.0]), frequency_hz=-1)
+
+
+class TestEdge:
+    def test_totals(self):
+        edge = CSDFEdge("e", "a", "b", PhaseVector([2, 0]), PhaseVector([1]))
+        assert edge.total_production == 2
+        assert edge.total_consumption == 1
+
+    def test_initial_tokens_cannot_exceed_capacity(self):
+        with pytest.raises(CSDFError):
+            CSDFEdge("e", "a", "b", PhaseVector([1]), PhaseVector([1]),
+                     initial_tokens=5, capacity=2)
+
+    def test_negative_initial_tokens_rejected(self):
+        with pytest.raises(CSDFError):
+            CSDFEdge("e", "a", "b", PhaseVector([1]), PhaseVector([1]), initial_tokens=-1)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CSDFError):
+            CSDFEdge("e", "a", "b", PhaseVector([1]), PhaseVector([1]), capacity=0)
+
+    def test_all_zero_rates_rejected(self):
+        with pytest.raises(CSDFError):
+            CSDFEdge("e", "a", "b", PhaseVector([0]), PhaseVector([0, 0]))
+
+    def test_with_capacity_returns_copy(self):
+        edge = CSDFEdge("e", "a", "b", PhaseVector([1]), PhaseVector([1]))
+        bounded = edge.with_capacity(4)
+        assert bounded.capacity == 4
+        assert edge.capacity is None
+        assert bounded.name == edge.name
+
+    def test_self_loop_detection(self):
+        edge = CSDFEdge("e", "a", "a", PhaseVector([1]), PhaseVector([1]), initial_tokens=1)
+        assert edge.is_self_loop()
+
+
+class TestGraph:
+    def test_duplicate_actor_rejected(self):
+        graph = CSDFGraph("g")
+        graph.add_actor(CSDFActor("a", PhaseVector([1.0])))
+        with pytest.raises(CSDFError):
+            graph.add_actor(CSDFActor("a", PhaseVector([1.0])))
+
+    def test_edge_requires_existing_actors(self):
+        graph = CSDFGraph("g")
+        graph.add_actor(CSDFActor("a", PhaseVector([1.0])))
+        with pytest.raises(CSDFError):
+            graph.add_edge(CSDFEdge("e", "a", "missing", PhaseVector([1]), PhaseVector([1])))
+
+    def test_rate_vector_length_checked_against_actor_phases(self):
+        graph = CSDFGraph("g")
+        graph.add_actor(CSDFActor("a", PhaseVector([1.0, 1.0])))
+        graph.add_actor(CSDFActor("b", PhaseVector([1.0])))
+        with pytest.raises(CSDFError):
+            graph.add_edge(
+                CSDFEdge("e", "a", "b", PhaseVector([1, 1, 1]), PhaseVector([1]))
+            )
+
+    def test_single_phase_rate_is_expanded_to_actor_phases(self):
+        graph = CSDFGraph("g")
+        graph.add_actor(CSDFActor("a", PhaseVector([1.0, 1.0])))
+        graph.add_actor(CSDFActor("b", PhaseVector([1.0])))
+        graph.add_edge(CSDFEdge("e", "a", "b", PhaseVector([1]), PhaseVector([2])))
+        # The constant-rate shorthand means "1 token in every phase of a".
+        assert graph.edge("e").production_rates == (1, 1)
+        assert graph.edge("e").total_production == 2
+
+    def test_input_output_edges(self, simple_chain_csdf):
+        assert [e.name for e in simple_chain_csdf.input_edges("b")] == ["e1_a_b"]
+        assert [e.name for e in simple_chain_csdf.output_edges("b")] == ["e2_b_c"]
+
+    def test_sources_and_sinks(self, simple_chain_csdf):
+        assert [a.name for a in simple_chain_csdf.sources()] == ["a"]
+        assert [a.name for a in simple_chain_csdf.sinks()] == ["c"]
+
+    def test_replace_edge_keeps_endpoints(self, simple_chain_csdf):
+        edge = simple_chain_csdf.edge("e1_a_b")
+        simple_chain_csdf.replace_edge(edge.with_capacity(3))
+        assert simple_chain_csdf.edge("e1_a_b").capacity == 3
+
+    def test_replace_edge_rejects_different_endpoints(self, simple_chain_csdf):
+        foreign = CSDFEdge("e1_a_b", "b", "c", PhaseVector([1]), PhaseVector([1]))
+        with pytest.raises(CSDFError):
+            simple_chain_csdf.replace_edge(foreign)
+
+    def test_copy_is_structural(self, simple_chain_csdf):
+        clone = simple_chain_csdf.copy("clone")
+        assert clone.name == "clone"
+        assert clone.actor_names == simple_chain_csdf.actor_names
+        assert len(clone.edges) == len(simple_chain_csdf.edges)
+
+    def test_actors_with_role(self):
+        graph = CSDFGraph("g")
+        graph.add_actor(CSDFActor("r", PhaseVector([1.0]), role="router"))
+        graph.add_actor(CSDFActor("p", PhaseVector([1.0]), role="process"))
+        assert [a.name for a in graph.actors_with_role("router")] == ["r"]
+
+
+class TestBuilder:
+    def test_builder_produces_graph(self, simple_chain_csdf):
+        assert len(simple_chain_csdf) == 3
+        assert len(simple_chain_csdf.edges) == 2
+
+    def test_actor_from_cycles_converts_to_time(self):
+        graph = (
+            CSDFBuilder("g")
+            .actor_from_cycles("a", [4, 4], frequency_hz=100e6)
+            .build()
+        )
+        assert graph.actor("a").execution_times_ns == (40.0, 40.0)
+        assert graph.actor("a").wcet_cycles == (4, 4)
+
+    def test_explicit_edge_names(self):
+        graph = (
+            CSDFBuilder("g")
+            .actor("a", [1.0])
+            .actor("b", [1.0])
+            .edge("a", "b", name="myedge")
+            .build()
+        )
+        assert graph.edge("myedge").target == "b"

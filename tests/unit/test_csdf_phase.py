@@ -1,0 +1,96 @@
+"""Phase vectors and the compact phase specification."""
+
+import pytest
+
+from repro.csdf.phase import PhaseVector, expand_phase_spec
+
+
+class TestExpandPhaseSpec:
+    def test_plain_numbers(self):
+        assert expand_phase_spec([64, 0, 0]) == (64, 0, 0)
+
+    def test_repeated_scalar(self):
+        assert expand_phase_spec([(8, 2)]) == (8, 8)
+
+    def test_repeated_pattern(self):
+        assert expand_phase_spec([((8, 0), 3)]) == (8, 0, 8, 0, 8, 0)
+
+    def test_paper_prefix_removal_input(self):
+        values = expand_phase_spec([(8, 2), ((8, 0), 8)])
+        assert len(values) == 18
+        assert sum(values) == 80
+
+    def test_zero_repetition_gives_nothing(self):
+        assert expand_phase_spec([(5, 0), 1]) == (1,)
+
+    def test_invalid_element_rejected(self):
+        with pytest.raises(ValueError):
+            expand_phase_spec(["eight"])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            expand_phase_spec([(8, -1)])
+
+
+class TestPhaseVector:
+    def test_requires_at_least_one_phase(self):
+        with pytest.raises(ValueError):
+            PhaseVector([])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            PhaseVector([1, -2])
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(ValueError):
+            PhaseVector([1, "x"])
+
+    def test_length_and_iteration(self):
+        vector = PhaseVector([1, 2, 3])
+        assert len(vector) == 3
+        assert list(vector) == [1, 2, 3]
+
+    def test_cyclic_access(self):
+        vector = PhaseVector([1, 2, 3])
+        assert vector.at(0) == 1
+        assert vector.at(4) == 2
+        assert vector.at(300) == 1
+
+    def test_total_and_max(self):
+        vector = PhaseVector([1, 2, 3])
+        assert vector.total() == 6
+        assert vector.max() == 3
+
+    def test_is_zero(self):
+        assert PhaseVector([0, 0]).is_zero()
+        assert not PhaseVector([0, 1]).is_zero()
+
+    def test_equality_with_tuples(self):
+        assert PhaseVector([1, 2]) == (1, 2)
+        assert PhaseVector([1, 2]) == PhaseVector([1, 2])
+        assert PhaseVector([1, 2]) != PhaseVector([2, 1])
+
+    def test_hashable(self):
+        assert hash(PhaseVector([1, 2])) == hash(PhaseVector([1, 2]))
+
+    def test_constant_constructor(self):
+        assert PhaseVector.constant(4, 3) == (4, 4, 4)
+        with pytest.raises(ValueError):
+            PhaseVector.constant(4, 0)
+
+    def test_from_spec(self):
+        assert PhaseVector.from_spec([(1, 2), 5]) == (1, 1, 5)
+
+    def test_repeated(self):
+        assert PhaseVector([1, 2]).repeated(2) == (1, 2, 1, 2)
+        with pytest.raises(ValueError):
+            PhaseVector([1]).repeated(0)
+
+    def test_scaled(self):
+        assert PhaseVector([1, 2]).scaled(3) == (3, 6)
+        with pytest.raises(ValueError):
+            PhaseVector([1]).scaled(-1)
+
+    def test_compact_str_compresses_runs(self):
+        assert PhaseVector([1, 1, 1, 2]).compact_str() == "<1^3, 2>"
+        assert PhaseVector([5]).compact_str() == "<5>"

@@ -1,0 +1,105 @@
+"""Repetition vectors and consistency of CSDF graphs."""
+
+import pytest
+
+from repro.csdf.builder import CSDFBuilder
+from repro.csdf.repetition import cycle_vector, is_consistent, repetition_vector
+from repro.exceptions import InconsistentGraphError
+
+
+class TestRepetitionVector:
+    def test_unit_rate_chain(self, simple_chain_csdf):
+        assert repetition_vector(simple_chain_csdf) == {"a": 1, "b": 1, "c": 1}
+
+    def test_multirate_chain(self, multirate_csdf):
+        # a produces 2, b consumes 1 => b fires twice per a firing;
+        # b produces 3, c consumes 2 => c fires 3 times per 2 b firings.
+        assert repetition_vector(multirate_csdf) == {"a": 1, "b": 2, "c": 3}
+
+    def test_cycle_vector_counts_phase_cycles(self):
+        graph = (
+            CSDFBuilder("g")
+            .actor("a", [1.0])
+            .actor("b", [1.0, 1.0])  # two phases
+            .edge("a", "b", production=[4], consumption=[1, 1])
+            .build()
+        )
+        cycles = cycle_vector(graph)
+        # a produces 4 per cycle; b consumes 2 per cycle of 2 phases -> 2 cycles of b.
+        assert cycles == {"a": 1, "b": 2}
+        assert repetition_vector(graph) == {"a": 1, "b": 4}
+
+    def test_inconsistent_graph_detected(self):
+        graph = (
+            CSDFBuilder("bad")
+            .actor("a", [1.0])
+            .actor("b", [1.0])
+            .edge("a", "b", production=[2], consumption=[1])
+            .edge("a", "b", production=[1], consumption=[1])
+            .build()
+        )
+        with pytest.raises(InconsistentGraphError):
+            repetition_vector(graph)
+        assert not is_consistent(graph)
+
+    def test_cyclic_graph_with_consistent_rates(self):
+        graph = (
+            CSDFBuilder("loop")
+            .actor("a", [1.0])
+            .actor("b", [1.0])
+            .edge("a", "b", production=[1], consumption=[1])
+            .edge("b", "a", production=[1], consumption=[1], initial_tokens=1)
+            .build()
+        )
+        assert repetition_vector(graph) == {"a": 1, "b": 1}
+
+    def test_disconnected_components_each_get_a_solution(self):
+        graph = (
+            CSDFBuilder("two_parts")
+            .actor("a", [1.0])
+            .actor("b", [1.0])
+            .actor("x", [1.0])
+            .actor("y", [1.0])
+            .edge("a", "b", production=[2], consumption=[1])
+            .edge("x", "y", production=[1], consumption=[3])
+            .build()
+        )
+        repetitions = repetition_vector(graph)
+        assert repetitions["b"] == 2 * repetitions["a"]
+        assert repetitions["x"] == 3 * repetitions["y"]
+
+    def test_zero_rate_on_one_side_is_inconsistent(self):
+        graph = (
+            CSDFBuilder("zero")
+            .actor("a", [1.0])
+            .actor("b", [1.0, 1.0])
+            .edge("a", "b", production=[1], consumption=[0, 0])
+            .build()
+        )
+        with pytest.raises(InconsistentGraphError):
+            repetition_vector(graph)
+
+    def test_empty_graph_rejected(self):
+        from repro.csdf.graph import CSDFGraph
+
+        with pytest.raises(InconsistentGraphError):
+            repetition_vector(CSDFGraph("empty"))
+
+    def test_hiperlan_like_rates(self):
+        # Mirrors the A/D -> prefix-removal -> frequency-offset structure.
+        graph = (
+            CSDFBuilder("hl2")
+            .actor("adc", [0.0])
+            .actor("pfx", [1.0] * 18)
+            .actor("frq", [18.0, 32.0, 18.0])
+            .edge("adc", "pfx", production=[80],
+                  consumption=[8, 8, 8, 0, 8, 0, 8, 0, 8, 0, 8, 0, 8, 0, 8, 0, 8, 0])
+            .edge("pfx", "frq",
+                  production=[0, 0, 0, 8, 0, 8, 0, 8, 0, 8, 0, 8, 0, 8, 0, 8, 0, 8],
+                  consumption=[8, 0, 0])
+            .build()
+        )
+        repetitions = repetition_vector(graph)
+        assert repetitions["adc"] == 1
+        assert repetitions["pfx"] == 18
+        assert repetitions["frq"] == 24  # 8 cycles of 3 phases

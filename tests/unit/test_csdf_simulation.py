@@ -1,0 +1,144 @@
+"""Self-timed simulation of CSDF graphs."""
+
+import pytest
+
+from repro.csdf.builder import CSDFBuilder
+from repro.csdf.analysis.simulation import SelfTimedSimulator, simulate
+from repro.exceptions import DeadlockError
+
+
+class TestBasicExecution:
+    def test_chain_executes_all_firings(self, simple_chain_csdf):
+        result = simulate(simple_chain_csdf, iterations=3)
+        assert not result.deadlocked
+        assert result.completed_iterations == 3
+        for actor in ("a", "b", "c"):
+            assert len(result.firings_of(actor)) == 3
+
+    def test_pipeline_timing_first_iteration(self, simple_chain_csdf):
+        result = simulate(simple_chain_csdf, iterations=1)
+        a = result.firings_of("a")[0]
+        b = result.firings_of("b")[0]
+        c = result.firings_of("c")[0]
+        assert a.start_ns == 0.0 and a.finish_ns == 10.0
+        assert b.start_ns == 10.0 and b.finish_ns == 30.0
+        assert c.start_ns == 30.0 and c.finish_ns == 35.0
+
+    def test_steady_state_period_is_bottleneck(self, simple_chain_csdf):
+        result = simulate(simple_chain_csdf, iterations=10)
+        # The 20 ns actor dominates the pipeline.
+        assert result.steady_state_period_ns() == pytest.approx(20.0, rel=0.05)
+
+    def test_multirate_firing_counts(self, multirate_csdf):
+        result = simulate(multirate_csdf, iterations=2)
+        assert len(result.firings_of("a")) == 2
+        assert len(result.firings_of("b")) == 4
+        assert len(result.firings_of("c")) == 6
+
+    def test_iteration_requires_positive_count(self, simple_chain_csdf):
+        with pytest.raises(ValueError):
+            SelfTimedSimulator(simple_chain_csdf, iterations=0)
+
+    def test_max_occupancy_recorded(self, simple_chain_csdf):
+        result = simulate(simple_chain_csdf, iterations=5)
+        # "a" finishes every 10 ns while "b" takes 20 ns, so tokens pile up on
+        # the first edge but never on the second.
+        assert result.max_occupancy["e1_a_b"] >= 2
+        assert result.max_occupancy["e2_b_c"] >= 1
+
+
+class TestInitialTokensAndCycles:
+    def test_cycle_with_initial_token_runs(self):
+        graph = (
+            CSDFBuilder("loop")
+            .actor("a", [5.0])
+            .actor("b", [5.0])
+            .edge("a", "b", production=[1], consumption=[1])
+            .edge("b", "a", production=[1], consumption=[1], initial_tokens=1)
+            .build()
+        )
+        result = simulate(graph, iterations=4)
+        assert not result.deadlocked
+        assert result.completed_iterations == 4
+        # With a single token circulating, a and b alternate strictly.
+        assert result.steady_state_period_ns() == pytest.approx(10.0)
+
+    def test_cycle_without_initial_token_deadlocks(self):
+        graph = (
+            CSDFBuilder("deadlock")
+            .actor("a", [5.0])
+            .actor("b", [5.0])
+            .edge("a", "b", production=[1], consumption=[1])
+            .edge("b", "a", production=[1], consumption=[1])
+            .build()
+        )
+        result = simulate(graph, iterations=1)
+        assert result.deadlocked
+        assert result.completed_iterations == 0
+        with pytest.raises(DeadlockError):
+            result.steady_state_period_ns()
+
+
+class TestBoundedBuffers:
+    def test_capacity_one_serialises_producer_and_consumer(self):
+        graph = (
+            CSDFBuilder("bounded")
+            .actor("fast", [1.0])
+            .actor("slow", [10.0])
+            .edge("fast", "slow", production=[1], consumption=[1], capacity=1)
+            .build()
+        )
+        result = simulate(graph, iterations=5)
+        assert not result.deadlocked
+        assert result.max_occupancy["e1_fast_slow"] <= 1
+        # The fast producer is throttled by back-pressure to the slow consumer.
+        assert result.steady_state_period_ns() == pytest.approx(10.0, rel=0.1)
+
+    def test_larger_capacity_reduces_blocking(self):
+        def run(capacity):
+            graph = (
+                CSDFBuilder("bounded")
+                .actor("fast", [1.0])
+                .actor("slow", [10.0])
+                .edge("fast", "slow", production=[1], consumption=[1], capacity=capacity)
+                .build()
+            )
+            return simulate(graph, iterations=5)
+
+        small = run(1)
+        large = run(8)
+        first_fast_small = small.firings_of("fast")[2].start_ns
+        first_fast_large = large.firings_of("fast")[2].start_ns
+        assert first_fast_large < first_fast_small
+
+    def test_insufficient_capacity_for_burst_deadlocks(self):
+        graph = (
+            CSDFBuilder("too_small")
+            .actor("burst", [1.0])
+            .actor("sink", [1.0])
+            .edge("burst", "sink", production=[4], consumption=[4], capacity=2)
+            .build()
+        )
+        result = simulate(graph, iterations=1)
+        assert result.deadlocked
+
+
+class TestPeriodicSources:
+    def test_source_respects_period(self, simple_chain_csdf):
+        result = simulate(simple_chain_csdf, iterations=4, source_period_ns=100.0)
+        starts = [f.start_ns for f in result.firings_of("a")]
+        assert starts == [0.0, 100.0, 200.0, 300.0]
+
+    def test_period_slower_than_pipeline_sets_throughput(self, simple_chain_csdf):
+        result = simulate(simple_chain_csdf, iterations=6, source_period_ns=50.0)
+        assert result.steady_state_period_ns() == pytest.approx(50.0, rel=0.05)
+
+    def test_unknown_periodic_actor_rejected(self, simple_chain_csdf):
+        with pytest.raises(ValueError):
+            SelfTimedSimulator(
+                simple_chain_csdf, 2, source_period_ns=10.0, periodic_actors=("zz",)
+            )
+
+    def test_latency_measurement(self, simple_chain_csdf):
+        result = simulate(simple_chain_csdf, iterations=3, source_period_ns=100.0)
+        assert result.iteration_latency_ns("a", "c", 0) == pytest.approx(35.0)

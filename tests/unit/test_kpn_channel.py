@@ -1,0 +1,49 @@
+"""Channels of a KPN."""
+
+import pytest
+
+from repro.kpn.channel import Channel
+
+
+class TestChannelValidation:
+    def test_basic_channel(self):
+        channel = Channel("c", "a", "b", tokens_per_iteration=64)
+        assert channel.endpoints() == ("a", "b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("", "a", "b")
+
+    def test_missing_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("c", "", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("c", "a", "a")
+
+    def test_negative_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("c", "a", "b", tokens_per_iteration=-1)
+
+    def test_zero_token_size_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("c", "a", "b", token_size_bits=0)
+
+
+class TestChannelVolumes:
+    def test_bits_per_iteration(self):
+        channel = Channel("c", "a", "b", tokens_per_iteration=80, token_size_bits=32)
+        assert channel.bits_per_iteration == 2560
+
+    def test_bytes_per_iteration(self):
+        channel = Channel("c", "a", "b", tokens_per_iteration=80, token_size_bits=32)
+        assert channel.bytes_per_iteration == 320
+
+    def test_control_channel_flag(self):
+        channel = Channel("c", "ctrl", "demap", is_control=True)
+        assert channel.is_control
+
+    def test_str_mentions_endpoints(self):
+        text = str(Channel("c", "a", "b"))
+        assert "a" in text and "b" in text

@@ -1,0 +1,112 @@
+"""The KPN graph container."""
+
+import pytest
+
+from repro.exceptions import KPNError
+from repro.kpn.channel import Channel
+from repro.kpn.graph import KPNGraph
+from repro.kpn.process import Process, ProcessKind
+
+
+@pytest.fixture()
+def graph():
+    kpn = KPNGraph("app")
+    kpn.add_process(Process("src", ProcessKind.SOURCE, pinned_tile="io"))
+    kpn.add_process(Process("a"))
+    kpn.add_process(Process("b"))
+    kpn.add_process(Process("snk", ProcessKind.SINK, pinned_tile="io"))
+    kpn.add_process(Process("ctrl", ProcessKind.CONTROL))
+    kpn.add_channel(Channel("c0", "src", "a", tokens_per_iteration=8))
+    kpn.add_channel(Channel("c1", "a", "b", tokens_per_iteration=4))
+    kpn.add_channel(Channel("c2", "b", "snk", tokens_per_iteration=2))
+    kpn.add_channel(Channel("cc", "ctrl", "b", is_control=True))
+    return kpn
+
+
+class TestConstruction:
+    def test_empty_name_rejected(self):
+        with pytest.raises(KPNError):
+            KPNGraph("")
+
+    def test_duplicate_process_rejected(self, graph):
+        with pytest.raises(KPNError):
+            graph.add_process(Process("a"))
+
+    def test_duplicate_channel_rejected(self, graph):
+        with pytest.raises(KPNError):
+            graph.add_channel(Channel("c0", "a", "b"))
+
+    def test_channel_with_unknown_endpoint_rejected(self, graph):
+        with pytest.raises(KPNError):
+            graph.add_channel(Channel("cx", "a", "nonexistent"))
+
+    def test_bulk_add(self):
+        kpn = KPNGraph("bulk")
+        kpn.add_processes([Process("x"), Process("y")])
+        kpn.add_channels([Channel("c", "x", "y")])
+        assert len(kpn) == 2
+        assert len(kpn.channels) == 1
+
+
+class TestAccess:
+    def test_process_lookup(self, graph):
+        assert graph.process("a").name == "a"
+
+    def test_unknown_process_raises(self, graph):
+        with pytest.raises(KPNError):
+            graph.process("zz")
+
+    def test_channel_lookup(self, graph):
+        assert graph.channel("c1").source == "a"
+
+    def test_unknown_channel_raises(self, graph):
+        with pytest.raises(KPNError):
+            graph.channel("zz")
+
+    def test_contains_and_len(self, graph):
+        assert "a" in graph
+        assert "zz" not in graph
+        assert len(graph) == 5
+
+    def test_iteration_order_is_insertion_order(self, graph):
+        assert [p.name for p in graph] == ["src", "a", "b", "snk", "ctrl"]
+
+    def test_process_names(self, graph):
+        assert graph.process_names == ("src", "a", "b", "snk", "ctrl")
+
+
+class TestQueries:
+    def test_mappable_processes_excludes_pinned_and_control(self, graph):
+        assert [p.name for p in graph.mappable_processes()] == ["a", "b"]
+
+    def test_pinned_processes(self, graph):
+        assert {p.name for p in graph.pinned_processes()} == {"src", "snk"}
+
+    def test_data_channels_exclude_control(self, graph):
+        assert [c.name for c in graph.data_channels()] == ["c0", "c1", "c2"]
+
+    def test_channels_of(self, graph):
+        assert {c.name for c in graph.channels_of("b")} == {"c1", "c2", "cc"}
+
+    def test_incoming_outgoing(self, graph):
+        assert [c.name for c in graph.incoming_channels("a")] == ["c0"]
+        assert [c.name for c in graph.outgoing_channels("a")] == ["c1"]
+
+    def test_neighbours(self, graph):
+        assert set(graph.neighbours("b")) == {"a", "snk", "ctrl"}
+
+    def test_sources_and_sinks(self, graph):
+        assert [p.name for p in graph.sources()] == ["src"]
+        assert [p.name for p in graph.sinks()] == ["snk"]
+
+    def test_topological_order_respects_data_channels(self, graph):
+        order = graph.topological_order()
+        assert order.index("src") < order.index("a") < order.index("b") < order.index("snk")
+
+    def test_topological_order_detects_cycles(self):
+        kpn = KPNGraph("cyclic")
+        kpn.add_processes([Process("x"), Process("y")])
+        kpn.add_channel(Channel("cxy", "x", "y"))
+        kpn.add_channel(Channel("cyx", "y", "x"))
+        with pytest.raises(KPNError):
+            kpn.topological_order()

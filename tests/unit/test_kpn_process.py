@@ -1,0 +1,61 @@
+"""Processes of a KPN."""
+
+import pytest
+
+from repro.kpn.process import Process, ProcessKind
+
+
+class TestProcessConstruction:
+    def test_default_kind_is_kernel(self):
+        assert Process("fft").kind is ProcessKind.KERNEL
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Process("")
+
+    def test_source_requires_pinned_tile(self):
+        with pytest.raises(ValueError):
+            Process("adc", ProcessKind.SOURCE)
+
+    def test_sink_requires_pinned_tile(self):
+        with pytest.raises(ValueError):
+            Process("out", ProcessKind.SINK)
+
+    def test_kernel_must_not_be_pinned(self):
+        with pytest.raises(ValueError):
+            Process("fft", ProcessKind.KERNEL, pinned_tile="arm1")
+
+    def test_source_with_tile_is_valid(self):
+        process = Process("adc", ProcessKind.SOURCE, pinned_tile="adc_tile")
+        assert process.pinned_tile == "adc_tile"
+
+
+class TestProcessClassification:
+    def test_kernel_is_mappable(self):
+        assert Process("fft").is_mappable
+
+    def test_source_is_not_mappable(self):
+        assert not Process("adc", ProcessKind.SOURCE, pinned_tile="t").is_mappable
+
+    def test_sink_is_not_mappable(self):
+        assert not Process("out", ProcessKind.SINK, pinned_tile="t").is_mappable
+
+    def test_control_is_not_mappable(self):
+        # Control processes are outside the data stream (paper section 4.1).
+        assert not Process("ctrl", ProcessKind.CONTROL).is_mappable
+
+    def test_pinned_flags(self):
+        assert Process("adc", ProcessKind.SOURCE, pinned_tile="t").is_pinned
+        assert Process("out", ProcessKind.SINK, pinned_tile="t").is_pinned
+        assert not Process("fft").is_pinned
+
+    def test_control_is_not_data_process(self):
+        assert not Process("ctrl", ProcessKind.CONTROL).is_data_process
+        assert Process("fft").is_data_process
+
+    def test_str_is_name(self):
+        assert str(Process("fft")) == "fft"
+
+    def test_processes_hashable_and_equal_by_value(self):
+        assert Process("fft") == Process("fft")
+        assert hash(Process("fft")) == hash(Process("fft"))

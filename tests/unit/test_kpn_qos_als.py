@@ -1,0 +1,116 @@
+"""QoS constraints, ALS bundling and KPN validation."""
+
+import pytest
+
+from repro.exceptions import KPNError
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.channel import Channel
+from repro.kpn.graph import KPNGraph
+from repro.kpn.process import Process, ProcessKind
+from repro.kpn.qos import QoSConstraints
+from repro.kpn.validation import validate_kpn
+
+
+class TestQoSConstraints:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QoSConstraints(period_ns=0)
+
+    def test_latency_must_be_positive_when_given(self):
+        with pytest.raises(ValueError):
+            QoSConstraints(period_ns=100, max_latency_ns=-1)
+
+    def test_energy_budget_must_be_positive_when_given(self):
+        with pytest.raises(ValueError):
+            QoSConstraints(period_ns=100, max_energy_nj_per_iteration=0)
+
+    def test_throughput_property(self):
+        qos = QoSConstraints(period_ns=4000.0)
+        assert qos.throughput_iterations_per_s == pytest.approx(250_000.0)
+
+    def test_satisfied_by_period_only(self):
+        qos = QoSConstraints(period_ns=4000.0)
+        assert qos.satisfied_by(3999.0)
+        assert qos.satisfied_by(4000.0)
+        assert not qos.satisfied_by(4001.0)
+
+    def test_satisfied_by_with_latency(self):
+        qos = QoSConstraints(period_ns=4000.0, max_latency_ns=10_000.0)
+        assert qos.satisfied_by(3000.0, latency_ns=9000.0)
+        assert not qos.satisfied_by(3000.0, latency_ns=11_000.0)
+
+    def test_latency_bound_requires_latency_value(self):
+        qos = QoSConstraints(period_ns=4000.0, max_latency_ns=10_000.0)
+        assert not qos.satisfied_by(3000.0, latency_ns=None)
+
+
+def _chain_kpn() -> KPNGraph:
+    kpn = KPNGraph("chain")
+    kpn.add_process(Process("src", ProcessKind.SOURCE, pinned_tile="io"))
+    kpn.add_process(Process("k"))
+    kpn.add_process(Process("snk", ProcessKind.SINK, pinned_tile="io"))
+    kpn.add_channel(Channel("c0", "src", "k"))
+    kpn.add_channel(Channel("c1", "k", "snk"))
+    return kpn
+
+
+class TestValidation:
+    def test_valid_chain_passes(self):
+        validate_kpn(_chain_kpn())
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(KPNError):
+            validate_kpn(KPNGraph("empty"))
+
+    def test_disconnected_kernel_rejected(self):
+        kpn = _chain_kpn()
+        kpn.add_process(Process("orphan"))
+        with pytest.raises(KPNError):
+            validate_kpn(kpn)
+
+    def test_disconnected_control_process_allowed(self):
+        kpn = _chain_kpn()
+        kpn.add_process(Process("ctrl", ProcessKind.CONTROL))
+        validate_kpn(kpn)
+
+    def test_source_with_incoming_data_rejected(self):
+        kpn = KPNGraph("bad")
+        kpn.add_process(Process("src", ProcessKind.SOURCE, pinned_tile="io"))
+        kpn.add_process(Process("k"))
+        kpn.add_channel(Channel("c0", "src", "k"))
+        kpn.add_channel(Channel("c1", "k", "src"))
+        with pytest.raises(KPNError):
+            validate_kpn(kpn)
+
+    def test_sink_with_outgoing_data_rejected(self):
+        kpn = KPNGraph("bad")
+        kpn.add_process(Process("snk", ProcessKind.SINK, pinned_tile="io"))
+        kpn.add_process(Process("k"))
+        kpn.add_channel(Channel("c0", "snk", "k"))
+        kpn.add_channel(Channel("c1", "k", "snk"))
+        with pytest.raises(KPNError):
+            validate_kpn(kpn)
+
+
+class TestALS:
+    def test_name_defaults_to_kpn_name(self):
+        als = ApplicationLevelSpec(kpn=_chain_kpn(), qos=QoSConstraints(period_ns=1000))
+        assert als.name == "chain"
+
+    def test_period_shortcut(self):
+        als = ApplicationLevelSpec(kpn=_chain_kpn(), qos=QoSConstraints(period_ns=1234.0))
+        assert als.period_ns == 1234.0
+
+    def test_validation_runs_on_construction(self):
+        kpn = _chain_kpn()
+        kpn.add_process(Process("orphan"))
+        with pytest.raises(KPNError):
+            ApplicationLevelSpec(kpn=kpn, qos=QoSConstraints(period_ns=1000))
+
+    def test_mappable_process_names(self):
+        als = ApplicationLevelSpec(kpn=_chain_kpn(), qos=QoSConstraints(period_ns=1000))
+        assert als.mappable_process_names() == ("k",)
+
+    def test_pinned_assignments(self):
+        als = ApplicationLevelSpec(kpn=_chain_kpn(), qos=QoSConstraints(period_ns=1000))
+        assert als.pinned_assignments() == {"src": "io", "snk": "io"}

@@ -1,0 +1,76 @@
+"""Step-1 desirability ordering."""
+
+import math
+
+import pytest
+
+from repro.appmodel.implementation import DEFAULT_PORT, Implementation
+from repro.csdf.phase import PhaseVector
+from repro.spatialmapper.desirability import AssignmentOption, assignment_options, desirability
+
+
+def _impl(process, tile_type, energy):
+    return Implementation(
+        process=process,
+        tile_type=tile_type,
+        wcet_cycles=PhaseVector([1.0]),
+        input_rates={DEFAULT_PORT: PhaseVector([1.0])},
+        output_rates={DEFAULT_PORT: PhaseVector([1.0])},
+        energy_nj_per_iteration=energy,
+    )
+
+
+class TestDesirability:
+    def test_no_options_is_minus_infinity(self):
+        assert desirability([]) == -math.inf
+
+    def test_single_cost_level_is_plus_infinity(self):
+        options = [
+            AssignmentOption(_impl("p", "ARM", 10.0), "arm1", 10.0),
+            AssignmentOption(_impl("p", "ARM", 10.0), "arm2", 10.0),
+        ]
+        assert desirability(options) == math.inf
+
+    def test_difference_between_two_cheapest_levels(self):
+        options = [
+            AssignmentOption(_impl("p", "M", 143.0), "m1", 143.0),
+            AssignmentOption(_impl("p", "M", 143.0), "m2", 143.0),
+            AssignmentOption(_impl("p", "ARM", 275.0), "a1", 275.0),
+        ]
+        assert desirability(options) == pytest.approx(132.0)
+
+    def test_paper_desirability_ordering(self, hiperlan_library):
+        """The Inverse OFDM must be the most desirable process of the example."""
+        deltas = {}
+        for process in ("prefix_removal", "freq_offset_correction", "inverse_ofdm", "remainder"):
+            implementations = hiperlan_library.implementations_for(process)
+            options = [
+                AssignmentOption(impl, f"tile_{impl.tile_type}", impl.energy_nj_per_iteration)
+                for impl in implementations
+            ]
+            deltas[process] = desirability(options)
+        assert deltas["inverse_ofdm"] == pytest.approx(132.0)
+        assert deltas["remainder"] == pytest.approx(64.0)
+        assert deltas["freq_offset_correction"] == pytest.approx(29.0)
+        assert deltas["prefix_removal"] == pytest.approx(28.0)
+        ordering = sorted(deltas, key=deltas.get, reverse=True)
+        assert ordering == [
+            "inverse_ofdm",
+            "remainder",
+            "freq_offset_correction",
+            "prefix_removal",
+        ]
+
+
+class TestAssignmentOptions:
+    def test_options_sorted_by_cost_then_tile(self):
+        cheap = _impl("p", "M", 5.0)
+        expensive = _impl("p", "ARM", 9.0)
+        options = assignment_options(
+            "p", [(expensive, ["arm2", "arm1"]), (cheap, ["m1"])]
+        )
+        assert [o.tile for o in options] == ["m1", "arm1", "arm2"]
+        assert options[0].implementation is cheap
+
+    def test_empty_candidates_give_empty_options(self):
+        assert assignment_options("p", []) == []

@@ -1,0 +1,127 @@
+"""The full spatial mapper: feedback loop, result bookkeeping, configuration."""
+
+import pytest
+
+from repro.exceptions import NoFeasibleMappingError
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.qos import QoSConstraints
+from repro.mapping.result import MappingStatus
+from repro.platform.state import PlatformState, ProcessAllocation
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.workloads import hiperlan2
+
+
+class TestHiperlanMapping:
+    def test_full_mapping_is_feasible(self, case_study):
+        als, platform, library = case_study
+        result = SpatialMapper(platform, library).map(als)
+        assert result.status is MappingStatus.FEASIBLE
+        assert result.manhattan_cost == pytest.approx(7.0)
+        assert result.mapped_csdf is not None
+        assert result.runtime_s > 0
+
+    def test_final_energy_matches_table1_selection(self, case_study):
+        als, platform, library = case_study
+        result = SpatialMapper(platform, library).map(als)
+        # Montium implementations for the two heavy kernels, ARM for the rest:
+        # 32? no - prefix/freq stay on ARM: 60 + 62, iOFDM + remainder on Montium: 143 + 76.
+        assert result.mapping.computation_energy_nj() == pytest.approx(60 + 62 + 143 + 76)
+
+    def test_summary_mentions_feasibility(self, case_study):
+        als, platform, library = case_study
+        result = SpatialMapper(platform, library).map(als)
+        assert "feasible" in result.summary()
+
+    def test_trace_is_kept_on_the_mapper(self, case_study):
+        als, platform, library = case_study
+        mapper = SpatialMapper(platform, library)
+        mapper.map(als)
+        assert mapper.last_trace.step2_traces
+        assert mapper.last_trace.last_step2_trace.final_cost == pytest.approx(7.0)
+
+    def test_mapping_respects_existing_allocations(self, case_study):
+        als, platform, library = case_study
+        state = PlatformState(platform)
+        state.allocate_process(ProcessAllocation("other", "x", "montium2"))
+        result = SpatialMapper(platform, library).map(als, state)
+        used_tiles = {a.tile for a in result.mapping.assignments if a.implementation}
+        assert "montium2" not in used_tiles
+
+    def test_partially_occupied_platform_cannot_host_all_processes(self, case_study):
+        """With one Montium taken only three processing tiles remain for the
+        four receiver kernels, so the mapping attempt fails (and says why)."""
+        als, platform, library = case_study
+        state = PlatformState(platform)
+        state.allocate_process(ProcessAllocation("other", "x", "montium1"))
+        mapper = SpatialMapper(platform, library)
+        result = mapper.map(als, state)
+        assert result.status is MappingStatus.FAILED
+        assert result.diagnostics
+
+    def test_feedback_loop_iterates_on_infeasible_qos(self, case_study):
+        """A period below what the pipeline can sustain (but still routable)
+        triggers step-4 feedback (ban the bottleneck implementation) and a new
+        refinement iteration before giving up."""
+        als, platform, library = case_study
+        impossible = ApplicationLevelSpec(
+            kpn=als.kpn, qos=QoSConstraints(period_ns=3000.0), name="impossible"
+        )
+        mapper = SpatialMapper(platform, library)
+        result = mapper.map(impossible)
+        assert not result.is_feasible
+        assert mapper.last_trace.refinement_iterations >= 2
+        assert mapper.last_trace.feedback_log
+
+    def test_raise_on_failure(self, case_study):
+        als, platform, library = case_study
+        state = PlatformState(platform)
+        for tile in ("montium1", "montium2", "arm1", "arm2"):
+            state.allocate_process(ProcessAllocation("other", f"p_{tile}", tile))
+        mapper = SpatialMapper(platform, library)
+        with pytest.raises(NoFeasibleMappingError):
+            mapper.map(als, state, raise_on_failure=True)
+
+    def test_failed_mapping_reports_diagnostics(self, case_study):
+        als, platform, library = case_study
+        state = PlatformState(platform)
+        for tile in ("montium1", "montium2", "arm1", "arm2"):
+            state.allocate_process(ProcessAllocation("other", f"p_{tile}", tile))
+        result = SpatialMapper(platform, library).map(als, state)
+        assert result.status is MappingStatus.FAILED
+        assert result.diagnostics
+
+    def test_unsustainable_period_returns_best_adherent_mapping(self, case_study):
+        als, platform, library = case_study
+        impossible = ApplicationLevelSpec(
+            kpn=als.kpn, qos=QoSConstraints(period_ns=3000.0), name="impossible"
+        )
+        result = SpatialMapper(platform, library).map(impossible)
+        assert result.status is MappingStatus.ADHERENT
+        assert not result.is_feasible
+        assert result.feasibility is not None and not result.feasibility.satisfied
+
+    def test_unroutable_period_returns_adequate_mapping(self, case_study):
+        """A nonsensically tight period makes even the guaranteed-throughput
+        routing impossible; the mapper still returns its best partial result."""
+        als, platform, library = case_study
+        impossible = ApplicationLevelSpec(
+            kpn=als.kpn, qos=QoSConstraints(period_ns=10.0), name="unroutable"
+        )
+        result = SpatialMapper(platform, library).map(impossible)
+        assert result.status is MappingStatus.ADEQUATE
+        assert not result.is_feasible
+
+    def test_max_feedback_iterations_bounds_work(self, case_study):
+        als, platform, library = case_study
+        config = MapperConfig(max_feedback_iterations=1)
+        result = SpatialMapper(platform, library, config).map(als)
+        assert result.iterations == 1
+
+
+class TestMappingStatusOrdering:
+    def test_at_least(self):
+        assert MappingStatus.FEASIBLE.at_least(MappingStatus.ADHERENT)
+        assert MappingStatus.ADHERENT.at_least(MappingStatus.ADHERENT)
+        assert not MappingStatus.ADEQUATE.at_least(MappingStatus.ADHERENT)
+        assert not MappingStatus.FAILED.at_least(MappingStatus.FEASIBLE)

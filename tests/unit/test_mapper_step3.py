@@ -1,0 +1,114 @@
+"""Step 3: channel routing over the NoC."""
+
+import pytest
+
+from repro.spatialmapper.feedback import FeedbackKind
+from repro.spatialmapper.step1_implementation import select_implementations
+from repro.spatialmapper.step2_tile_assignment import refine_tile_assignment
+from repro.spatialmapper.step3_routing import channel_throughput_bits_per_s, route_channels
+from repro.workloads import hiperlan2
+
+
+@pytest.fixture()
+def placed(case_study):
+    als, platform, library = case_study
+    step1 = select_implementations(als, platform, library)
+    step2 = refine_tile_assignment(step1.mapping, als, platform)
+    return als, platform, library, step2.mapping
+
+
+class TestRouting:
+    def test_all_data_channels_routed(self, placed):
+        als, platform, library, mapping = placed
+        result = route_channels(mapping, als, platform)
+        assert result.succeeded
+        for channel in als.kpn.data_channels():
+            assert result.mapping.is_routed(channel.name)
+
+    def test_control_channels_not_routed(self, placed):
+        als, platform, library, mapping = placed
+        result = route_channels(mapping, als, platform)
+        assert not result.mapping.is_routed("c_ctrl_rem")
+
+    def test_route_hops_equal_manhattan_distance_on_uncongested_noc(self, placed):
+        als, platform, library, mapping = placed
+        result = route_channels(mapping, als, platform)
+        for route in result.mapping.routes:
+            expected = platform.distance(route.source_tile, route.target_tile)
+            assert route.hops == expected
+
+    def test_total_hops_match_final_manhattan_cost(self, placed):
+        als, platform, library, mapping = placed
+        result = route_channels(mapping, als, platform)
+        assert sum(route.hops for route in result.mapping.routes) == 7
+
+    def test_routes_start_and_end_at_endpoint_routers(self, placed):
+        als, platform, library, mapping = placed
+        result = route_channels(mapping, als, platform)
+        for route in result.mapping.routes:
+            assert route.path[0] == platform.tile(route.source_tile).position
+            assert route.path[-1] == platform.tile(route.target_tile).position
+
+    def test_heaviest_channel_routed_first(self, placed):
+        als, platform, library, mapping = placed
+        heaviest = max(
+            als.kpn.data_channels(),
+            key=lambda c: channel_throughput_bits_per_s(c, als.period_ns),
+        )
+        assert heaviest.name == "c_adc_pfx"
+
+    def test_throughput_requirement_computed_from_period(self, placed):
+        als, platform, library, mapping = placed
+        result = route_channels(mapping, als, platform)
+        route = result.mapping.route("c_adc_pfx")
+        # 80 tokens x 32 bit / 4 us = 640 Mbit/s.
+        assert route.required_bits_per_s == pytest.approx(640e6)
+
+    def test_link_loads_accumulated(self, placed):
+        als, platform, library, mapping = placed
+        result = route_channels(mapping, als, platform)
+        assert result.link_loads_bits_per_s
+        assert all(load > 0 for load in result.link_loads_bits_per_s.values())
+
+    def test_unplaced_endpoint_produces_feedback(self, case_study):
+        als, platform, library = case_study
+        from repro.mapping.mapping import Mapping
+
+        result = route_channels(Mapping(als.name), als, platform)
+        assert not result.succeeded
+        assert all(f.kind is FeedbackKind.ROUTING_FAILED for f in result.feedback)
+
+    def test_insufficient_capacity_produces_feedback(self, placed):
+        als, platform, library, _ = placed
+        tight_platform = hiperlan2.build_mpsoc(link_capacity_bits_per_s=1e6)
+        step1 = select_implementations(als, tight_platform, library)
+        step2 = refine_tile_assignment(step1.mapping, als, tight_platform)
+        result = route_channels(step2.mapping, als, tight_platform)
+        assert not result.succeeded
+        assert any(f.kind is FeedbackKind.ROUTING_FAILED for f in result.feedback)
+
+    def test_local_channel_gets_zero_hop_route(self, case_study):
+        als, platform, library = case_study
+        from repro.mapping.assignment import ProcessAssignment
+        from repro.mapping.mapping import Mapping
+
+        mapping = Mapping(als.name)
+        arm_impl = {
+            name: library.implementation_for(name, "ARM")
+            for name in ("prefix_removal", "freq_offset_correction")
+        }
+        montium_impl = {
+            name: library.implementation_for(name, "MONTIUM")
+            for name in ("inverse_ofdm", "remainder")
+        }
+        # Put the two ARM processes on the same tile (2 slots would be needed,
+        # adherence is not what is under test here).
+        mapping.assign(ProcessAssignment("prefix_removal", "arm1", arm_impl["prefix_removal"]))
+        mapping.assign(
+            ProcessAssignment("freq_offset_correction", "arm1", arm_impl["freq_offset_correction"])
+        )
+        mapping.assign(ProcessAssignment("inverse_ofdm", "montium1", montium_impl["inverse_ofdm"]))
+        mapping.assign(ProcessAssignment("remainder", "montium2", montium_impl["remainder"]))
+        result = route_channels(mapping, als, platform)
+        assert result.succeeded
+        assert result.mapping.route("c_pfx_frq").is_local

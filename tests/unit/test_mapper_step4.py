@@ -1,0 +1,168 @@
+"""Step 4: mapped-CSDF construction and QoS feasibility."""
+
+import pytest
+
+from repro.csdf.repetition import is_consistent, repetition_vector
+from repro.kpn.qos import QoSConstraints
+from repro.kpn.als import ApplicationLevelSpec
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.csdf_construction import build_mapped_csdf, consumer_buffer_edges
+from repro.spatialmapper.feedback import FeedbackKind
+from repro.spatialmapper.step1_implementation import select_implementations
+from repro.spatialmapper.step2_tile_assignment import refine_tile_assignment
+from repro.spatialmapper.step3_routing import route_channels
+from repro.spatialmapper.step4_feasibility import check_feasibility
+from repro.workloads import hiperlan2
+
+
+@pytest.fixture()
+def routed(case_study):
+    als, platform, library = case_study
+    step1 = select_implementations(als, platform, library)
+    step2 = refine_tile_assignment(step1.mapping, als, platform)
+    step3 = route_channels(step2.mapping, als, platform)
+    assert step3.succeeded
+    return als, platform, library, step3.mapping
+
+
+class TestMappedCSDFConstruction:
+    def test_actor_set(self, routed):
+        als, platform, library, mapping = routed
+        graph = build_mapped_csdf(als, mapping, platform, library)
+        names = set(graph.actor_names)
+        assert {"adc", "prefix_removal", "freq_offset_correction", "inverse_ofdm",
+                "remainder", "sink"} <= names
+        assert "ctrl" not in names
+
+    def test_one_router_actor_per_hop(self, routed):
+        als, platform, library, mapping = routed
+        graph = build_mapped_csdf(als, mapping, platform, library)
+        routers = graph.actors_with_role("router")
+        assert len(routers) == sum(route.hops for route in mapping.routes)
+
+    def test_router_actor_latency_is_4_cycles(self, routed):
+        als, platform, library, mapping = routed
+        graph = build_mapped_csdf(als, mapping, platform, library)
+        for actor in graph.actors_with_role("router"):
+            assert actor.wcet_cycles == (4.0,)
+            assert actor.execution_times_ns == (40.0,)
+
+    def test_graph_is_rate_consistent(self, routed):
+        als, platform, library, mapping = routed
+        graph = build_mapped_csdf(als, mapping, platform, library)
+        assert is_consistent(graph)
+
+    def test_repetition_counts_match_token_volumes(self, routed):
+        als, platform, library, mapping = routed
+        graph = build_mapped_csdf(als, mapping, platform, library)
+        repetitions = repetition_vector(graph)
+        assert repetitions["adc"] == 1
+        assert repetitions["sink"] == 1
+        assert repetitions["prefix_removal"] == 18
+        # Routers on the adc->pfx channel transport 80 tokens one by one.
+        adc_routers = [a.name for a in graph.actors_with_role("router")
+                       if a.metadata.get("channel") == "c_adc_pfx"]
+        for name in adc_routers:
+            assert repetitions[name] == 80
+
+    def test_process_actor_timing_uses_tile_frequency(self, routed):
+        als, platform, library, mapping = routed
+        graph = build_mapped_csdf(als, mapping, platform, library)
+        pfx_tile = platform.tile(mapping.tile_of("prefix_removal"))
+        actor = graph.actor("prefix_removal")
+        expected_ns = 1e9 / pfx_tile.frequency_hz
+        assert actor.execution_times_ns.at(0) == pytest.approx(expected_ns)
+
+    def test_consumer_buffer_edges_cover_all_channels(self, routed):
+        als, platform, library, mapping = routed
+        graph = build_mapped_csdf(als, mapping, platform, library)
+        buffers = consumer_buffer_edges(graph)
+        assert set(buffers.keys()) == {c.name for c in als.kpn.data_channels()}
+
+    def test_unrouted_channel_rejected(self, case_study):
+        als, platform, library = case_study
+        from repro.exceptions import MappingError
+
+        step1 = select_implementations(als, platform, library)
+        with pytest.raises(MappingError):
+            build_mapped_csdf(als, step1.mapping, platform, library)
+
+
+class TestFeasibility:
+    def test_paper_mapping_is_feasible(self, routed):
+        als, platform, library, mapping = routed
+        result = check_feasibility(mapping, als, platform, library)
+        assert result.feasible
+        assert result.report.achieved_period_ns <= als.period_ns
+        assert result.report.buffer_capacities
+
+    def test_buffer_capacities_attached_to_mapping(self, routed):
+        als, platform, library, mapping = routed
+        result = check_feasibility(mapping, als, platform, library)
+        assert set(result.mapping.buffer_capacities.keys()) == {
+            c.name for c in als.kpn.data_channels()
+        }
+        assert all(capacity >= 1 for capacity in result.mapping.buffer_capacities.values())
+
+    def test_too_tight_period_is_infeasible(self, routed):
+        als, platform, library, mapping = routed
+        tight = ApplicationLevelSpec(
+            kpn=als.kpn, qos=QoSConstraints(period_ns=100.0), name=als.name
+        )
+        result = check_feasibility(mapping, tight, platform, library)
+        assert not result.feasible
+        kinds = {f.kind for f in result.feedback}
+        assert FeedbackKind.THROUGHPUT_VIOLATED in kinds
+
+    def test_throughput_feedback_names_a_bottleneck(self, routed):
+        als, platform, library, mapping = routed
+        tight = ApplicationLevelSpec(
+            kpn=als.kpn, qos=QoSConstraints(period_ns=100.0), name=als.name
+        )
+        result = check_feasibility(mapping, tight, platform, library)
+        feedback = result.feedback[0]
+        assert feedback.culprit_process in {p.name for p in als.kpn.mappable_processes()}
+
+    def test_generous_latency_bound_is_satisfied(self, routed):
+        als, platform, library, mapping = routed
+        relaxed = ApplicationLevelSpec(
+            kpn=als.kpn,
+            qos=QoSConstraints(period_ns=als.period_ns, max_latency_ns=1e6),
+            name=als.name,
+        )
+        result = check_feasibility(mapping, relaxed, platform, library)
+        assert result.feasible
+        assert result.report.latency_ns is not None
+        assert result.report.latency_ns <= 1e6
+
+    def test_impossible_latency_bound_is_violated(self, routed):
+        als, platform, library, mapping = routed
+        strict = ApplicationLevelSpec(
+            kpn=als.kpn,
+            qos=QoSConstraints(period_ns=als.period_ns, max_latency_ns=10.0),
+            name=als.name,
+        )
+        result = check_feasibility(mapping, strict, platform, library)
+        assert not result.feasible
+        assert any(f.kind is FeedbackKind.LATENCY_VIOLATED for f in result.feedback)
+
+    def test_buffer_overflow_detected_on_tiny_tiles(self, case_study):
+        als, _, library = case_study
+        tiny_platform = hiperlan2.build_mpsoc(montium_memory_bytes=8200)
+        step1 = select_implementations(als, tiny_platform, library)
+        step2 = refine_tile_assignment(step1.mapping, als, tiny_platform)
+        step3 = route_channels(step2.mapping, als, tiny_platform)
+        result = check_feasibility(step3.mapping, als, tiny_platform, library)
+        assert not result.feasible
+        assert any(f.kind is FeedbackKind.BUFFER_OVERFLOW for f in result.feedback)
+
+    def test_minimize_buffers_option_gives_no_larger_capacities(self, routed):
+        als, platform, library, mapping = routed
+        default = check_feasibility(mapping, als, platform, library)
+        minimized = check_feasibility(
+            mapping, als, platform, library, config=MapperConfig(minimize_buffers=True,
+                                                                 analysis_iterations=4)
+        )
+        assert minimized.feasible
+        for channel, capacity in minimized.mapping.buffer_capacities.items():
+            assert capacity <= default.mapping.buffer_capacities[channel]

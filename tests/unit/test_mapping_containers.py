@@ -1,0 +1,147 @@
+"""Process assignments, channel routes and the Mapping container."""
+
+import pytest
+
+from repro.appmodel.implementation import DEFAULT_PORT, Implementation
+from repro.csdf.phase import PhaseVector
+from repro.exceptions import MappingError
+from repro.mapping.assignment import ChannelRoute, ProcessAssignment
+from repro.mapping.mapping import Mapping
+
+
+def _impl(process="a", tile_type="GPP", energy=10.0):
+    return Implementation(
+        process=process,
+        tile_type=tile_type,
+        wcet_cycles=PhaseVector([1.0]),
+        input_rates={DEFAULT_PORT: PhaseVector([1.0])},
+        output_rates={DEFAULT_PORT: PhaseVector([1.0])},
+        energy_nj_per_iteration=energy,
+        memory_bytes=64,
+    )
+
+
+class TestProcessAssignment:
+    def test_tile_type_from_implementation(self):
+        assignment = ProcessAssignment("a", "gpp0", _impl())
+        assert assignment.tile_type == "GPP"
+        assert assignment.energy_nj_per_iteration == 10.0
+
+    def test_pinned_assignment_has_no_implementation(self):
+        assignment = ProcessAssignment("src", "io0")
+        assert assignment.tile_type is None
+        assert assignment.energy_nj_per_iteration == 0.0
+
+    def test_implementation_process_must_match(self):
+        with pytest.raises(MappingError):
+            ProcessAssignment("b", "gpp0", _impl(process="a"))
+
+    def test_moved_to_keeps_implementation(self):
+        assignment = ProcessAssignment("a", "gpp0", _impl())
+        moved = assignment.moved_to("gpp1")
+        assert moved.tile == "gpp1"
+        assert moved.implementation is assignment.implementation
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(MappingError):
+            ProcessAssignment("", "gpp0")
+        with pytest.raises(MappingError):
+            ProcessAssignment("a", "")
+
+
+class TestChannelRoute:
+    def test_hops_and_locality(self):
+        route = ChannelRoute("c", "t0", "t1", ((0, 0), (1, 0), (1, 1)), 100.0)
+        assert route.hops == 2
+        assert route.router_count == 3
+        assert not route.is_local
+
+    def test_local_route(self):
+        route = ChannelRoute("c", "t0", "t0", ((0, 0),))
+        assert route.is_local
+        assert route.hops == 0
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(MappingError):
+            ChannelRoute("c", "t0", "t1", ())
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(MappingError):
+            ChannelRoute("c", "t0", "t1", ((0, 0),), required_bits_per_s=-1.0)
+
+
+class TestMapping:
+    def test_assign_and_lookup(self):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", _impl()))
+        assert mapping.is_assigned("a")
+        assert mapping.tile_of("a") == "gpp0"
+        assert mapping.processes_on("gpp0") == ("a",)
+        assert mapping.used_tiles() == ("gpp0",)
+        assert len(mapping) == 1
+
+    def test_unassigned_lookup_raises(self):
+        with pytest.raises(MappingError):
+            Mapping("app").assignment("missing")
+
+    def test_reassign_replaces(self):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", _impl()))
+        mapping.assign(ProcessAssignment("a", "gpp1", _impl()))
+        assert mapping.tile_of("a") == "gpp1"
+        assert len(mapping) == 1
+
+    def test_unassign(self):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", _impl()))
+        mapping.unassign("a")
+        assert not mapping.is_assigned("a")
+        mapping.unassign("a")  # idempotent
+
+    def test_routes(self):
+        mapping = Mapping("app")
+        route = ChannelRoute("c", "t0", "t1", ((0, 0), (1, 0)))
+        mapping.add_route(route)
+        assert mapping.is_routed("c")
+        assert mapping.route("c").hops == 1
+        mapping.remove_route("c")
+        assert not mapping.is_routed("c")
+        with pytest.raises(MappingError):
+            mapping.route("c")
+
+    def test_clear_routes(self):
+        mapping = Mapping("app")
+        mapping.add_route(ChannelRoute("c", "t0", "t1", ((0, 0),)))
+        mapping.clear_routes()
+        assert mapping.routes == ()
+
+    def test_buffer_capacities(self):
+        mapping = Mapping("app")
+        mapping.set_buffer_capacity("c", 8)
+        assert mapping.buffer_capacities == {"c": 8}
+        with pytest.raises(MappingError):
+            mapping.set_buffer_capacity("c", 0)
+
+    def test_copy_is_independent(self):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", _impl()))
+        clone = mapping.copy()
+        clone.assign(ProcessAssignment("b", "gpp1", _impl(process="b")))
+        assert not mapping.is_assigned("b")
+        assert clone.is_assigned("a")
+
+    def test_computation_energy(self):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", _impl(energy=10.0)))
+        mapping.assign(ProcessAssignment("b", "gpp1", _impl(process="b", energy=5.0)))
+        assert mapping.computation_energy_nj() == 15.0
+
+    def test_is_complete(self, two_stage_als):
+        mapping = Mapping(two_stage_als.name)
+        assert not mapping.is_complete(two_stage_als)
+        mapping.assign(ProcessAssignment("a", "gpp0", _impl(process="a")))
+        mapping.assign(ProcessAssignment("b", "gpp1", _impl(process="b")))
+        assert not mapping.is_complete(two_stage_als)
+        for channel in two_stage_als.kpn.data_channels():
+            mapping.add_route(ChannelRoute(channel.name, "x", "y", ((0, 0),)))
+        assert mapping.is_complete(two_stage_als)

@@ -1,0 +1,204 @@
+"""Adequacy/adherence criteria and the cost models."""
+
+import pytest
+
+from repro.appmodel.implementation import DEFAULT_PORT, Implementation
+from repro.appmodel.library import ImplementationLibrary
+from repro.csdf.phase import PhaseVector
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.qos import QoSConstraints
+from repro.mapping.assignment import ChannelRoute, ProcessAssignment
+from repro.mapping.cost import CostModel, communication_energy_nj, manhattan_cost, mapping_energy_nj
+from repro.mapping.mapping import Mapping
+from repro.mapping.properties import (
+    adequacy_violations,
+    adherence_violations,
+    is_adequate,
+    is_adherent,
+)
+from repro.platform.state import PlatformState, ProcessAllocation
+
+
+def _impl(process, tile_type="GPP", energy=10.0, memory=64):
+    return Implementation(
+        process=process,
+        tile_type=tile_type,
+        wcet_cycles=PhaseVector([1.0]),
+        input_rates={DEFAULT_PORT: PhaseVector([1.0])},
+        output_rates={DEFAULT_PORT: PhaseVector([1.0])},
+        energy_nj_per_iteration=energy,
+        memory_bytes=memory,
+    )
+
+
+@pytest.fixture()
+def library():
+    return ImplementationLibrary(
+        [_impl("a", "GPP"), _impl("a", "DSP", energy=4.0), _impl("b", "GPP", energy=6.0)]
+    )
+
+
+@pytest.fixture()
+def als(two_stage_kpn):
+    return ApplicationLevelSpec(kpn=two_stage_kpn, qos=QoSConstraints(period_ns=10_000.0))
+
+
+class TestAdequacy:
+    def test_adequate_mapping(self, small_platform, library):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        assert is_adequate(mapping, small_platform, library)
+
+    def test_wrong_tile_type_is_inadequate(self, small_platform, library):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "dsp0", library.implementation_for("a", "GPP")))
+        violations = adequacy_violations(mapping, small_platform, library)
+        assert violations
+        assert "dsp0" in violations[0]
+
+    def test_pinned_processes_are_always_adequate(self, small_platform, library):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("src", "io0"))
+        assert is_adequate(mapping, small_platform, library)
+
+    def test_process_without_implementation_for_tile_type(self, small_platform, library):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("b", "dsp0", _impl("b", "DSP")))
+        # The library has no b@DSP implementation, so this placement is flagged.
+        violations = adequacy_violations(mapping, small_platform, library)
+        assert any("no implementation" in v for v in violations)
+
+
+class TestAdherence:
+    def test_slot_overflow_detected(self, small_platform, library):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        mapping.assign(ProcessAssignment("b", "gpp0", library.implementation_for("b", "GPP")))
+        violations = adherence_violations(mapping, small_platform, library)
+        assert any("host 2 processes" in v for v in violations)
+
+    def test_existing_allocations_count_towards_slots(self, small_platform, library):
+        state = PlatformState(small_platform)
+        state.allocate_process(ProcessAllocation("other", "x", "gpp0"))
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        # Without the state the single process fits; with the other application's
+        # allocation on the same tile the slot budget is exceeded.
+        assert is_adherent(mapping, small_platform, library)
+        assert not is_adherent(mapping, small_platform, library, state)
+        violations = adherence_violations(mapping, small_platform, library, state)
+        assert violations
+
+    def test_memory_overflow_detected(self, small_platform):
+        big = _impl("a", "GPP", memory=small_platform.tile("gpp0").resources.memory_bytes + 1)
+        library = ImplementationLibrary([big])
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", big))
+        violations = adherence_violations(mapping, small_platform, library)
+        assert any("memory" in v for v in violations)
+
+    def test_route_over_missing_link_detected(self, small_platform, library):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        mapping.add_route(
+            ChannelRoute("c1", "gpp0", "dsp0", ((0, 0), (1, 1)), required_bits_per_s=1.0)
+        )
+        violations = adherence_violations(mapping, small_platform, library)
+        assert any("missing link" in v for v in violations)
+
+    def test_link_capacity_overflow_detected(self, small_platform, library):
+        capacity = small_platform.noc.link((0, 0), (1, 0)).capacity_bits_per_s
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        mapping.assign(ProcessAssignment("b", "gpp1", library.implementation_for("b", "GPP")))
+        mapping.add_route(
+            ChannelRoute("c1", "gpp0", "gpp1", ((0, 0), (1, 0)), required_bits_per_s=capacity * 2)
+        )
+        violations = adherence_violations(mapping, small_platform, library)
+        assert any("bit/s" in v for v in violations)
+
+    def test_route_endpoint_mismatch_detected(self, small_platform, library, als):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        mapping.assign(ProcessAssignment("b", "gpp1", library.implementation_for("b", "GPP")))
+        # Route claims 'a' sits on dsp0, contradicting the assignment.
+        mapping.add_route(
+            ChannelRoute("c1", "dsp0", "gpp1", ((0, 1), (1, 1), (1, 0)), required_bits_per_s=1.0)
+        )
+        violations = adherence_violations(mapping, small_platform, library, als=als)
+        assert any("assumes process" in v for v in violations)
+
+    def test_clean_mapping_is_adherent(self, small_platform, library, als):
+        mapping = Mapping("app")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        mapping.assign(ProcessAssignment("b", "gpp1", library.implementation_for("b", "GPP")))
+        assert is_adherent(mapping, small_platform, library, als=als)
+
+
+class TestCostModels:
+    def _mapping(self, library):
+        mapping = Mapping("two_stage")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        mapping.assign(ProcessAssignment("b", "dsp0", _impl("b", "DSP", energy=3.0)))
+        return mapping
+
+    def test_manhattan_cost_counts_placed_channels(self, small_platform, library, als):
+        mapping = self._mapping(library)
+        # src/snk pinned on io0 (1,1): c0 io0->gpp0 distance 2, c1 gpp0->dsp0 distance 2... wait
+        cost = manhattan_cost(mapping, als, small_platform)
+        expected = (
+            small_platform.distance("io0", "gpp0")
+            + small_platform.distance("gpp0", "dsp0")
+            + small_platform.distance("dsp0", "io0")
+        )
+        assert cost == expected
+
+    def test_partial_mapping_skips_unplaced_channels(self, small_platform, library, als):
+        mapping = Mapping("two_stage")
+        mapping.assign(ProcessAssignment("a", "gpp0", library.implementation_for("a", "GPP")))
+        cost = manhattan_cost(mapping, als, small_platform)
+        assert cost == small_platform.distance("io0", "gpp0")
+
+    def test_token_weighted_cost(self, small_platform, library, als):
+        mapping = self._mapping(library)
+        weighted = manhattan_cost(mapping, als, small_platform, weighted_by_tokens=True)
+        unweighted = manhattan_cost(mapping, als, small_platform)
+        assert weighted > unweighted
+
+    def test_communication_energy_uses_routes_when_present(self, small_platform, library, als):
+        mapping = self._mapping(library)
+        model = CostModel(energy_per_bit_per_hop_nj=0.01)
+        estimate = communication_energy_nj(mapping, als, small_platform, model)
+        mapping.add_route(
+            ChannelRoute("c1", "gpp0", "dsp0", ((0, 0), (0, 1)), required_bits_per_s=1.0)
+        )
+        with_route = communication_energy_nj(mapping, als, small_platform, model)
+        # The routed path (1 hop) is shorter than the Manhattan estimate used before.
+        assert with_route <= estimate
+
+    def test_local_channel_cheaper_than_remote(self, small_platform, als):
+        local_library = ImplementationLibrary(
+            [_impl("a", "GPP"), _impl("b", "GPP", energy=3.0)]
+        )
+        same_tile = Mapping("two_stage")
+        same_tile.assign(ProcessAssignment("a", "gpp0", local_library.implementation_for("a", "GPP")))
+        same_tile.assign(ProcessAssignment("b", "gpp0", local_library.implementation_for("b", "GPP")))
+        far = Mapping("two_stage")
+        far.assign(ProcessAssignment("a", "gpp0", local_library.implementation_for("a", "GPP")))
+        far.assign(ProcessAssignment("b", "gpp1", local_library.implementation_for("b", "GPP")))
+        model = CostModel(energy_per_bit_per_hop_nj=0.01, local_channel_energy_per_bit_nj=0.0001)
+        assert communication_energy_nj(same_tile, als, small_platform, model) < (
+            communication_energy_nj(far, als, small_platform, model)
+        )
+
+    def test_total_energy_includes_activation_penalty(self, small_platform, library, als):
+        mapping = self._mapping(library)
+        without = mapping_energy_nj(mapping, als, small_platform, CostModel())
+        with_activation = mapping_energy_nj(
+            mapping, als, small_platform, CostModel(tile_activation_energy_nj=100.0)
+        )
+        assert with_activation == pytest.approx(without + 200.0)
+
+    def test_cost_model_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            CostModel(energy_per_bit_per_hop_nj=-1.0)

@@ -1,0 +1,74 @@
+"""The platform builder."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.builder import PlatformBuilder
+
+
+class TestPlatformBuilder:
+    def test_build_requires_a_noc(self):
+        with pytest.raises(PlatformError):
+            PlatformBuilder("p").tile_type("ARM").build()
+
+    def test_tile_requires_declared_type(self):
+        builder = PlatformBuilder("p").mesh(2, 2)
+        with pytest.raises(PlatformError):
+            builder.tile("t", "ARM", (0, 0))
+
+    def test_full_build(self, small_platform):
+        assert len(small_platform) == 4
+        assert small_platform.tile("gpp0").type_name == "GPP"
+        assert small_platform.tile("dsp0").tile_type.frequency_hz == pytest.approx(100e6)
+        assert not small_platform.tile("io0").is_processing
+
+    def test_mesh_parameters_propagate(self):
+        platform = (
+            PlatformBuilder("p")
+            .mesh(2, 2, link_capacity_bits_per_s=123.0, router_latency_cycles=7,
+                  router_frequency_mhz=50)
+            .tile_type("ARM")
+            .tile("a", "ARM", (0, 0))
+            .build()
+        )
+        link = platform.noc.link((0, 0), (1, 0))
+        router = platform.noc.router((0, 0))
+        assert link.capacity_bits_per_s == 123.0
+        assert router.latency_cycles == 7
+        assert router.frequency_hz == pytest.approx(50e6)
+
+    def test_tile_resource_options(self):
+        platform = (
+            PlatformBuilder("p")
+            .mesh(1, 1)
+            .tile_type("ARM")
+            .tile("a", "ARM", (0, 0), max_processes=3, memory_bytes=777)
+            .build()
+        )
+        tile = platform.tile("a")
+        assert tile.resources.max_processes == 3
+        assert tile.resources.memory_bytes == 777
+
+    def test_shared_routers_option(self):
+        platform = (
+            PlatformBuilder("p")
+            .mesh(1, 1)
+            .allow_shared_routers()
+            .tile_type("ARM")
+            .tile("a", "ARM", (0, 0))
+            .tile("b", "ARM", (0, 0))
+            .build()
+        )
+        assert len(platform.tiles_at((0, 0))) == 2
+
+    def test_custom_noc_object(self):
+        from repro.platform.topology import build_torus_noc
+
+        platform = (
+            PlatformBuilder("p")
+            .noc(build_torus_noc(3, 3))
+            .tile_type("ARM")
+            .tile("a", "ARM", (0, 0))
+            .build()
+        )
+        assert platform.noc.has_link((2, 0), (0, 0))

@@ -1,0 +1,136 @@
+"""Tile types, resources, tiles and the platform container."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.platform import Platform
+from repro.platform.resources import ResourceBudget, ResourceRequirement
+from repro.platform.tile import Tile
+from repro.platform.tile_type import TileType
+from repro.platform.topology import build_mesh_noc
+
+
+class TestTileType:
+    def test_defaults(self):
+        tile_type = TileType("ARM")
+        assert tile_type.is_processing
+        assert tile_type.frequency_hz == pytest.approx(100e6)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PlatformError):
+            TileType("")
+
+    def test_non_positive_frequency_rejected(self):
+        with pytest.raises(PlatformError):
+            TileType("ARM", frequency_hz=0)
+
+    def test_negative_idle_power_rejected(self):
+        with pytest.raises(PlatformError):
+            TileType("ARM", idle_power_mw=-1)
+
+
+class TestResources:
+    def test_requirement_fits_within_budget(self):
+        budget = ResourceBudget(max_processes=1, memory_bytes=1000)
+        assert ResourceRequirement(memory_bytes=500).fits_within(budget)
+        assert not ResourceRequirement(memory_bytes=2000).fits_within(budget)
+
+    def test_zero_slot_budget_fits_nothing(self):
+        budget = ResourceBudget(max_processes=0)
+        assert not ResourceRequirement().fits_within(budget)
+
+    def test_cycle_budget_checked_when_period_known(self):
+        budget = ResourceBudget()
+        requirement = ResourceRequirement(compute_cycles_per_iteration=500)
+        assert requirement.fits_within(budget, period_cycles=1000)
+        assert not requirement.fits_within(budget, period_cycles=400)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(PlatformError):
+            ResourceBudget(max_processes=-1)
+        with pytest.raises(PlatformError):
+            ResourceRequirement(memory_bytes=-1)
+
+
+class TestTile:
+    def test_tile_properties(self):
+        tile = Tile("arm1", TileType("ARM", frequency_hz=2e8), (1, 2))
+        assert tile.type_name == "ARM"
+        assert tile.x == 1 and tile.y == 2
+        assert tile.frequency_hz == 2e8
+        assert tile.is_processing
+
+    def test_non_processing_type(self):
+        tile = Tile("adc", TileType("IO", is_processing=False), (0, 0))
+        assert not tile.is_processing
+
+    def test_zero_slots_means_not_processing(self):
+        tile = Tile("arm", TileType("ARM"), (0, 0), resources=ResourceBudget(max_processes=0))
+        assert not tile.is_processing
+
+    def test_invalid_position_rejected(self):
+        with pytest.raises(PlatformError):
+            Tile("t", TileType("ARM"), (0, -1))
+
+    def test_invalid_ni_capacity_rejected(self):
+        with pytest.raises(PlatformError):
+            Tile("t", TileType("ARM"), (0, 0), ni_capacity_bits_per_s=0)
+
+
+class TestPlatform:
+    def _platform(self):
+        noc = build_mesh_noc(2, 2)
+        platform = Platform("p", noc)
+        arm = TileType("ARM")
+        dsp = TileType("DSP")
+        platform.add_tile(Tile("arm0", arm, (0, 0)))
+        platform.add_tile(Tile("arm1", arm, (1, 0)))
+        platform.add_tile(Tile("dsp0", dsp, (0, 1)))
+        return platform
+
+    def test_tile_lookup(self):
+        platform = self._platform()
+        assert platform.tile("arm0").position == (0, 0)
+        assert "arm0" in platform
+        assert len(platform) == 3
+
+    def test_unknown_tile_raises(self):
+        with pytest.raises(PlatformError):
+            self._platform().tile("zz")
+
+    def test_tile_must_sit_on_existing_router(self):
+        platform = self._platform()
+        with pytest.raises(PlatformError):
+            platform.add_tile(Tile("far", TileType("ARM"), (5, 5)))
+
+    def test_one_tile_per_router_by_default(self):
+        platform = self._platform()
+        with pytest.raises(PlatformError):
+            platform.add_tile(Tile("other", TileType("DSP"), (0, 0)))
+
+    def test_shared_routers_can_be_enabled(self):
+        noc = build_mesh_noc(1, 1)
+        platform = Platform("p", noc, allow_shared_routers=True)
+        platform.add_tile(Tile("a", TileType("ARM"), (0, 0)))
+        platform.add_tile(Tile("b", TileType("DSP"), (0, 0)))
+        assert len(platform.tiles_at((0, 0))) == 2
+
+    def test_tiles_of_type(self):
+        platform = self._platform()
+        assert [t.name for t in platform.tiles_of_type("ARM")] == ["arm0", "arm1"]
+        assert [t.name for t in platform.tiles_of_type(TileType("DSP"))] == ["dsp0"]
+
+    def test_tile_types_in_first_appearance_order(self):
+        platform = self._platform()
+        assert [t.name for t in platform.tile_types()] == ["ARM", "DSP"]
+
+    def test_distance_between_tiles(self):
+        platform = self._platform()
+        assert platform.distance("arm0", "arm1") == 1
+        assert platform.distance("arm0", "dsp0") == 1
+        assert platform.distance("arm1", "dsp0") == 2
+
+    def test_duplicate_tile_name_rejected(self):
+        platform = self._platform()
+        with pytest.raises(PlatformError):
+            platform.add_tile(Tile("arm0", TileType("ARM"), (1, 1)))

@@ -1,0 +1,106 @@
+"""Run-time platform state: allocations and residual capacities."""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.state import LinkAllocation, PlatformState, ProcessAllocation
+
+
+@pytest.fixture()
+def state(small_platform):
+    return PlatformState(small_platform)
+
+
+class TestTileAllocations:
+    def test_initially_everything_free(self, state):
+        assert state.used_process_slots("gpp0") == 0
+        assert state.free_process_slots("gpp0") == 1
+        assert state.used_memory_bytes("gpp0") == 0
+
+    def test_allocate_and_query(self, state):
+        state.allocate_process(
+            ProcessAllocation("app", "p", "gpp0", memory_bytes=1024)
+        )
+        assert state.used_process_slots("gpp0") == 1
+        assert state.free_process_slots("gpp0") == 0
+        assert state.used_memory_bytes("gpp0") == 1024
+        assert state.occupied_tiles() == ("gpp0",)
+
+    def test_over_allocation_rejected(self, state):
+        state.allocate_process(ProcessAllocation("app", "p", "gpp0"))
+        with pytest.raises(PlatformError):
+            state.allocate_process(ProcessAllocation("app", "q", "gpp0"))
+
+    def test_memory_over_allocation_rejected(self, state, small_platform):
+        budget = small_platform.tile("gpp0").resources.memory_bytes
+        with pytest.raises(PlatformError):
+            state.allocate_process(
+                ProcessAllocation("app", "p", "gpp0", memory_bytes=budget + 1)
+            )
+
+    def test_non_processing_tile_cannot_host(self, state):
+        assert not state.can_host("io0")
+
+    def test_can_host_respects_memory(self, state, small_platform):
+        budget = small_platform.tile("gpp0").resources.memory_bytes
+        assert state.can_host("gpp0", memory_bytes=budget)
+        assert not state.can_host("gpp0", memory_bytes=budget + 1)
+
+    def test_utilisation(self, state):
+        state.allocate_process(ProcessAllocation("app", "p", "gpp0"))
+        utilisation = state.tile_utilisation()
+        assert utilisation["gpp0"] == 1.0
+        assert utilisation["gpp1"] == 0.0
+
+
+class TestLinkAllocations:
+    def test_link_load_accumulates(self, state, small_platform):
+        link = small_platform.noc.link((0, 0), (1, 0))
+        state.allocate_link(LinkAllocation("app", "c", link.name, 1e8))
+        state.allocate_link(LinkAllocation("app", "d", link.name, 2e8))
+        assert state.link_load_bits_per_s(link.name) == pytest.approx(3e8)
+        assert state.residual_capacity_bits_per_s((0, 0), (1, 0)) == pytest.approx(
+            link.capacity_bits_per_s - 3e8
+        )
+
+    def test_link_over_allocation_rejected(self, state, small_platform):
+        link = small_platform.noc.link((0, 0), (1, 0))
+        state.allocate_link(LinkAllocation("app", "c", link.name, link.capacity_bits_per_s))
+        with pytest.raises(PlatformError):
+            state.allocate_link(LinkAllocation("app", "d", link.name, 1.0))
+
+    def test_unknown_link_rejected(self, state):
+        with pytest.raises(PlatformError):
+            state.allocate_link(LinkAllocation("app", "c", "L9_9__9_8", 1.0))
+
+    def test_link_loads_dictionary(self, state, small_platform):
+        link = small_platform.noc.link((0, 0), (1, 0))
+        state.allocate_link(LinkAllocation("app", "c", link.name, 5.0))
+        assert state.link_loads() == {link.name: 5.0}
+
+
+class TestApplicationLifecycle:
+    def test_release_application_frees_everything(self, state, small_platform):
+        link = small_platform.noc.link((0, 0), (1, 0))
+        state.allocate_process(ProcessAllocation("app", "p", "gpp0", memory_bytes=10))
+        state.allocate_link(LinkAllocation("app", "c", link.name, 5.0))
+        removed = state.release_application("app")
+        assert removed == 2
+        assert state.used_process_slots("gpp0") == 0
+        assert state.link_load_bits_per_s(link.name) == 0.0
+        assert state.applications() == ()
+
+    def test_release_only_touches_named_application(self, state):
+        state.allocate_process(ProcessAllocation("app1", "p", "gpp0"))
+        state.allocate_process(ProcessAllocation("app2", "q", "gpp1"))
+        state.release_application("app1")
+        assert state.used_process_slots("gpp0") == 0
+        assert state.used_process_slots("gpp1") == 1
+        assert state.applications() == ("app2",)
+
+    def test_copy_is_independent(self, state):
+        state.allocate_process(ProcessAllocation("app", "p", "gpp0"))
+        clone = state.copy()
+        clone.allocate_process(ProcessAllocation("app", "q", "gpp1"))
+        assert state.used_process_slots("gpp1") == 0
+        assert clone.used_process_slots("gpp0") == 1

@@ -1,0 +1,100 @@
+"""Reporting: tables, renderers and the experiment drivers."""
+
+import pytest
+
+from repro.reporting.render import render_csdf, render_kpn, render_mapping, render_platform
+from repro.reporting.tables import format_table
+from repro.reporting import experiments
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.workloads import hiperlan2
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a " in lines[1]
+        assert lines[1].count("|") == 3
+
+    def test_title_printed_first(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_right_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["b", 22]], align_right=(1,))
+        # The "value" column is five characters wide, so the single digit is
+        # padded on the left when right-aligned.
+        assert "|     1 |" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestRenderers:
+    def test_render_platform_mentions_all_tiles(self, hiperlan_platform):
+        text = render_platform(hiperlan_platform)
+        for tile in hiperlan_platform.tiles:
+            assert tile.name in text
+
+    def test_render_kpn_mentions_processes_and_channels(self, hiperlan_als):
+        text = render_kpn(hiperlan_als.kpn)
+        assert "prefix_removal" in text
+        assert "c_adc_pfx" in text
+        assert "[control]" in text
+
+    def test_render_mapping_and_csdf(self, case_study):
+        als, platform, library = case_study
+        result = SpatialMapper(platform, library).map(als)
+        mapping_text = render_mapping(result.mapping, platform)
+        assert "inverse_ofdm" in mapping_text
+        assert "buffer" in mapping_text.lower()
+        csdf_text = render_csdf(result.mapped_csdf, show_rates=True)
+        assert "router" in csdf_text
+        assert "prod=" in csdf_text
+
+
+class TestExperimentDrivers:
+    def test_figure1_report(self):
+        report = experiments.experiment_figure1()
+        assert report.experiment == "fig1"
+        assert report.data["channel_tokens"]["c_adc_pfx"] == 80
+        assert "prefix_removal" in report.text
+
+    def test_table1_report(self):
+        report = experiments.experiment_table1()
+        assert len(report.data["rows"]) == 8
+        assert report.data["energies"][("inverse_ofdm", "MONTIUM")] == 143
+        assert "Table 1" in report.text
+
+    def test_figure2_report(self):
+        report = experiments.experiment_figure2()
+        assert report.data["tile_type_counts"]["ARM"] == 2
+        assert report.data["routers"] == 9
+
+    def test_table2_report_matches_paper(self):
+        report = experiments.experiment_table2()
+        assert report.data["cost_trajectory"] == [11.0, 11.0, 9.0, 7.0]
+        assert report.data["final_cost"] == 7.0
+        assert "No further choices" in report.text
+
+    def test_figure3_report(self):
+        report = experiments.experiment_figure3()
+        assert report.data["feasible"]
+        assert report.data["router_actor_count"] == 7
+        assert set(report.data["buffer_capacities"]) == {
+            "c_adc_pfx", "c_pfx_frq", "c_frq_iofdm", "c_iofdm_rem", "c_rem_sink"
+        }
+
+    def test_section45_report(self):
+        report = experiments.experiment_section45(repetitions=1)
+        assert report.data["feasible"]
+        assert report.data["runtime_ms_best"] > 0
+        assert report.data["peak_memory_kb"] > 0
+
+    def test_all_experiments_returns_six_reports(self):
+        reports = experiments.all_experiments()
+        assert [r.experiment for r in reports] == [
+            "fig1", "tab1", "fig2", "tab2", "fig3", "sec45"
+        ]

@@ -1,0 +1,121 @@
+"""Exports (dict/JSON/DOT) and the energy breakdown."""
+
+import json
+
+import pytest
+
+from repro.mapping.cost import CostModel, mapping_energy_nj
+from repro.reporting.breakdown import energy_breakdown
+from repro.reporting.export import (
+    csdf_to_dot,
+    kpn_to_dot,
+    mapping_to_dict,
+    mapping_to_dot,
+    platform_to_dict,
+    result_to_dict,
+    save_json,
+)
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.spatialmapper.config import MapperConfig
+
+
+@pytest.fixture(scope="module")
+def mapped(request):
+    from repro.workloads import hiperlan2
+
+    als, platform, library = hiperlan2.build_case_study()
+    result = SpatialMapper(platform, library, MapperConfig(analysis_iterations=3)).map(als)
+    return als, platform, result
+
+
+class TestDictExports:
+    def test_mapping_roundtrips_through_json(self, mapped):
+        als, platform, result = mapped
+        data = mapping_to_dict(result.mapping)
+        text = json.dumps(data)
+        restored = json.loads(text)
+        assert restored["application"] == als.name
+        assert len(restored["assignments"]) == len(result.mapping.assignments)
+        assert len(restored["routes"]) == len(result.mapping.routes)
+        assert restored["buffer_capacities"] == result.mapping.buffer_capacities
+
+    def test_result_export_contains_feasibility(self, mapped):
+        _, _, result = mapped
+        data = result_to_dict(result)
+        assert data["status"] == "feasible"
+        assert data["feasibility"]["satisfied"] is True
+        assert data["feasibility"]["achieved_period_ns"] <= data["feasibility"][
+            "required_period_ns"
+        ]
+        json.dumps(data)  # must be serialisable
+
+    def test_platform_export(self, mapped):
+        _, platform, _ = mapped
+        data = platform_to_dict(platform)
+        assert len(data["tiles"]) == len(platform)
+        assert len(data["noc"]["routers"]) == len(platform.noc)
+        assert len(data["noc"]["links"]) == len(platform.noc.links)
+        json.dumps(data)
+
+    def test_save_json(self, mapped, tmp_path):
+        _, _, result = mapped
+        path = save_json(result_to_dict(result), tmp_path / "result.json")
+        assert path.exists()
+        assert json.loads(path.read_text())["status"] == "feasible"
+
+
+class TestDotExports:
+    def test_kpn_dot_contains_all_processes(self, mapped):
+        als, _, _ = mapped
+        dot = kpn_to_dot(als.kpn)
+        assert dot.startswith("digraph")
+        for process in als.kpn.processes:
+            assert f'"{process.name}"' in dot
+        assert "style=dashed" in dot  # the control channel
+
+    def test_csdf_dot_contains_router_actors(self, mapped):
+        _, _, result = mapped
+        dot = csdf_to_dot(result.mapped_csdf)
+        assert dot.count("shape=circle") == 7  # one per router hop
+        assert dot.endswith("}")
+
+    def test_mapping_dot_labels_tiles_with_processes(self, mapped):
+        _, platform, result = mapped
+        dot = mapping_to_dot(result.mapping, platform)
+        assert "inverse_ofdm" in dot
+        assert "(idle)" in dot  # the unused tiles stay idle
+        assert "hops" in dot
+
+
+class TestEnergyBreakdown:
+    def test_total_matches_cost_model(self, mapped):
+        als, platform, result = mapped
+        model = CostModel(tile_activation_energy_nj=5.0)
+        breakdown = energy_breakdown(result.mapping, als, platform, model)
+        assert breakdown.total_nj == pytest.approx(
+            mapping_energy_nj(result.mapping, als, platform, model)
+        )
+
+    def test_computation_entries_per_process(self, mapped):
+        als, platform, result = mapped
+        breakdown = energy_breakdown(result.mapping, als, platform)
+        assert set(breakdown.computation_nj) == {
+            "prefix_removal", "freq_offset_correction", "inverse_ofdm", "remainder"
+        }
+        assert breakdown.computation_nj["inverse_ofdm"] == pytest.approx(143.0)
+        assert breakdown.total_computation_nj == pytest.approx(341.0)
+
+    def test_communication_entries_per_channel(self, mapped):
+        als, platform, result = mapped
+        breakdown = energy_breakdown(result.mapping, als, platform)
+        assert set(breakdown.communication_nj) == {
+            c.name for c in als.kpn.data_channels()
+        }
+        assert all(energy >= 0 for energy in breakdown.communication_nj.values())
+
+    def test_table_rendering(self, mapped):
+        als, platform, result = mapped
+        breakdown = energy_breakdown(result.mapping, als, platform)
+        table = breakdown.as_table()
+        assert "Energy breakdown" in table
+        assert "total" in table

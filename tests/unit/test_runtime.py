@@ -1,0 +1,156 @@
+"""Run-time resource manager, scenarios and energy accounting."""
+
+import pytest
+
+from repro.exceptions import AdmissionError
+from repro.runtime.accounting import EnergyAccount
+from repro.runtime.events import StartEvent, StopEvent
+from repro.runtime.manager import RuntimeResourceManager
+from repro.runtime.scenario import Scenario, run_scenario
+from repro.spatialmapper.config import MapperConfig
+from repro.workloads import hiperlan2
+from repro.workloads.receivers import build_drm_library, build_drm_receiver_als
+
+
+@pytest.fixture()
+def manager(case_study):
+    _, platform, library = case_study
+    return RuntimeResourceManager(platform, library, MapperConfig(analysis_iterations=3))
+
+
+class TestManager:
+    def test_start_commits_allocations(self, manager, hiperlan_als):
+        result = manager.start(hiperlan_als)
+        assert result.is_feasible
+        assert manager.is_running(hiperlan_als.name)
+        assert manager.state.used_process_slots("montium1") == 1
+        assert manager.state.link_loads()
+
+    def test_double_start_rejected(self, manager, hiperlan_als):
+        manager.start(hiperlan_als)
+        with pytest.raises(AdmissionError):
+            manager.start(hiperlan_als)
+
+    def test_stop_releases_everything(self, manager, hiperlan_als):
+        manager.start(hiperlan_als)
+        manager.stop(hiperlan_als.name)
+        assert not manager.is_running(hiperlan_als.name)
+        assert manager.state.occupied_tiles() == ()
+        assert manager.state.link_loads() == {}
+
+    def test_stop_unknown_application_rejected(self, manager):
+        with pytest.raises(AdmissionError):
+            manager.stop("ghost")
+
+    def test_second_instance_rejected_when_resources_taken(self, manager, hiperlan_als):
+        manager.start(hiperlan_als)
+        second = hiperlan2.build_receiver_als()
+        second.name = "hiperlan2_rx_2"
+        with pytest.raises(AdmissionError):
+            manager.start(second)
+        assert manager.decisions[-1][1] is False
+
+    def test_restart_after_stop_succeeds(self, manager, hiperlan_als):
+        manager.start(hiperlan_als)
+        manager.stop(hiperlan_als.name)
+        result = manager.start(hiperlan_als)
+        assert result.is_feasible
+
+    def test_try_start_returns_none_on_rejection(self, manager, hiperlan_als):
+        manager.start(hiperlan_als)
+        second = hiperlan2.build_receiver_als()
+        second.name = "another"
+        assert manager.try_start(second) is None
+
+    def test_per_application_library_override(self, case_study):
+        _, platform, _ = case_study
+        manager = RuntimeResourceManager(platform, config=MapperConfig(analysis_iterations=3))
+        drm = build_drm_receiver_als()
+        result = manager.start(drm, library=build_drm_library())
+        assert result.is_feasible
+
+    def test_total_power_accumulates(self, manager, hiperlan_als):
+        assert manager.total_power_mw() == 0.0
+        manager.start(hiperlan_als)
+        assert manager.total_power_mw() > 0.0
+
+
+class TestScenario:
+    def test_scenario_player_runs_events_in_time_order(self, case_study):
+        _, platform, library = case_study
+        manager = RuntimeResourceManager(platform, library, MapperConfig(analysis_iterations=3))
+        rx = hiperlan2.build_receiver_als()
+        scenario = Scenario("basic", duration_ns=4_000_000.0)
+        scenario.add(StopEvent(time_ns=2_000_000.0, application=rx.name))
+        scenario.add(StartEvent(time_ns=0.0, als=rx))
+        outcome = run_scenario(manager, scenario)
+        assert outcome.admitted == [rx.name]
+        assert outcome.rejected == []
+        assert outcome.admission_rate == 1.0
+        assert outcome.total_energy_nj > 0
+
+    def test_rejections_are_recorded(self, case_study):
+        _, platform, library = case_study
+        manager = RuntimeResourceManager(platform, library, MapperConfig(analysis_iterations=3))
+        rx1 = hiperlan2.build_receiver_als()
+        rx2 = hiperlan2.build_receiver_als()
+        rx2.name = "second_rx"
+        scenario = Scenario("contention", duration_ns=1_000_000.0)
+        scenario.add(StartEvent(time_ns=0.0, als=rx1))
+        scenario.add(StartEvent(time_ns=100.0, als=rx2))
+        outcome = run_scenario(manager, scenario)
+        assert outcome.admitted == [rx1.name]
+        assert len(outcome.rejected) == 1
+        assert outcome.admission_rate == pytest.approx(0.5)
+
+    def test_departure_frees_resources_for_later_arrival(self, case_study):
+        _, platform, library = case_study
+        manager = RuntimeResourceManager(platform, library, MapperConfig(analysis_iterations=3))
+        rx1 = hiperlan2.build_receiver_als()
+        rx2 = hiperlan2.build_receiver_als()
+        rx2.name = "second_rx"
+        scenario = Scenario("handover", duration_ns=3_000_000.0)
+        scenario.add(StartEvent(time_ns=0.0, als=rx1))
+        scenario.add(StopEvent(time_ns=1_000_000.0, application=rx1.name))
+        scenario.add(StartEvent(time_ns=1_500_000.0, als=rx2))
+        outcome = run_scenario(manager, scenario)
+        assert outcome.admitted == [rx1.name, rx2.name]
+        assert outcome.rejected == []
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            StartEvent(time_ns=-1.0, als=None)
+        with pytest.raises(ValueError):
+            StartEvent(time_ns=0.0, als=None)
+        with pytest.raises(ValueError):
+            StopEvent(time_ns=0.0, application="")
+
+
+class TestEnergyAccount:
+    def test_integration_over_time(self):
+        account = EnergyAccount()
+        account.start("app", time_ns=0.0, energy_nj_per_iteration=100.0, period_ns=1000.0)
+        account.stop("app", time_ns=10_000.0)
+        # 0.1 nJ/ns for 10 000 ns -> 1000 nJ.
+        assert account.total_energy_nj == pytest.approx(1000.0)
+        assert account.per_application_nj["app"] == pytest.approx(1000.0)
+
+    def test_finish_closes_open_intervals(self):
+        account = EnergyAccount()
+        account.start("app", 0.0, 50.0, 1000.0)
+        account.finish(2000.0)
+        assert account.total_energy_nj == pytest.approx(100.0)
+
+    def test_stop_unknown_application_is_noop(self):
+        account = EnergyAccount()
+        account.stop("ghost", 100.0)
+        assert account.total_energy_nj == 0.0
+
+    def test_average_power(self):
+        account = EnergyAccount()
+        account.start("app", 0.0, 100.0, 1000.0)   # 0.1 nJ/ns = 100 mW
+        account.finish(1_000_000.0)
+        assert account.average_power_mw(1_000_000.0) == pytest.approx(100.0)
+
+    def test_average_power_of_empty_duration(self):
+        assert EnergyAccount().average_power_mw(0.0) == 0.0

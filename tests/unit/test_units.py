@@ -1,0 +1,64 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestCycleConversions:
+    def test_cycles_to_ns_at_100mhz(self):
+        assert units.cycles_to_ns(4, 100e6) == pytest.approx(40.0)
+
+    def test_cycles_to_ns_at_1ghz(self):
+        assert units.cycles_to_ns(1, units.GHZ) == pytest.approx(1.0)
+
+    def test_ns_to_cycles_roundtrip(self):
+        cycles = 123.0
+        ns = units.cycles_to_ns(cycles, 250e6)
+        assert units.ns_to_cycles(ns, 250e6) == pytest.approx(cycles)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_ns(10, 0)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.ns_to_cycles(10, -1)
+
+
+class TestTimeConversions:
+    def test_us_to_ns(self):
+        assert units.us_to_ns(4.0) == pytest.approx(4000.0)
+
+    def test_ms_to_ns(self):
+        assert units.ms_to_ns(1.5) == pytest.approx(1_500_000.0)
+
+    def test_s_to_ns(self):
+        assert units.s_to_ns(2.0) == pytest.approx(2e9)
+
+    def test_ns_to_us_roundtrip(self):
+        assert units.ns_to_us(units.us_to_ns(7.25)) == pytest.approx(7.25)
+
+    def test_ns_to_ms_roundtrip(self):
+        assert units.ns_to_ms(units.ms_to_ns(0.125)) == pytest.approx(0.125)
+
+
+class TestFrequencyAndEnergy:
+    def test_hz_from_mhz(self):
+        assert units.hz_from_mhz(100) == pytest.approx(1e8)
+
+    def test_nj_to_j(self):
+        assert units.nj_to_j(1e9) == pytest.approx(1.0)
+
+    def test_j_to_nj_roundtrip(self):
+        assert units.j_to_nj(units.nj_to_j(42.0)) == pytest.approx(42.0)
+
+
+class TestThroughput:
+    def test_tokens_per_second(self):
+        # 80 tokens every 4 us -> 20 M tokens/s.
+        assert units.throughput_tokens_per_s(80, 4000.0) == pytest.approx(20e6)
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            units.throughput_tokens_per_s(1, 0)

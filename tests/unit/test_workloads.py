@@ -1,0 +1,196 @@
+"""Workload definitions: HiperLAN/2 case study, extra receivers, synthetic generator."""
+
+import pytest
+
+from repro.csdf.repetition import is_consistent
+from repro.kpn.validation import validate_kpn
+from repro.workloads import hiperlan2, receivers, synthetic
+
+
+class TestHiperlan2KPN:
+    def test_process_set_matches_figure1(self):
+        kpn = hiperlan2.build_receiver_kpn()
+        assert set(kpn.process_names) == {
+            "adc", "prefix_removal", "freq_offset_correction", "inverse_ofdm",
+            "remainder", "sink", "ctrl",
+        }
+
+    def test_channel_token_counts_match_figure1(self):
+        kpn = hiperlan2.build_receiver_kpn()
+        assert kpn.channel("c_adc_pfx").tokens_per_iteration == 80
+        assert kpn.channel("c_pfx_frq").tokens_per_iteration == 64
+        assert kpn.channel("c_frq_iofdm").tokens_per_iteration == 64
+        assert kpn.channel("c_iofdm_rem").tokens_per_iteration == 52
+        assert kpn.channel("c_ctrl_rem").is_control
+
+    def test_output_size_depends_on_mode(self):
+        assert hiperlan2.output_tokens_for_mode("BPSK12") == 3
+        assert hiperlan2.output_tokens_for_mode("QPSK34") == 9
+        assert hiperlan2.output_tokens_for_mode("QAM64_34") == 96
+        with pytest.raises(ValueError):
+            hiperlan2.output_tokens_for_mode("LTE")
+
+    def test_output_byte_range_matches_paper(self):
+        # Paper: minimum 12 bytes (BPSK), maximum 384 bytes (64-QAM) per symbol.
+        minimum = hiperlan2.output_tokens_for_mode("BPSK12") * 4
+        maximum = hiperlan2.output_tokens_for_mode("QAM64_34") * 4
+        assert minimum == 12
+        assert maximum == 384
+
+    def test_control_can_be_omitted(self):
+        kpn = hiperlan2.build_receiver_kpn(include_control=False)
+        assert "ctrl" not in kpn.process_names
+
+    def test_als_has_4us_period(self):
+        als = hiperlan2.build_receiver_als()
+        assert als.period_ns == pytest.approx(4000.0)
+        validate_kpn(als.kpn)
+
+
+class TestHiperlan2Library:
+    def test_every_process_has_arm_and_montium_variant(self, hiperlan_library):
+        for process in hiperlan2.PROCESS_NAMES:
+            assert set(hiperlan_library.tile_types_for(process)) == {"ARM", "MONTIUM"}
+
+    def test_energies_match_table1(self, hiperlan_library):
+        expected = {
+            ("prefix_removal", "ARM"): 60, ("prefix_removal", "MONTIUM"): 32,
+            ("freq_offset_correction", "ARM"): 62, ("freq_offset_correction", "MONTIUM"): 33,
+            ("inverse_ofdm", "ARM"): 275, ("inverse_ofdm", "MONTIUM"): 143,
+            ("remainder", "ARM"): 140, ("remainder", "MONTIUM"): 76,
+        }
+        for (process, tile_type), energy in expected.items():
+            implementation = hiperlan_library.implementation_for(process, tile_type)
+            assert implementation.energy_nj_per_iteration == energy
+
+    def test_phase_counts_match_table1(self, hiperlan_library):
+        assert hiperlan_library.implementation_for("prefix_removal", "ARM").phases == 18
+        assert hiperlan_library.implementation_for("prefix_removal", "MONTIUM").phases == 81
+        assert hiperlan_library.implementation_for("freq_offset_correction", "ARM").phases == 3
+        assert hiperlan_library.implementation_for("inverse_ofdm", "MONTIUM").phases == 117
+
+    def test_montium_inverse_ofdm_wcet(self, hiperlan_library):
+        implementation = hiperlan_library.implementation_for("inverse_ofdm", "MONTIUM")
+        assert implementation.total_wcet_cycles == 64 + 170 + 52
+
+    def test_prefix_removal_arm_rates_total_80_in_64_out(self, hiperlan_library):
+        implementation = hiperlan_library.implementation_for("prefix_removal", "ARM")
+        assert implementation.consumption_rates("c_adc_pfx").total() == 80
+        assert implementation.production_rates("c_pfx_frq").total() == 64
+
+    def test_mode_changes_remainder_output(self):
+        qpsk = hiperlan2.build_implementation_library("QPSK12")
+        qam = hiperlan2.build_implementation_library("QAM64_34")
+        assert (
+            qpsk.implementation_for("remainder", "MONTIUM").production_rates("x").total()
+            < qam.implementation_for("remainder", "MONTIUM").production_rates("x").total()
+        )
+
+    def test_fast_mode_wcet_stays_positive(self):
+        library = hiperlan2.build_implementation_library("QAM64_34")
+        implementation = library.implementation_for("remainder", "MONTIUM")
+        assert all(c >= 0 for c in implementation.wcet_cycles)
+
+    def test_paper_table1_rows_cover_all_pairs(self):
+        rows = hiperlan2.paper_table1()
+        assert len(rows) == 8
+        assert {row["pe_type"] for row in rows} == {"ARM", "MONTIUM"}
+
+
+class TestHiperlan2Platform:
+    def test_figure2_contents(self, hiperlan_platform):
+        assert len(hiperlan_platform) == 9
+        assert len(hiperlan_platform.tiles_of_type("ARM")) == 2
+        assert len(hiperlan_platform.tiles_of_type("MONTIUM")) == 2
+        assert len(hiperlan_platform.tiles_of_type("IO")) == 2
+        assert len(hiperlan_platform.tiles_of_type("OTHER")) == 3
+        assert len(hiperlan_platform.noc) == 9
+
+    def test_router_latency_is_4_cycles(self, hiperlan_platform):
+        for router in hiperlan_platform.noc.routers:
+            assert router.latency_cycles == 4
+
+    def test_io_tiles_cannot_host_processes(self, hiperlan_platform):
+        assert not hiperlan_platform.tile("adc").is_processing
+        assert not hiperlan_platform.tile("sink").is_processing
+
+    def test_positions_follow_module_constants(self, hiperlan_platform):
+        for name, position in hiperlan2.TILE_POSITIONS.items():
+            assert hiperlan_platform.tile(name).position == position
+
+
+class TestExtraReceivers:
+    def test_drm_receiver_is_well_formed(self):
+        als = receivers.build_drm_receiver_als()
+        validate_kpn(als.kpn)
+        library = receivers.build_drm_library()
+        for process in als.kpn.mappable_processes():
+            assert library.implementations_for(process.name)
+
+    def test_image_pipeline_is_well_formed(self):
+        als = receivers.build_image_pipeline_als()
+        validate_kpn(als.kpn)
+        library = receivers.build_image_library()
+        for process in als.kpn.mappable_processes():
+            assert library.implementations_for(process.name)
+
+    def test_merge_libraries(self):
+        merged = receivers.merge_libraries(
+            receivers.build_drm_library(), receivers.build_image_library()
+        )
+        assert "decimator" in merged.processes()
+        assert "debayer" in merged.processes()
+
+
+class TestSyntheticGenerator:
+    def test_deterministic_per_seed(self):
+        first = synthetic.generate_application(seed=42)
+        second = synthetic.generate_application(seed=42)
+        assert first.als.kpn.process_names == second.als.kpn.process_names
+        assert [c.tokens_per_iteration for c in first.als.kpn.channels] == [
+            c.tokens_per_iteration for c in second.als.kpn.channels
+        ]
+
+    def test_different_seeds_differ(self):
+        first = synthetic.generate_application(seed=1)
+        second = synthetic.generate_application(seed=2)
+        assert [c.tokens_per_iteration for c in first.als.kpn.channels] != [
+            c.tokens_per_iteration for c in second.als.kpn.channels
+        ]
+
+    def test_chain_structure(self):
+        app = synthetic.generate_application(seed=3, config=synthetic.SyntheticConfig(stages=5))
+        assert len(app.als.kpn.mappable_processes()) == 5
+        validate_kpn(app.als.kpn)
+
+    def test_series_parallel_structure(self):
+        config = synthetic.SyntheticConfig(stages=8, parallel_branches=3)
+        app = synthetic.generate_application(seed=4, config=config)
+        validate_kpn(app.als.kpn)
+        fork_out = app.als.kpn.outgoing_channels("k0")
+        assert len(fork_out) == 3
+
+    def test_every_kernel_has_gpp_fallback(self):
+        app = synthetic.generate_application(seed=5)
+        for process in app.als.kpn.mappable_processes():
+            assert app.library.has_implementation(process.name, "GPP")
+
+    def test_generated_platform_structure(self):
+        platform = synthetic.generate_platform(seed=6, width=4, height=3)
+        assert len(platform.noc) == 12
+        assert platform.has_tile("io_in") and platform.has_tile("io_out")
+        assert len(platform.processing_tiles()) == 10
+
+    def test_platform_deterministic_per_seed(self):
+        first = synthetic.generate_platform(seed=7)
+        second = synthetic.generate_platform(seed=7)
+        assert [t.type_name for t in first.tiles] == [t.type_name for t in second.tiles]
+
+    def test_scenario_generation(self):
+        apps = synthetic.generate_scenario(seed=8, application_count=3)
+        assert len(apps) == 3
+        assert len({app.als.name for app in apps}) == 3
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic.generate_application(seed=1, config=synthetic.SyntheticConfig(stages=0))
