@@ -1,0 +1,99 @@
+"""Extension experiment `ext-batch` — batch admission at run time.
+
+The paper's run-time premise only scales to many co-running applications if
+an admission decision stays cheap while the platform fills up.  This
+benchmark drives :meth:`RuntimeResourceManager.start_many` over a workload of
+dozens of synthetic applications on a large mesh and asserts the two
+properties the incremental resource-accounting core guarantees:
+
+* the batch admits a production-sized workload (>= 50 applications) with
+  per-application accept/reject decisions in one call, and
+* the per-admission mapping time does not grow with the allocation-list
+  lengths of the already-running applications — resource queries hit the
+  O(1) cached aggregates, so the 10 admissions onto a platform already
+  hosting ~50 applications cost about the same as the first 10 onto an empty
+  platform.
+"""
+
+import pytest
+
+from repro.runtime.manager import RuntimeResourceManager
+from repro.spatialmapper.config import MapperConfig
+from repro.workloads.synthetic import SyntheticConfig, generate_platform, generate_scenario
+
+APPLICATIONS = 60
+MIN_ADMITTED = 50
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """Sixty small streaming applications and a 12x12 mesh to host them."""
+    config = SyntheticConfig(stages=2, period_ns=100_000.0)
+    applications = generate_scenario(seed=9, application_count=APPLICATIONS, config=config)
+    platform = generate_platform(seed=21, width=12, height=12)
+    return applications, platform
+
+
+def test_ext_batch_start_many_admits_workload(benchmark, workload):
+    applications, platform = workload
+    outcomes = {}
+
+    def run_batch():
+        manager = RuntimeResourceManager(
+            platform, config=MapperConfig(analysis_iterations=3), require_feasible=True
+        )
+        outcome = manager.start_many([(app.als, app.library) for app in applications])
+        outcomes["last"] = (manager, outcome)
+        return outcome
+
+    benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    manager, outcome = outcomes["last"]
+
+    admitted = outcome.admitted
+    assert len(outcome.decisions) == APPLICATIONS
+    assert len(admitted) >= MIN_ADMITTED
+    assert all(manager.is_running(d.application) for d in admitted)
+
+    # Per-admission mapping time must not trend upward as the platform fills:
+    # with O(1) aggregate queries the cost of an admission depends on the
+    # application and platform size, not on how many applications (and how
+    # many allocation-list entries) are already resident.
+    times = [d.mapping_runtime_s for d in outcome.decisions]
+    first = sum(times[:10]) / 10
+    last = sum(times[-10:]) / 10
+    assert last <= 3.0 * first, (
+        f"per-admission time grew from {first * 1e3:.2f} ms to {last * 1e3:.2f} ms "
+        "while the platform filled up"
+    )
+
+    benchmark.extra_info["applications"] = APPLICATIONS
+    benchmark.extra_info["admitted"] = len(admitted)
+    benchmark.extra_info["admission_rate"] = round(outcome.admission_rate, 3)
+    benchmark.extra_info["first10_admission_ms"] = round(first * 1e3, 3)
+    benchmark.extra_info["last10_admission_ms"] = round(last * 1e3, 3)
+    benchmark.extra_info["growth_ratio"] = round(last / first, 3) if first else None
+
+
+def test_ext_batch_all_or_nothing_rolls_back(benchmark, workload):
+    """An all-or-nothing batch that cannot fully fit must leave the platform
+    bit-identical to an empty one — the transactional commit path."""
+    applications, _ = workload
+    # A deliberately tiny platform so the batch cannot fit entirely.
+    small = generate_platform(seed=33, width=3, height=3)
+
+    def run_batch():
+        manager = RuntimeResourceManager(
+            small, config=MapperConfig(analysis_iterations=3), require_feasible=True
+        )
+        outcome = manager.start_many(
+            [(app.als, app.library) for app in applications[:12]], all_or_nothing=True
+        )
+        return manager, outcome
+
+    manager, outcome = benchmark.pedantic(run_batch, rounds=1, iterations=1)
+    assert len(outcome.rejected) >= 1
+    assert manager.state.occupied_tiles() == ()
+    assert manager.state.link_loads() == {}
+    assert not manager.running_applications
+    benchmark.extra_info["attempted"] = len(outcome.decisions)
+    benchmark.extra_info["first_rejection"] = outcome.rejected[0].application

@@ -23,11 +23,12 @@ import time
 
 from repro.appmodel.library import ImplementationLibrary
 from repro.baselines.common import complete_and_evaluate
+from repro.exceptions import PlatformError
 from repro.kpn.als import ApplicationLevelSpec
 from repro.mapping.mapping import Mapping
 from repro.mapping.result import MappingResult, MappingStatus
 from repro.platform.platform import Platform
-from repro.platform.state import PlatformState
+from repro.platform.state import PlatformState, ProcessAllocation
 from repro.spatialmapper.config import MapperConfig
 from repro.spatialmapper.mapper import SpatialMapper
 
@@ -111,21 +112,32 @@ class DesignTimeMapper:
 
     # ------------------------------------------------------------------ #
     def _placements_available(self, frozen: Mapping, state: PlatformState) -> bool:
-        """Whether every tile of the frozen mapping still has a free slot and memory."""
-        needed_slots: dict[str, int] = {}
-        needed_memory: dict[str, int] = {}
-        for assignment in frozen.assignments:
-            if assignment.implementation is None:
-                continue
-            needed_slots[assignment.tile] = needed_slots.get(assignment.tile, 0) + 1
-            needed_memory[assignment.tile] = (
-                needed_memory.get(assignment.tile, 0) + assignment.implementation.memory_bytes
-            )
-        for tile_name, count in needed_slots.items():
-            if state.free_process_slots(tile_name) < count:
-                return False
-            if state.free_memory_bytes(tile_name) < needed_memory[tile_name]:
-                return False
+        """Whether every tile of the frozen mapping still has a free slot and memory.
+
+        The check is a transactional what-if: the frozen placements are
+        tentatively allocated into the live state and rolled back, so the
+        exact admission rules of :meth:`PlatformState.allocate_process` apply
+        without copying the state.
+        """
+        try:
+            with state.transaction() as txn:
+                for assignment in frozen.assignments:
+                    if assignment.implementation is None:
+                        continue
+                    state.allocate_process(
+                        ProcessAllocation(
+                            application=f"__whatif_{frozen.application}",
+                            process=assignment.process,
+                            tile=assignment.tile,
+                            memory_bytes=assignment.implementation.memory_bytes,
+                            compute_cycles_per_iteration=(
+                                assignment.implementation.total_wcet_cycles
+                            ),
+                        )
+                    )
+                txn.rollback()
+        except PlatformError:
+            return False
         return True
 
     def _fallback(self, als: ApplicationLevelSpec, state: PlatformState) -> MappingResult:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.csdf.graph import CSDFGraph
 from repro.csdf.repetition import repetition_vector
@@ -30,9 +31,13 @@ from repro.exceptions import DeadlockError
 from repro.kpn.process import ProcessKind  # noqa: F401  (re-exported for convenience in tests)
 
 
-@dataclass(frozen=True)
-class FiringRecord:
-    """One completed firing of an actor."""
+class FiringRecord(NamedTuple):
+    """One completed firing of an actor.
+
+    A ``NamedTuple`` rather than a dataclass: the simulator creates one
+    record per firing on the mapper's admission hot path, and tuple
+    construction is several times cheaper than a frozen-dataclass ``__init__``.
+    """
 
     actor: str
     firing_index: int
@@ -149,118 +154,193 @@ class SelfTimedSimulator:
 
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
-        """Execute the graph and return the simulation result."""
+        """Execute the graph and return the simulation result.
+
+        The loop works on integer-indexed actors/edges with per-phase rate
+        tables precomputed once, so the inner readiness checks are plain list
+        lookups.  The scan discipline is identical to a naive fixpoint over
+        ``graph.actor_names`` (same order, same tie-breaking), so results are
+        bit-identical to the straightforward implementation.
+        """
         graph = self._graph
         repetitions = self._repetitions
-        target = {name: repetitions[name] * self._iterations for name in repetitions}
+        names = list(graph.actor_names)
+        actor_count = len(names)
+        actor_range = range(actor_count)
+        reps = [repetitions[name] for name in names]
+        target = [repetitions[name] * self._iterations for name in names]
 
-        tokens: dict[str, int] = {e.name: e.initial_tokens for e in graph.edges}
-        max_occupancy: dict[str, int] = {e.name: e.initial_tokens for e in graph.edges}
-        phase: dict[str, int] = {name: 0 for name in graph.actor_names}
-        fired: dict[str, int] = {name: 0 for name in graph.actor_names}
-        busy: dict[str, bool] = {name: False for name in graph.actor_names}
-        firings: dict[str, list[FiringRecord]] = {name: [] for name in graph.actor_names}
+        edges = list(graph.edges)
+        edge_index = {edge.name: i for i, edge in enumerate(edges)}
+        tokens: list[int] = [edge.initial_tokens for edge in edges]
+        max_occupancy: list[int] = [edge.initial_tokens for edge in edges]
 
-        inputs = {name: graph.input_edges(name) for name in graph.actor_names}
-        outputs = {name: graph.output_edges(name) for name in graph.actor_names}
+        period = self._source_period_ns
+        periodic = [period is not None and name in self._periodic_actors for name in names]
+
+        # Per actor and phase: input needs (edge, threshold, consumed), output
+        # productions (edge, produced), capacity checks (edge, produced, cap)
+        # and firing durations.
+        phase_counts: list[int] = []
+        in_needs: list[list[tuple[tuple[int, float, int], ...]]] = []
+        out_rates: list[list[tuple[tuple[int, int], ...]]] = []
+        out_caps: list[list[tuple[tuple[int, int, float], ...]]] = []
+        durations: list[list[float]] = []
+        for name in names:
+            actor = graph.actor(name)
+            inputs = graph.input_edges(name)
+            outputs = graph.output_edges(name)
+            phase_counts.append(actor.phases)
+            per_in, per_out, per_cap, per_dur = [], [], [], []
+            for p in range(actor.phases):
+                per_in.append(
+                    tuple(
+                        (edge_index[e.name], e.consumption_rates.at(p), int(e.consumption_rates.at(p)))
+                        for e in inputs
+                    )
+                )
+                per_out.append(
+                    tuple((edge_index[e.name], int(e.production_rates.at(p))) for e in outputs)
+                )
+                per_cap.append(
+                    tuple(
+                        (edge_index[e.name], int(e.production_rates.at(p)), e.capacity)
+                        for e in outputs
+                        if e.capacity is not None
+                    )
+                )
+                per_dur.append(actor.execution_time_ns(p))
+            in_needs.append(per_in)
+            out_rates.append(per_out)
+            out_caps.append(per_cap)
+            durations.append(per_dur)
+
+        phase = [0] * actor_count
+        fired = [0] * actor_count
+        busy = [False] * actor_count
+        firings: list[list[FiringRecord]] = [[] for _ in actor_range]
+        remaining = sum(target)
+
+        # A *start* consumes tokens and reserves output space but produces
+        # nothing, so on a graph without bounded buffers a start can never
+        # enable another actor: after a finish event only the finished actor,
+        # the consumers of its output edges and (because time advanced) the
+        # periodic sources can newly become ready.  Restricting the readiness
+        # scan to that precomputed set — in actor order, like the full scan —
+        # yields the exact same start sequence at a fraction of the cost.
+        # Bounded buffers add back-pressure (a start frees space for its
+        # producers), so bounded graphs keep the full fixpoint scan.
+        bounded = any(edge.capacity is not None for edge in edges)
+        actor_index = {name: a for a, name in enumerate(names)}
+        periodic_indices = [a for a in actor_range if periodic[a]]
+        affected: list[tuple[int, ...]] = []
+        for name in names:
+            enabled = {actor_index[name]}
+            for edge in graph.output_edges(name):
+                enabled.add(actor_index[edge.target])
+            enabled.update(periodic_indices)
+            affected.append(tuple(sorted(enabled)))
 
         # (finish_time, sequence, actor, phase_index, start_time)
-        pending: list[tuple[float, int, str, int, float]] = []
+        pending: list[tuple[float, int, int, int, float]] = []
+        heappush, heappop = heapq.heappush, heapq.heappop
         sequence = 0
         now = 0.0
         deadlocked = False
         deadlock_time: float | None = None
 
-        def can_start(actor_name: str) -> bool:
-            if busy[actor_name] or fired[actor_name] >= target[actor_name]:
+        def try_start(a: int) -> bool:
+            """Start actor ``a`` if it is ready; returns whether it started."""
+            nonlocal sequence
+            if busy[a] or fired[a] >= target[a]:
                 return False
-            if actor_name in self._periodic_actors and self._source_period_ns is not None:
-                iteration_index = fired[actor_name] // repetitions[actor_name]
-                if now + 1e-12 < iteration_index * self._source_period_ns:
+            if periodic[a] and now + 1e-12 < (fired[a] // reps[a]) * period:
+                return False
+            p = phase[a]
+            for e, threshold, _consumed in in_needs[a][p]:
+                if tokens[e] + 1e-9 < threshold:
                     return False
-            current_phase = phase[actor_name]
-            for edge in inputs[actor_name]:
-                needed = edge.consumption_rates.at(current_phase)
-                if tokens[edge.name] + 1e-9 < needed:
+            for e, produced, cap in out_caps[a][p]:
+                if tokens[e] + produced > cap + 1e-9:
                     return False
-            for edge in outputs[actor_name]:
-                if edge.capacity is None:
-                    continue
-                produced = edge.production_rates.at(current_phase)
-                if tokens[edge.name] + produced > edge.capacity + 1e-9:
-                    return False
+            # Start the firing: consume inputs now; space for the tokens
+            # produced by this firing is reserved at the start (that is what
+            # the capacity check admits), so the occupancy statistics must
+            # account for it here — otherwise the reported maxima would not
+            # be sufficient buffer capacities.
+            for e, _threshold, consumed in in_needs[a][p]:
+                tokens[e] -= consumed
+            for e, produced in out_rates[a][p]:
+                projected = tokens[e] + produced
+                if projected > max_occupancy[e]:
+                    max_occupancy[e] = projected
+            busy[a] = True
+            sequence += 1
+            heappush(pending, (now + durations[a][p], sequence, a, p, now))
             return True
 
-        def start(actor_name: str) -> None:
-            nonlocal sequence
-            current_phase = phase[actor_name]
-            for edge in inputs[actor_name]:
-                tokens[edge.name] -= int(edge.consumption_rates.at(current_phase))
-            # Space for the tokens produced by this firing is reserved at the
-            # start (that is what the capacity check above admits), so the
-            # occupancy statistics must account for it here — otherwise the
-            # reported maxima would not be sufficient buffer capacities.
-            for edge in outputs[actor_name]:
-                projected = tokens[edge.name] + int(edge.production_rates.at(current_phase))
-                if projected > max_occupancy[edge.name]:
-                    max_occupancy[edge.name] = projected
-            duration = graph.actor(actor_name).execution_time_ns(current_phase)
-            busy[actor_name] = True
-            sequence += 1
-            heapq.heappush(pending, (now + duration, sequence, actor_name, current_phase, now))
-
-        def finish(actor_name: str, finished_phase: int, start_time: float, finish_time: float) -> None:
-            for edge in outputs[actor_name]:
-                produced = int(edge.production_rates.at(finished_phase))
-                tokens[edge.name] += produced
-                if tokens[edge.name] > max_occupancy[edge.name]:
-                    max_occupancy[edge.name] = tokens[edge.name]
-            firings[actor_name].append(
-                FiringRecord(
-                    actor=actor_name,
-                    firing_index=fired[actor_name],
-                    phase_index=finished_phase,
-                    start_ns=start_time,
-                    finish_ns=finish_time,
-                )
-            )
-            fired[actor_name] += 1
-            phase[actor_name] = (finished_phase + 1) % graph.actor(actor_name).phases
-            busy[actor_name] = False
-
-        all_done = lambda: all(fired[name] >= target[name] for name in fired)  # noqa: E731
-
-        while not all_done():
+        def scan_all() -> None:
+            """Fixpoint readiness scan over every actor (bounded graphs)."""
             started_any = True
             while started_any:
                 started_any = False
-                for actor_name in graph.actor_names:
-                    if can_start(actor_name):
-                        start(actor_name)
+                for a in actor_range:
+                    if try_start(a):
                         started_any = True
+
+        # Initial admission at t = 0 considers every actor.
+        if bounded:
+            scan_all()
+        else:
+            for a in actor_range:
+                try_start(a)
+
+        while remaining:
             if pending:
-                finish_time, _, actor_name, finished_phase, start_time = heapq.heappop(pending)
+                finish_time, _, a, finished_phase, start_time = heappop(pending)
                 now = finish_time
-                finish(actor_name, finished_phase, start_time, finish_time)
+                for e, produced in out_rates[a][finished_phase]:
+                    tokens[e] += produced
+                    if tokens[e] > max_occupancy[e]:
+                        max_occupancy[e] = tokens[e]
+                firings[a].append(
+                    FiringRecord(names[a], fired[a], finished_phase, start_time, finish_time)
+                )
+                fired[a] += 1
+                phase[a] = (finished_phase + 1) % phase_counts[a]
+                busy[a] = False
+                remaining -= 1
+                if bounded:
+                    scan_all()
+                else:
+                    for b in affected[a]:
+                        try_start(b)
                 continue
             # Nothing running and nothing can start.  Either every remaining
             # actor is a periodic source waiting for its next release, or the
             # graph is deadlocked.
-            next_release = self._next_source_release(fired, repetitions, target)
+            next_release = self._next_source_release(names, fired, reps, target)
             if next_release is not None and next_release > now:
                 now = next_release
+                if bounded:
+                    scan_all()
+                else:
+                    for b in periodic_indices:
+                        try_start(b)
                 continue
             deadlocked = True
             deadlock_time = now
             break
 
-        iteration_finishes = self._iteration_finish_times(firings, repetitions, target)
+        firings_by_name = {names[a]: firings[a] for a in actor_range}
+        occupancy_by_name = {edge.name: max_occupancy[i] for i, edge in enumerate(edges)}
+        iteration_finishes = self._iteration_finish_times(firings_by_name, repetitions)
         return SimulationResult(
             graph_name=graph.name,
             iterations_requested=self._iterations,
             repetitions=dict(repetitions),
-            firings=firings,
-            max_occupancy=max_occupancy,
+            firings=firings_by_name,
+            max_occupancy=occupancy_by_name,
             iteration_finish_times_ns=iteration_finishes,
             deadlocked=deadlocked,
             deadlock_time_ns=deadlock_time,
@@ -270,18 +350,21 @@ class SelfTimedSimulator:
     # ------------------------------------------------------------------ #
     def _next_source_release(
         self,
-        fired: dict[str, int],
-        repetitions: dict[str, int],
-        target: dict[str, int],
+        names: list[str],
+        fired: list[int],
+        reps: list[int],
+        target: list[int],
     ) -> float | None:
         """Earliest future release time of any periodic source, or ``None``."""
         if self._source_period_ns is None:
             return None
         releases = []
-        for actor_name in self._periodic_actors:
-            if fired[actor_name] >= target[actor_name]:
+        for a, name in enumerate(names):
+            if name not in self._periodic_actors:
                 continue
-            iteration_index = fired[actor_name] // repetitions[actor_name]
+            if fired[a] >= target[a]:
+                continue
+            iteration_index = fired[a] // reps[a]
             releases.append(iteration_index * self._source_period_ns)
         if not releases:
             return None
@@ -291,7 +374,6 @@ class SelfTimedSimulator:
         self,
         firings: dict[str, list[FiringRecord]],
         repetitions: dict[str, int],
-        target: dict[str, int],
     ) -> list[float]:
         """Completion time of each fully finished graph iteration."""
         completed = self._iterations

@@ -4,9 +4,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.csdf.graph import CSDFGraph
 from repro.mapping.mapping import Mapping
+
+if TYPE_CHECKING:  # imported lazily: spatialmapper depends on this module
+    from repro.spatialmapper.feedback import Feedback
 
 
 class MappingStatus(enum.Enum):
@@ -72,6 +76,10 @@ class MappingResult:
         Wall-clock time spent producing this result.
     diagnostics:
         Free-form log of decisions and violations, for reports and debugging.
+    pending_feedback:
+        Feedback raised by the failing step of this attempt, which the
+        mapper's refinement loop translates into exclusions for the next
+        iteration.
     """
 
     mapping: Mapping
@@ -83,6 +91,7 @@ class MappingResult:
     iterations: int = 0
     runtime_s: float = 0.0
     diagnostics: list[str] = field(default_factory=list)
+    pending_feedback: list["Feedback"] = field(default_factory=list)
 
     @property
     def is_feasible(self) -> bool:

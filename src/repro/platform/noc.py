@@ -89,6 +89,7 @@ class NoC:
         self.name = name
         self._routers: dict[Position, Router] = {}
         self._links: dict[tuple[Position, Position], Link] = {}
+        self._links_by_name: dict[str, Link] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -109,6 +110,7 @@ class NoC:
         if key in self._links:
             raise PlatformError(f"duplicate link {link.source} -> {link.target}")
         self._links[key] = link
+        self._links_by_name[link.name] = link
         return link
 
     def add_bidirectional_link(self, a: Position, b: Position, capacity_bits_per_s: float) -> None:
@@ -155,6 +157,17 @@ class NoC:
     def has_link(self, source: Position, target: Position) -> bool:
         """Whether the directed link exists."""
         return (tuple(source), tuple(target)) in self._links
+
+    def link_by_name(self, name: str) -> Link:
+        """Return the link with the given canonical name."""
+        try:
+            return self._links_by_name[name]
+        except KeyError:
+            raise PlatformError(f"unknown link {name!r}") from None
+
+    def has_link_named(self, name: str) -> bool:
+        """Whether a link with the given canonical name exists."""
+        return name in self._links_by_name
 
     def neighbours(self, position: Position) -> tuple[Position, ...]:
         """Positions reachable from ``position`` over one outgoing link."""

@@ -12,11 +12,28 @@ started (this is exactly the run-time information the paper argues a
 design-time mapping cannot exploit) and returns the allocations of the new
 application; the run-time resource manager then commits or rolls back those
 allocations.
+
+Two properties make the state cheap enough for run-time admission control:
+
+* **O(1) aggregates** — used process slots, used memory and used compute
+  cycles per tile, and the reserved throughput per link, are maintained
+  incrementally on every allocate/release instead of being re-summed from the
+  allocation lists on every query.  Admission cost therefore does not grow
+  with the number (or allocation-list length) of already-running
+  applications.
+* **transactions** — :meth:`PlatformState.transaction` opens a journaled
+  scope: every mutation records an undo snapshot, and a rollback restores the
+  state bit-identically.  What-if exploration (tentative commits, batch
+  admission, step-3 routing) uses transactions instead of copying the whole
+  state.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping
 
 from repro.exceptions import PlatformError
 from repro.platform.noc import Position
@@ -44,6 +61,101 @@ class LinkAllocation:
     bits_per_s: float
 
 
+class StateTransaction:
+    """Undo journal of one :meth:`PlatformState.transaction` scope.
+
+    Every mutation inside the scope appends a snapshot of the touched
+    tile/link entry (allocation list plus cached aggregates) *before* the
+    mutation.  :meth:`rollback` replays the snapshots in reverse, restoring
+    the state bit-identically; :meth:`commit` keeps the mutations.  When
+    transactions nest, a committed inner journal is folded into the enclosing
+    transaction so an outer rollback undoes inner commits as well.
+    """
+
+    __slots__ = ("_state", "_undo", "_seen_tiles", "_seen_links", "closed", "rolled_back")
+
+    def __init__(self, state: "PlatformState") -> None:
+        self._state = state
+        # Entries: ("tile"|"link", name, allocations|None, *aggregates|None).
+        # Only the first mutation of a key inside the transaction needs a
+        # snapshot (rollback replays in reverse and ends at the oldest), so
+        # the seen-sets keep the journal O(touched keys) instead of
+        # O(mutations x list length).
+        self._undo: list[tuple] = []
+        self._seen_tiles: set[str] = set()
+        self._seen_links: set[str] = set()
+        self.closed = False
+        self.rolled_back = False
+
+    def _check_innermost(self) -> None:
+        """Closing out of nesting order would corrupt the undo chains."""
+        stack = self._state._transactions
+        if self in stack:
+            for txn in stack[stack.index(self) + 1 :]:
+                if not txn.closed:
+                    raise PlatformError(
+                        "cannot close a transaction while a nested transaction is open"
+                    )
+
+    def commit(self) -> None:
+        """Keep every mutation performed inside the transaction.
+
+        The journal folds into the *enclosing* open transaction now, so an
+        outer rollback undoes these mutations even if the scope later exits
+        through an exception, and snapshots stay in mutation order relative
+        to anything journaled into the parent afterwards.
+        """
+        if self.closed:
+            if self.rolled_back:
+                raise PlatformError("transaction was already rolled back")
+            return
+        self._check_innermost()
+        self.closed = True
+        stack = self._state._transactions
+        enclosing = stack[: stack.index(self)] if self in stack else stack
+        for txn in reversed(enclosing):
+            if not txn.closed:
+                txn._undo.extend(self._undo)
+                # The folded snapshots are at least as old as anything the
+                # enclosing transaction would capture for the same keys, so
+                # marking them seen keeps its journal first-touch-only too.
+                txn._seen_tiles |= self._seen_tiles
+                txn._seen_links |= self._seen_links
+                break
+        self._undo = []
+
+    def rollback(self) -> None:
+        """Undo every mutation performed inside the transaction."""
+        if self.closed:
+            if self.rolled_back:
+                return
+            raise PlatformError("transaction was already committed")
+        self._check_innermost()
+        state = self._state
+        for entry in reversed(self._undo):
+            if entry[0] == "tile":
+                _, name, occupants, slots, memory, cycles = entry
+                _restore(state._tile_occupants, name, occupants)
+                _restore(state._used_slots, name, slots)
+                _restore(state._used_memory, name, memory)
+                _restore(state._used_cycles, name, cycles)
+            else:
+                _, name, allocations, load = entry
+                _restore(state._link_allocations, name, allocations)
+                _restore(state._link_load, name, load)
+        self._undo.clear()
+        self.closed = True
+        self.rolled_back = True
+
+
+def _restore(target: dict, key: str, value) -> None:
+    """Put a snapshot value back (``None`` means the key did not exist)."""
+    if value is None:
+        target.pop(key, None)
+    else:
+        target[key] = value
+
+
 @dataclass
 class PlatformState:
     """Mutable allocation bookkeeping on top of an immutable platform."""
@@ -51,6 +163,102 @@ class PlatformState:
     platform: Platform
     _tile_occupants: dict[str, list[ProcessAllocation]] = field(default_factory=dict)
     _link_allocations: dict[str, list[LinkAllocation]] = field(default_factory=dict)
+    # Cached aggregates, kept in sync incrementally by every mutation.
+    _used_slots: dict[str, int] = field(default_factory=dict, init=False, repr=False)
+    _used_memory: dict[str, int] = field(default_factory=dict, init=False, repr=False)
+    _used_cycles: dict[str, float] = field(default_factory=dict, init=False, repr=False)
+    _link_load: dict[str, float] = field(default_factory=dict, init=False, repr=False)
+    _transactions: list[StateTransaction] = field(default_factory=list, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rebuild_aggregates()
+
+    def _rebuild_aggregates(self) -> None:
+        """Recompute every cached aggregate from the allocation lists."""
+        self._used_slots = {
+            name: len(allocations) for name, allocations in self._tile_occupants.items()
+        }
+        self._used_memory = {
+            name: sum(a.memory_bytes for a in allocations)
+            for name, allocations in self._tile_occupants.items()
+        }
+        self._used_cycles = {
+            name: sum(a.compute_cycles_per_iteration for a in allocations)
+            for name, allocations in self._tile_occupants.items()
+        }
+        self._link_load = {
+            name: sum(a.bits_per_s for a in allocations)
+            for name, allocations in self._link_allocations.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Transactions
+    # ------------------------------------------------------------------ #
+    @contextmanager
+    def transaction(self) -> Iterator[StateTransaction]:
+        """Open a journaled scope for tentative mutations.
+
+        On normal exit the transaction commits (unless :meth:`~StateTransaction.rollback`
+        was called inside the block); on an exception it rolls back and
+        re-raises.  Scopes nest: committing an inner transaction folds its
+        journal into the enclosing one.
+        """
+        txn = StateTransaction(self)
+        self._transactions.append(txn)
+        try:
+            yield txn
+        except BaseException:
+            if not txn.closed:
+                txn.rollback()
+            raise
+        else:
+            if not txn.closed:
+                txn.commit()
+        finally:
+            self._transactions.remove(txn)
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether at least one transaction scope is open."""
+        return any(not txn.closed for txn in self._transactions)
+
+    def _journal_tile(self, tile_name: str) -> None:
+        """Snapshot a tile's entry into the innermost open transaction."""
+        for txn in reversed(self._transactions):
+            if not txn.closed:
+                if tile_name in txn._seen_tiles:
+                    return
+                txn._seen_tiles.add(tile_name)
+                occupants = self._tile_occupants.get(tile_name)
+                txn._undo.append(
+                    (
+                        "tile",
+                        tile_name,
+                        None if occupants is None else list(occupants),
+                        self._used_slots.get(tile_name),
+                        self._used_memory.get(tile_name),
+                        self._used_cycles.get(tile_name),
+                    )
+                )
+                return
+
+    def _journal_link(self, link_name: str) -> None:
+        """Snapshot a link's entry into the innermost open transaction."""
+        for txn in reversed(self._transactions):
+            if not txn.closed:
+                if link_name in txn._seen_links:
+                    return
+                txn._seen_links.add(link_name)
+                allocations = self._link_allocations.get(link_name)
+                txn._undo.append(
+                    (
+                        "link",
+                        link_name,
+                        None if allocations is None else list(allocations),
+                        self._link_load.get(link_name),
+                    )
+                )
+                return
 
     # ------------------------------------------------------------------ #
     # Tiles
@@ -61,22 +269,29 @@ class PlatformState:
         return tuple(self._tile_occupants.get(tile_name, ()))
 
     def used_process_slots(self, tile_name: str) -> int:
-        """Number of occupied process slots on the tile."""
-        return len(self.occupants(tile_name))
+        """Number of occupied process slots on the tile (O(1))."""
+        self.platform.tile(tile_name)
+        return self._used_slots.get(tile_name, 0)
 
     def free_process_slots(self, tile_name: str) -> int:
-        """Number of free process slots on the tile."""
+        """Number of free process slots on the tile (O(1))."""
         tile = self.platform.tile(tile_name)
-        return tile.resources.max_processes - self.used_process_slots(tile_name)
+        return tile.resources.max_processes - self._used_slots.get(tile_name, 0)
 
     def used_memory_bytes(self, tile_name: str) -> int:
-        """Memory already allocated on the tile."""
-        return sum(a.memory_bytes for a in self.occupants(tile_name))
+        """Memory already allocated on the tile (O(1))."""
+        self.platform.tile(tile_name)
+        return self._used_memory.get(tile_name, 0)
 
     def free_memory_bytes(self, tile_name: str) -> int:
-        """Memory still available on the tile."""
+        """Memory still available on the tile (O(1))."""
         tile = self.platform.tile(tile_name)
-        return tile.resources.memory_bytes - self.used_memory_bytes(tile_name)
+        return tile.resources.memory_bytes - self._used_memory.get(tile_name, 0)
+
+    def used_compute_cycles_per_iteration(self, tile_name: str) -> float:
+        """Compute cycles per iteration already claimed on the tile (O(1))."""
+        self.platform.tile(tile_name)
+        return self._used_cycles.get(tile_name, 0.0)
 
     def can_host(
         self,
@@ -89,15 +304,15 @@ class PlatformState:
         tile = self.platform.tile(tile_name)
         if not tile.is_processing:
             return False
-        if self.free_process_slots(tile_name) < 1:
+        if tile.resources.max_processes - self._used_slots.get(tile_name, 0) < 1:
             return False
-        if memory_bytes > self.free_memory_bytes(tile_name):
+        if memory_bytes > tile.resources.memory_bytes - self._used_memory.get(tile_name, 0):
             return False
         budget = tile.resources.compute_cycles_per_period
         if budget is None:
             budget = period_cycles
         if budget is not None:
-            used = sum(a.compute_cycles_per_iteration for a in self.occupants(tile_name))
+            used = self._used_cycles.get(tile_name, 0.0)
             if used + compute_cycles_per_iteration > budget + 1e-9:
                 return False
         return True
@@ -113,42 +328,56 @@ class PlatformState:
                 f"tile {allocation.tile!r} cannot host process {allocation.process!r} "
                 f"of application {allocation.application!r}"
             )
-        self._tile_occupants.setdefault(allocation.tile, []).append(allocation)
+        tile = allocation.tile
+        self._journal_tile(tile)
+        self._tile_occupants.setdefault(tile, []).append(allocation)
+        self._used_slots[tile] = self._used_slots.get(tile, 0) + 1
+        self._used_memory[tile] = self._used_memory.get(tile, 0) + allocation.memory_bytes
+        self._used_cycles[tile] = (
+            self._used_cycles.get(tile, 0.0) + allocation.compute_cycles_per_iteration
+        )
 
     # ------------------------------------------------------------------ #
     # Links
     # ------------------------------------------------------------------ #
     def link_load_bits_per_s(self, link_name: str) -> float:
-        """Throughput currently reserved on the link."""
-        return sum(a.bits_per_s for a in self._link_allocations.get(link_name, ()))
+        """Throughput currently reserved on the link (O(1))."""
+        return self._link_load.get(link_name, 0.0)
 
     def link_loads(self) -> dict[str, float]:
-        """Current reservation per link name (only links with a non-zero load)."""
+        """Current reservation per link name (only links with allocations)."""
         return {
-            name: sum(a.bits_per_s for a in allocations)
+            name: self._link_load.get(name, 0.0)
             for name, allocations in self._link_allocations.items()
             if allocations
         }
 
+    def link_loads_view(self) -> Mapping[str, float]:
+        """Read-only live view of the per-link reservations.
+
+        Unlike :meth:`link_loads` this does not copy; the view tracks
+        subsequent allocations, which is what step-3 routing wants while it
+        reserves channels one by one inside a transaction.
+        """
+        return MappingProxyType(self._link_load)
+
     def residual_capacity_bits_per_s(self, source: Position, target: Position) -> float:
         """Residual capacity of the directed link ``source -> target``."""
         link = self.platform.noc.link(source, target)
-        return link.capacity_bits_per_s - self.link_load_bits_per_s(link.name)
+        return link.capacity_bits_per_s - self._link_load.get(link.name, 0.0)
 
     def allocate_link(self, allocation: LinkAllocation) -> None:
         """Reserve throughput on a link; raises if the capacity would be exceeded."""
-        link = next(
-            (l for l in self.platform.noc.links if l.name == allocation.link), None
-        )
-        if link is None:
-            raise PlatformError(f"unknown link {allocation.link!r}")
-        residual = link.capacity_bits_per_s - self.link_load_bits_per_s(link.name)
+        link = self.platform.noc.link_by_name(allocation.link)
+        residual = link.capacity_bits_per_s - self._link_load.get(link.name, 0.0)
         if allocation.bits_per_s > residual + 1e-9:
             raise PlatformError(
                 f"link {link.name!r} has only {residual:.3g} bit/s left; "
                 f"cannot reserve {allocation.bits_per_s:.3g} bit/s"
             )
+        self._journal_link(link.name)
         self._link_allocations.setdefault(link.name, []).append(allocation)
+        self._link_load[link.name] = self._link_load.get(link.name, 0.0) + allocation.bits_per_s
 
     # ------------------------------------------------------------------ #
     # Application-level operations
@@ -165,24 +394,45 @@ class PlatformState:
         return tuple(names.keys())
 
     def release_application(self, application: str) -> int:
-        """Release every allocation of the application; returns how many were removed."""
+        """Release every allocation of the application; returns how many were removed.
+
+        The cached aggregates of every touched tile/link are re-summed from
+        the surviving allocations, so incremental totals never drift from the
+        ground truth even across long start/stop histories.
+        """
         removed = 0
         for tile_name, allocations in list(self._tile_occupants.items()):
             kept = [a for a in allocations if a.application != application]
+            if len(kept) == len(allocations):
+                continue
+            self._journal_tile(tile_name)
             removed += len(allocations) - len(kept)
             self._tile_occupants[tile_name] = kept
+            self._used_slots[tile_name] = len(kept)
+            self._used_memory[tile_name] = sum(a.memory_bytes for a in kept)
+            self._used_cycles[tile_name] = sum(a.compute_cycles_per_iteration for a in kept)
         for link_name, allocations in list(self._link_allocations.items()):
             kept = [a for a in allocations if a.application != application]
+            if len(kept) == len(allocations):
+                continue
+            self._journal_link(link_name)
             removed += len(allocations) - len(kept)
             self._link_allocations[link_name] = kept
+            self._link_load[link_name] = sum(a.bits_per_s for a in kept)
         return removed
 
     def copy(self) -> "PlatformState":
-        """A deep-enough copy for what-if exploration by mappers."""
-        clone = PlatformState(self.platform)
-        clone._tile_occupants = {name: list(a) for name, a in self._tile_occupants.items()}
-        clone._link_allocations = {name: list(a) for name, a in self._link_allocations.items()}
-        return clone
+        """A deep-enough copy for what-if exploration by mappers.
+
+        Prefer :meth:`transaction` for what-if exploration on the live state;
+        ``copy`` remains for callers that genuinely need an independent
+        snapshot (e.g. replaying a scenario from a checkpoint).
+        """
+        return PlatformState(
+            self.platform,
+            {name: list(a) for name, a in self._tile_occupants.items()},
+            {name: list(a) for name, a in self._link_allocations.items()},
+        )
 
     # ------------------------------------------------------------------ #
     # Metrics
@@ -193,7 +443,7 @@ class PlatformState:
         for tile in self.platform.processing_tiles():
             capacity = tile.resources.max_processes
             utilisation[tile.name] = (
-                self.used_process_slots(tile.name) / capacity if capacity else 0.0
+                self._used_slots.get(tile.name, 0) / capacity if capacity else 0.0
             )
         return utilisation
 

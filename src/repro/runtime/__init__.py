@@ -10,12 +10,19 @@ utilisation over a scenario, which the run-time-versus-design-time benchmark
 builds on.
 """
 
-from repro.runtime.manager import RuntimeResourceManager, RunningApplication
+from repro.runtime.manager import (
+    AdmissionDecision,
+    BatchAdmissionOutcome,
+    RuntimeResourceManager,
+    RunningApplication,
+)
 from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
 from repro.runtime.scenario import Scenario, ScenarioOutcome, run_scenario
 from repro.runtime.accounting import EnergyAccount
 
 __all__ = [
+    "AdmissionDecision",
+    "BatchAdmissionOutcome",
     "RuntimeResourceManager",
     "RunningApplication",
     "ScenarioEvent",

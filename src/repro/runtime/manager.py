@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.appmodel.library import ImplementationLibrary
-from repro.exceptions import AdmissionError
+from repro.exceptions import AdmissionError, PlatformError
 from repro.kpn.als import ApplicationLevelSpec
 from repro.mapping.result import MappingResult, MappingStatus
 from repro.platform.platform import Platform
 from repro.platform.state import LinkAllocation, PlatformState, ProcessAllocation
 from repro.spatialmapper.config import MapperConfig
 from repro.spatialmapper.mapper import SpatialMapper
+
+#: A batch-admission request: an application, optionally with its own library.
+StartRequest = ApplicationLevelSpec | tuple[ApplicationLevelSpec, ImplementationLibrary | None]
 
 
 @dataclass
@@ -37,6 +41,39 @@ class RunningApplication:
         return self.energy_nj_per_iteration / self.als.period_ns * 1e3
 
 
+@dataclass
+class AdmissionDecision:
+    """Per-application outcome of a :meth:`RuntimeResourceManager.start_many` call."""
+
+    application: str
+    admitted: bool
+    reason: str
+    result: MappingResult | None = None
+    mapping_runtime_s: float = 0.0
+
+
+@dataclass
+class BatchAdmissionOutcome:
+    """Everything :meth:`RuntimeResourceManager.start_many` decided."""
+
+    decisions: list[AdmissionDecision] = field(default_factory=list)
+
+    @property
+    def admitted(self) -> list[AdmissionDecision]:
+        """Decisions of the applications that were admitted."""
+        return [d for d in self.decisions if d.admitted]
+
+    @property
+    def rejected(self) -> list[AdmissionDecision]:
+        """Decisions of the applications that were rejected."""
+        return [d for d in self.decisions if not d.admitted]
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of requests that were admitted."""
+        return len(self.admitted) / len(self.decisions) if self.decisions else 0.0
+
+
 class RuntimeResourceManager:
     """Starts and stops streaming applications on one platform.
 
@@ -47,6 +84,10 @@ class RuntimeResourceManager:
     :class:`~repro.platform.state.PlatformState` when the mapping is
     admissible.  On a stop request all of the application's allocations are
     released again.
+
+    Commits run inside a state transaction, so a half-applied mapping (e.g.
+    a link reservation that no longer fits) can never leak into the platform
+    state; mapper instances are reused across calls that share a library.
 
     Parameters
     ----------
@@ -78,6 +119,13 @@ class RuntimeResourceManager:
         self._mapper_factory = mapper_factory or (
             lambda platform_, library_, config_: SpatialMapper(platform_, library_, config_)
         )
+        # The mapper for the manager's own library is cached for the manager's
+        # lifetime; per-request libraries get a single most-recent slot so a
+        # long-lived manager does not accumulate one mapper per transient
+        # library (the cached mapper keeps its library alive, which is what
+        # makes the identity comparison in `_mapper_for` safe).
+        self._default_mapper = None
+        self._custom_mapper: tuple[ImplementationLibrary, object] | None = None
         self._running: dict[str, RunningApplication] = {}
         #: History of admission decisions: (application, admitted, reason).
         self.decisions: list[tuple[str, bool, str]] = []
@@ -92,6 +140,21 @@ class RuntimeResourceManager:
         """Whether an application with the given name is currently running."""
         return application in self._running
 
+    def _mapper_for(self, library: ImplementationLibrary | None):
+        """The (cached) mapper instance for the given library."""
+        effective = library if library is not None else self.library
+        if effective is self.library:
+            if self._default_mapper is None:
+                self._default_mapper = self._mapper_factory(
+                    self.platform, effective, self.config
+                )
+            return self._default_mapper
+        if self._custom_mapper is not None and self._custom_mapper[0] is effective:
+            return self._custom_mapper[1]
+        mapper = self._mapper_factory(self.platform, effective, self.config)
+        self._custom_mapper = (effective, mapper)
+        return mapper
+
     # ------------------------------------------------------------------ #
     def start(
         self,
@@ -101,27 +164,12 @@ class RuntimeResourceManager:
         time_ns: float = 0.0,
     ) -> MappingResult:
         """Map and admit an application; raises :class:`AdmissionError` on rejection."""
-        if als.name in self._running:
-            raise AdmissionError(f"application {als.name!r} is already running")
-        mapper = self._mapper_factory(self.platform, library or self.library, self.config)
-        result = mapper.map(als, self.state)
-        admissible = (
-            result.status is MappingStatus.FEASIBLE
-            if self.require_feasible
-            else result.status.at_least(MappingStatus.ADHERENT)
-        )
-        if not admissible:
-            reason = (
-                result.feasibility.reason
-                if result.feasibility and result.feasibility.reason
-                else f"mapping status {result.status.value}"
-            )
-            self.decisions.append((als.name, False, reason))
-            raise AdmissionError(f"application {als.name!r} rejected: {reason}")
-        self._commit(als, result)
-        self._running[als.name] = RunningApplication(als=als, result=result, start_time_ns=time_ns)
-        self.decisions.append((als.name, True, "admitted"))
-        return result
+        decision = self._admit(als, library=library, time_ns=time_ns)
+        self.decisions.append((decision.application, decision.admitted, decision.reason))
+        if not decision.admitted:
+            raise AdmissionError(f"application {als.name!r} rejected: {decision.reason}")
+        assert decision.result is not None
+        return decision.result
 
     def try_start(
         self,
@@ -136,6 +184,71 @@ class RuntimeResourceManager:
         except AdmissionError:
             return None
 
+    def start_many(
+        self,
+        requests: Iterable[StartRequest] | Sequence[StartRequest],
+        *,
+        time_ns: float = 0.0,
+        all_or_nothing: bool = False,
+    ) -> BatchAdmissionOutcome:
+        """Admit a workload of applications in one call.
+
+        Each request is an :class:`~repro.kpn.als.ApplicationLevelSpec` or an
+        ``(als, library)`` pair.  Requests are mapped in order against the
+        evolving platform state and each receives its own accept/reject
+        decision; a rejection does not abort the batch.  With
+        ``all_or_nothing=True`` the whole batch runs inside one state
+        transaction and every admission is rolled back when any request is
+        rejected.
+        """
+        outcome = BatchAdmissionOutcome()
+
+        def admit_all() -> bool:
+            for request in requests:
+                als, library = (
+                    request if isinstance(request, tuple) else (request, None)
+                )
+                decision = self._admit(als, library=library, time_ns=time_ns)
+                outcome.decisions.append(decision)
+                # Record immediately, so the audit trail survives a request
+                # that raises later in the batch.
+                self.decisions.append(
+                    (decision.application, decision.admitted, decision.reason)
+                )
+                if not decision.admitted and all_or_nothing:
+                    return False
+            return True
+
+        def unwind() -> None:
+            # Only admissions made by this batch are unwound; a request
+            # rejected because its application was already running must not
+            # evict that running application.  Each reversal is appended to
+            # the decision history as its own event.
+            for decision in outcome.decisions:
+                if decision.admitted:
+                    self._running.pop(decision.application, None)
+                    decision.admitted = False
+                    decision.reason = "rolled back: batch rejected (all-or-nothing)"
+                    self.decisions.append(
+                        (decision.application, False, decision.reason)
+                    )
+
+        if all_or_nothing:
+            try:
+                with self.state.transaction() as txn:
+                    if not admit_all():
+                        txn.rollback()
+                        unwind()
+            except BaseException:
+                # The transaction context already rolled the state back; the
+                # manager bookkeeping must follow, or _running would name
+                # applications whose allocations no longer exist.
+                unwind()
+                raise
+        else:
+            admit_all()
+        return outcome
+
     def stop(self, application: str) -> None:
         """Stop a running application and release all of its allocations."""
         if application not in self._running:
@@ -148,29 +261,72 @@ class RuntimeResourceManager:
         """Aggregate average power of all running applications."""
         return sum(app.power_mw() for app in self._running.values())
 
-    def _commit(self, als: ApplicationLevelSpec, result: MappingResult) -> None:
-        """Write the mapping's allocations into the platform state."""
-        mapping = result.mapping
-        for assignment in mapping.assignments:
-            if assignment.implementation is None:
-                continue
-            self.state.allocate_process(
-                ProcessAllocation(
-                    application=als.name,
-                    process=assignment.process,
-                    tile=assignment.tile,
-                    memory_bytes=assignment.implementation.memory_bytes,
-                    compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
-                )
+    def _admit(
+        self,
+        als: ApplicationLevelSpec,
+        *,
+        library: ImplementationLibrary | None,
+        time_ns: float,
+    ) -> AdmissionDecision:
+        """Map one application and commit it when admissible."""
+        if als.name in self._running:
+            return AdmissionDecision(als.name, False, "application is already running")
+        mapper = self._mapper_for(library)
+        result = mapper.map(als, self.state)
+        admissible = (
+            result.status is MappingStatus.FEASIBLE
+            if self.require_feasible
+            else result.status.at_least(MappingStatus.ADHERENT)
+        )
+        if not admissible:
+            reason = (
+                result.feasibility.reason
+                if result.feasibility and result.feasibility.reason
+                else f"mapping status {result.status.value}"
             )
-        for route in mapping.routes:
-            for a, b in zip(route.path, route.path[1:]):
-                link = self.platform.noc.link(a, b)
-                self.state.allocate_link(
-                    LinkAllocation(
+            return AdmissionDecision(
+                als.name, False, reason, mapping_runtime_s=result.runtime_s
+            )
+        try:
+            self._commit(als, result)
+        except PlatformError as error:
+            return AdmissionDecision(
+                als.name,
+                False,
+                f"commit failed: {error}",
+                mapping_runtime_s=result.runtime_s,
+            )
+        self._running[als.name] = RunningApplication(
+            als=als, result=result, start_time_ns=time_ns
+        )
+        return AdmissionDecision(
+            als.name, True, "admitted", result=result, mapping_runtime_s=result.runtime_s
+        )
+
+    def _commit(self, als: ApplicationLevelSpec, result: MappingResult) -> None:
+        """Write the mapping's allocations into the platform state atomically."""
+        mapping = result.mapping
+        with self.state.transaction():
+            for assignment in mapping.assignments:
+                if assignment.implementation is None:
+                    continue
+                self.state.allocate_process(
+                    ProcessAllocation(
                         application=als.name,
-                        channel=route.channel,
-                        link=link.name,
-                        bits_per_s=route.required_bits_per_s,
+                        process=assignment.process,
+                        tile=assignment.tile,
+                        memory_bytes=assignment.implementation.memory_bytes,
+                        compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
                     )
                 )
+            for route in mapping.routes:
+                for a, b in zip(route.path, route.path[1:]):
+                    link = self.platform.noc.link(a, b)
+                    self.state.allocate_link(
+                        LinkAllocation(
+                            application=als.name,
+                            channel=route.channel,
+                            link=link.name,
+                            bits_per_s=route.required_bits_per_s,
+                        )
+                    )

@@ -199,7 +199,7 @@ class SpatialMapper:
             manhattan_cost=manhattan_cost(mapping, als, self.platform),
         )
         result.diagnostics = [f.message for f in feedback]
-        result._pending_feedback = feedback  # type: ignore[attr-defined]
+        result.pending_feedback = feedback
         return result
 
     def _better(
@@ -228,7 +228,7 @@ class SpatialMapper:
         Returns ``True`` when at least one new exclusion was added (so a new
         refinement iteration is worthwhile), ``False`` otherwise.
         """
-        feedback_list: list[Feedback] = getattr(result, "_pending_feedback", [])
+        feedback_list: list[Feedback] = result.pending_feedback
         added = False
         for feedback in feedback_list:
             if feedback.kind is FeedbackKind.THROUGHPUT_VIOLATED and feedback.culprit_process:

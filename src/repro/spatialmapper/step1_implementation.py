@@ -24,6 +24,7 @@ from repro.platform.state import PlatformState
 from repro.spatialmapper.config import MapperConfig
 from repro.spatialmapper.desirability import assignment_options, desirability
 from repro.spatialmapper.feedback import ExclusionSet, Feedback, FeedbackKind
+from repro.spatialmapper.residuals import ResidualTracker
 
 
 @dataclass
@@ -40,54 +41,32 @@ class Step1Result:
         return not self.feedback
 
 
-def _remaining_slots(
-    tile_name: str,
-    platform: Platform,
-    state: PlatformState | None,
-    mapping: Mapping,
-) -> int:
-    """Free process slots on a tile, accounting for state and in-progress choices."""
-    tile = platform.tile(tile_name)
-    used_existing = state.used_process_slots(tile_name) if state else 0
-    used_here = len(mapping.processes_on(tile_name))
-    return tile.resources.max_processes - used_existing - used_here
-
-
-def _remaining_memory(
-    tile_name: str,
-    platform: Platform,
-    state: PlatformState | None,
-    mapping: Mapping,
-) -> int:
-    """Free memory on a tile, accounting for state and in-progress choices."""
-    tile = platform.tile(tile_name)
-    used_existing = state.used_memory_bytes(tile_name) if state else 0
-    used_here = sum(
-        mapping.assignment(p).implementation.memory_bytes
-        for p in mapping.processes_on(tile_name)
-        if mapping.assignment(p).implementation is not None
-    )
-    return tile.resources.memory_bytes - used_existing - used_here
-
-
 def eligible_tiles(
     implementation: Implementation,
     platform: Platform,
     state: PlatformState | None,
     mapping: Mapping,
     exclusions: ExclusionSet | None = None,
+    residuals: ResidualTracker | None = None,
 ) -> list[str]:
-    """Tiles of the implementation's type that can still host it (declaration order)."""
+    """Tiles of the implementation's type that can still host it (declaration order).
+
+    ``residuals`` carries the O(1) slot/memory bookkeeping; when omitted (the
+    standalone-call convenience path) a tracker is derived from ``state`` and
+    ``mapping`` on the spot.
+    """
     exclusions = exclusions or ExclusionSet()
+    if residuals is None:
+        residuals = ResidualTracker.for_mapping(platform, state, mapping)
     tiles: list[str] = []
     for tile in platform.tiles_of_type(implementation.tile_type):
         if not tile.is_processing:
             continue
         if not exclusions.placement_allowed(implementation.process, tile.name):
             continue
-        if _remaining_slots(tile.name, platform, state, mapping) < 1:
+        if residuals.free_slots(tile.name) < 1:
             continue
-        if implementation.memory_bytes > _remaining_memory(tile.name, platform, state, mapping):
+        if implementation.memory_bytes > residuals.free_memory(tile.name):
             continue
         tiles.append(tile.name)
     return tiles
@@ -122,6 +101,7 @@ def select_implementations(
     unassigned = [p.name for p in als.kpn.mappable_processes()]
     declaration_rank = {name: index for index, name in enumerate(unassigned)}
     result = Step1Result(mapping=mapping)
+    residuals = ResidualTracker.for_mapping(platform, state, mapping)
 
     while unassigned:
         # Re-evaluate desirability every iteration: tile availability changes
@@ -135,7 +115,9 @@ def select_implementations(
                     process_name, implementation.tile_type
                 ):
                     continue
-                tiles = eligible_tiles(implementation, platform, state, mapping, exclusions)
+                tiles = eligible_tiles(
+                    implementation, platform, state, mapping, exclusions, residuals
+                )
                 if tiles:
                     candidates.append((implementation, tiles))
             options = assignment_options(
@@ -171,9 +153,10 @@ def select_implementations(
         # Cheapest option decides the implementation; the concrete tile is the
         # first tile (platform declaration order) of that type that fits.
         chosen = options[0].implementation
-        tiles = eligible_tiles(chosen, platform, state, mapping, exclusions)
+        tiles = eligible_tiles(chosen, platform, state, mapping, exclusions, residuals)
         tile_name = tiles[0]
         mapping.assign(ProcessAssignment(process_name, tile_name, chosen))
+        residuals.place(tile_name, chosen.memory_bytes)
         result.order.append(process_name)
         unassigned.remove(process_name)
 

@@ -13,6 +13,14 @@ the iteration cap is reached.
 Because a process may only be reassigned to a tile of the same type as the
 one it already occupies, this step maintains adequacy by construction
 (paper, section 3).
+
+Candidates are scored *incrementally*: a move or swap only changes the
+distances of the channels incident to the touched processes, so the search
+evaluates a cost delta over those channels (exact — the distances are
+integral) instead of recomputing the full metric, and only materialises a
+candidate mapping when it is accepted or traced.  Residual slot/memory checks
+likewise run against an O(1) :class:`~repro.spatialmapper.residuals.ResidualTracker`
+seeded from the platform state's cached aggregates.
 """
 
 from __future__ import annotations
@@ -20,13 +28,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.kpn.als import ApplicationLevelSpec
-from repro.mapping.cost import manhattan_cost
+from repro.mapping.cost import incident_channels, manhattan_cost, manhattan_cost_delta
 from repro.mapping.mapping import Mapping
 from repro.platform.platform import Platform
 from repro.platform.state import PlatformState
 from repro.spatialmapper.config import MapperConfig, Step2Strategy
 from repro.spatialmapper.feedback import ExclusionSet
-from repro.spatialmapper.step1_implementation import _remaining_memory, _remaining_slots
+from repro.spatialmapper.residuals import ResidualTracker
 from repro.spatialmapper.trace import Step2Iteration, Step2Trace
 
 
@@ -77,6 +85,16 @@ def _assignment_snapshot(mapping: Mapping, als: ApplicationLevelSpec) -> dict[st
     return snapshot
 
 
+def _proposed_moves(mapping: Mapping, candidate: "_Move | _Swap") -> dict[str, str]:
+    """The process -> new-tile reassignments a candidate would perform."""
+    if isinstance(candidate, _Move):
+        return {candidate.process: candidate.target_tile}
+    return {
+        candidate.process_a: mapping.tile_of(candidate.process_b),
+        candidate.process_b: mapping.tile_of(candidate.process_a),
+    }
+
+
 def _apply_move(mapping: Mapping, move: _Move) -> Mapping:
     """A copy of the mapping with the move applied."""
     candidate = mapping.copy()
@@ -94,11 +112,38 @@ def _apply_swap(mapping: Mapping, swap: _Swap) -> Mapping:
     return candidate
 
 
+def _apply_candidate(mapping: Mapping, candidate: "_Move | _Swap") -> Mapping:
+    """A copy of the mapping with the candidate reassignment applied."""
+    if isinstance(candidate, _Move):
+        return _apply_move(mapping, candidate)
+    return _apply_swap(mapping, candidate)
+
+
+def _accept(
+    mapping: Mapping, candidate: "_Move | _Swap", residuals: ResidualTracker
+) -> None:
+    """Apply an accepted candidate to the mapping and the residual tracker."""
+    if isinstance(candidate, _Move):
+        assignment = mapping.assignment(candidate.process)
+        memory = assignment.implementation.memory_bytes if assignment.implementation else 0
+        residuals.move(assignment.tile, candidate.target_tile, memory)
+        mapping.assign(assignment.moved_to(candidate.target_tile))
+        return
+    assignment_a = mapping.assignment(candidate.process_a)
+    assignment_b = mapping.assignment(candidate.process_b)
+    memory_a = assignment_a.implementation.memory_bytes if assignment_a.implementation else 0
+    memory_b = assignment_b.implementation.memory_bytes if assignment_b.implementation else 0
+    residuals.move(assignment_a.tile, assignment_b.tile, memory_a)
+    residuals.move(assignment_b.tile, assignment_a.tile, memory_b)
+    mapping.assign(assignment_a.moved_to(assignment_b.tile))
+    mapping.assign(assignment_b.moved_to(assignment_a.tile))
+
+
 def _enumerate_candidates(
     mapping: Mapping,
     als: ApplicationLevelSpec,
     platform: Platform,
-    state: PlatformState | None,
+    residuals: ResidualTracker,
     exclusions: ExclusionSet,
 ) -> list[_Move | _Swap]:
     """All candidate reassignments, in deterministic (KPN declaration) order.
@@ -123,11 +168,9 @@ def _enumerate_candidates(
                 continue
             if not exclusions.placement_allowed(process_name, tile.name):
                 continue
-            if _remaining_slots(tile.name, platform, state, mapping) < 1:
+            if residuals.free_slots(tile.name) < 1:
                 continue
-            if assignment.implementation.memory_bytes > _remaining_memory(
-                tile.name, platform, state, mapping
-            ):
+            if assignment.implementation.memory_bytes > residuals.free_memory(tile.name):
                 continue
             candidates.append(_Move(process_name, tile.name))
         # Swaps with later processes on the same tile type.
@@ -153,7 +196,7 @@ def _candidate_applicable(
     candidate: "_Move | _Swap",
     mapping: Mapping,
     platform: Platform,
-    state: PlatformState | None,
+    residuals: ResidualTracker,
     exclusions: ExclusionSet,
 ) -> bool:
     """Whether a candidate is still valid against the *current* mapping.
@@ -174,10 +217,10 @@ def _candidate_applicable(
             return False
         if not exclusions.placement_allowed(candidate.process, candidate.target_tile):
             return False
-        if _remaining_slots(candidate.target_tile, platform, state, mapping) < 1:
+        if residuals.free_slots(candidate.target_tile) < 1:
             return False
-        if assignment.implementation.memory_bytes > _remaining_memory(
-            candidate.target_tile, platform, state, mapping
+        if assignment.implementation.memory_bytes > residuals.free_memory(
+            candidate.target_tile
         ):
             return False
         return True
@@ -211,23 +254,36 @@ def refine_tile_assignment(
     config = config or MapperConfig()
     exclusions = exclusions or ExclusionSet()
     current = mapping.copy()
+    residuals = ResidualTracker.for_mapping(platform, state, current)
+    incident = incident_channels(als)
 
-    def cost_of(candidate_mapping: Mapping) -> float:
-        return manhattan_cost(
-            candidate_mapping,
+    def delta_of(candidate: "_Move | _Swap") -> float:
+        return manhattan_cost_delta(
+            current,
             als,
             platform,
+            _proposed_moves(current, candidate),
+            incident,
             weighted_by_tokens=config.step2_weight_by_tokens,
+        )
+
+    def full_cost() -> float:
+        return manhattan_cost(
+            current, als, platform, weighted_by_tokens=config.step2_weight_by_tokens
         )
 
     trace = Step2Trace(
         initial_assignment=_assignment_snapshot(current, als),
-        initial_cost=cost_of(current),
+        initial_cost=full_cost(),
     )
-    if config.step2_strategy is Step2Strategy.FIRST_IMPROVEMENT:
-        current = _first_improvement(current, als, platform, state, config, exclusions, trace, cost_of)
-    else:
-        current = _best_improvement(current, als, platform, state, config, exclusions, trace, cost_of)
+    search = (
+        _first_improvement
+        if config.step2_strategy is Step2Strategy.FIRST_IMPROVEMENT
+        else _best_improvement
+    )
+    current = search(
+        current, als, platform, residuals, config, exclusions, trace, delta_of, full_cost
+    )
     return Step2Result(mapping=current, trace=trace)
 
 
@@ -237,7 +293,6 @@ def _record(
     iteration: int,
     candidate: _Move | _Swap,
     mapping_before: Mapping,
-    candidate_mapping: Mapping,
     als: ApplicationLevelSpec,
     cost: float,
     accepted: bool,
@@ -245,6 +300,7 @@ def _record(
     """Append one iteration to the trace (when tracing is enabled)."""
     if not config.keep_step2_trace:
         return
+    candidate_mapping = _apply_candidate(mapping_before, candidate)
     remark = "Improvement, keep" if accepted else "No improvement, revert"
     trace.iterations.append(
         Step2Iteration(
@@ -262,40 +318,37 @@ def _first_improvement(
     current: Mapping,
     als: ApplicationLevelSpec,
     platform: Platform,
-    state: PlatformState | None,
+    residuals: ResidualTracker,
     config: MapperConfig,
     exclusions: ExclusionSet,
     trace: Step2Trace,
-    cost_of,
+    delta_of,
+    full_cost,
 ) -> Mapping:
     """Evaluate one candidate per iteration; keep it only when it improves the cost."""
     iteration = 0
     current_cost = trace.initial_cost
+    min_gain = max(config.step2_min_gain, 1e-12)
     while iteration < config.step2_max_iterations:
         improved_in_pass = False
-        candidates = _enumerate_candidates(current, als, platform, state, exclusions)
+        candidates = _enumerate_candidates(current, als, platform, residuals, exclusions)
         if not candidates:
             break
         for candidate in candidates:
             if iteration >= config.step2_max_iterations:
                 break
-            if not _candidate_applicable(candidate, current, platform, state, exclusions):
+            if not _candidate_applicable(candidate, current, platform, residuals, exclusions):
                 continue
             iteration += 1
-            candidate_mapping = (
-                _apply_move(current, candidate)
-                if isinstance(candidate, _Move)
-                else _apply_swap(current, candidate)
-            )
-            candidate_cost = cost_of(candidate_mapping)
-            accepted = candidate_cost <= current_cost - max(config.step2_min_gain, 1e-12)
-            _record(
-                trace, config, iteration, candidate, current, candidate_mapping, als,
-                candidate_cost, accepted,
-            )
+            candidate_cost = current_cost + delta_of(candidate)
+            accepted = candidate_cost <= current_cost - min_gain
+            _record(trace, config, iteration, candidate, current, als, candidate_cost, accepted)
             if accepted:
-                current = candidate_mapping
-                current_cost = candidate_cost
+                _accept(current, candidate, residuals)
+                # Resync from scratch so delta rounding (possible with
+                # fractional token weights) never compounds across accepted
+                # moves; with integral weights this equals candidate_cost.
+                current_cost = full_cost()
                 improved_in_pass = True
         if not improved_in_pass:
             break
@@ -306,37 +359,33 @@ def _best_improvement(
     current: Mapping,
     als: ApplicationLevelSpec,
     platform: Platform,
-    state: PlatformState | None,
+    residuals: ResidualTracker,
     config: MapperConfig,
     exclusions: ExclusionSet,
     trace: Step2Trace,
-    cost_of,
+    delta_of,
+    full_cost,
 ) -> Mapping:
     """Evaluate all candidates each iteration and apply the best improving one."""
     iteration = 0
     current_cost = trace.initial_cost
+    min_gain = max(config.step2_min_gain, 1e-12)
     while iteration < config.step2_max_iterations:
-        candidates = _enumerate_candidates(current, als, platform, state, exclusions)
+        candidates = _enumerate_candidates(current, als, platform, residuals, exclusions)
         best_candidate: _Move | _Swap | None = None
-        best_mapping: Mapping | None = None
         best_cost = current_cost
         for candidate in candidates:
-            candidate_mapping = (
-                _apply_move(current, candidate)
-                if isinstance(candidate, _Move)
-                else _apply_swap(current, candidate)
-            )
-            candidate_cost = cost_of(candidate_mapping)
-            if candidate_cost < best_cost - max(config.step2_min_gain, 1e-12):
+            candidate_cost = current_cost + delta_of(candidate)
+            if candidate_cost < best_cost - min_gain:
                 best_candidate = candidate
-                best_mapping = candidate_mapping
                 best_cost = candidate_cost
-        if best_candidate is None or best_mapping is None:
+        if best_candidate is None:
             break
         iteration += 1
-        _record(
-            trace, config, iteration, best_candidate, current, best_mapping, als, best_cost, True
-        )
-        current = best_mapping
-        current_cost = best_cost
+        _record(trace, config, iteration, best_candidate, current, als, best_cost, True)
+        _accept(current, best_candidate, residuals)
+        # Resync from scratch so delta rounding (possible with fractional
+        # token weights) never compounds; with integral weights this equals
+        # best_cost.
+        current_cost = full_cost()
     return current

@@ -20,7 +20,7 @@ from repro.mapping.assignment import ChannelRoute
 from repro.mapping.mapping import Mapping
 from repro.platform.platform import Platform
 from repro.platform.routing import capacity_aware_shortest_path
-from repro.platform.state import PlatformState
+from repro.platform.state import LinkAllocation, PlatformState
 from repro.spatialmapper.config import MapperConfig
 from repro.spatialmapper.feedback import Feedback, FeedbackKind
 from repro.units import NS_PER_S
@@ -70,68 +70,87 @@ def route_channels(
     sufficient guaranteed throughput produce
     :attr:`~repro.spatialmapper.feedback.FeedbackKind.ROUTING_FAILED`
     feedback naming the channel and its endpoint tiles.
+
+    Rather than copying the per-link load dictionary, the tentative
+    reservations of this step are journaled directly into the platform state
+    inside a :meth:`~repro.platform.state.PlatformState.transaction` that is
+    rolled back before returning: the capacity-aware path search reads the
+    live O(1) load view, and the state is left bit-identical for the caller
+    (committing real reservations is the resource manager's job).
     """
     config = config or MapperConfig()
     result_mapping = mapping.copy()
     result_mapping.clear_routes()
     result = Step3Result(mapping=result_mapping)
 
-    existing_loads = dict(state.link_loads()) if state else {}
+    scratch = state if state is not None else PlatformState(platform)
+    loads_view = scratch.link_loads_view()
     period_ns = als.period_ns
 
     channels = sorted(
         als.kpn.data_channels(),
         key=lambda c: (-channel_throughput_bits_per_s(c, period_ns), c.name),
     )
-    for channel in channels:
-        source_tile = _endpoint_tile(als, result_mapping, channel.source)
-        target_tile = _endpoint_tile(als, result_mapping, channel.target)
-        if source_tile is None or target_tile is None:
-            result.feedback.append(
-                Feedback(
-                    kind=FeedbackKind.ROUTING_FAILED,
-                    step=3,
-                    message=(
-                        f"channel {channel.name!r} cannot be routed: endpoint process not placed"
-                    ),
-                    culprit_channel=channel.name,
+    with scratch.transaction() as txn:
+        for channel in channels:
+            source_tile = _endpoint_tile(als, result_mapping, channel.source)
+            target_tile = _endpoint_tile(als, result_mapping, channel.target)
+            if source_tile is None or target_tile is None:
+                result.feedback.append(
+                    Feedback(
+                        kind=FeedbackKind.ROUTING_FAILED,
+                        step=3,
+                        message=(
+                            f"channel {channel.name!r} cannot be routed: endpoint process not placed"
+                        ),
+                        culprit_channel=channel.name,
+                    )
                 )
-            )
-            continue
-        required = channel_throughput_bits_per_s(channel, period_ns)
-        source_position = platform.tile(source_tile).position
-        target_position = platform.tile(target_tile).position
-        try:
-            path = capacity_aware_shortest_path(
-                platform.noc,
-                source_position,
-                target_position,
+                continue
+            required = channel_throughput_bits_per_s(channel, period_ns)
+            source_position = platform.tile(source_tile).position
+            target_position = platform.tile(target_tile).position
+            try:
+                path = capacity_aware_shortest_path(
+                    platform.noc,
+                    source_position,
+                    target_position,
+                    required_bits_per_s=required,
+                    link_loads_bits_per_s=loads_view,
+                )
+            except RoutingError as error:
+                result.feedback.append(
+                    Feedback(
+                        kind=FeedbackKind.ROUTING_FAILED,
+                        step=3,
+                        message=f"channel {channel.name!r}: {error}",
+                        culprit_channel=channel.name,
+                        culprit_process=channel.source,
+                        culprit_tile=source_tile,
+                    )
+                )
+                continue
+            route = ChannelRoute(
+                channel=channel.name,
+                source_tile=source_tile,
+                target_tile=target_tile,
+                path=path,
                 required_bits_per_s=required,
-                link_loads_bits_per_s=existing_loads,
             )
-        except RoutingError as error:
-            result.feedback.append(
-                Feedback(
-                    kind=FeedbackKind.ROUTING_FAILED,
-                    step=3,
-                    message=f"channel {channel.name!r}: {error}",
-                    culprit_channel=channel.name,
-                    culprit_process=channel.source,
-                    culprit_tile=source_tile,
+            result_mapping.add_route(route)
+            for a, b in zip(path, path[1:]):
+                link = platform.noc.link(a, b)
+                scratch.allocate_link(
+                    LinkAllocation(
+                        application=als.name,
+                        channel=channel.name,
+                        link=link.name,
+                        bits_per_s=required,
+                    )
                 )
-            )
-            continue
-        route = ChannelRoute(
-            channel=channel.name,
-            source_tile=source_tile,
-            target_tile=target_tile,
-            path=path,
-            required_bits_per_s=required,
-        )
-        result_mapping.add_route(route)
-        for a, b in zip(path, path[1:]):
-            link_name = platform.noc.link(a, b).name
-            existing_loads[link_name] = existing_loads.get(link_name, 0.0) + required
 
-    result.link_loads_bits_per_s = existing_loads
+        result.link_loads_bits_per_s = {
+            name: load for name, load in loads_view.items() if load
+        }
+        txn.rollback()
     return result

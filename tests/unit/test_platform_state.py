@@ -104,3 +104,107 @@ class TestApplicationLifecycle:
         clone.allocate_process(ProcessAllocation("app", "q", "gpp1"))
         assert state.used_process_slots("gpp1") == 0
         assert clone.used_process_slots("gpp0") == 1
+
+
+class TestTransactions:
+    def test_commit_keeps_allocations(self, state):
+        with state.transaction():
+            state.allocate_process(ProcessAllocation("app", "p", "gpp0", memory_bytes=16))
+        assert state.used_process_slots("gpp0") == 1
+        assert state.used_memory_bytes("gpp0") == 16
+
+    def test_rollback_undoes_allocations(self, state, small_platform):
+        link = small_platform.noc.link((0, 0), (1, 0))
+        with state.transaction() as txn:
+            state.allocate_process(ProcessAllocation("app", "p", "gpp0", memory_bytes=16))
+            state.allocate_link(LinkAllocation("app", "c", link.name, 1e6))
+            txn.rollback()
+        assert state.used_process_slots("gpp0") == 0
+        assert state.link_load_bits_per_s(link.name) == 0.0
+        assert state.occupied_tiles() == ()
+        assert state.applications() == ()
+
+    def test_rollback_restores_preexisting_allocations(self, state):
+        state.allocate_process(ProcessAllocation("app1", "p", "gpp0", memory_bytes=8))
+        with state.transaction() as txn:
+            state.allocate_process(ProcessAllocation("app2", "q", "gpp1"))
+            state.release_application("app1")
+            assert state.used_process_slots("gpp0") == 0
+            txn.rollback()
+        assert state.used_process_slots("gpp0") == 1
+        assert state.used_memory_bytes("gpp0") == 8
+        assert state.used_process_slots("gpp1") == 0
+        assert state.applications() == ("app1",)
+
+    def test_exception_triggers_rollback(self, state):
+        with pytest.raises(RuntimeError):
+            with state.transaction():
+                state.allocate_process(ProcessAllocation("app", "p", "gpp0"))
+                raise RuntimeError("abort")
+        assert state.used_process_slots("gpp0") == 0
+
+    def test_rollback_after_commit_rejected(self, state):
+        with state.transaction() as txn:
+            txn.commit()
+            with pytest.raises(PlatformError):
+                txn.rollback()
+
+    def test_nested_commit_folds_into_outer(self, state):
+        with state.transaction() as outer:
+            with state.transaction():
+                state.allocate_process(ProcessAllocation("app", "p", "gpp0"))
+            outer.rollback()
+        assert state.used_process_slots("gpp0") == 0
+
+    def test_inner_commit_then_exception_still_undone_by_outer(self, state):
+        with pytest.raises(RuntimeError):
+            with state.transaction():
+                with state.transaction() as inner:
+                    state.allocate_process(ProcessAllocation("app", "p", "gpp0"))
+                    inner.commit()
+                    raise RuntimeError("after inner commit")
+        assert state.used_process_slots("gpp0") == 0
+
+    def test_mutation_after_inner_commit_rolls_back_in_order(self, state):
+        with state.transaction() as outer:
+            with state.transaction() as inner:
+                state.allocate_process(ProcessAllocation("app", "p", "gpp0", memory_bytes=4))
+                inner.commit()
+                state.allocate_process(ProcessAllocation("app", "q", "gpp1", memory_bytes=8))
+            outer.rollback()
+        assert state.used_process_slots("gpp0") == 0
+        assert state.used_process_slots("gpp1") == 0
+        assert state.used_memory_bytes("gpp0") == 0
+        assert state.used_memory_bytes("gpp1") == 0
+
+    def test_commit_after_rollback_rejected(self, state):
+        with state.transaction() as txn:
+            txn.rollback()
+            with pytest.raises(PlatformError):
+                txn.commit()
+
+    def test_closing_outer_while_inner_open_rejected(self, state):
+        with state.transaction() as outer:
+            with state.transaction():
+                state.allocate_process(ProcessAllocation("app", "p", "gpp0"))
+                with pytest.raises(PlatformError):
+                    outer.commit()
+                with pytest.raises(PlatformError):
+                    outer.rollback()
+            outer.rollback()
+        assert state.used_process_slots("gpp0") == 0
+
+    def test_repeated_mutations_of_one_key_journal_once(self, state, small_platform):
+        link = small_platform.noc.link((0, 0), (1, 0))
+        with state.transaction() as txn:
+            for index in range(5):
+                state.allocate_link(LinkAllocation("app", f"c{index}", link.name, 1.0))
+            assert len(txn._undo) == 1
+            txn.rollback()
+        assert state.link_load_bits_per_s(link.name) == 0.0
+
+    def test_in_transaction_flag(self, state):
+        assert not state.in_transaction
+        with state.transaction():
+            assert state.in_transaction
+        assert not state.in_transaction

@@ -74,6 +74,79 @@ class TestManager:
         manager.start(hiperlan_als)
         assert manager.total_power_mw() > 0.0
 
+    def test_mapper_reused_across_starts(self, manager, hiperlan_als):
+        first = manager._mapper_for(None)
+        manager.start(hiperlan_als)
+        manager.stop(hiperlan_als.name)
+        manager.start(hiperlan_als)
+        assert manager._mapper_for(None) is first
+
+
+class TestBatchAdmission:
+    def test_start_many_gives_per_application_decisions(self, manager):
+        rx1 = hiperlan2.build_receiver_als()
+        rx2 = hiperlan2.build_receiver_als()
+        rx2.name = "second_rx"
+        outcome = manager.start_many([rx1, rx2])
+        assert [d.application for d in outcome.decisions] == [rx1.name, rx2.name]
+        assert outcome.decisions[0].admitted
+        assert not outcome.decisions[1].admitted
+        assert outcome.admission_rate == pytest.approx(0.5)
+        assert manager.is_running(rx1.name)
+        assert not manager.is_running(rx2.name)
+
+    def test_start_many_accepts_per_application_libraries(self, case_study):
+        _, platform, _ = case_study
+        manager = RuntimeResourceManager(platform, config=MapperConfig(analysis_iterations=3))
+        drm = build_drm_receiver_als()
+        outcome = manager.start_many([(drm, build_drm_library())])
+        assert outcome.decisions[0].admitted
+        assert manager.is_running(drm.name)
+
+    def test_all_or_nothing_rolls_back_on_any_rejection(self, manager):
+        rx1 = hiperlan2.build_receiver_als()
+        rx2 = hiperlan2.build_receiver_als()
+        rx2.name = "second_rx"
+        outcome = manager.start_many([rx1, rx2], all_or_nothing=True)
+        # Both decisions read as rejected: rx2 never fit, and rx1's tentative
+        # admission was rolled back with the batch.
+        assert len(outcome.rejected) == 2
+        assert "rolled back" in outcome.decisions[0].reason
+        assert not manager.is_running(rx1.name)
+        assert not manager.is_running(rx2.name)
+        assert manager.state.occupied_tiles() == ()
+        assert manager.state.link_loads() == {}
+        # The platform is untouched, so the same request succeeds afterwards.
+        assert manager.start(rx1).is_feasible
+
+    def test_exception_mid_batch_unwinds_running_bookkeeping(self, manager):
+        """If the mapper blows up mid-batch, the state transaction rolls back
+        and _running must follow — no ghost applications."""
+        rx1 = hiperlan2.build_receiver_als()
+
+        class ExplodingRequest:
+            name = "exploder"
+
+        with pytest.raises(AttributeError):
+            manager.start_many([rx1, ExplodingRequest()], all_or_nothing=True)
+        assert not manager.is_running(rx1.name)
+        assert manager.state.occupied_tiles() == ()
+        assert manager.state.link_loads() == {}
+
+    def test_all_or_nothing_rollback_spares_preexisting_applications(self, manager):
+        """A duplicate request rejected as already-running must not evict the
+        running application when the batch rolls back."""
+        rx1 = hiperlan2.build_receiver_als()
+        manager.start(rx1)
+        tiles_before = manager.state.occupied_tiles()
+        duplicate = hiperlan2.build_receiver_als()  # same name as rx1
+        outcome = manager.start_many([duplicate], all_or_nothing=True)
+        assert not outcome.decisions[0].admitted
+        assert manager.is_running(rx1.name)
+        assert manager.state.occupied_tiles() == tiles_before
+        manager.stop(rx1.name)
+        assert manager.state.occupied_tiles() == ()
+
 
 class TestScenario:
     def test_scenario_player_runs_events_in_time_order(self, case_study):
