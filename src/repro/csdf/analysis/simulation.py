@@ -228,18 +228,39 @@ class SelfTimedSimulator:
         # periodic sources can newly become ready.  Restricting the readiness
         # scan to that precomputed set — in actor order, like the full scan —
         # yields the exact same start sequence at a fraction of the cost.
-        # Bounded buffers add back-pressure (a start frees space for its
-        # producers), so bounded graphs keep the full fixpoint scan.
+        #
+        # Bounded buffers add back-pressure: a start frees space on its
+        # *bounded* input edges, which can newly enable their producers.
+        # That wake-up relation is the only extra enablement a bounded graph
+        # has, so the affected-set discipline extends to bounded graphs by
+        # seeding the same initial set and, whenever an actor starts, adding
+        # the producers of its bounded input edges to the candidates of the
+        # running scan.  Candidates are visited in actor order per pass until
+        # a pass starts nothing — the identical order and quiescence rule as
+        # the naive full fixpoint, so results stay bit-identical while the
+        # scan only ever touches actors whose readiness can have changed.
         bounded = any(edge.capacity is not None for edge in edges)
         actor_index = {name: a for a, name in enumerate(names)}
         periodic_indices = [a for a in actor_range if periodic[a]]
         affected: list[tuple[int, ...]] = []
+        bounded_producers: list[tuple[int, ...]] = []
         for name in names:
             enabled = {actor_index[name]}
             for edge in graph.output_edges(name):
                 enabled.add(actor_index[edge.target])
             enabled.update(periodic_indices)
             affected.append(tuple(sorted(enabled)))
+            bounded_producers.append(
+                tuple(
+                    sorted(
+                        {
+                            actor_index[edge.source]
+                            for edge in graph.input_edges(name)
+                            if edge.capacity is not None
+                        }
+                    )
+                )
+            )
 
         # (finish_time, sequence, actor, phase_index, start_time)
         pending: list[tuple[float, int, int, int, float]] = []
@@ -279,18 +300,41 @@ class SelfTimedSimulator:
             heappush(pending, (now + durations[a][p], sequence, a, p, now))
             return True
 
-        def scan_all() -> None:
-            """Fixpoint readiness scan over every actor (bounded graphs)."""
+        candidate = [False] * actor_count
+        marked: list[int] = []
+
+        def scan_candidates(initial) -> None:
+            """Fixpoint readiness scan over the affected candidates (bounded graphs).
+
+            Candidates are visited in actor order per pass, exactly like the
+            naive scan over every actor; actors outside the candidate set
+            cannot start (their readiness is unchanged since the last
+            quiescent scan), so skipping them cannot change the start
+            sequence.  A start wakes the producers of the started actor's
+            bounded input edges — the only actors whose readiness a start
+            can improve.
+            """
+            for b in initial:
+                if not candidate[b]:
+                    candidate[b] = True
+                    marked.append(b)
             started_any = True
             while started_any:
                 started_any = False
                 for a in actor_range:
-                    if try_start(a):
+                    if candidate[a] and try_start(a):
                         started_any = True
+                        for b in bounded_producers[a]:
+                            if not candidate[b]:
+                                candidate[b] = True
+                                marked.append(b)
+            for b in marked:
+                candidate[b] = False
+            marked.clear()
 
         # Initial admission at t = 0 considers every actor.
         if bounded:
-            scan_all()
+            scan_candidates(actor_range)
         else:
             for a in actor_range:
                 try_start(a)
@@ -311,7 +355,7 @@ class SelfTimedSimulator:
                 busy[a] = False
                 remaining -= 1
                 if bounded:
-                    scan_all()
+                    scan_candidates(affected[a])
                 else:
                     for b in affected[a]:
                         try_start(b)
@@ -323,7 +367,7 @@ class SelfTimedSimulator:
             if next_release is not None and next_release > now:
                 now = next_release
                 if bounded:
-                    scan_all()
+                    scan_candidates(periodic_indices)
                 else:
                     for b in periodic_indices:
                         try_start(b)

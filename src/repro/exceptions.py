@@ -62,7 +62,15 @@ class NoFeasibleMappingError(MappingError):
 
 
 class AdmissionError(ReproError):
-    """The run-time resource manager rejected an application start request."""
+    """Base class for run-time resource-manager admission errors."""
+
+
+class AdmissionRejected(AdmissionError):
+    """The admission pipeline rejected an application start request."""
+
+
+class UnknownApplication(AdmissionError):
+    """An operation named an application the resource manager is not running."""
 
 
 class ConfigurationError(ReproError):

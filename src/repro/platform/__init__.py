@@ -21,6 +21,7 @@ from repro.platform.routing import (
 )
 from repro.platform.platform import Platform
 from repro.platform.state import PlatformState
+from repro.platform.regions import Region, RegionPartition, RegionView
 from repro.platform.builder import PlatformBuilder
 
 __all__ = [
@@ -38,5 +39,8 @@ __all__ = [
     "route_hop_count",
     "Platform",
     "PlatformState",
+    "Region",
+    "RegionPartition",
+    "RegionView",
     "PlatformBuilder",
 ]

@@ -63,6 +63,7 @@ def capacity_aware_shortest_path(
     target: Position,
     required_bits_per_s: float = 0.0,
     link_loads_bits_per_s: Mapping[str, float] | None = None,
+    allowed_positions: frozenset[Position] | None = None,
 ) -> tuple[Position, ...]:
     """Shortest router path whose links all have enough residual capacity.
 
@@ -79,6 +80,10 @@ def capacity_aware_shortest_path(
         taken from :class:`~repro.platform.state.PlatformState`.  Links whose
         residual capacity is below the requirement are excluded from the
         search, exactly as described for step 3 of the algorithm.
+    allowed_positions:
+        When given, the search is confined to these router positions — used
+        by region-scoped mapping so routes never leave the selected region.
+        Both endpoints must be allowed.
 
     Returns
     -------
@@ -98,6 +103,12 @@ def capacity_aware_shortest_path(
     if required_bits_per_s < 0:
         raise RoutingError("required throughput must be non-negative")
     loads = link_loads_bits_per_s or {}
+    if allowed_positions is not None:
+        for endpoint in (source, target):
+            if endpoint not in allowed_positions:
+                raise RoutingError(
+                    f"endpoint {endpoint} lies outside the allowed region positions"
+                )
 
     if source == target:
         return (source,)
@@ -116,6 +127,8 @@ def capacity_aware_shortest_path(
         if position == target:
             break
         for neighbour in sorted(noc.neighbours(position)):
+            if allowed_positions is not None and neighbour not in allowed_positions:
+                continue
             link = noc.link(position, neighbour)
             residual = link.capacity_bits_per_s - loads.get(link.name, 0.0)
             if residual + 1e-9 < required_bits_per_s:

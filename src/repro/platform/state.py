@@ -26,6 +26,16 @@ Two properties make the state cheap enough for run-time admission control:
   state bit-identically.  What-if exploration (tentative commits, batch
   admission, step-3 routing) uses transactions instead of copying the whole
   state.
+
+Transactions can be *region-scoped*: passing a scope object (anything with
+``covers_tile(name)`` / ``covers_link(name)``, e.g. a
+:class:`~repro.platform.regions.Region`) restricts which keys the journal
+protects.  A mutation is journaled into the innermost open transaction whose
+scope covers the touched tile/link, so admissions into disjoint regions can
+keep independent journals on the same state and commit or roll back without
+touching each other.  Mutating a key no open transaction covers raises — a
+cross-region allocation must be made under a scope that explicitly includes
+it (or under an unscoped, global transaction).
 """
 
 from __future__ import annotations
@@ -72,9 +82,17 @@ class StateTransaction:
     transaction so an outer rollback undoes inner commits as well.
     """
 
-    __slots__ = ("_state", "_undo", "_seen_tiles", "_seen_links", "closed", "rolled_back")
+    __slots__ = (
+        "_state",
+        "_undo",
+        "_seen_tiles",
+        "_seen_links",
+        "scope",
+        "closed",
+        "rolled_back",
+    )
 
-    def __init__(self, state: "PlatformState") -> None:
+    def __init__(self, state: "PlatformState", scope=None) -> None:
         self._state = state
         # Entries: ("tile"|"link", name, allocations|None, *aggregates|None).
         # Only the first mutation of a key inside the transaction needs a
@@ -84,8 +102,19 @@ class StateTransaction:
         self._undo: list[tuple] = []
         self._seen_tiles: set[str] = set()
         self._seen_links: set[str] = set()
+        #: Optional region scope; ``None`` means the transaction covers every
+        #: tile and link of the platform.
+        self.scope = scope
         self.closed = False
         self.rolled_back = False
+
+    def covers_tile(self, tile_name: str) -> bool:
+        """Whether this transaction's scope protects the given tile."""
+        return self.scope is None or self.scope.covers_tile(tile_name)
+
+    def covers_link(self, link_name: str) -> bool:
+        """Whether this transaction's scope protects the given link."""
+        return self.scope is None or self.scope.covers_link(link_name)
 
     def _check_innermost(self) -> None:
         """Closing out of nesting order would corrupt the undo chains."""
@@ -113,15 +142,29 @@ class StateTransaction:
         self.closed = True
         stack = self._state._transactions
         enclosing = stack[: stack.index(self)] if self in stack else stack
-        for txn in reversed(enclosing):
-            if not txn.closed:
-                txn._undo.extend(self._undo)
-                # The folded snapshots are at least as old as anything the
-                # enclosing transaction would capture for the same keys, so
-                # marking them seen keeps its journal first-touch-only too.
-                txn._seen_tiles |= self._seen_tiles
-                txn._seen_links |= self._seen_links
-                break
+        open_enclosing = [txn for txn in enclosing if not txn.closed]
+        # Each snapshot folds into the innermost enclosing open transaction
+        # whose scope covers its key (entries outside every enclosing scope
+        # are committed for good — that is what region isolation means).  A
+        # folded snapshot is at least as old as anything the target would
+        # capture for the same key, so when the target has already seen the
+        # key its own (older or equal) snapshot suffices and the entry is
+        # dropped; otherwise marking it seen keeps the journal
+        # first-touch-only.
+        for entry in self._undo:
+            kind, name = entry[0], entry[1]
+            for txn in reversed(open_enclosing):
+                if kind == "tile":
+                    if txn.covers_tile(name):
+                        if name not in txn._seen_tiles:
+                            txn._seen_tiles.add(name)
+                            txn._undo.append(entry)
+                        break
+                elif txn.covers_link(name):
+                    if name not in txn._seen_links:
+                        txn._seen_links.add(name)
+                        txn._undo.append(entry)
+                    break
         self._undo = []
 
     def rollback(self) -> None:
@@ -195,15 +238,21 @@ class PlatformState:
     # Transactions
     # ------------------------------------------------------------------ #
     @contextmanager
-    def transaction(self) -> Iterator[StateTransaction]:
+    def transaction(self, scope=None) -> Iterator[StateTransaction]:
         """Open a journaled scope for tentative mutations.
 
         On normal exit the transaction commits (unless :meth:`~StateTransaction.rollback`
         was called inside the block); on an exception it rolls back and
         re-raises.  Scopes nest: committing an inner transaction folds its
         journal into the enclosing one.
+
+        ``scope`` optionally restricts the transaction to a region: any
+        object with ``covers_tile(name)`` / ``covers_link(name)`` (e.g. a
+        :class:`~repro.platform.regions.Region`).  Mutations of keys the
+        scope does not cover are journaled into an enclosing transaction
+        that does cover them, or rejected when none does.
         """
-        txn = StateTransaction(self)
+        txn = StateTransaction(self, scope)
         self._transactions.append(txn)
         try:
             yield txn
@@ -223,42 +272,62 @@ class PlatformState:
         return any(not txn.closed for txn in self._transactions)
 
     def _journal_tile(self, tile_name: str) -> None:
-        """Snapshot a tile's entry into the innermost open transaction."""
+        """Snapshot a tile's entry into the innermost open transaction covering it."""
+        any_open = False
         for txn in reversed(self._transactions):
-            if not txn.closed:
-                if tile_name in txn._seen_tiles:
-                    return
-                txn._seen_tiles.add(tile_name)
-                occupants = self._tile_occupants.get(tile_name)
-                txn._undo.append(
-                    (
-                        "tile",
-                        tile_name,
-                        None if occupants is None else list(occupants),
-                        self._used_slots.get(tile_name),
-                        self._used_memory.get(tile_name),
-                        self._used_cycles.get(tile_name),
-                    )
-                )
+            if txn.closed:
+                continue
+            any_open = True
+            if not txn.covers_tile(tile_name):
+                continue
+            if tile_name in txn._seen_tiles:
                 return
+            txn._seen_tiles.add(tile_name)
+            occupants = self._tile_occupants.get(tile_name)
+            txn._undo.append(
+                (
+                    "tile",
+                    tile_name,
+                    None if occupants is None else list(occupants),
+                    self._used_slots.get(tile_name),
+                    self._used_memory.get(tile_name),
+                    self._used_cycles.get(tile_name),
+                )
+            )
+            return
+        if any_open:
+            raise PlatformError(
+                f"tile {tile_name!r} is outside the scope of every open transaction; "
+                "cross-region allocations need an enclosing transaction that covers them"
+            )
 
     def _journal_link(self, link_name: str) -> None:
-        """Snapshot a link's entry into the innermost open transaction."""
+        """Snapshot a link's entry into the innermost open transaction covering it."""
+        any_open = False
         for txn in reversed(self._transactions):
-            if not txn.closed:
-                if link_name in txn._seen_links:
-                    return
-                txn._seen_links.add(link_name)
-                allocations = self._link_allocations.get(link_name)
-                txn._undo.append(
-                    (
-                        "link",
-                        link_name,
-                        None if allocations is None else list(allocations),
-                        self._link_load.get(link_name),
-                    )
-                )
+            if txn.closed:
+                continue
+            any_open = True
+            if not txn.covers_link(link_name):
+                continue
+            if link_name in txn._seen_links:
                 return
+            txn._seen_links.add(link_name)
+            allocations = self._link_allocations.get(link_name)
+            txn._undo.append(
+                (
+                    "link",
+                    link_name,
+                    None if allocations is None else list(allocations),
+                    self._link_load.get(link_name),
+                )
+            )
+            return
+        if any_open:
+            raise PlatformError(
+                f"link {link_name!r} is outside the scope of every open transaction; "
+                "cross-region allocations need an enclosing transaction that covers them"
+            )
 
     # ------------------------------------------------------------------ #
     # Tiles
@@ -433,6 +502,52 @@ class PlatformState:
             {name: list(a) for name, a in self._tile_occupants.items()},
             {name: list(a) for name, a in self._link_allocations.items()},
         )
+
+    # ------------------------------------------------------------------ #
+    # Fingerprints
+    # ------------------------------------------------------------------ #
+    def fingerprint(
+        self,
+        tile_names: tuple[str, ...] | None = None,
+        link_names: tuple[str, ...] | None = None,
+    ) -> tuple:
+        """A cheap, exact digest of the allocation state of a set of keys.
+
+        Built purely from the O(1) cached aggregates: the per-tile
+        (slots, memory, cycles) triples and per-link loads of every key with
+        a non-zero aggregate, in the given (deterministic) key order.  Two
+        states with equal fingerprints are indistinguishable to the mapper
+        over those keys, which is what makes the fingerprint a sound
+        memoisation key for :class:`~repro.spatialmapper.cache.MapperCache`.
+        Cost is O(occupied keys), independent of allocation-list lengths.
+
+        ``None`` for either argument means all tiles / all links of the
+        platform (the global fingerprint); a
+        :class:`~repro.platform.regions.Region` supplies its own key subsets
+        for per-region fingerprints.
+        """
+        slots = self._used_slots
+        memory = self._used_memory
+        cycles = self._used_cycles
+        load = self._link_load
+        parts: list[tuple] = []
+        if tile_names is None:
+            tile_names = self.platform.tile_names
+        for name in tile_names:
+            used = slots.get(name, 0)
+            if used:
+                parts.append((name, used, memory.get(name, 0), cycles.get(name, 0.0)))
+        if link_names is None:
+            for link in self.platform.noc.links:
+                reserved = load.get(link.name, 0.0)
+                if reserved:
+                    parts.append((link.name, reserved))
+        else:
+            for name in link_names:
+                reserved = load.get(name, 0.0)
+                if reserved:
+                    parts.append((name, reserved))
+        return tuple(parts)
 
     # ------------------------------------------------------------------ #
     # Metrics

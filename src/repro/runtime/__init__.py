@@ -10,18 +10,23 @@ utilisation over a scenario, which the run-time-versus-design-time benchmark
 builds on.
 """
 
+from repro.runtime.pipeline import AdmissionDecision, AdmissionPipeline
 from repro.runtime.manager import (
-    AdmissionDecision,
     BatchAdmissionOutcome,
     RuntimeResourceManager,
     RunningApplication,
 )
+from repro.runtime.queue import AdmissionQueue, QueuedRequest, RequestStatus
 from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
 from repro.runtime.scenario import Scenario, ScenarioOutcome, run_scenario
 from repro.runtime.accounting import EnergyAccount
 
 __all__ = [
     "AdmissionDecision",
+    "AdmissionPipeline",
+    "AdmissionQueue",
+    "QueuedRequest",
+    "RequestStatus",
     "BatchAdmissionOutcome",
     "RuntimeResourceManager",
     "RunningApplication",

@@ -6,13 +6,13 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.appmodel.library import ImplementationLibrary
-from repro.exceptions import AdmissionError, PlatformError
+from repro.exceptions import AdmissionRejected, UnknownApplication
 from repro.kpn.als import ApplicationLevelSpec
-from repro.mapping.result import MappingResult, MappingStatus
+from repro.mapping.result import MappingResult
 from repro.platform.platform import Platform
-from repro.platform.state import LinkAllocation, PlatformState, ProcessAllocation
+from repro.platform.regions import RegionPartition
+from repro.runtime.pipeline import AdmissionDecision, AdmissionPipeline
 from repro.spatialmapper.config import MapperConfig
-from repro.spatialmapper.mapper import SpatialMapper
 
 #: A batch-admission request: an application, optionally with its own library.
 StartRequest = ApplicationLevelSpec | tuple[ApplicationLevelSpec, ImplementationLibrary | None]
@@ -42,17 +42,6 @@ class RunningApplication:
 
 
 @dataclass
-class AdmissionDecision:
-    """Per-application outcome of a :meth:`RuntimeResourceManager.start_many` call."""
-
-    application: str
-    admitted: bool
-    reason: str
-    result: MappingResult | None = None
-    mapping_runtime_s: float = 0.0
-
-
-@dataclass
 class BatchAdmissionOutcome:
     """Everything :meth:`RuntimeResourceManager.start_many` decided."""
 
@@ -77,17 +66,13 @@ class BatchAdmissionOutcome:
 class RuntimeResourceManager:
     """Starts and stops streaming applications on one platform.
 
-    On a start request the manager invokes a mapper (the paper's
-    :class:`~repro.spatialmapper.mapper.SpatialMapper` by default, or any
-    object with the same ``map(als, state)`` interface, e.g. a baseline) and
-    commits the resulting allocations into its
-    :class:`~repro.platform.state.PlatformState` when the mapping is
-    admissible.  On a stop request all of the application's allocations are
-    released again.
-
-    Commits run inside a state transaction, so a half-applied mapping (e.g.
-    a link reservation that no longer fits) can never leak into the platform
-    state; mapper instances are reused across calls that share a library.
+    The manager is a thin façade over the staged
+    :class:`~repro.runtime.pipeline.AdmissionPipeline`: every start request
+    flows through fingerprint/cache lookup, region selection, region-scoped
+    spatial mapping and a transactional commit; a stop releases the
+    application's allocations inside a transaction.  The manager itself only
+    keeps the application-level bookkeeping (what is running, the decision
+    audit trail) and the public API.
 
     Parameters
     ----------
@@ -100,6 +85,14 @@ class RuntimeResourceManager:
         When ``True`` (default) only feasible mappings are admitted; when
         ``False`` adherent mappings are accepted as well (useful for
         experiments with mappers that skip the QoS analysis).
+    partition:
+        Optional :class:`~repro.platform.regions.RegionPartition`.  With it,
+        admissions map into the least-filled qualifying region and commit
+        under a region-scoped transaction.
+    mapper_cache_size:
+        Capacity of the fingerprint-keyed mapper result cache (0 disables).
+    region_fallback:
+        Whether admission retries globally when no single region fits.
     """
 
     def __init__(
@@ -110,27 +103,37 @@ class RuntimeResourceManager:
         *,
         mapper_factory=None,
         require_feasible: bool = True,
+        partition: RegionPartition | None = None,
+        mapper_cache_size: int = 128,
+        region_fallback: bool = True,
+        max_region_attempts: int = 2,
     ) -> None:
         self.platform = platform
         self.library = library or ImplementationLibrary()
         self.config = config or MapperConfig()
-        self.state = PlatformState(platform)
         self.require_feasible = require_feasible
-        self._mapper_factory = mapper_factory or (
-            lambda platform_, library_, config_: SpatialMapper(platform_, library_, config_)
+        self.pipeline = AdmissionPipeline(
+            platform,
+            self.library,
+            self.config,
+            partition=partition,
+            mapper_factory=mapper_factory,
+            require_feasible=require_feasible,
+            cache_size=mapper_cache_size,
+            region_fallback=region_fallback,
+            max_region_attempts=max_region_attempts,
         )
-        # The mapper for the manager's own library is cached for the manager's
-        # lifetime; per-request libraries get a single most-recent slot so a
-        # long-lived manager does not accumulate one mapper per transient
-        # library (the cached mapper keeps its library alive, which is what
-        # makes the identity comparison in `_mapper_for` safe).
-        self._default_mapper = None
-        self._custom_mapper: tuple[ImplementationLibrary, object] | None = None
+        self.state = self.pipeline.state
         self._running: dict[str, RunningApplication] = {}
         #: History of admission decisions: (application, admitted, reason).
         self.decisions: list[tuple[str, bool, str]] = []
 
     # ------------------------------------------------------------------ #
+    @property
+    def partition(self) -> RegionPartition | None:
+        """The region partition admissions are sharded over, if any."""
+        return self.pipeline.partition
+
     @property
     def running_applications(self) -> tuple[RunningApplication, ...]:
         """All currently running applications."""
@@ -142,20 +145,27 @@ class RuntimeResourceManager:
 
     def _mapper_for(self, library: ImplementationLibrary | None):
         """The (cached) mapper instance for the given library."""
-        effective = library if library is not None else self.library
-        if effective is self.library:
-            if self._default_mapper is None:
-                self._default_mapper = self._mapper_factory(
-                    self.platform, effective, self.config
-                )
-            return self._default_mapper
-        if self._custom_mapper is not None and self._custom_mapper[0] is effective:
-            return self._custom_mapper[1]
-        mapper = self._mapper_factory(self.platform, effective, self.config)
-        self._custom_mapper = (effective, mapper)
-        return mapper
+        return self.pipeline.mapper_for(library)
 
     # ------------------------------------------------------------------ #
+    def admit(
+        self,
+        als: ApplicationLevelSpec,
+        *,
+        library: ImplementationLibrary | None = None,
+        time_ns: float = 0.0,
+    ) -> AdmissionDecision:
+        """Run one request through the pipeline; never raises on rejection.
+
+        The decision is recorded in :attr:`decisions` and, when admitted,
+        the application joins :attr:`running_applications`.  This is the
+        building block :meth:`start`, :meth:`start_many` and the
+        :class:`~repro.runtime.queue.AdmissionQueue` all share.
+        """
+        decision = self._admit(als, library=library, time_ns=time_ns)
+        self.decisions.append((decision.application, decision.admitted, decision.reason))
+        return decision
+
     def start(
         self,
         als: ApplicationLevelSpec,
@@ -163,11 +173,12 @@ class RuntimeResourceManager:
         library: ImplementationLibrary | None = None,
         time_ns: float = 0.0,
     ) -> MappingResult:
-        """Map and admit an application; raises :class:`AdmissionError` on rejection."""
-        decision = self._admit(als, library=library, time_ns=time_ns)
-        self.decisions.append((decision.application, decision.admitted, decision.reason))
+        """Map and admit an application; raises :class:`AdmissionRejected` on rejection."""
+        decision = self.admit(als, library=library, time_ns=time_ns)
         if not decision.admitted:
-            raise AdmissionError(f"application {als.name!r} rejected: {decision.reason}")
+            raise AdmissionRejected(
+                f"application {als.name!r} rejected: {decision.reason}"
+            )
         assert decision.result is not None
         return decision.result
 
@@ -179,10 +190,8 @@ class RuntimeResourceManager:
         time_ns: float = 0.0,
     ) -> MappingResult | None:
         """Like :meth:`start` but returns ``None`` instead of raising on rejection."""
-        try:
-            return self.start(als, library=library, time_ns=time_ns)
-        except AdmissionError:
-            return None
+        decision = self.admit(als, library=library, time_ns=time_ns)
+        return decision.result if decision.admitted else None
 
     def start_many(
         self,
@@ -208,13 +217,10 @@ class RuntimeResourceManager:
                 als, library = (
                     request if isinstance(request, tuple) else (request, None)
                 )
-                decision = self._admit(als, library=library, time_ns=time_ns)
-                outcome.decisions.append(decision)
                 # Record immediately, so the audit trail survives a request
                 # that raises later in the batch.
-                self.decisions.append(
-                    (decision.application, decision.admitted, decision.reason)
-                )
+                decision = self.admit(als, library=library, time_ns=time_ns)
+                outcome.decisions.append(decision)
                 if not decision.admitted and all_or_nothing:
                     return False
             return True
@@ -227,6 +233,7 @@ class RuntimeResourceManager:
             for decision in outcome.decisions:
                 if decision.admitted:
                     self._running.pop(decision.application, None)
+                    self.pipeline.forget(decision.application)
                     decision.admitted = False
                     decision.reason = "rolled back: batch rejected (all-or-nothing)"
                     self.decisions.append(
@@ -250,10 +257,16 @@ class RuntimeResourceManager:
         return outcome
 
     def stop(self, application: str) -> None:
-        """Stop a running application and release all of its allocations."""
+        """Stop a running application and release all of its allocations.
+
+        The release runs inside a state transaction (teardown is as atomic
+        as commit: an exception mid-release cannot leave the application
+        half-deallocated).  Raises :class:`UnknownApplication` when no such
+        application is running.
+        """
         if application not in self._running:
-            raise AdmissionError(f"application {application!r} is not running")
-        self.state.release_application(application)
+            raise UnknownApplication(f"application {application!r} is not running")
+        self.pipeline.release(application)
         del self._running[application]
 
     # ------------------------------------------------------------------ #
@@ -268,65 +281,13 @@ class RuntimeResourceManager:
         library: ImplementationLibrary | None,
         time_ns: float,
     ) -> AdmissionDecision:
-        """Map one application and commit it when admissible."""
+        """Run one application through the pipeline and track it when admitted."""
         if als.name in self._running:
             return AdmissionDecision(als.name, False, "application is already running")
-        mapper = self._mapper_for(library)
-        result = mapper.map(als, self.state)
-        admissible = (
-            result.status is MappingStatus.FEASIBLE
-            if self.require_feasible
-            else result.status.at_least(MappingStatus.ADHERENT)
-        )
-        if not admissible:
-            reason = (
-                result.feasibility.reason
-                if result.feasibility and result.feasibility.reason
-                else f"mapping status {result.status.value}"
+        decision = self.pipeline.decide(als, library=library)
+        if decision.admitted:
+            assert decision.result is not None
+            self._running[als.name] = RunningApplication(
+                als=als, result=decision.result, start_time_ns=time_ns
             )
-            return AdmissionDecision(
-                als.name, False, reason, mapping_runtime_s=result.runtime_s
-            )
-        try:
-            self._commit(als, result)
-        except PlatformError as error:
-            return AdmissionDecision(
-                als.name,
-                False,
-                f"commit failed: {error}",
-                mapping_runtime_s=result.runtime_s,
-            )
-        self._running[als.name] = RunningApplication(
-            als=als, result=result, start_time_ns=time_ns
-        )
-        return AdmissionDecision(
-            als.name, True, "admitted", result=result, mapping_runtime_s=result.runtime_s
-        )
-
-    def _commit(self, als: ApplicationLevelSpec, result: MappingResult) -> None:
-        """Write the mapping's allocations into the platform state atomically."""
-        mapping = result.mapping
-        with self.state.transaction():
-            for assignment in mapping.assignments:
-                if assignment.implementation is None:
-                    continue
-                self.state.allocate_process(
-                    ProcessAllocation(
-                        application=als.name,
-                        process=assignment.process,
-                        tile=assignment.tile,
-                        memory_bytes=assignment.implementation.memory_bytes,
-                        compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
-                    )
-                )
-            for route in mapping.routes:
-                for a, b in zip(route.path, route.path[1:]):
-                    link = self.platform.noc.link(a, b)
-                    self.state.allocate_link(
-                        LinkAllocation(
-                            application=als.name,
-                            channel=route.channel,
-                            link=link.name,
-                            bits_per_s=route.required_bits_per_s,
-                        )
-                    )
+        return decision

@@ -1,0 +1,384 @@
+"""The staged admission pipeline behind the run-time resource manager.
+
+PR 1 made a *single* admission cheap (O(1) aggregates, journaled
+transactions).  This module turns those primitives into the scaling
+architecture: every start request flows through an explicit pipeline of
+stages —
+
+1. **fingerprint / cache lookup** — the platform state digests to a cheap
+   per-region fingerprint; a previously answered (application, region
+   fingerprint) question is served from the
+   :class:`~repro.spatialmapper.cache.MapperCache` without re-running the
+   search;
+2. **region selection** — with a :class:`~repro.platform.regions.RegionPartition`
+   configured, candidate regions are ranked least-filled-first among those
+   that contain the application's pinned tiles and can plausibly host its
+   processes;
+3. **spatial map (region-scoped)** — the four-step mapper runs restricted to
+   the selected region's tiles and routers, so the work (and the fingerprint
+   that keys its result) is local to the shard;
+4. **transactional commit** — allocations are written under a transaction
+   scoped to the region, so admissions into disjoint regions never touch
+   each other's journals.
+
+The :class:`~repro.runtime.manager.RuntimeResourceManager` is a thin façade
+over this pipeline, and the :class:`~repro.runtime.queue.AdmissionQueue`
+feeds it request by request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.exceptions import PlatformError
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.mapping import Mapping
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.regions import Region, RegionPartition
+from repro.platform.state import LinkAllocation, PlatformState, ProcessAllocation
+from repro.spatialmapper.cache import MapperCache
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.mapper import SpatialMapper
+
+
+@dataclass
+class AdmissionDecision:
+    """Per-application outcome of one trip through the admission pipeline."""
+
+    application: str
+    admitted: bool
+    reason: str
+    result: MappingResult | None = None
+    mapping_runtime_s: float = 0.0
+
+
+class AdmissionPipeline:
+    """Maps and commits start requests through the staged admission path.
+
+    Parameters
+    ----------
+    platform:
+        The managed platform.
+    library:
+        Default implementation library (per-request libraries may override).
+    config:
+        Mapper configuration shared by every created mapper.
+    state:
+        The live allocation state; a fresh one is created when omitted.
+    partition:
+        Optional region sharding.  Without it every request maps and commits
+        globally (the pre-pipeline behaviour, now expressed as one global
+        "region" of ``None``).
+    mapper_factory:
+        ``(platform, library, config) -> mapper`` hook, e.g. for baselines.
+        Region-scoped mapping requires the produced mapper to accept
+        ``map(als, state, region=...)``; factories used without a partition
+        only need the plain ``map(als, state)`` interface.
+    require_feasible:
+        When ``True`` only feasible mappings are admitted; otherwise
+        adherent mappings pass as well.
+    cache_size:
+        Capacity of the shared mapper-result cache; ``0`` disables caching.
+    region_fallback:
+        Whether a request that no single region admits is retried with an
+        unrestricted (global) mapping.  The global attempt commits under an
+        unscoped transaction, which is the explicit path for cross-region
+        allocations.
+    max_region_attempts:
+        How many candidate regions to try before the global fallback.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        library: ImplementationLibrary | None = None,
+        config: MapperConfig | None = None,
+        *,
+        state: PlatformState | None = None,
+        partition: RegionPartition | None = None,
+        mapper_factory=None,
+        require_feasible: bool = True,
+        cache_size: int = 128,
+        region_fallback: bool = True,
+        max_region_attempts: int = 2,
+    ) -> None:
+        self.platform = platform
+        self.library = library or ImplementationLibrary()
+        self.config = config or MapperConfig()
+        self.state = state if state is not None else PlatformState(platform)
+        self.partition = partition
+        self.require_feasible = require_feasible
+        self.region_fallback = region_fallback
+        self.max_region_attempts = max(1, max_region_attempts)
+        self.cache: MapperCache | None = MapperCache(cache_size) if cache_size else None
+        self._uses_default_factory = mapper_factory is None
+        self._mapper_factory = mapper_factory or (
+            lambda platform_, library_, config_: SpatialMapper(
+                platform_, library_, config_, cache=self.cache
+            )
+        )
+        # The mapper for the pipeline's own library is cached for the
+        # pipeline's lifetime; per-request libraries get a single most-recent
+        # slot so a long-lived pipeline does not accumulate one mapper per
+        # transient library (the cached mapper keeps its library alive, which
+        # is what makes the identity comparison in `mapper_for` safe).
+        self._default_mapper = None
+        self._custom_mapper: tuple[ImplementationLibrary, object] | None = None
+        #: Regions each running application's allocations landed in
+        #: (observability: which shard an admission was served from).
+        self._regions_of_app: dict[str, tuple[str, ...]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Stage 1 — fingerprints
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, region: Region | None = None) -> tuple:
+        """Digest of the current state of ``region`` (or of the whole platform)."""
+        if region is not None:
+            return region.fingerprint(self.state)
+        return self.state.fingerprint()
+
+    # ------------------------------------------------------------------ #
+    # Stage 2 — region selection
+    # ------------------------------------------------------------------ #
+    def candidate_regions(
+        self,
+        als: ApplicationLevelSpec,
+        library: ImplementationLibrary | None = None,
+    ) -> tuple[Region | None, ...]:
+        """Regions worth attempting for this application, best first.
+
+        A region qualifies when it contains every pinned tile of the
+        application, has at least as many free slots as the application has
+        mappable processes, and offers — per process — some implementation
+        whose tile type still has a free-slot tile inside the region.
+        Qualifying regions are ordered least-filled-first (ties broken by
+        name); ``None`` (the global, unrestricted attempt) is appended when
+        fallback is enabled, and is the only candidate without a partition.
+        With fallback disabled and no qualifying region, the tuple is empty
+        and :meth:`decide` rejects the request without mapping.
+        """
+        if self.partition is None:
+            return (None,)
+        effective = library if library is not None else self.library
+        mappable = [p.name for p in als.kpn.mappable_processes()]
+        pinned_tiles = [
+            p.pinned_tile for p in als.kpn.pinned_processes() if p.pinned_tile
+        ]
+        scored: list[tuple[float, str, Region]] = []
+        for region in self.partition:
+            if any(tile not in region for tile in pinned_tiles):
+                continue
+            view = region.view(self.state)
+            if view.free_process_slots() < len(mappable):
+                continue
+            free_types = {
+                self.platform.tile(name).type_name
+                for name in region.processing_tile_names()
+                if self.state.free_process_slots(name) > 0
+            }
+            if not all(
+                any(
+                    implementation.tile_type in free_types
+                    for implementation in effective.implementations_for(process)
+                )
+                for process in mappable
+            ):
+                continue
+            scored.append((view.fill_level(), region.name, region))
+        scored.sort(key=lambda item: (item[0], item[1]))
+        candidates: list[Region | None] = [
+            region for _, _, region in scored[: self.max_region_attempts]
+        ]
+        if self.region_fallback:
+            candidates.append(None)
+        return tuple(candidates)
+
+    # ------------------------------------------------------------------ #
+    # Stage 3 — spatial mapping
+    # ------------------------------------------------------------------ #
+    def mapper_for(self, library: ImplementationLibrary | None):
+        """The (cached) mapper instance for the given library."""
+        effective = library if library is not None else self.library
+        if effective is self.library:
+            if self._default_mapper is None:
+                self._default_mapper = self._mapper_factory(
+                    self.platform, effective, self.config
+                )
+            return self._default_mapper
+        if self._custom_mapper is not None and self._custom_mapper[0] is effective:
+            return self._custom_mapper[1]
+        mapper = self._mapper_factory(self.platform, effective, self.config)
+        self._custom_mapper = (effective, mapper)
+        return mapper
+
+    def map_stage(
+        self,
+        als: ApplicationLevelSpec,
+        library: ImplementationLibrary | None,
+        region: Region | None,
+    ) -> MappingResult:
+        """Run the (possibly region-scoped, possibly cached) mapper."""
+        mapper = self.mapper_for(library)
+        if region is None:
+            return mapper.map(als, self.state)
+        return mapper.map(als, self.state, region=region)
+
+    # ------------------------------------------------------------------ #
+    # Stage 4 — transactional commit
+    # ------------------------------------------------------------------ #
+    def commit(
+        self,
+        als: ApplicationLevelSpec,
+        result: MappingResult,
+        region: Region | None = None,
+    ) -> None:
+        """Write the mapping's allocations into the state atomically.
+
+        With a region, the transaction is scoped to that region's tiles and
+        internal links: a failure (or a concurrent sibling's rollback) can
+        never disturb other regions' journals.  Raises
+        :class:`~repro.exceptions.PlatformError` when any allocation no
+        longer fits; the transaction guarantees nothing half-applied leaks.
+        """
+        mapping = result.mapping
+        with self.state.transaction(region):
+            for assignment in mapping.assignments:
+                if assignment.implementation is None:
+                    continue
+                self.state.allocate_process(
+                    ProcessAllocation(
+                        application=als.name,
+                        process=assignment.process,
+                        tile=assignment.tile,
+                        memory_bytes=assignment.implementation.memory_bytes,
+                        compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
+                    )
+                )
+            for route in mapping.routes:
+                for a, b in zip(route.path, route.path[1:]):
+                    link = self.platform.noc.link(a, b)
+                    self.state.allocate_link(
+                        LinkAllocation(
+                            application=als.name,
+                            channel=route.channel,
+                            link=link.name,
+                            bits_per_s=route.required_bits_per_s,
+                        )
+                    )
+        self._note_commit(als.name, mapping)
+
+    # ------------------------------------------------------------------ #
+    # The full pipeline
+    # ------------------------------------------------------------------ #
+    def decide(
+        self,
+        als: ApplicationLevelSpec,
+        library: ImplementationLibrary | None = None,
+    ) -> AdmissionDecision:
+        """Run stages 1-4 for one request and return its decision.
+
+        Candidate regions are attempted in order; the first admissible,
+        committable mapping wins.  ``mapping_runtime_s`` accumulates the
+        mapper time of every attempt, so per-admission latency reported by
+        benchmarks reflects the real pipeline cost.
+        """
+        runtime_s = 0.0
+        best: MappingResult | None = None
+        candidates = self.candidate_regions(als, library)
+        if not candidates:
+            return AdmissionDecision(
+                als.name,
+                False,
+                "no region can host the application (global fallback disabled)",
+            )
+        for region in candidates:
+            result = self.map_stage(als, library, region)
+            runtime_s += result.runtime_s
+            admissible = (
+                result.status is MappingStatus.FEASIBLE
+                if self.require_feasible
+                else result.status.at_least(MappingStatus.ADHERENT)
+            )
+            if not admissible:
+                if best is None or (
+                    result.status.at_least(best.status)
+                    and (
+                        result.status is not best.status
+                        or result.energy_nj_per_iteration < best.energy_nj_per_iteration
+                    )
+                ):
+                    best = result
+                continue
+            try:
+                self.commit(als, result, region)
+            except PlatformError as error:
+                return AdmissionDecision(
+                    als.name,
+                    False,
+                    f"commit failed: {error}",
+                    mapping_runtime_s=runtime_s,
+                )
+            return AdmissionDecision(
+                als.name, True, "admitted", result=result, mapping_runtime_s=runtime_s
+            )
+        assert best is not None  # candidate_regions always yields >= 1 attempt
+        reason = (
+            best.feasibility.reason
+            if best.feasibility and best.feasibility.reason
+            else f"mapping status {best.status.value}"
+        )
+        return AdmissionDecision(als.name, False, reason, mapping_runtime_s=runtime_s)
+
+    def release(self, application: str) -> int:
+        """Release every allocation of an application, transactionally.
+
+        Teardown runs inside a (global) transaction so a partially released
+        application can never survive an exception.  Cache invalidation is
+        automatic: the release changes the touched regions' fingerprints, so
+        entries for the pre-release state can no longer be served for the
+        post-release state — while entries computed for an *earlier*
+        occurrence of the post-release state become servable again, which is
+        exactly the churn (start/stop/start) case the cache exists for.
+        """
+        with self.state.transaction():
+            removed = self.state.release_application(application)
+        self._regions_of_app.pop(application, None)
+        return removed
+
+    def regions_of(self, application: str) -> tuple[str, ...]:
+        """Names of the regions a running application's allocations landed in."""
+        return self._regions_of_app.get(application, ())
+
+    def forget(self, application: str) -> None:
+        """Drop the region bookkeeping of an application whose allocations are
+        gone without :meth:`release` having run (e.g. a batch rollback undid
+        the commit wholesale)."""
+        self._regions_of_app.pop(application, None)
+
+    # ------------------------------------------------------------------ #
+    def _note_commit(self, application: str, mapping: Mapping) -> None:
+        """Record which regions the committed allocations fall into.
+
+        The commit itself invalidates affected cache entries by changing the
+        touched regions' fingerprints (entries are keyed by fingerprint, so
+        a stale entry simply never matches again); entries of untouched
+        regions deliberately stay live — that is what makes region sharding
+        and caching compose.
+        """
+        self._regions_of_app[application] = self._touched_regions(mapping)
+
+    def _touched_regions(self, mapping: Mapping) -> tuple[str, ...]:
+        """Names of the regions a mapping's allocations fall into."""
+        if self.partition is None:
+            return ()
+        names: dict[str, None] = {}
+        for assignment in mapping.assignments:
+            names.setdefault(self.partition.region_of_tile(assignment.tile).name)
+        for route in mapping.routes:
+            for position in route.path:
+                region = self.partition.region_of_position(position)
+                if region is not None:
+                    names.setdefault(region.name)
+        return tuple(names.keys())

@@ -1,0 +1,263 @@
+"""Queued front-end for run-time admission.
+
+Many clients asking one resource manager to start applications need a place
+for their requests to wait, an ordering discipline, and a way to hear back.
+:class:`AdmissionQueue` provides exactly that: ``submit`` enqueues a request
+and returns a ticket, ``poll`` reports its status, ``cancel`` withdraws it,
+and ``drain`` pushes pending requests through the manager's admission
+pipeline — re-using :meth:`~repro.runtime.manager.RuntimeResourceManager.start_many`
+as the atomic building block, so a drained batch leaves exactly the same
+audit trail as a direct batch call.
+
+Requests carry a priority (higher drains first) and an optional deadline
+(pending requests past their deadline expire instead of admitting late).
+Each request is assigned to a *lane* — the region the region-selection
+stage would currently place it in — and two draining disciplines are
+offered:
+
+* ``"arrival"`` (default): priority, then submission order, across all
+  lanes.  Draining this way is decision-for-decision identical to calling
+  ``start_many`` with the same requests in the same order.
+* ``"region"``: round-robin over lanes, FIFO (by priority) within each
+  lane.  Requests of one region stay serialised among themselves while
+  independent regions' requests interleave — and because commits are
+  region-scoped transactions, interleaved per-region admissions never touch
+  each other's journals.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.exceptions import UnknownApplication
+from repro.kpn.als import ApplicationLevelSpec
+from repro.runtime.manager import RuntimeResourceManager
+from repro.runtime.pipeline import AdmissionDecision
+
+#: Lane name used for requests that would map globally (no qualifying region).
+GLOBAL_LANE = "__global__"
+
+
+class RequestStatus(enum.Enum):
+    """Life cycle of a queued admission request."""
+
+    PENDING = "pending"
+    ADMITTED = "admitted"
+    REJECTED = "rejected"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+
+    @property
+    def is_final(self) -> bool:
+        """Whether the request has left the queue for good."""
+        return self is not RequestStatus.PENDING
+
+
+@dataclass
+class QueuedRequest:
+    """One submitted admission request and its outcome."""
+
+    ticket: int
+    als: ApplicationLevelSpec
+    library: ImplementationLibrary | None = None
+    priority: int = 0
+    deadline_ns: float | None = None
+    submitted_ns: float = 0.0
+    lane: str = GLOBAL_LANE
+    status: RequestStatus = RequestStatus.PENDING
+    decision: AdmissionDecision | None = None
+    reason: str = ""
+    decided_ns: float | None = None
+    _order: tuple = field(default=(), repr=False)
+
+    @property
+    def application(self) -> str:
+        """Name of the requested application."""
+        return self.als.name
+
+
+class AdmissionQueue:
+    """Submit/poll/cancel front-end serialising requests onto one manager.
+
+    The queue itself performs no mapping work — it owns ordering, deadlines
+    and the ticket book-keeping, and delegates every decision to the
+    manager's staged admission pipeline.
+    """
+
+    def __init__(
+        self,
+        manager: RuntimeResourceManager,
+        *,
+        policy: str = "arrival",
+    ) -> None:
+        if policy not in ("arrival", "region"):
+            raise ValueError(f"unknown drain policy {policy!r}")
+        self.manager = manager
+        self.policy = policy
+        self._tickets = itertools.count(1)
+        self._requests: dict[int, QueuedRequest] = {}
+        self._pending: list[QueuedRequest] = []
+
+    # ------------------------------------------------------------------ #
+    # Submission side
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        als: ApplicationLevelSpec,
+        *,
+        library: ImplementationLibrary | None = None,
+        priority: int = 0,
+        deadline_ns: float | None = None,
+        now_ns: float = 0.0,
+    ) -> int:
+        """Enqueue a start request; returns its ticket."""
+        ticket = next(self._tickets)
+        request = QueuedRequest(
+            ticket=ticket,
+            als=als,
+            library=library,
+            priority=priority,
+            deadline_ns=deadline_ns,
+            submitted_ns=now_ns,
+            lane=self._lane_of(als, library),
+        )
+        request._order = (-priority, ticket)
+        self._requests[ticket] = request
+        self._pending.append(request)
+        return ticket
+
+    def poll(self, ticket: int) -> QueuedRequest:
+        """Status (and decision, once made) of a submitted request."""
+        try:
+            return self._requests[ticket]
+        except KeyError:
+            raise UnknownApplication(f"unknown admission ticket {ticket}") from None
+
+    def cancel(self, ticket: int, *, now_ns: float = 0.0) -> bool:
+        """Withdraw a pending request; returns whether it was still pending."""
+        request = self.poll(ticket)
+        if request.status is not RequestStatus.PENDING:
+            return False
+        request.status = RequestStatus.CANCELLED
+        request.reason = "cancelled by client"
+        request.decided_ns = now_ns
+        self._pending.remove(request)
+        return True
+
+    @property
+    def pending(self) -> tuple[QueuedRequest, ...]:
+        """Requests still waiting, in submission order."""
+        return tuple(self._pending)
+
+    def pending_by_lane(self) -> dict[str, tuple[QueuedRequest, ...]]:
+        """Pending requests grouped by region lane."""
+        lanes: dict[str, list[QueuedRequest]] = {}
+        for request in self._pending:
+            lanes.setdefault(request.lane, []).append(request)
+        return {lane: tuple(requests) for lane, requests in lanes.items()}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Draining side
+    # ------------------------------------------------------------------ #
+    def process_next(self, *, now_ns: float = 0.0) -> QueuedRequest | None:
+        """Drain exactly one request (or none when the queue is idle)."""
+        drained = self.drain(now_ns=now_ns, max_requests=1)
+        return drained[0] if drained else None
+
+    def drain(
+        self,
+        *,
+        now_ns: float = 0.0,
+        max_requests: int | None = None,
+    ) -> list[QueuedRequest]:
+        """Push pending requests through the admission pipeline.
+
+        Expired requests are finalised without mapping work; the rest are
+        handed to :meth:`RuntimeResourceManager.start_many` in policy order
+        as one batch.  Returns every request finalised by this call
+        (admitted, rejected and expired), in processing order.
+        """
+        expired = self._expire(now_ns)
+        ready = self._ordered_pending()
+        if max_requests is not None:
+            budget = max(0, max_requests - len(expired))
+            ready = ready[:budget]
+        for request in ready:
+            self._pending.remove(request)
+        decisions_before = len(self.manager.decisions)
+        try:
+            outcome = self.manager.start_many(
+                [(request.als, request.library) for request in ready], time_ns=now_ns
+            )
+        except BaseException:
+            # A request mid-batch blew up (e.g. a custom mapper raised).  The
+            # manager appended one audit entry per request it finished
+            # deciding, in order; finalise those tickets from the audit trail
+            # and put the untouched remainder back at the head of the queue
+            # so a later drain retries them instead of stranding them.
+            decided = self.manager.decisions[decisions_before:]
+            for request, (_, admitted, reason) in zip(ready, decided):
+                request.reason = reason
+                request.decided_ns = now_ns
+                request.status = (
+                    RequestStatus.ADMITTED if admitted else RequestStatus.REJECTED
+                )
+            self._pending[:0] = ready[len(decided) :]
+            raise
+        for request, decision in zip(ready, outcome.decisions):
+            request.decision = decision
+            request.reason = decision.reason
+            request.decided_ns = now_ns
+            request.status = (
+                RequestStatus.ADMITTED if decision.admitted else RequestStatus.REJECTED
+            )
+        return expired + ready
+
+    # ------------------------------------------------------------------ #
+    def _lane_of(
+        self, als: ApplicationLevelSpec, library: ImplementationLibrary | None
+    ) -> str:
+        """The region lane a request currently belongs to."""
+        candidates = self.manager.pipeline.candidate_regions(als, library)
+        first = candidates[0] if candidates else None
+        return first.name if first is not None else GLOBAL_LANE
+
+    def _ordered_pending(self) -> list[QueuedRequest]:
+        """Pending requests in drain order for the configured policy."""
+        if self.policy == "arrival":
+            return sorted(self._pending, key=lambda request: request._order)
+        lanes: dict[str, list[QueuedRequest]] = {}
+        for request in sorted(self._pending, key=lambda request: request._order):
+            lanes.setdefault(request.lane, []).append(request)
+        ordered: list[QueuedRequest] = []
+        queues = [lanes[lane] for lane in sorted(lanes)]
+        while queues:
+            next_round = []
+            for queue in queues:
+                ordered.append(queue.pop(0))
+                if queue:
+                    next_round.append(queue)
+            queues = next_round
+        return ordered
+
+    def _expire(self, now_ns: float) -> list[QueuedRequest]:
+        """Finalise pending requests whose deadline has passed."""
+        expired = [
+            request
+            for request in self._pending
+            if request.deadline_ns is not None and now_ns > request.deadline_ns
+        ]
+        for request in expired:
+            request.status = RequestStatus.EXPIRED
+            request.reason = (
+                f"deadline {request.deadline_ns:g} ns passed at {now_ns:g} ns"
+            )
+            request.decided_ns = now_ns
+            self._pending.remove(request)
+        return expired

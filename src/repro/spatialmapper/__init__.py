@@ -22,6 +22,7 @@ earlier steps (exclusion of implementations or tiles) and retries, keeping the
 best feasible mapping found.
 """
 
+from repro.spatialmapper.cache import CacheStats, MapperCache
 from repro.spatialmapper.config import MapperConfig, Step2Strategy
 from repro.spatialmapper.desirability import desirability, assignment_options
 from repro.spatialmapper.feedback import Feedback, FeedbackKind, ExclusionSet
@@ -34,6 +35,8 @@ from repro.spatialmapper.csdf_construction import build_mapped_csdf
 from repro.spatialmapper.mapper import SpatialMapper
 
 __all__ = [
+    "CacheStats",
+    "MapperCache",
     "MapperConfig",
     "Step2Strategy",
     "desirability",

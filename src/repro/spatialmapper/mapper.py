@@ -22,6 +22,7 @@ from repro.mapping.properties import adherence_violations
 from repro.mapping.result import MappingResult, MappingStatus
 from repro.platform.platform import Platform
 from repro.platform.state import PlatformState
+from repro.spatialmapper.cache import MapperCache
 from repro.spatialmapper.config import MapperConfig
 from repro.spatialmapper.feedback import ExclusionSet, Feedback, FeedbackKind
 from repro.spatialmapper.step1_implementation import select_implementations
@@ -46,11 +47,18 @@ class SpatialMapper:
         platform: Platform,
         library: ImplementationLibrary,
         config: MapperConfig | None = None,
+        *,
+        cache: MapperCache | None = None,
     ) -> None:
         self.platform = platform
         self.library = library
         self.config = config or MapperConfig()
+        #: Optional fingerprint-keyed result cache; when set, :meth:`map`
+        #: serves repeated (application, region, state-fingerprint) questions
+        #: without re-running the search.
+        self.cache = cache
         #: Trace of the most recent :meth:`map` call (step-2 iterations, feedback log).
+        #: A cache hit leaves the trace of the last *computed* call in place.
         self.last_trace: MapperTrace = MapperTrace()
 
     # ------------------------------------------------------------------ #
@@ -59,6 +67,7 @@ class SpatialMapper:
         als: ApplicationLevelSpec,
         state: PlatformState | None = None,
         *,
+        region=None,
         raise_on_failure: bool = False,
     ) -> MappingResult:
         """Produce a spatial mapping for ``als`` given the current platform state.
@@ -70,6 +79,12 @@ class SpatialMapper:
         state:
             Current allocations of already-running applications; ``None``
             means an idle platform.
+        region:
+            Optional :class:`~repro.platform.regions.Region` restriction:
+            processes are only placed on the region's tiles and channels only
+            routed over the region's routers.  A region-restricted search is
+            bit-identical for identical region states, which is what makes
+            the result cacheable per (application, region fingerprint).
         raise_on_failure:
             When ``True``, raise
             :class:`~repro.exceptions.NoFeasibleMappingError` instead of
@@ -77,6 +92,29 @@ class SpatialMapper:
         """
         start_time = time.perf_counter()
         state = state if state is not None else PlatformState(self.platform)
+
+        cache_key = None
+        if self.cache is not None:
+            fingerprint = (
+                region.fingerprint(state) if region is not None else state.fingerprint()
+            )
+            cache_key = MapperCache.key(
+                als.name, region.name if region is not None else None, fingerprint
+            )
+            cached = self.cache.lookup(cache_key, als, self.library)
+            if cached is not None:
+                cached.runtime_s = time.perf_counter() - start_time
+                if raise_on_failure and cached.status is not MappingStatus.FEASIBLE:
+                    raise NoFeasibleMappingError(
+                        f"no feasible mapping found for application {als.name!r}: "
+                        + (
+                            cached.feasibility.reason
+                            if cached.feasibility
+                            else cached.status.value
+                        )
+                    )
+                return cached
+
         exclusions = ExclusionSet()
         trace = MapperTrace()
         best: MappingResult | None = None
@@ -84,7 +122,9 @@ class SpatialMapper:
 
         for iteration in range(1, self.config.max_feedback_iterations + 1):
             trace.refinement_iterations = iteration
-            candidate = self._single_pass(als, state, exclusions, trace, diagnostics)
+            candidate = self._single_pass(
+                als, state, exclusions, trace, diagnostics, region
+            )
             candidate.iterations = iteration
             best = self._better(best, candidate)
             if candidate.status is MappingStatus.FEASIBLE:
@@ -100,6 +140,8 @@ class SpatialMapper:
         best.runtime_s = time.perf_counter() - start_time
         best.diagnostics = diagnostics + best.diagnostics
         self.last_trace = trace
+        if cache_key is not None:
+            self.cache.store(cache_key, als, self.library, best)
         if raise_on_failure and best.status is not MappingStatus.FEASIBLE:
             raise NoFeasibleMappingError(
                 f"no feasible mapping found for application {als.name!r}: "
@@ -115,8 +157,12 @@ class SpatialMapper:
         exclusions: ExclusionSet,
         trace: MapperTrace,
         diagnostics: list[str],
+        region=None,
     ) -> MappingResult:
         """One pass through steps 1-4 under the current exclusions."""
+        allowed_tiles = frozenset(region.tile_names) if region is not None else None
+        allowed_positions = region.positions if region is not None else None
+
         # Step 1 — implementations and first-fit tiles.
         step1 = select_implementations(
             als,
@@ -125,6 +171,7 @@ class SpatialMapper:
             state=state,
             config=self.config,
             exclusions=exclusions,
+            allowed_tiles=allowed_tiles,
         )
         if not step1.succeeded:
             for feedback in step1.feedback:
@@ -139,12 +186,18 @@ class SpatialMapper:
             state=state,
             config=self.config,
             exclusions=exclusions,
+            allowed_tiles=allowed_tiles,
         )
         trace.step2_traces.append(step2.trace)
 
         # Step 3 — channel routing.
         step3 = route_channels(
-            step2.mapping, als, self.platform, state=state, config=self.config
+            step2.mapping,
+            als,
+            self.platform,
+            state=state,
+            config=self.config,
+            allowed_positions=allowed_positions,
         )
         if not step3.succeeded:
             for feedback in step3.feedback:

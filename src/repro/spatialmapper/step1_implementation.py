@@ -48,12 +48,14 @@ def eligible_tiles(
     mapping: Mapping,
     exclusions: ExclusionSet | None = None,
     residuals: ResidualTracker | None = None,
+    allowed_tiles: frozenset[str] | None = None,
 ) -> list[str]:
     """Tiles of the implementation's type that can still host it (declaration order).
 
     ``residuals`` carries the O(1) slot/memory bookkeeping; when omitted (the
     standalone-call convenience path) a tracker is derived from ``state`` and
-    ``mapping`` on the spot.
+    ``mapping`` on the spot.  ``allowed_tiles`` restricts the candidates to a
+    region's tiles (``None`` = whole platform).
     """
     exclusions = exclusions or ExclusionSet()
     if residuals is None:
@@ -61,6 +63,8 @@ def eligible_tiles(
     tiles: list[str] = []
     for tile in platform.tiles_of_type(implementation.tile_type):
         if not tile.is_processing:
+            continue
+        if allowed_tiles is not None and tile.name not in allowed_tiles:
             continue
         if not exclusions.placement_allowed(implementation.process, tile.name):
             continue
@@ -80,6 +84,7 @@ def select_implementations(
     state: PlatformState | None = None,
     config: MapperConfig | None = None,
     exclusions: ExclusionSet | None = None,
+    allowed_tiles: frozenset[str] | None = None,
 ) -> Step1Result:
     """Run step 1 and return the greedy initial mapping.
 
@@ -88,7 +93,10 @@ def select_implementations(
     with their pinned tile and no implementation.  When some process cannot
     be assigned, feedback of kind
     :attr:`~repro.spatialmapper.feedback.FeedbackKind.NO_IMPLEMENTATION` is
-    produced and the mapping stays partial.
+    produced and the mapping stays partial.  ``allowed_tiles`` restricts
+    placement to a region's tiles; pinned processes keep their pinned tile
+    regardless (region selection is responsible for picking a region that
+    contains them).
     """
     config = config or MapperConfig()
     exclusions = exclusions or ExclusionSet()
@@ -116,7 +124,8 @@ def select_implementations(
                 ):
                     continue
                 tiles = eligible_tiles(
-                    implementation, platform, state, mapping, exclusions, residuals
+                    implementation, platform, state, mapping, exclusions, residuals,
+                    allowed_tiles,
                 )
                 if tiles:
                     candidates.append((implementation, tiles))
@@ -153,7 +162,9 @@ def select_implementations(
         # Cheapest option decides the implementation; the concrete tile is the
         # first tile (platform declaration order) of that type that fits.
         chosen = options[0].implementation
-        tiles = eligible_tiles(chosen, platform, state, mapping, exclusions, residuals)
+        tiles = eligible_tiles(
+            chosen, platform, state, mapping, exclusions, residuals, allowed_tiles
+        )
         tile_name = tiles[0]
         mapping.assign(ProcessAssignment(process_name, tile_name, chosen))
         residuals.place(tile_name, chosen.memory_bytes)

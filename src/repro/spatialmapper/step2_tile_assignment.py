@@ -145,13 +145,17 @@ def _enumerate_candidates(
     platform: Platform,
     residuals: ResidualTracker,
     exclusions: ExclusionSet,
+    allowed_tiles: frozenset[str] | None = None,
 ) -> list[_Move | _Swap]:
     """All candidate reassignments, in deterministic (KPN declaration) order.
 
     For every mappable process we generate the moves to each free tile of the
     same type (with enough memory and an allowed placement) and the swaps
     with every *later* process currently mapped to the same tile type (so
-    each unordered pair appears exactly once).
+    each unordered pair appears exactly once).  ``allowed_tiles`` restricts
+    move targets to a region's tiles; swaps only ever exchange tiles already
+    occupied by the mapping, which region-scoped step 1 placed inside the
+    region.
     """
     candidates: list[_Move | _Swap] = []
     processes = [p.name for p in als.kpn.mappable_processes() if mapping.is_assigned(p.name)]
@@ -165,6 +169,8 @@ def _enumerate_candidates(
         # Moves to free tiles of the same type.
         for tile in platform.tiles_of_type(tile_type):
             if tile.name == assignment.tile or not tile.is_processing:
+                continue
+            if allowed_tiles is not None and tile.name not in allowed_tiles:
                 continue
             if not exclusions.placement_allowed(process_name, tile.name):
                 continue
@@ -249,6 +255,7 @@ def refine_tile_assignment(
     state: PlatformState | None = None,
     config: MapperConfig | None = None,
     exclusions: ExclusionSet | None = None,
+    allowed_tiles: frozenset[str] | None = None,
 ) -> Step2Result:
     """Run the step-2 local search and return the refined mapping with its trace."""
     config = config or MapperConfig()
@@ -282,7 +289,8 @@ def refine_tile_assignment(
         else _best_improvement
     )
     current = search(
-        current, als, platform, residuals, config, exclusions, trace, delta_of, full_cost
+        current, als, platform, residuals, config, exclusions, trace, delta_of,
+        full_cost, allowed_tiles,
     )
     return Step2Result(mapping=current, trace=trace)
 
@@ -324,6 +332,7 @@ def _first_improvement(
     trace: Step2Trace,
     delta_of,
     full_cost,
+    allowed_tiles: frozenset[str] | None = None,
 ) -> Mapping:
     """Evaluate one candidate per iteration; keep it only when it improves the cost."""
     iteration = 0
@@ -331,7 +340,9 @@ def _first_improvement(
     min_gain = max(config.step2_min_gain, 1e-12)
     while iteration < config.step2_max_iterations:
         improved_in_pass = False
-        candidates = _enumerate_candidates(current, als, platform, residuals, exclusions)
+        candidates = _enumerate_candidates(
+            current, als, platform, residuals, exclusions, allowed_tiles
+        )
         if not candidates:
             break
         for candidate in candidates:
@@ -365,13 +376,16 @@ def _best_improvement(
     trace: Step2Trace,
     delta_of,
     full_cost,
+    allowed_tiles: frozenset[str] | None = None,
 ) -> Mapping:
     """Evaluate all candidates each iteration and apply the best improving one."""
     iteration = 0
     current_cost = trace.initial_cost
     min_gain = max(config.step2_min_gain, 1e-12)
     while iteration < config.step2_max_iterations:
-        candidates = _enumerate_candidates(current, als, platform, residuals, exclusions)
+        candidates = _enumerate_candidates(
+            current, als, platform, residuals, exclusions, allowed_tiles
+        )
         best_candidate: _Move | _Swap | None = None
         best_cost = current_cost
         for candidate in candidates:

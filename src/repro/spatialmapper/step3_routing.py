@@ -62,6 +62,7 @@ def route_channels(
     *,
     state: PlatformState | None = None,
     config: MapperConfig | None = None,
+    allowed_positions: frozenset | None = None,
 ) -> Step3Result:
     """Route every data channel of the application and return the updated mapping.
 
@@ -70,6 +71,8 @@ def route_channels(
     sufficient guaranteed throughput produce
     :attr:`~repro.spatialmapper.feedback.FeedbackKind.ROUTING_FAILED`
     feedback naming the channel and its endpoint tiles.
+    ``allowed_positions`` confines the path search to a region's routers, so
+    region-scoped mappings only ever reserve region-internal links.
 
     Rather than copying the per-link load dictionary, the tentative
     reservations of this step are journaled directly into the platform state
@@ -117,6 +120,7 @@ def route_channels(
                     target_position,
                     required_bits_per_s=required,
                     link_loads_bits_per_s=loads_view,
+                    allowed_positions=allowed_positions,
                 )
             except RoutingError as error:
                 result.feedback.append(

@@ -1,0 +1,173 @@
+"""Property tests of the staged admission pipeline's caching layer.
+
+The load-bearing invariant of the mapper cache is *bit-identity*: a result
+served from the cache must be indistinguishable from re-running the full
+four-step search against the same platform state.  The fingerprint makes
+"the same state" detectable from the O(1) aggregates alone, so the property
+exercises arbitrary admission histories: admit a random prefix of a
+synthetic workload, then compare a cache hit against a fresh, cache-less
+mapping for the next application — globally and region-restricted.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.result import MappingResult
+from repro.platform.regions import RegionPartition
+from repro.platform.state import PlatformState, ProcessAllocation
+from repro.spatialmapper.cache import MapperCache
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_platform,
+    generate_scenario,
+)
+
+CONFIG = MapperConfig(analysis_iterations=3)
+APP_CONFIG = SyntheticConfig(stages=2, period_ns=100_000.0)
+
+
+def result_digest(result: MappingResult) -> tuple:
+    """Everything observable about a mapping result except wall-clock time."""
+    return (
+        result.status,
+        round(result.energy_nj_per_iteration, 9),
+        result.manhattan_cost,
+        result.iterations,
+        tuple(
+            (
+                a.process,
+                a.tile,
+                a.implementation.name if a.implementation else None,
+            )
+            for a in result.mapping.assignments
+        ),
+        tuple(
+            (r.channel, r.source_tile, r.target_tile, r.path, r.required_bits_per_s)
+            for r in result.mapping.routes
+        ),
+        tuple(sorted(result.mapping.buffer_capacities.items())),
+        (
+            result.feasibility.achieved_period_ns,
+            result.feasibility.satisfied,
+            result.feasibility.reason,
+        )
+        if result.feasibility
+        else None,
+        tuple(result.diagnostics),
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    platform_seed=st.integers(min_value=0, max_value=50),
+    workload_seed=st.integers(min_value=0, max_value=50),
+    prefix=st.integers(min_value=0, max_value=4),
+)
+def test_cache_hit_is_bit_identical_to_fresh_map(platform_seed, workload_seed, prefix):
+    platform = generate_platform(seed=platform_seed, width=5, height=5)
+    applications = generate_scenario(
+        seed=workload_seed, application_count=prefix + 1, config=APP_CONFIG
+    )
+    state = PlatformState(platform)
+
+    # Random admission history: commit a prefix of the workload.
+    for app in applications[:prefix]:
+        mapper = SpatialMapper(platform, app.library, CONFIG)
+        result = mapper.map(app.als, state)
+        if result.is_feasible:
+            for assignment in result.mapping.assignments:
+                if assignment.implementation is None:
+                    continue
+                state.allocate_process(
+                    ProcessAllocation(
+                        application=app.als.name,
+                        process=assignment.process,
+                        tile=assignment.tile,
+                        memory_bytes=assignment.implementation.memory_bytes,
+                        compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
+                    )
+                )
+
+    target = applications[prefix]
+    fresh_mapper = SpatialMapper(platform, target.library, CONFIG)
+    cached_mapper = SpatialMapper(
+        platform, target.library, CONFIG, cache=MapperCache()
+    )
+
+    fresh = fresh_mapper.map(target.als, state)
+    warmup = cached_mapper.map(target.als, state)  # populates the cache
+    hit = cached_mapper.map(target.als, state)
+
+    assert cached_mapper.cache.stats.hits == 1
+    assert result_digest(warmup) == result_digest(fresh)
+    assert result_digest(hit) == result_digest(fresh)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    platform_seed=st.integers(min_value=0, max_value=50),
+    workload_seed=st.integers(min_value=0, max_value=50),
+)
+def test_region_restricted_cache_hit_is_bit_identical(platform_seed, workload_seed):
+    platform = generate_platform(
+        seed=platform_seed, width=6, height=6, io_positions=((0, 0), (1, 1))
+    )
+    partition = RegionPartition.grid(platform, 2, 1)
+    region = partition.regions[0]  # contains both io tiles
+    app = generate_scenario(seed=workload_seed, application_count=1, config=APP_CONFIG)[0]
+    state = PlatformState(platform)
+
+    fresh_mapper = SpatialMapper(platform, app.library, CONFIG)
+    cached_mapper = SpatialMapper(platform, app.library, CONFIG, cache=MapperCache())
+
+    fresh = fresh_mapper.map(app.als, state, region=region)
+    warmup = cached_mapper.map(app.als, state, region=region)
+    hit = cached_mapper.map(app.als, state, region=region)
+
+    assert cached_mapper.cache.stats.hits == 1
+    assert result_digest(warmup) == result_digest(fresh)
+    assert result_digest(hit) == result_digest(fresh)
+    # Region-restricted placement and routing must stay inside the region.
+    for assignment in hit.mapping.assignments:
+        process = app.als.kpn.process(assignment.process)
+        if process.is_pinned:
+            continue
+        assert assignment.tile in region
+    for route in hit.mapping.routes:
+        for position in route.path:
+            assert position in region.positions
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    platform_seed=st.integers(min_value=0, max_value=50),
+    workload_seed=st.integers(min_value=0, max_value=50),
+)
+def test_fingerprint_equals_iff_aggregates_equal(platform_seed, workload_seed):
+    """Allocate-then-release returns the fingerprint to its previous value."""
+    platform = generate_platform(seed=platform_seed, width=4, height=4)
+    app = generate_scenario(seed=workload_seed, application_count=1, config=APP_CONFIG)[0]
+    state = PlatformState(platform)
+    empty = state.fingerprint()
+    mapper = SpatialMapper(platform, app.library, CONFIG)
+    result = mapper.map(app.als, state)
+    if not result.is_feasible:
+        return
+    for assignment in result.mapping.assignments:
+        if assignment.implementation is None:
+            continue
+        state.allocate_process(
+            ProcessAllocation(
+                application=app.als.name,
+                process=assignment.process,
+                tile=assignment.tile,
+                memory_bytes=assignment.implementation.memory_bytes,
+                compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
+            )
+        )
+    occupied = state.fingerprint()
+    assert occupied != empty
+    state.release_application(app.als.name)
+    assert state.fingerprint() == empty

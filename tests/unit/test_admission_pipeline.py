@@ -1,0 +1,389 @@
+"""The staged admission pipeline, region sharding and the admission queue."""
+
+import pytest
+
+from repro.appmodel.implementation import DEFAULT_PORT, Implementation
+from repro.appmodel.library import ImplementationLibrary
+from repro.csdf.phase import PhaseVector
+from repro.exceptions import AdmissionError, AdmissionRejected, UnknownApplication
+from repro.kpn.als import ApplicationLevelSpec
+from repro.kpn.channel import Channel
+from repro.kpn.graph import KPNGraph
+from repro.kpn.process import Process
+from repro.kpn.qos import QoSConstraints
+from repro.platform.builder import PlatformBuilder
+from repro.platform.regions import RegionPartition
+from repro.platform.state import PlatformState
+from repro.runtime.manager import RuntimeResourceManager
+from repro.runtime.queue import AdmissionQueue, RequestStatus
+from repro.spatialmapper.config import MapperConfig
+from repro.workloads.synthetic import SyntheticConfig, generate_application
+
+CONFIG = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP",))
+
+
+def build_two_region_platform():
+    """A 4x2 mesh with one I/O tile and three GPP tiles per half."""
+    builder = (
+        PlatformBuilder("two_region")
+        .mesh(4, 2, link_capacity_bits_per_s=4e9, router_frequency_mhz=200.0)
+        .tile_type("IO", frequency_mhz=200.0, is_processing=False)
+        .tile_type("GPP", frequency_mhz=200.0)
+        .tile("io_l", "IO", (0, 0))
+        .tile("io_r", "IO", (3, 0))
+    )
+    for index, position in enumerate([(0, 1), (1, 0), (1, 1)]):
+        builder.tile(f"gpp_l{index}", "GPP", position, memory_bytes=128 * 1024)
+    for index, position in enumerate([(2, 0), (2, 1), (3, 1)]):
+        builder.tile(f"gpp_r{index}", "GPP", position, memory_bytes=128 * 1024)
+    return builder.build()
+
+
+def make_app(seed, name, io_tile):
+    """A two-stage synthetic application pinned to one region's I/O tile."""
+    return generate_application(
+        seed, CONFIG, name=name, source_tile=io_tile, sink_tile=io_tile
+    )
+
+
+def make_unpinned_app(name):
+    """A two-process application with no pinned tiles (any region may host it)."""
+    kpn = KPNGraph(name)
+    kpn.add_process(Process("a"))
+    kpn.add_process(Process("b"))
+    kpn.add_channel(Channel("c0", "a", "b", tokens_per_iteration=4))
+    als = ApplicationLevelSpec(kpn=kpn, qos=QoSConstraints(period_ns=100_000.0))
+    library = ImplementationLibrary()
+    for process in ("a", "b"):
+        library.add(
+            Implementation(
+                process=process,
+                tile_type="GPP",
+                wcet_cycles=PhaseVector([1.0, 50.0, 1.0]),
+                input_rates={DEFAULT_PORT: PhaseVector([4, 0, 0])},
+                output_rates={DEFAULT_PORT: PhaseVector([0, 0, 4])},
+                energy_nj_per_iteration=10.0,
+                memory_bytes=1024,
+            )
+        )
+    return als, library
+
+
+@pytest.fixture()
+def platform():
+    return build_two_region_platform()
+
+
+@pytest.fixture()
+def partition(platform):
+    return RegionPartition.grid(platform, 2, 1)
+
+
+@pytest.fixture()
+def manager(platform, partition):
+    return RuntimeResourceManager(
+        platform,
+        config=MapperConfig(analysis_iterations=3),
+        partition=partition,
+    )
+
+
+class TestRegionShardedAdmission:
+    def test_admission_lands_inside_the_pinned_region(self, manager):
+        app = make_app(1, "left_app", "io_l")
+        result = manager.start(app.als, library=app.library)
+        assert result.is_feasible
+        left = manager.partition.region("r0_0")
+        assert manager.pipeline.regions_of("left_app") == ("r0_0",)
+        for tile in manager.state.occupied_tiles():
+            assert tile in left
+        for link in manager.state.link_loads():
+            assert left.covers_link(link)
+
+    def test_independent_regions_admit_independently(self, manager):
+        left = make_app(2, "left_app", "io_l")
+        right = make_app(3, "right_app", "io_r")
+        outcome = manager.start_many(
+            [(left.als, left.library), (right.als, right.library)]
+        )
+        assert [d.admitted for d in outcome.decisions] == [True, True]
+        assert manager.pipeline.regions_of("left_app") == ("r0_0",)
+        assert manager.pipeline.regions_of("right_app") == ("r1_0",)
+
+    def test_cross_region_pins_fall_back_to_global(self, manager):
+        spanning = generate_application(
+            4, CONFIG, name="spanning", source_tile="io_l", sink_tile="io_r"
+        )
+        # No single region contains both pinned tiles.
+        candidates = manager.pipeline.candidate_regions(
+            spanning.als, spanning.library
+        )
+        assert candidates == (None,)
+        result = manager.start(spanning.als, library=spanning.library)
+        assert result.is_feasible
+        assert set(manager.pipeline.regions_of("spanning")) == {"r0_0", "r1_0"}
+
+    def test_candidate_regions_prefer_less_filled(self, manager):
+        als, library = make_unpinned_app("floater")
+        first = manager.pipeline.candidate_regions(als, library)
+        left_app = make_app(6, "filler", "io_l")
+        manager.start(left_app.als, library=left_app.library)
+        second = manager.pipeline.candidate_regions(als, library)
+        # Empty platform: both regions qualify, tie broken by name; once the
+        # left region fills, the emptier right region is preferred.
+        assert [r.name for r in first if r is not None] == ["r0_0", "r1_0"]
+        assert [r.name for r in second if r is not None][0] == "r1_0"
+
+    def test_region_exhaustion_rejects_or_overflows_explicitly(self, manager):
+        admitted = []
+        for index in range(4):
+            app = make_app(10 + index, f"left{index}", "io_l")
+            decision = manager.admit(app.als, library=app.library)
+            admitted.append(decision.admitted)
+        # Three GPP slots on the left: the region fits one two-stage app
+        # (plus possibly a second using the last slot pair across tiles);
+        # eventually admission fails because the pinned region is full and
+        # the global fallback cannot place processes elsewhere... unless it
+        # can: the fallback may legally spill compute to the right half
+        # while I/O stays pinned left.  Either way every decision is
+        # explicit and the platform stays consistent.
+        assert admitted[0] is True
+        state_apps = set(manager.state.applications())
+        running = {app.name for app in manager.running_applications}
+        assert state_apps == running
+
+
+class TestTypedExceptionsAndStop:
+    def test_start_raises_typed_rejection(self, manager):
+        apps = [make_app(20 + i, f"app{i}", "io_l") for i in range(5)]
+        with pytest.raises(AdmissionRejected) as excinfo:
+            for app in apps:
+                manager.start(app.als, library=app.library)
+        assert isinstance(excinfo.value, AdmissionError)  # backwards compatible
+
+    def test_stop_unknown_application_is_typed(self, manager):
+        with pytest.raises(UnknownApplication):
+            manager.stop("ghost")
+
+    def test_stop_releases_inside_a_transaction(self, manager, monkeypatch):
+        app = make_app(30, "fragile", "io_l")
+        manager.start(app.als, library=app.library)
+        snapshot = (
+            dict(manager.state._used_slots),
+            dict(manager.state._link_load),
+        )
+        original = PlatformState.release_application
+
+        def exploding_release(self, application):
+            original(self, application)
+            raise RuntimeError("interrupted teardown")
+
+        monkeypatch.setattr(PlatformState, "release_application", exploding_release)
+        with pytest.raises(RuntimeError):
+            manager.stop("fragile")
+        # The transaction rolled the half-done release back: the application
+        # is still fully allocated and still tracked as running.
+        assert (
+            dict(manager.state._used_slots),
+            dict(manager.state._link_load),
+        ) == snapshot
+        assert manager.is_running("fragile")
+        monkeypatch.undo()
+        manager.stop("fragile")
+        assert manager.state.occupied_tiles() == ()
+
+
+class TestMapperCacheInPipeline:
+    def test_repeated_question_is_served_from_cache(self, manager):
+        app = make_app(40, "repeat", "io_l")
+        cache = manager.pipeline.cache
+        assert cache is not None and len(cache) == 0
+        decision = manager.pipeline.map_stage(
+            app.als, app.library, manager.partition.region("r0_0")
+        )
+        assert decision.status.value == "feasible"
+        misses = cache.stats.misses
+        again = manager.pipeline.map_stage(
+            app.als, app.library, manager.partition.region("r0_0")
+        )
+        assert cache.stats.hits >= 1
+        assert cache.stats.misses == misses
+        assert [
+            (a.process, a.tile) for a in again.mapping.assignments
+        ] == [(a.process, a.tile) for a in decision.mapping.assignments]
+
+    def test_commit_invalidates_by_fingerprint_change(self, manager):
+        app = make_app(41, "fingerprinted", "io_l")
+        region = manager.partition.region("r0_0")
+        cache = manager.pipeline.cache
+        before = region.fingerprint(manager.state)
+        manager.pipeline.map_stage(app.als, app.library, region)
+        manager.start(app.als, library=app.library)
+        # The admission itself was answered from the warm entry (same state,
+        # same objects)...
+        assert cache.stats.hits >= 1
+        hits_after_commit = cache.stats.hits
+        # ...but the commit changed the region fingerprint: the cached entry
+        # for the empty region can no longer answer the new state.
+        assert region.fingerprint(manager.state) != before
+        sibling = make_app(41, "fingerprinted", "io_l")  # same name, new object
+        decision = manager.pipeline.map_stage(sibling.als, sibling.library, region)
+        assert cache.stats.hits == hits_after_commit  # no stale hit was served
+        assert decision is not None
+
+    def test_stop_restores_fingerprint_and_reenables_entries(self, manager):
+        app = make_app(42, "churn", "io_l")
+        region = manager.partition.region("r0_0")
+        cache = manager.pipeline.cache
+        empty = region.fingerprint(manager.state)
+        manager.start(app.als, library=app.library)
+        manager.stop("churn")
+        assert region.fingerprint(manager.state) == empty
+        hits = cache.stats.hits
+        result = manager.start(app.als, library=app.library)
+        # The restart is answered from the entry computed for the first
+        # admission: same fingerprint, same ALS object.
+        assert cache.stats.hits > hits
+        assert result.is_feasible
+
+
+class TestAdmissionQueue:
+    def test_submit_poll_cancel_lifecycle(self, manager):
+        queue = AdmissionQueue(manager)
+        app = make_app(50, "queued", "io_l")
+        ticket = queue.submit(app.als, library=app.library)
+        assert queue.poll(ticket).status is RequestStatus.PENDING
+        assert len(queue) == 1
+        assert queue.cancel(ticket)
+        assert queue.poll(ticket).status is RequestStatus.CANCELLED
+        assert not queue.cancel(ticket)
+        assert len(queue) == 0
+        with pytest.raises(UnknownApplication):
+            queue.poll(999)
+
+    def test_priorities_drain_first(self, manager):
+        queue = AdmissionQueue(manager)
+        low = make_app(51, "low", "io_l")
+        high = make_app(52, "high", "io_l")
+        queue.submit(low.als, library=low.library, priority=0)
+        queue.submit(high.als, library=high.library, priority=5)
+        drained = queue.drain()
+        assert [request.application for request in drained] == ["high", "low"]
+
+    def test_deadline_expires_instead_of_admitting_late(self, manager):
+        queue = AdmissionQueue(manager)
+        app = make_app(53, "deadline", "io_l")
+        ticket = queue.submit(app.als, library=app.library, deadline_ns=100.0)
+        drained = queue.drain(now_ns=200.0)
+        assert queue.poll(ticket).status is RequestStatus.EXPIRED
+        assert drained[0].decision is None
+        assert not manager.is_running("deadline")
+
+    def test_region_lanes_interleave(self, manager):
+        queue = AdmissionQueue(manager, policy="region")
+        l0 = make_app(54, "l0", "io_l")
+        l1 = make_app(55, "l1", "io_l")
+        r0 = make_app(56, "r0", "io_r")
+        for app in (l0, l1, r0):
+            queue.submit(app.als, library=app.library)
+        assert set(queue.pending_by_lane()) == {"r0_0", "r1_0"}
+        drained = queue.drain()
+        # Round-robin across lanes: l0 (left), r0 (right), l1 (left).
+        assert [request.application for request in drained] == ["l0", "r0", "l1"]
+
+    def test_drain_matches_direct_start_many(self, partition):
+        """Queued admissions must decide exactly like a direct batch call."""
+        apps = [
+            make_app(60 + index, f"app{index}", "io_l" if index % 2 else "io_r")
+            for index in range(6)
+        ]
+
+        direct_platform = build_two_region_platform()
+        direct_manager = RuntimeResourceManager(
+            direct_platform,
+            config=MapperConfig(analysis_iterations=3),
+            partition=RegionPartition.grid(direct_platform, 2, 1),
+        )
+        direct = direct_manager.start_many([(a.als, a.library) for a in apps])
+
+        queued_platform = build_two_region_platform()
+        queued_manager = RuntimeResourceManager(
+            queued_platform,
+            config=MapperConfig(analysis_iterations=3),
+            partition=RegionPartition.grid(queued_platform, 2, 1),
+        )
+        queue = AdmissionQueue(queued_manager)
+        tickets = [queue.submit(a.als, library=a.library) for a in apps]
+        drained = queue.drain()
+
+        assert [r.ticket for r in drained] == tickets
+        direct_decisions = [
+            (d.application, d.admitted, d.reason) for d in direct.decisions
+        ]
+        queued_decisions = [
+            (r.decision.application, r.decision.admitted, r.decision.reason)
+            for r in drained
+        ]
+        assert queued_decisions == direct_decisions
+        assert queued_manager.decisions == direct_manager.decisions
+
+    def test_region_fallback_disabled_rejects_without_global_mapping(
+        self, platform, partition
+    ):
+        manager = RuntimeResourceManager(
+            platform,
+            config=MapperConfig(analysis_iterations=3),
+            partition=partition,
+            region_fallback=False,
+        )
+        spanning = generate_application(
+            80, CONFIG, name="spanning", source_tile="io_l", sink_tile="io_r"
+        )
+        assert manager.pipeline.candidate_regions(spanning.als, spanning.library) == ()
+        decision = manager.admit(spanning.als, library=spanning.library)
+        assert not decision.admitted
+        assert "fallback disabled" in decision.reason
+        assert manager.state.occupied_tiles() == ()
+
+    def test_drain_survives_mid_batch_exception(self, manager, monkeypatch):
+        queue = AdmissionQueue(manager)
+        good = make_app(81, "good", "io_l")
+        exploder = make_app(82, "exploder", "io_l")
+        trailing = make_app(83, "trailing", "io_r")
+        first = queue.submit(good.als, library=good.library)
+        boom = queue.submit(exploder.als, library=exploder.library)
+        tail = queue.submit(trailing.als, library=trailing.library)
+
+        original_decide = manager.pipeline.decide
+
+        def exploding_decide(als, library=None):
+            if als.name == "exploder":
+                raise RuntimeError("mapper exploded")
+            return original_decide(als, library=library)
+
+        monkeypatch.setattr(manager.pipeline, "decide", exploding_decide)
+        with pytest.raises(RuntimeError):
+            queue.drain()
+        # The request decided before the explosion is finalised from the
+        # audit trail; the exploding and trailing requests are back in the
+        # queue, in order, for a later retry.
+        assert queue.poll(first).status is RequestStatus.ADMITTED
+        assert manager.is_running("good")
+        assert [r.ticket for r in queue.pending] == [boom, tail]
+        monkeypatch.undo()
+        queue.cancel(boom)
+        drained = queue.drain()
+        assert [r.application for r in drained] == ["trailing"]
+        assert queue.poll(tail).status is RequestStatus.ADMITTED
+
+    def test_process_next_drains_one(self, manager):
+        queue = AdmissionQueue(manager)
+        a = make_app(70, "one", "io_l")
+        b = make_app(71, "two", "io_r")
+        queue.submit(a.als, library=a.library)
+        queue.submit(b.als, library=b.library)
+        first = queue.process_next()
+        assert first.application == "one"
+        assert len(queue) == 1
+        assert queue.process_next().application == "two"
+        assert queue.process_next() is None

@@ -142,3 +142,177 @@ class TestPeriodicSources:
     def test_latency_measurement(self, simple_chain_csdf):
         result = simulate(simple_chain_csdf, iterations=3, source_period_ns=100.0)
         assert result.iteration_latency_ns("a", "c", 0) == pytest.approx(35.0)
+
+
+def _naive_reference_run(graph, iterations, source_period_ns=None):
+    """Reference self-timed execution using the full fixpoint readiness scan.
+
+    This is the straightforward implementation the affected-set simulator
+    must stay bit-identical to: after every event, try to start *every*
+    actor in declaration order until a full pass starts nothing.
+    """
+    import heapq
+
+    from repro.csdf.repetition import repetition_vector
+
+    repetitions = repetition_vector(graph)
+    names = list(graph.actor_names)
+    count = len(names)
+    reps = [repetitions[name] for name in names]
+    target = [repetitions[name] * iterations for name in names]
+    edges = list(graph.edges)
+    edge_index = {edge.name: i for i, edge in enumerate(edges)}
+    tokens = [edge.initial_tokens for edge in edges]
+    period = source_period_ns
+    periodic = [period is not None and not graph.input_edges(name) for name in names]
+    phase = [0] * count
+    fired = [0] * count
+    busy = [False] * count
+    firings = [[] for _ in range(count)]
+    remaining = sum(target)
+    pending, sequence, now = [], 0, 0.0
+
+    def try_start(a):
+        nonlocal sequence
+        actor = graph.actor(names[a])
+        if busy[a] or fired[a] >= target[a]:
+            return False
+        if periodic[a] and now + 1e-12 < (fired[a] // reps[a]) * period:
+            return False
+        p = phase[a]
+        for edge in graph.input_edges(names[a]):
+            if tokens[edge_index[edge.name]] + 1e-9 < edge.consumption_rates.at(p):
+                return False
+        for edge in graph.output_edges(names[a]):
+            if edge.capacity is not None and tokens[edge_index[edge.name]] + int(
+                edge.production_rates.at(p)
+            ) > edge.capacity + 1e-9:
+                return False
+        for edge in graph.input_edges(names[a]):
+            tokens[edge_index[edge.name]] -= int(edge.consumption_rates.at(p))
+        busy[a] = True
+        sequence += 1
+        heapq.heappush(pending, (now + actor.execution_time_ns(p), sequence, a, p, now))
+        return True
+
+    def scan_all():
+        started = True
+        while started:
+            started = False
+            for a in range(count):
+                if try_start(a):
+                    started = True
+
+    scan_all()
+    while remaining:
+        if pending:
+            finish, _, a, p, start = heapq.heappop(pending)
+            now = finish
+            for edge in graph.output_edges(names[a]):
+                tokens[edge_index[edge.name]] += int(edge.production_rates.at(p))
+            firings[a].append((names[a], fired[a], p, start, finish))
+            fired[a] += 1
+            phase[a] = (p + 1) % graph.actor(names[a]).phases
+            busy[a] = False
+            remaining -= 1
+            scan_all()
+            continue
+        if period is not None:
+            releases = [
+                (fired[a] // reps[a]) * period
+                for a in range(count)
+                if periodic[a] and fired[a] < target[a]
+            ]
+            if releases and min(releases) > now:
+                now = min(releases)
+                scan_all()
+                continue
+        break
+    return {names[a]: firings[a] for a in range(count)}
+
+
+class TestBoundedAffectedSetEquivalence:
+    """The bounded-buffer fast path must match the naive full scan exactly."""
+
+    def _compare(self, graph, iterations, source_period_ns=None):
+        fast = simulate(graph, iterations=iterations, source_period_ns=source_period_ns)
+        reference = _naive_reference_run(
+            graph, iterations, source_period_ns=source_period_ns
+        )
+        for name in graph.actor_names:
+            got = [
+                (f.actor, f.firing_index, f.phase_index, f.start_ns, f.finish_ns)
+                for f in fast.firings_of(name)
+            ]
+            assert got == reference[name], name
+
+    def test_random_bounded_chains_match_reference(self):
+        import random
+
+        for seed in range(25):
+            rng = random.Random(seed)
+            length = rng.randint(2, 6)
+            builder = CSDFBuilder(f"chain{seed}")
+            for index in range(length):
+                phases = rng.randint(1, 3)
+                builder.actor(
+                    f"a{index}", [float(rng.randint(1, 5)) for _ in range(phases)]
+                )
+            for index in range(length - 1):
+                builder.edge(
+                    f"a{index}",
+                    f"a{index + 1}",
+                    production=[1],
+                    consumption=[1],
+                    initial_tokens=rng.randint(0, 2),
+                    capacity=rng.choice([None, 2, 3, 4]),
+                )
+            graph = builder.build()
+            period = rng.choice([None, 6.0, 11.0])
+            self._compare(graph, iterations=4, source_period_ns=period)
+
+    def test_producer_wake_up_within_one_event(self):
+        # With capacity 1 and one initial token, the producer is blocked on
+        # back-pressure until the consumer's *start* (not finish) frees the
+        # slot — the wake-up the bounded affected-set scan must deliver.
+        graph = (
+            CSDFBuilder("wakeup")
+            .actor("fast", [1.0])
+            .actor("slow", [10.0])
+            .edge("fast", "slow", production=[1], consumption=[1],
+                  initial_tokens=1, capacity=1)
+            .build()
+        )
+        self._compare(graph, iterations=3)
+        result = simulate(graph, iterations=3)
+        # The producer's first firing starts at t=0: the consumer started at
+        # t=0 too (consuming the initial token) and thereby freed the slot.
+        assert result.firings_of("fast")[0].start_ns == 0.0
+
+    def test_bounded_fork_join_matches_reference(self):
+        graph = (
+            CSDFBuilder("diamond")
+            .actor("src", [2.0])
+            .actor("up", [3.0])
+            .actor("down", [5.0])
+            .actor("join", [1.0])
+            .edge("src", "up", production=[1], consumption=[1], capacity=2)
+            .edge("src", "down", production=[1], consumption=[1], capacity=1)
+            .edge("up", "join", production=[1], consumption=[1], capacity=2)
+            .edge("down", "join", production=[1], consumption=[1], capacity=2)
+            .build()
+        )
+        self._compare(graph, iterations=5)
+        self._compare(graph, iterations=5, source_period_ns=12.0)
+
+    def test_bounded_backward_edge_cycle_matches_reference(self):
+        graph = (
+            CSDFBuilder("credit_loop")
+            .actor("producer", [2.0])
+            .actor("consumer", [3.0])
+            .edge("producer", "consumer", production=[1], consumption=[1], capacity=2)
+            .edge("consumer", "producer", production=[1], consumption=[1],
+                  initial_tokens=2, capacity=3)
+            .build()
+        )
+        self._compare(graph, iterations=6)
