@@ -1,65 +1,122 @@
 #!/usr/bin/env python3
-"""Run-time resource management with several streaming applications.
+"""Run-time resource management under a generated bursty workload.
 
 The paper's motivation (section 1.3) is that the set of co-running
-applications is only known at run time.  This example plays a scenario on the
-Figure-2 MPSoC: the HiperLAN/2 receiver starts, a digital-radio receiver
-arrives while it is running (and is rejected — the platform is full), the
-HiperLAN/2 receiver stops, and the digital-radio receiver is admitted on the
-freed resources.  Admissions, rejections and the energy account are printed.
+applications is only known at run time.  This example makes that concrete
+at engine scale: a region-sharded 4x4 MPSoC receives a *generated* bursty
+workload — one traffic class per region, bursts of streaming applications
+arriving together, holding resources for a while, then departing — driven
+through the discrete-event workload engine with the worker-per-region
+executor and cache-aware rejection parking.  The offered load is then swept
+to trace the admission-rate-versus-load curve the run-time mapper exists to
+bend.
 
 Run with:  python examples/multi_application_runtime.py
 """
 
-from repro import MapperConfig, RuntimeResourceManager, Scenario, StartEvent, StopEvent, run_scenario
+from repro import MapperConfig, RuntimeResourceManager, ThreadedRegionExecutor, WorkloadEngine
+from repro.platform.regions import RegionPartition
 from repro.reporting import format_table
-from repro.workloads import hiperlan2
-from repro.workloads.receivers import build_drm_library, build_drm_receiver_als
+from repro.workloads.arrivals import (
+    BurstyArrivals,
+    TrafficClass,
+    generate_workload,
+    offered_rate_per_s,
+)
+from repro.workloads.synthetic import SyntheticConfig, generate_region_mesh
+
+MILLISECOND = 1e6
+REGIONS = 2  # 2x2 grid
+SPAN = 2     # routers per region edge
+
+
+def build_platform():
+    """A 4x4 mesh split into four regions, one I/O tile per region."""
+    return generate_region_mesh(REGIONS, SPAN, name="bursty_mpsoc")
+
+
+def traffic_classes(load_factor=1.0):
+    """One bursty traffic class per region, pinned to its I/O tile."""
+    config = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP", "DSP"))
+    classes = []
+    for cx in range(REGIONS):
+        for cy in range(REGIONS):
+            io_tile = f"io_r{cx}_{cy}"
+            classes.append(
+                TrafficClass(
+                    f"r{cx}_{cy}",
+                    BurstyArrivals(burst_rate_per_s=120.0, burst_size_range=(2, 4)),
+                    config=config,
+                    source_tile=io_tile,
+                    sink_tile=io_tile,
+                    hold_range_ns=(3 * MILLISECOND, 8 * MILLISECOND),
+                    admission_window_ns=5 * MILLISECOND,
+                ).scaled(load_factor)
+            )
+    return classes
+
+
+def run_workload(load_factor):
+    """Play one generated workload through the engine; returns its outcome."""
+    platform = build_platform()
+    partition = RegionPartition.grid(platform, REGIONS, REGIONS)
+    manager = RuntimeResourceManager(
+        platform, config=MapperConfig(analysis_iterations=3), partition=partition
+    )
+    engine = WorkloadEngine(
+        manager,
+        executor=ThreadedRegionExecutor(partition),
+        park_rejections=True,
+    )
+    workload = generate_workload(
+        seed=2008,
+        horizon_ns=25 * MILLISECOND,
+        classes=traffic_classes(load_factor),
+        name=f"bursty_x{load_factor:g}",
+    )
+    return engine.run(workload)
 
 
 def main():
-    platform = hiperlan2.build_mpsoc()
-    manager = RuntimeResourceManager(platform, config=MapperConfig(analysis_iterations=4))
-
-    receiver = hiperlan2.build_receiver_als()
-    receiver_library = hiperlan2.build_implementation_library()
-    radio = build_drm_receiver_als()
-    radio_library = build_drm_library()
-
-    millisecond = 1_000_000.0
-    scenario = (
-        Scenario("wlan_then_radio", duration_ns=10 * millisecond)
-        .add(StartEvent(time_ns=0.0, als=receiver, library=receiver_library))
-        .add(StartEvent(time_ns=2 * millisecond, als=radio, library=radio_library))
-        .add(StopEvent(time_ns=5 * millisecond, application=receiver.name))
-        .add(StartEvent(time_ns=6 * millisecond, als=build_drm_receiver_als(),
-                        library=radio_library))
-    )
-
-    outcome = run_scenario(manager, scenario)
-
+    print("Bursty workload on a 4-region MPSoC, nominal load (x1):")
+    outcome = run_workload(1.0)
     rows = []
-    for name in outcome.admitted:
-        rows.append((name, "admitted", ""))
-    for name, reason in outcome.rejected:
-        rows.append((name, "rejected", reason[:60]))
-    print(format_table(["Application", "Decision", "Reason"], rows,
-                       title=f"Scenario {outcome.scenario!r}"))
+    for record in outcome.records[:12]:
+        rows.append(
+            (
+                f"{record.time_ns / MILLISECOND:6.2f} ms",
+                record.application,
+                record.status.value,
+                record.reason[:44],
+            )
+        )
+    print(format_table(["Time", "Application", "Outcome", "Reason"], rows,
+                       title=f"Workload {outcome.workload!r} (first 12 outcomes)"))
     print()
-    print(f"admission rate : {outcome.admission_rate:.0%}")
-    print(f"total energy   : {outcome.total_energy_nj / 1e6:.3f} mJ over "
-          f"{outcome.end_time_ns / millisecond:.0f} ms")
-    print(f"average power  : {outcome.energy.average_power_mw(outcome.end_time_ns):.1f} mW")
+    print(f"requests decided     : {outcome.decided}")
+    print(f"admitted / rejected  : {len(outcome.admitted)} / "
+          f"{len(outcome.rejected)} (+{len(outcome.expired)} expired)")
+    print(f"departures           : {len(outcome.departures)}")
+    print(f"parked re-maps saved : {outcome.parked_retries_skipped}")
+    print(f"admission rate       : {outcome.admission_rate:.0%}")
+    print(f"total energy         : {outcome.energy.total_energy_nj / 1e6:.3f} mJ over "
+          f"{outcome.end_time_ns / MILLISECOND:.0f} ms")
     print()
 
-    print("Per-application energy:")
-    for name, energy in outcome.energy.per_application_nj.items():
-        print(f"  {name:20s} {energy / 1e6:.3f} mJ")
-
-    print()
-    print("Still running at the end of the scenario:")
-    for app in manager.running_applications:
-        print(f"  {app.name} ({app.power_mw():.1f} mW)")
+    print("Admission rate vs offered load:")
+    curve = []
+    for factor in (0.5, 1.0, 2.0, 4.0):
+        outcome = run_workload(factor)
+        offered = offered_rate_per_s(traffic_classes(factor))
+        curve.append((factor, offered, outcome))
+    width = 40
+    for factor, offered, outcome in curve:
+        bar = "#" * round(outcome.admission_rate * width)
+        print(
+            f"  x{factor:<4g} {offered:7.0f} req/s  "
+            f"[{bar:<{width}}] {outcome.admission_rate:6.1%}  "
+            f"({len(outcome.admitted)}/{outcome.decided} admitted)"
+        )
 
 
 if __name__ == "__main__":

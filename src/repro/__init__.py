@@ -47,7 +47,15 @@ from repro.mapping import (
     ProcessAssignment,
 )
 from repro.spatialmapper import MapperConfig, SpatialMapper, Step2Strategy
-from repro.runtime import RuntimeResourceManager, Scenario, StartEvent, StopEvent, run_scenario
+from repro.runtime import (
+    RuntimeResourceManager,
+    Scenario,
+    StartEvent,
+    StopEvent,
+    ThreadedRegionExecutor,
+    WorkloadEngine,
+    run_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -93,5 +101,7 @@ __all__ = [
     "Scenario",
     "StartEvent",
     "StopEvent",
+    "WorkloadEngine",
+    "ThreadedRegionExecutor",
     "run_scenario",
 ]

@@ -20,10 +20,23 @@ Links whose endpoints lie in different regions are *cross-region links*.
 They belong to no region's scope: a mapping that needs one must be committed
 under a global (unscoped) transaction, which keeps cross-region traffic an
 explicit, deliberate exception rather than a silent journal leak.
+
+For *parallel* draining (one worker thread per region), the module adds:
+
+* :class:`RegionLocks` — one lock per region plus a **global lane**: the
+  global lane acquires every region lock in a deterministic order, so a
+  cross-region (unscoped) admission excludes all regional workers;
+* :class:`RegionOwnershipGuard` — an assertion hook for
+  :attr:`~repro.platform.state.PlatformState.ownership_guard`: while armed,
+  any mutation of a tile/link whose owning region's lock is *not* held by
+  the mutating thread raises, turning the locking discipline from a
+  convention into an invariant.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Iterable, Iterator
 
 from repro.exceptions import PlatformError
@@ -290,3 +303,118 @@ class RegionPartition:
             f"RegionPartition(platform={self.platform.name!r}, "
             f"regions={[r.name for r in self.regions]})"
         )
+
+
+#: Lane name of the serialized global lane (cross-region / unpinned work).
+GLOBAL_LANE = "__global__"
+
+
+class RegionLocks:
+    """Per-region locks plus a serialized global lane over one partition.
+
+    Workers draining independent regions each hold their region's lock;
+    work that may touch several regions (cross-region routes, unrestricted
+    fallback mappings) runs in the *global lane*, which acquires every
+    region lock in deterministic (sorted-name) order — excluding all
+    regional workers for its duration and remaining deadlock-free by the
+    fixed acquisition order.
+
+    Lock holders are tracked by thread ident so the
+    :class:`RegionOwnershipGuard` can *assert* ownership, not just rely on
+    it.  Locks are reentrant within a thread.
+    """
+
+    def __init__(self, partition: RegionPartition) -> None:
+        self.partition = partition
+        self._region_names: tuple[str, ...] = tuple(
+            sorted(region.name for region in partition)
+        )
+        self._locks: dict[str, threading.RLock] = {
+            name: threading.RLock() for name in self._region_names
+        }
+        self._holders: dict[str, list[int]] = {name: [] for name in self._region_names}
+
+    @contextmanager
+    def region_lane(self, region_name: str) -> Iterator[None]:
+        """Hold one region's lock (the per-region worker discipline)."""
+        if region_name not in self._locks:
+            raise PlatformError(f"unknown region {region_name!r}")
+        ident = threading.get_ident()
+        with self._locks[region_name]:
+            self._holders[region_name].append(ident)
+            try:
+                yield
+            finally:
+                self._holders[region_name].pop()
+
+    @contextmanager
+    def global_lane(self) -> Iterator[None]:
+        """Hold *every* region lock (serialized cross-region work)."""
+        ident = threading.get_ident()
+        acquired: list[str] = []
+        try:
+            for name in self._region_names:
+                self._locks[name].acquire()
+                self._holders[name].append(ident)
+                acquired.append(name)
+            yield
+        finally:
+            for name in reversed(acquired):
+                self._holders[name].pop()
+                self._locks[name].release()
+
+    def holds(self, region_name: str) -> bool:
+        """Whether the current thread holds the named region's lock."""
+        return threading.get_ident() in self._holders.get(region_name, ())
+
+    def holds_all(self) -> bool:
+        """Whether the current thread holds the global lane (every lock)."""
+        ident = threading.get_ident()
+        return all(ident in holders for holders in self._holders.values())
+
+
+class RegionOwnershipGuard:
+    """Mutation-time assertion that region locks are actually held.
+
+    Installed as :attr:`~repro.platform.state.PlatformState.ownership_guard`
+    while a parallel drain is in flight: every ``allocate_*`` / release on
+    the state first resolves the touched tile/link to its owning region and
+    checks the mutating thread holds that region's lock.  Cross-region
+    links belong to no region, so touching one requires the global lane.
+    A violation raises :class:`~repro.exceptions.PlatformError` — racing
+    writers fail loudly instead of corrupting journals.
+    """
+
+    def __init__(self, partition: RegionPartition, locks: RegionLocks) -> None:
+        self.partition = partition
+        self.locks = locks
+        self._link_owner: dict[str, str | None] = {}
+        for region in partition:
+            for link_name in region.link_names:
+                self._link_owner[link_name] = region.name
+        for link_name in partition.cross_link_names():
+            self._link_owner[link_name] = None
+
+    def check_tile(self, tile_name: str) -> None:
+        """Raise unless the current thread owns the tile's region."""
+        region = self.partition.region_of_tile(tile_name)
+        if not self.locks.holds(region.name):
+            raise PlatformError(
+                f"tile {tile_name!r} belongs to region {region.name!r} but the "
+                "mutating thread does not hold its lock"
+            )
+
+    def check_link(self, link_name: str) -> None:
+        """Raise unless the current thread owns the link's region (or the globe)."""
+        owner = self._link_owner.get(link_name)
+        if owner is None:
+            if not self.locks.holds_all():
+                raise PlatformError(
+                    f"link {link_name!r} is cross-region; mutating it requires "
+                    "the global lane (all region locks)"
+                )
+        elif not self.locks.holds(owner):
+            raise PlatformError(
+                f"link {link_name!r} belongs to region {owner!r} but the "
+                "mutating thread does not hold its lock"
+            )

@@ -18,6 +18,13 @@ from repro.runtime.manager import (
 )
 from repro.runtime.queue import AdmissionQueue, QueuedRequest, RequestStatus
 from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
+from repro.runtime.engine import (
+    EngineOutcome,
+    EngineRecord,
+    SerialRegionExecutor,
+    ThreadedRegionExecutor,
+    WorkloadEngine,
+)
 from repro.runtime.scenario import Scenario, ScenarioOutcome, run_scenario
 from repro.runtime.accounting import EnergyAccount
 
@@ -33,6 +40,11 @@ __all__ = [
     "ScenarioEvent",
     "StartEvent",
     "StopEvent",
+    "WorkloadEngine",
+    "EngineOutcome",
+    "EngineRecord",
+    "SerialRegionExecutor",
+    "ThreadedRegionExecutor",
     "Scenario",
     "ScenarioOutcome",
     "run_scenario",

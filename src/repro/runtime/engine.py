@@ -1,0 +1,501 @@
+"""The discrete-event workload engine: one event loop, many region workers.
+
+The paper's claim is that run-time spatial mapping is fast enough to make
+admission decisions *online*.  Exercising that claim end to end needs a
+driver that consumes timed arrival/departure events at scale — and, on a
+region-sharded platform, one that actually drains independent regions in
+parallel instead of cooperatively interleaving them.  This module is that
+driver:
+
+* :class:`WorkloadEngine` — a virtual-clock event loop.  It replays a
+  :class:`~repro.runtime.scenario.Scenario` (or anything exposing
+  ``sorted_events()`` / ``end_time_ns()``): departures stop running
+  applications, arrivals are submitted to an
+  :class:`~repro.runtime.queue.AdmissionQueue` (with their priorities and
+  deadlines), and the queue is drained through a pluggable *region
+  executor*.
+* :class:`SerialRegionExecutor` / :class:`ThreadedRegionExecutor` — the two
+  drain back-ends.  Both follow the same two-phase discipline; the threaded
+  one runs phase 1 with one worker per region, each holding its region's
+  lock (:class:`~repro.platform.regions.RegionLocks`) with the
+  :class:`~repro.platform.regions.RegionOwnershipGuard` armed, so the
+  per-thread transaction journals of
+  :class:`~repro.platform.state.PlatformState` provably never interleave on
+  the same keys.
+
+The two-phase drain discipline
+------------------------------
+
+Each drain claims the ready requests and splits them into **region lanes**
+and a **global lane**:
+
+1. *Parallel phase* — a request pinned to a single region lane is decided
+   with the pipeline restricted to exactly that region (``candidates=
+   (region,)``): mapping, routing and the transactional commit all stay
+   inside the shard, so lanes commute and any interleaving of workers
+   yields the same decisions as any serial order.
+2. *Serial phase* — requests the parallel phase cannot own (global-lane
+   requests, duplicate application names, and in-region rejections that
+   deserve their cross-region fallback) run through the **full** pipeline
+   on the engine's thread, in arrival order, after every worker has joined.
+
+Finalisation (audit trail, running registry, queue settlement, energy
+accounting) always happens on the engine's thread in arrival order, so the
+serial and threaded executors are *decision-identical by construction* —
+the differential tests pin exactly that.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.platform.regions import (
+    GLOBAL_LANE,
+    Region,
+    RegionLocks,
+    RegionOwnershipGuard,
+    RegionPartition,
+)
+from repro.runtime.accounting import EnergyAccount
+from repro.runtime.events import StartEvent, StopEvent
+from repro.runtime.manager import RuntimeResourceManager
+from repro.runtime.pipeline import AdmissionPipeline
+from repro.runtime.queue import AdmissionQueue, QueuedRequest, RequestStatus
+
+__all__ = [
+    "WorkloadEngine",
+    "EngineOutcome",
+    "EngineRecord",
+    "SerialRegionExecutor",
+    "ThreadedRegionExecutor",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Region executors
+# --------------------------------------------------------------------------- #
+@dataclass
+class _RegionJob:
+    """One phase-1 work item: decide a request strictly inside its lane region."""
+
+    request: QueuedRequest
+    region: Region
+    decision: object | None = None
+    error: BaseException | None = None
+
+    def run(self, pipeline: AdmissionPipeline) -> None:
+        """Run the region-restricted pipeline; failures are captured, not raised."""
+        try:
+            self.decision = pipeline.decide(
+                self.request.als, self.request.library, candidates=(self.region,)
+            )
+        except Exception as error:  # surfaced (and re-raised) by the engine
+            self.error = error
+
+
+class SerialRegionExecutor:
+    """Drain lanes one after another on the calling thread.
+
+    The reference discipline: lanes in sorted-name order, requests in order
+    within each lane.  Because phase-1 work is confined to its lane's
+    region, this order is immaterial to the decisions — which is exactly
+    what makes the threaded executor safe to substitute.
+    """
+
+    def execute(
+        self, lane_jobs: dict[str, list[_RegionJob]], pipeline: AdmissionPipeline
+    ) -> None:
+        """Run every lane's jobs; an error skips the rest of that lane only."""
+        for lane in sorted(lane_jobs):
+            for job in lane_jobs[lane]:
+                job.run(pipeline)
+                if job.error is not None:
+                    break
+
+
+class ThreadedRegionExecutor:
+    """Drain lanes concurrently: one worker thread per region lane.
+
+    Every worker holds its region's lock for the duration of its lane, and
+    the :class:`~repro.platform.regions.RegionOwnershipGuard` is armed on
+    the platform state while workers are in flight — a mutation outside the
+    mutating thread's region raises instead of corrupting a sibling's
+    journal.  Python threads do not parallelise the pure-Python mapper's
+    CPU work, but the executor proves (and the guard enforces) that the
+    journals, locks and caches are ready for workers that genuinely run
+    concurrently — and the differential tests pin that draining this way is
+    decision-identical to the serial executor.
+    """
+
+    def __init__(
+        self,
+        partition: RegionPartition,
+        *,
+        locks: RegionLocks | None = None,
+        guard: bool = True,
+    ) -> None:
+        self.partition = partition
+        self.locks = locks or RegionLocks(partition)
+        self.guard: RegionOwnershipGuard | None = (
+            RegionOwnershipGuard(partition, self.locks) if guard else None
+        )
+
+    def execute(
+        self, lane_jobs: dict[str, list[_RegionJob]], pipeline: AdmissionPipeline
+    ) -> None:
+        """Run every lane's jobs, one worker per lane, and join them all."""
+        if not lane_jobs:
+            return
+        # The default mapper is created lazily; materialise it before the
+        # workers race on the first admission.
+        pipeline.mapper_for(None)
+        state = pipeline.state
+        previous_guard = state.ownership_guard
+        state.ownership_guard = self.guard
+        try:
+            threads = [
+                threading.Thread(
+                    target=self._run_lane,
+                    args=(lane, lane_jobs[lane], pipeline),
+                    name=f"region-worker-{lane}",
+                    daemon=True,
+                )
+                for lane in sorted(lane_jobs)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            state.ownership_guard = previous_guard
+
+    def _run_lane(
+        self, lane: str, jobs: list[_RegionJob], pipeline: AdmissionPipeline
+    ) -> None:
+        """One worker: hold the lane's region lock, decide its jobs in order."""
+        with self.locks.region_lane(lane):
+            for job in jobs:
+                job.run(pipeline)
+                if job.error is not None:
+                    break
+
+
+# --------------------------------------------------------------------------- #
+# Outcome bookkeeping
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EngineRecord:
+    """Final outcome of one admission request driven through the engine."""
+
+    time_ns: float
+    ticket: int
+    application: str
+    status: RequestStatus
+    reason: str = ""
+
+
+@dataclass
+class EngineOutcome:
+    """Everything a workload run decided, plus its accounting.
+
+    ``records`` hold one entry per *settled* request in settlement order;
+    ``departures`` the executed stop events.  Wall-clock fields separate
+    total run time from time spent inside drains (the part the region
+    executor owns), and ``mapping_runtime_s`` accumulates the pipeline's
+    own per-attempt mapper time, so benchmarks can report per-admission
+    cost at any granularity.
+    """
+
+    workload: str
+    records: list[EngineRecord] = field(default_factory=list)
+    departures: list[tuple[float, str]] = field(default_factory=list)
+    energy: EnergyAccount = field(default_factory=EnergyAccount)
+    end_time_ns: float = 0.0
+    drains: int = 0
+    wall_clock_s: float = 0.0
+    drain_wall_s: float = 0.0
+    mapping_runtime_s: float = 0.0
+    parked_retries_skipped: int = 0
+
+    def _with_status(self, status: RequestStatus) -> list[EngineRecord]:
+        return [record for record in self.records if record.status is status]
+
+    @property
+    def admitted(self) -> list[str]:
+        """Applications admitted, in settlement order."""
+        return [r.application for r in self._with_status(RequestStatus.ADMITTED)]
+
+    @property
+    def rejected(self) -> list[tuple[str, str]]:
+        """(application, reason) of requests rejected by the pipeline."""
+        return [
+            (r.application, r.reason) for r in self._with_status(RequestStatus.REJECTED)
+        ]
+
+    @property
+    def expired(self) -> list[str]:
+        """Applications whose requests expired past their deadline."""
+        return [r.application for r in self._with_status(RequestStatus.EXPIRED)]
+
+    @property
+    def cancelled(self) -> list[str]:
+        """Applications whose requests were cancelled."""
+        return [r.application for r in self._with_status(RequestStatus.CANCELLED)]
+
+    @property
+    def decided(self) -> int:
+        """Requests that reached a terminal admit/reject/expire outcome."""
+        return len(self.admitted) + len(self.rejected) + len(self.expired)
+
+    @property
+    def admission_rate(self) -> float:
+        """Fraction of decided requests that were admitted (cancellations excluded)."""
+        return len(self.admitted) / self.decided if self.decided else 0.0
+
+    def decision_log(self) -> list[tuple[str, str, str]]:
+        """(application, status, reason) per settled request — the differential key."""
+        return [(r.application, r.status.value, r.reason) for r in self.records]
+
+
+# --------------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------------- #
+class WorkloadEngine:
+    """Virtual-clock event loop feeding an admission queue and region executor.
+
+    Parameters
+    ----------
+    manager:
+        The resource manager whose pipeline decides admissions.
+    queue:
+        Optional pre-configured :class:`AdmissionQueue`; a fresh one is
+        created when omitted (``park_rejections`` is forwarded to it).
+    executor:
+        Phase-1 drain back-end; defaults to :class:`SerialRegionExecutor`.
+    drain_mode:
+        ``"batched"`` (default): all events at one timestamp are treated as
+        concurrent — departures execute first, arrivals are enqueued, then
+        one drain runs, giving region lanes real batches to parallelise.
+        ``"immediate"``: the queue is drained after every single arrival,
+        reproducing the legacy scenario player's strict one-event-at-a-time
+        semantics (this is what :func:`~repro.runtime.scenario.run_scenario`
+        uses).
+    park_rejections:
+        Enable cache-aware rejection parking on the engine-created queue: a
+        rejected request waits until its lane's fingerprint changes instead
+        of being re-mapped on every drain.
+    """
+
+    def __init__(
+        self,
+        manager: RuntimeResourceManager,
+        *,
+        queue: AdmissionQueue | None = None,
+        executor: SerialRegionExecutor | ThreadedRegionExecutor | None = None,
+        drain_mode: str = "batched",
+        park_rejections: bool = False,
+    ) -> None:
+        if drain_mode not in ("batched", "immediate"):
+            raise ValueError(f"unknown drain mode {drain_mode!r}")
+        self.manager = manager
+        self.queue = queue or AdmissionQueue(manager, park_rejections=park_rejections)
+        self.executor = executor or SerialRegionExecutor()
+        self.drain_mode = drain_mode
+
+    # ------------------------------------------------------------------ #
+    def run(self, workload) -> EngineOutcome:
+        """Replay a workload's events against the manager and account outcomes.
+
+        ``workload`` is anything with ``sorted_events()``, ``end_time_ns()``
+        and a ``name`` — in practice a
+        :class:`~repro.runtime.scenario.Scenario` (hand-written or produced
+        by :mod:`repro.workloads.arrivals`).
+        """
+        started = time.perf_counter()
+        outcome = EngineOutcome(workload=getattr(workload, "name", "workload"))
+        events = workload.sorted_events()
+        for event in events:
+            if not isinstance(event, (StartEvent, StopEvent)):
+                raise TypeError(f"unknown scenario event type {type(event)!r}")
+        if self.drain_mode == "immediate":
+            for event in events:
+                if isinstance(event, StopEvent):
+                    self._stop(event.application, event.time_ns, outcome)
+                    # A departure may have un-parked a waiting request by
+                    # changing the state fingerprint; give it its retry now
+                    # instead of waiting for the next arrival.
+                    if len(self.queue):
+                        self._drain(event.time_ns, outcome)
+                else:
+                    self._submit(event)
+                    self._drain(event.time_ns, outcome)
+        else:
+            index = 0
+            while index < len(events):
+                time_ns = events[index].time_ns
+                batch = []
+                while index < len(events) and events[index].time_ns == time_ns:
+                    batch.append(events[index])
+                    index += 1
+                arrivals = 0
+                for event in batch:
+                    if isinstance(event, StopEvent):
+                        self._stop(event.application, time_ns, outcome)
+                for event in batch:
+                    if isinstance(event, StartEvent):
+                        self._submit(event)
+                        arrivals += 1
+                if arrivals or len(self.queue):
+                    self._drain(time_ns, outcome)
+        end_time_ns = workload.end_time_ns()
+        if len(self.queue):
+            # Parked requests get one last look at the final state...
+            self._drain(end_time_ns, outcome)
+        for request in self.queue.flush_pending(now_ns=end_time_ns):
+            # ...and whatever still waits when the workload ends is settled
+            # as rejected (it never received capacity).
+            self._record(end_time_ns, request, outcome)
+        outcome.end_time_ns = end_time_ns
+        outcome.energy.finish(end_time_ns)
+        outcome.wall_clock_s = time.perf_counter() - started
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    def _submit(self, event: StartEvent) -> int:
+        """Enqueue one arrival with its priority and admission deadline."""
+        return self.queue.submit(
+            event.als,
+            library=event.library,
+            priority=event.priority,
+            deadline_ns=event.deadline_ns,
+            now_ns=event.time_ns,
+        )
+
+    def _stop(self, application: str, time_ns: float, outcome: EngineOutcome) -> None:
+        """Execute one departure; departures of never-admitted apps are no-ops."""
+        if not self.manager.is_running(application):
+            return
+        self.manager.stop(application)
+        outcome.energy.stop(application, time_ns)
+        outcome.departures.append((time_ns, application))
+
+    def _drain(self, now_ns: float, outcome: EngineOutcome) -> None:
+        """One two-phase drain of everything ready at the current virtual time."""
+        drain_started = time.perf_counter()
+        pending_before = len(self.queue)
+        expired, ready = self.queue.take(now_ns=now_ns)
+        outcome.drains += 1
+        outcome.parked_retries_skipped += pending_before - len(ready) - len(expired)
+        for request in expired:
+            self._record(now_ns, request, outcome)
+        if not ready:
+            outcome.drain_wall_s += time.perf_counter() - drain_started
+            return
+
+        partition = self.manager.partition
+        running = {app.name for app in self.manager.running_applications}
+        claimed: set[str] = set()
+        lane_jobs: dict[str, list[_RegionJob]] = {}
+        job_of: dict[int, _RegionJob] = {}
+        for request in ready:
+            name = request.application
+            region = (
+                partition.region(request.lane)
+                if partition is not None and request.lane != GLOBAL_LANE
+                else None
+            )
+            if region is None or name in running or name in claimed:
+                # Global-lane work and duplicate names stay serialized: the
+                # serial phase applies the full pipeline (and the manager's
+                # already-running check) in arrival order.
+                continue
+            claimed.add(name)
+            job = _RegionJob(request, region)
+            lane_jobs.setdefault(request.lane, []).append(job)
+            job_of[request.ticket] = job
+
+        self.executor.execute(lane_jobs, self.manager.pipeline)
+
+        failed = [
+            job
+            for lane in sorted(lane_jobs)
+            for job in lane_jobs[lane]
+            if job.error is not None
+        ]
+        if failed:
+            self._unwind_failed_drain(now_ns, ready, job_of, outcome)
+            raise failed[0].error
+
+        # Finalisation and the serial phase, both in arrival order.
+        serial_phase: list[QueuedRequest] = []
+        for request in ready:
+            job = job_of.get(request.ticket)
+            if job is not None and job.decision is not None and job.decision.admitted:
+                self.manager.adopt_decision(request.als, job.decision, time_ns=now_ns)
+                self.queue.finalize(request, job.decision, now_ns=now_ns)
+                self._record(now_ns, request, outcome)
+            else:
+                # In-region rejections retry with their cross-region
+                # fallback; they join the global lane's serial pass.  The
+                # failed attempt still cost mapper time and a pipeline trip
+                # — account both, or the sharded configurations would
+                # under-report their real per-admission work.
+                if job is not None and job.decision is not None:
+                    outcome.mapping_runtime_s += job.decision.mapping_runtime_s
+                    request.attempts += 1
+                serial_phase.append(request)
+        for request in serial_phase:
+            decision = self.manager.admit(
+                request.als, library=request.library, time_ns=now_ns
+            )
+            self.queue.finalize(request, decision, now_ns=now_ns)
+            self._record(now_ns, request, outcome)
+        outcome.drain_wall_s += time.perf_counter() - drain_started
+
+    def _unwind_failed_drain(
+        self,
+        now_ns: float,
+        ready: list[QueuedRequest],
+        job_of: dict[int, _RegionJob],
+        outcome: EngineOutcome,
+    ) -> None:
+        """Settle what phase 1 decided, requeue the rest, before re-raising."""
+        requeue: list[QueuedRequest] = []
+        for request in ready:
+            job = job_of.get(request.ticket)
+            if job is not None and job.decision is not None and job.decision.admitted:
+                self.manager.adopt_decision(request.als, job.decision, time_ns=now_ns)
+                self.queue.finalize(request, job.decision, now_ns=now_ns)
+                self._record(now_ns, request, outcome)
+            else:
+                requeue.append(request)
+        self.queue.requeue(requeue)
+
+    def _record(
+        self, time_ns: float, request: QueuedRequest, outcome: EngineOutcome
+    ) -> None:
+        """Append a settled request to the outcome (parked requests stay open)."""
+        if not request.status.is_final:
+            return  # parked rejection: still pending, not an outcome yet
+        outcome.records.append(
+            EngineRecord(
+                time_ns=time_ns,
+                ticket=request.ticket,
+                application=request.application,
+                status=request.status,
+                reason=request.reason,
+            )
+        )
+        decision = request.decision
+        if decision is not None:
+            outcome.mapping_runtime_s += decision.mapping_runtime_s
+        if request.status is RequestStatus.ADMITTED and decision is not None:
+            assert decision.result is not None
+            outcome.energy.start(
+                request.application,
+                time_ns,
+                decision.result.energy_nj_per_iteration,
+                request.als.period_ns,
+            )

@@ -1,35 +1,76 @@
-"""Scenario events: application arrivals and departures."""
+"""Scenario events: application arrivals and departures.
+
+Every event carries a *monotonic sequence number* assigned at construction.
+:meth:`~repro.runtime.scenario.Scenario.sorted_events` breaks equal-time
+ties by that number, so the replay order of merged event streams (e.g.
+several arrival-process generators feeding one scenario) is deterministic
+by construction instead of relying on the stability of one particular sort
+over one particular insertion history.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+import threading
+from dataclasses import dataclass, field
 
 from repro.appmodel.library import ImplementationLibrary
 from repro.kpn.als import ApplicationLevelSpec
 
+_sequence = itertools.count()
+_sequence_lock = threading.Lock()
+
+
+def _next_sequence() -> int:
+    """The next event sequence number (thread-safe, process-wide monotonic)."""
+    with _sequence_lock:
+        return next(_sequence)
+
 
 @dataclass(frozen=True)
 class ScenarioEvent:
-    """Base class of timed scenario events."""
+    """Base class of timed scenario events.
+
+    ``seq`` is the creation-order tie-breaker for equal ``time_ns``; it is
+    assigned automatically and excluded from equality comparisons.
+    """
 
     time_ns: float
+    seq: int = field(
+        default_factory=_next_sequence, kw_only=True, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.time_ns < 0:
             raise ValueError("event time must be non-negative")
 
+    @property
+    def order_key(self) -> tuple[float, int]:
+        """Sort key: non-decreasing time, creation order within equal times."""
+        return (self.time_ns, self.seq)
+
 
 @dataclass(frozen=True)
 class StartEvent(ScenarioEvent):
-    """Request to start an application at a point in time."""
+    """Request to start an application at a point in time.
+
+    ``priority`` and ``deadline_ns`` flow into the admission queue when the
+    scenario is played by the workload engine: higher priorities drain
+    first, and a request still pending past its (absolute) deadline expires
+    instead of admitting late.
+    """
 
     als: ApplicationLevelSpec = None  # type: ignore[assignment]
     library: ImplementationLibrary | None = None
+    priority: int = 0
+    deadline_ns: float | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
         if self.als is None:
             raise ValueError("a start event needs an application specification")
+        if self.deadline_ns is not None and self.deadline_ns < self.time_ns:
+            raise ValueError("an admission deadline cannot precede the arrival")
 
     @property
     def application(self) -> str:

@@ -166,6 +166,30 @@ class RuntimeResourceManager:
         self.decisions.append((decision.application, decision.admitted, decision.reason))
         return decision
 
+    def adopt_decision(
+        self,
+        als: ApplicationLevelSpec,
+        decision: AdmissionDecision,
+        *,
+        time_ns: float = 0.0,
+    ) -> AdmissionDecision:
+        """Record a decision whose pipeline work already happened elsewhere.
+
+        The workload engine's region workers run
+        :meth:`AdmissionPipeline.decide` (mapping *and* commit) off the main
+        thread; the manager-level bookkeeping — the audit trail and the
+        running-application registry — is then adopted here, on the engine's
+        thread, in deterministic order.  The caller guarantees the
+        application was not already running when the worker mapped it.
+        """
+        self.decisions.append((decision.application, decision.admitted, decision.reason))
+        if decision.admitted:
+            assert decision.result is not None
+            self._running[als.name] = RunningApplication(
+                als=als, result=decision.result, start_time_ns=time_ns
+            )
+        return decision
+
     def start(
         self,
         als: ApplicationLevelSpec,

@@ -207,8 +207,13 @@ class AdmissionPipeline:
                     self.platform, effective, self.config
                 )
             return self._default_mapper
-        if self._custom_mapper is not None and self._custom_mapper[0] is effective:
-            return self._custom_mapper[1]
+        # Read the slot once: a concurrent region worker may replace it
+        # between a check and a re-read, and handing back a mapper built for
+        # a *different* library would silently map against the wrong
+        # implementations.  Racing the slot only costs an extra mapper.
+        custom = self._custom_mapper
+        if custom is not None and custom[0] is effective:
+            return custom[1]
         mapper = self._mapper_factory(self.platform, effective, self.config)
         self._custom_mapper = (effective, mapper)
         return mapper
@@ -276,6 +281,8 @@ class AdmissionPipeline:
         self,
         als: ApplicationLevelSpec,
         library: ImplementationLibrary | None = None,
+        *,
+        candidates: tuple[Region | None, ...] | None = None,
     ) -> AdmissionDecision:
         """Run stages 1-4 for one request and return its decision.
 
@@ -283,10 +290,15 @@ class AdmissionPipeline:
         committable mapping wins.  ``mapping_runtime_s`` accumulates the
         mapper time of every attempt, so per-admission latency reported by
         benchmarks reflects the real pipeline cost.
+
+        ``candidates`` overrides stage 2: the caller dictates exactly which
+        regions to attempt (the engine's region workers pass their single
+        lane region so a parallel attempt can never leave its shard).
         """
         runtime_s = 0.0
         best: MappingResult | None = None
-        candidates = self.candidate_regions(als, library)
+        if candidates is None:
+            candidates = self.candidate_regions(als, library)
         if not candidates:
             return AdmissionDecision(
                 als.name,

@@ -23,28 +23,46 @@ offered:
   independent regions' requests interleave — and because commits are
   region-scoped transactions, interleaved per-region admissions never touch
   each other's journals.
+
+The queue also exposes the two-phase primitives the workload engine's
+executors build on — :meth:`take` (claim pending requests, marking them
+``IN_FLIGHT``) and :meth:`finalize` (settle a claimed request with its
+decision) — and two behaviours that only matter once draining is
+asynchronous:
+
+* **cancel of an in-flight request** registers an intent instead of
+  withdrawing: if the worker's decision lands afterwards, an admission is
+  rolled back (the application is stopped) and the request settles as
+  ``CANCELLED``;
+* **cache-aware rejection parking** (``park_rejections=True``): a rejected
+  request returns to the queue pinned to the fingerprint its lane was
+  rejected under, and :meth:`take` skips it until that fingerprint changes
+  — the mapper is deterministic, so an unchanged fingerprint guarantees an
+  unchanged (hopeless) answer and re-mapping it would be pure waste.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 from repro.appmodel.library import ImplementationLibrary
 from repro.exceptions import UnknownApplication
 from repro.kpn.als import ApplicationLevelSpec
+from repro.platform.regions import GLOBAL_LANE
 from repro.runtime.manager import RuntimeResourceManager
 from repro.runtime.pipeline import AdmissionDecision
 
-#: Lane name used for requests that would map globally (no qualifying region).
-GLOBAL_LANE = "__global__"
+__all__ = ["AdmissionQueue", "QueuedRequest", "RequestStatus", "GLOBAL_LANE"]
 
 
 class RequestStatus(enum.Enum):
     """Life cycle of a queued admission request."""
 
     PENDING = "pending"
+    IN_FLIGHT = "in_flight"
     ADMITTED = "admitted"
     REJECTED = "rejected"
     CANCELLED = "cancelled"
@@ -53,7 +71,7 @@ class RequestStatus(enum.Enum):
     @property
     def is_final(self) -> bool:
         """Whether the request has left the queue for good."""
-        return self is not RequestStatus.PENDING
+        return self not in (RequestStatus.PENDING, RequestStatus.IN_FLIGHT)
 
 
 @dataclass
@@ -71,6 +89,12 @@ class QueuedRequest:
     decision: AdmissionDecision | None = None
     reason: str = ""
     decided_ns: float | None = None
+    #: Set when ``cancel`` raced an in-flight decision; honoured at finalize.
+    cancel_requested: bool = False
+    #: Lane fingerprint the request was last rejected under (parked retries).
+    parked_fingerprint: tuple | None = None
+    #: How many times the request went through the pipeline.
+    attempts: int = 0
     _order: tuple = field(default=(), repr=False)
 
     @property
@@ -84,7 +108,9 @@ class AdmissionQueue:
 
     The queue itself performs no mapping work — it owns ordering, deadlines
     and the ticket book-keeping, and delegates every decision to the
-    manager's staged admission pipeline.
+    manager's staged admission pipeline.  All bookkeeping is guarded by one
+    reentrant lock, so clients may submit/poll/cancel concurrently with an
+    engine draining the queue from its own thread.
     """
 
     def __init__(
@@ -92,14 +118,19 @@ class AdmissionQueue:
         manager: RuntimeResourceManager,
         *,
         policy: str = "arrival",
+        park_rejections: bool = False,
     ) -> None:
         if policy not in ("arrival", "region"):
             raise ValueError(f"unknown drain policy {policy!r}")
         self.manager = manager
         self.policy = policy
+        #: Park rejected requests against their lane fingerprint instead of
+        #: finalising them (retried only once the fingerprint changes).
+        self.park_rejections = park_rejections
         self._tickets = itertools.count(1)
         self._requests: dict[int, QueuedRequest] = {}
         self._pending: list[QueuedRequest] = []
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # Submission side
@@ -114,20 +145,21 @@ class AdmissionQueue:
         now_ns: float = 0.0,
     ) -> int:
         """Enqueue a start request; returns its ticket."""
-        ticket = next(self._tickets)
-        request = QueuedRequest(
-            ticket=ticket,
-            als=als,
-            library=library,
-            priority=priority,
-            deadline_ns=deadline_ns,
-            submitted_ns=now_ns,
-            lane=self._lane_of(als, library),
-        )
-        request._order = (-priority, ticket)
-        self._requests[ticket] = request
-        self._pending.append(request)
-        return ticket
+        with self._lock:
+            ticket = next(self._tickets)
+            request = QueuedRequest(
+                ticket=ticket,
+                als=als,
+                library=library,
+                priority=priority,
+                deadline_ns=deadline_ns,
+                submitted_ns=now_ns,
+                lane=self._lane_of(als, library),
+            )
+            request._order = (-priority, ticket)
+            self._requests[ticket] = request
+            self._pending.append(request)
+            return ticket
 
     def poll(self, ticket: int) -> QueuedRequest:
         """Status (and decision, once made) of a submitted request."""
@@ -137,30 +169,154 @@ class AdmissionQueue:
             raise UnknownApplication(f"unknown admission ticket {ticket}") from None
 
     def cancel(self, ticket: int, *, now_ns: float = 0.0) -> bool:
-        """Withdraw a pending request; returns whether it was still pending."""
-        request = self.poll(ticket)
-        if request.status is not RequestStatus.PENDING:
-            return False
-        request.status = RequestStatus.CANCELLED
-        request.reason = "cancelled by client"
-        request.decided_ns = now_ns
-        self._pending.remove(request)
-        return True
+        """Withdraw a pending request; returns whether it was still pending.
+
+        Cancelling an *in-flight* request (claimed by :meth:`take` but not
+        yet finalised) cannot withdraw it synchronously — the worker may
+        already be committing — so the call registers a cancellation intent
+        and returns ``False``; :meth:`finalize` honours the intent, rolling
+        back an admission that lands after the cancellation.
+        """
+        with self._lock:
+            request = self.poll(ticket)
+            if request.status is RequestStatus.IN_FLIGHT:
+                request.cancel_requested = True
+                return False
+            if request.status is not RequestStatus.PENDING:
+                return False
+            request.status = RequestStatus.CANCELLED
+            request.reason = "cancelled by client"
+            request.decided_ns = now_ns
+            self._pending.remove(request)
+            return True
 
     @property
     def pending(self) -> tuple[QueuedRequest, ...]:
         """Requests still waiting, in submission order."""
-        return tuple(self._pending)
+        with self._lock:
+            return tuple(self._pending)
 
     def pending_by_lane(self) -> dict[str, tuple[QueuedRequest, ...]]:
         """Pending requests grouped by region lane."""
-        lanes: dict[str, list[QueuedRequest]] = {}
-        for request in self._pending:
-            lanes.setdefault(request.lane, []).append(request)
-        return {lane: tuple(requests) for lane, requests in lanes.items()}
+        with self._lock:
+            lanes: dict[str, list[QueuedRequest]] = {}
+            for request in self._pending:
+                lanes.setdefault(request.lane, []).append(request)
+            return {lane: tuple(requests) for lane, requests in lanes.items()}
 
     def __len__(self) -> int:
         return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Two-phase draining primitives (used by drain and by the engine)
+    # ------------------------------------------------------------------ #
+    def take(
+        self,
+        *,
+        now_ns: float = 0.0,
+        max_requests: int | None = None,
+    ) -> tuple[list[QueuedRequest], list[QueuedRequest]]:
+        """Claim pending requests for processing: ``(expired, ready)``.
+
+        Pending requests past their deadline are finalised as ``EXPIRED``
+        without mapping work.  The rest are returned in policy order and
+        marked ``IN_FLIGHT`` (removed from the pending list) — the caller
+        owns them until it calls :meth:`finalize` (or :meth:`requeue` after
+        a failure).  Parked requests whose lane fingerprint is unchanged
+        since their last rejection are skipped: the pipeline is
+        deterministic, so the answer could not have changed either.
+        """
+        with self._lock:
+            expired = self._expire(now_ns)
+            fingerprints: dict[str, tuple] = {}
+            ready: list[QueuedRequest] = []
+            for request in self._ordered_pending():
+                if request.parked_fingerprint is not None:
+                    lane = request.lane
+                    if lane not in fingerprints:
+                        fingerprints[lane] = self._lane_fingerprint(lane)
+                    if fingerprints[lane] == request.parked_fingerprint:
+                        continue
+                ready.append(request)
+            if max_requests is not None:
+                budget = max(0, max_requests - len(expired))
+                ready = ready[:budget]
+            for request in ready:
+                self._pending.remove(request)
+                request.status = RequestStatus.IN_FLIGHT
+            return expired, ready
+
+    def finalize(
+        self,
+        request: QueuedRequest,
+        decision: AdmissionDecision,
+        *,
+        now_ns: float = 0.0,
+    ) -> QueuedRequest:
+        """Settle a claimed request with the decision made for it.
+
+        The caller must already have recorded the decision with the manager
+        (``start_many`` / ``admit`` / ``adopt_decision``), so an admitted
+        application is in the running registry — which is what allows a
+        raced cancellation to roll it back via ``manager.stop``.  With
+        ``park_rejections`` enabled, a rejection returns the request to the
+        queue parked against its lane's current fingerprint instead of
+        finalising it.
+        """
+        with self._lock:
+            request.decision = decision
+            request.attempts += 1
+            request.decided_ns = now_ns
+            if request.cancel_requested:
+                if decision.admitted and self.manager.is_running(decision.application):
+                    self.manager.stop(decision.application)
+                    request.reason = "cancelled while in flight; admission rolled back"
+                else:
+                    request.reason = "cancelled while in flight"
+                request.status = RequestStatus.CANCELLED
+                return request
+            if decision.admitted:
+                request.status = RequestStatus.ADMITTED
+                request.reason = decision.reason
+                return request
+            if self.park_rejections:
+                request.status = RequestStatus.PENDING
+                request.reason = decision.reason
+                request.parked_fingerprint = self._lane_fingerprint(request.lane)
+                self._pending.append(request)
+                return request
+            request.status = RequestStatus.REJECTED
+            request.reason = decision.reason
+            return request
+
+    def requeue(self, requests: list[QueuedRequest]) -> None:
+        """Return claimed-but-undecided requests to the head of the queue."""
+        with self._lock:
+            for request in requests:
+                request.status = RequestStatus.PENDING
+            self._pending[:0] = requests
+
+    def flush_pending(
+        self,
+        *,
+        now_ns: float = 0.0,
+        reason: str = "workload ended before admission",
+    ) -> list[QueuedRequest]:
+        """Finalise every still-pending request as rejected.
+
+        Called when a workload run ends: parked requests keep the reason of
+        their last real rejection; requests never attempted get ``reason``.
+        Returns the flushed requests in submission order.
+        """
+        with self._lock:
+            flushed = list(self._pending)
+            self._pending.clear()
+            for request in flushed:
+                request.status = RequestStatus.REJECTED
+                if not request.reason:
+                    request.reason = reason
+                request.decided_ns = now_ns
+            return flushed
 
     # ------------------------------------------------------------------ #
     # Draining side
@@ -181,15 +337,10 @@ class AdmissionQueue:
         Expired requests are finalised without mapping work; the rest are
         handed to :meth:`RuntimeResourceManager.start_many` in policy order
         as one batch.  Returns every request finalised by this call
-        (admitted, rejected and expired), in processing order.
+        (admitted, rejected, cancelled and expired), in processing order —
+        parked rejections stay pending and are not returned.
         """
-        expired = self._expire(now_ns)
-        ready = self._ordered_pending()
-        if max_requests is not None:
-            budget = max(0, max_requests - len(expired))
-            ready = ready[:budget]
-        for request in ready:
-            self._pending.remove(request)
+        expired, ready = self.take(now_ns=now_ns, max_requests=max_requests)
         decisions_before = len(self.manager.decisions)
         try:
             outcome = self.manager.start_many(
@@ -205,19 +356,18 @@ class AdmissionQueue:
             for request, (_, admitted, reason) in zip(ready, decided):
                 request.reason = reason
                 request.decided_ns = now_ns
+                request.attempts += 1
                 request.status = (
                     RequestStatus.ADMITTED if admitted else RequestStatus.REJECTED
                 )
-            self._pending[:0] = ready[len(decided) :]
+            self.requeue(ready[len(decided) :])
             raise
+        finalized = list(expired)
         for request, decision in zip(ready, outcome.decisions):
-            request.decision = decision
-            request.reason = decision.reason
-            request.decided_ns = now_ns
-            request.status = (
-                RequestStatus.ADMITTED if decision.admitted else RequestStatus.REJECTED
-            )
-        return expired + ready
+            self.finalize(request, decision, now_ns=now_ns)
+            if request.status.is_final:
+                finalized.append(request)
+        return finalized
 
     # ------------------------------------------------------------------ #
     def _lane_of(
@@ -227,6 +377,27 @@ class AdmissionQueue:
         candidates = self.manager.pipeline.candidate_regions(als, library)
         first = candidates[0] if candidates else None
         return first.name if first is not None else GLOBAL_LANE
+
+    def _lane_fingerprint(self, lane: str) -> tuple:
+        """The fingerprint a parked request's rejection depended on.
+
+        A rejection came from the full pipeline, and with the cross-region
+        fallback enabled its answer depends on the *whole* platform state —
+        parking against only the lane region could skip a request forever
+        while capacity frees up elsewhere.  The narrow per-region digest is
+        only sound when admission is confined to the lane's region
+        (``region_fallback`` disabled); otherwise the global digest is used,
+        trading a few extra (cache-served) retries for never missing an
+        admission opportunity.
+        """
+        partition = self.manager.partition
+        if (
+            partition is not None
+            and lane != GLOBAL_LANE
+            and not self.manager.pipeline.region_fallback
+        ):
+            return partition.region(lane).fingerprint(self.manager.state)
+        return self.manager.state.fingerprint()
 
     def _ordered_pending(self) -> list[QueuedRequest]:
         """Pending requests in drain order for the configured policy."""

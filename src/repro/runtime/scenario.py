@@ -1,12 +1,21 @@
-"""Scenario player: drive a resource manager through a sequence of events."""
+"""Scenario player: drive a resource manager through a sequence of events.
+
+Since the workload engine landed, :class:`Scenario` is the *description*
+(a named, time-ordered bag of events) and :func:`run_scenario` is a thin
+adapter: it replays the scenario on a
+:class:`~repro.runtime.engine.WorkloadEngine` in ``"immediate"`` drain mode
+— one event at a time, exactly the legacy player's semantics, pinned
+decision-for-decision by a differential test — and repackages the engine's
+outcome in the historical :class:`ScenarioOutcome` shape.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.exceptions import AdmissionError
 from repro.runtime.accounting import EnergyAccount
-from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
+from repro.runtime.engine import WorkloadEngine
+from repro.runtime.events import ScenarioEvent
 from repro.runtime.manager import RuntimeResourceManager
 
 
@@ -23,9 +32,20 @@ class Scenario:
         self.events.append(event)
         return self
 
+    def extend(self, events: list[ScenarioEvent]) -> "Scenario":
+        """Append several events (e.g. one generator's output) at once."""
+        self.events.extend(events)
+        return self
+
     def sorted_events(self) -> list[ScenarioEvent]:
-        """Events in non-decreasing time order (stable for equal times)."""
-        return sorted(self.events, key=lambda e: e.time_ns)
+        """Events in non-decreasing time order.
+
+        Equal-time ties are broken by each event's monotonic sequence
+        number (creation order), so the replay order of merged event
+        streams is deterministic regardless of how — or how often — the
+        event list was assembled, shuffled or re-sorted.
+        """
+        return sorted(self.events, key=lambda e: e.order_key)
 
     def end_time_ns(self) -> float:
         """The scenario horizon: explicit duration or the last event time."""
@@ -59,28 +79,23 @@ class ScenarioOutcome:
 
 
 def run_scenario(manager: RuntimeResourceManager, scenario: Scenario) -> ScenarioOutcome:
-    """Play a scenario against a resource manager and account energy/admissions."""
-    outcome = ScenarioOutcome(scenario=scenario.name)
-    for event in scenario.sorted_events():
-        if isinstance(event, StartEvent):
-            try:
-                result = manager.start(event.als, library=event.library, time_ns=event.time_ns)
-            except AdmissionError as error:
-                outcome.rejected.append((event.application, str(error)))
-                continue
-            outcome.admitted.append(event.application)
-            outcome.energy.start(
-                event.application,
-                event.time_ns,
-                result.energy_nj_per_iteration,
-                event.als.period_ns,
-            )
-        elif isinstance(event, StopEvent):
-            if manager.is_running(event.application):
-                manager.stop(event.application)
-                outcome.energy.stop(event.application, event.time_ns)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown scenario event type {type(event)!r}")
-    outcome.end_time_ns = scenario.end_time_ns()
-    outcome.energy.finish(outcome.end_time_ns)
-    return outcome
+    """Play a scenario against a resource manager and account energy/admissions.
+
+    Thin adapter over the :class:`~repro.runtime.engine.WorkloadEngine`:
+    ``"immediate"`` drain mode processes events strictly one at a time in
+    ``(time, sequence)`` order, which is decision-identical to the legacy
+    player that called the manager directly.  Rejection reasons keep the
+    historical ``"application 'x' rejected: <reason>"`` phrasing.
+    """
+    engine = WorkloadEngine(manager, drain_mode="immediate")
+    outcome = engine.run(scenario)
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        admitted=list(outcome.admitted),
+        rejected=[
+            (application, f"application {application!r} rejected: {reason}")
+            for application, reason in outcome.rejected
+        ],
+        energy=outcome.energy,
+        end_time_ns=outcome.end_time_ns,
+    )

@@ -26,6 +26,7 @@ collision between different applications can never produce a wrong hit.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Any
@@ -68,6 +69,11 @@ class MapperCache:
     immutable pieces (assignments, routes, feasibility report, mapped CSDF
     graph) but carries fresh containers, so a caller mutating its result
     (e.g. appending diagnostics) cannot corrupt later hits.
+
+    The cache is thread-safe: one lock serialises the (cheap) bookkeeping so
+    region workers draining in parallel can share it.  Hits in disjoint
+    regions stay independent — the lock protects the LRU structure, not the
+    results, which are cloned before release.
     """
 
     def __init__(self, maxsize: int = 128) -> None:
@@ -75,6 +81,7 @@ class MapperCache:
             raise ValueError("cache maxsize must be at least 1")
         self.maxsize = maxsize
         self._entries: OrderedDict[tuple, _CacheEntry] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     @staticmethod
@@ -90,21 +97,25 @@ class MapperCache:
         objects the entry was computed from (identity, not equality — the
         entry keeps them alive, so identity is stable).
         """
-        entry = self._entries.get(key)
-        if entry is None or entry.als is not als or entry.library is not library:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return self._clone(entry.result)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.als is not als or entry.library is not library:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            result = entry.result
+        return self._clone(result)
 
     def store(self, key: tuple, als: Any, library: Any, result: MappingResult) -> None:
         """Memoise a freshly computed result (a private clone is kept)."""
-        self._entries[key] = _CacheEntry(als=als, library=library, result=self._clone(result))
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        clone = self._clone(result)
+        with self._lock:
+            self._entries[key] = _CacheEntry(als=als, library=library, result=clone)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate_regions(self, region_names: tuple[str, ...] | list[str]) -> int:
         """Drop every entry keyed to any of the given regions (or to the globe).
@@ -114,16 +125,18 @@ class MapperCache:
         entries dropped.
         """
         doomed = {GLOBAL_REGION, *region_names}
-        victims = [key for key in self._entries if key[1] in doomed]
-        for key in victims:
-            del self._entries[key]
-        self.stats.invalidations += len(victims)
+        with self._lock:
+            victims = [key for key in self._entries if key[1] in doomed]
+            for key in victims:
+                del self._entries[key]
+            self.stats.invalidations += len(victims)
         return len(victims)
 
     def clear(self) -> None:
         """Drop every entry."""
-        self.stats.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            self.stats.invalidations += len(self._entries)
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

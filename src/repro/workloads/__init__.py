@@ -7,9 +7,11 @@ streaming pipelines (a DRM-like digital-radio receiver and a simple
 image-processing pipeline) used by the multi-application examples, and
 :mod:`repro.workloads.synthetic` generates random applications and platforms
 for the scalability and ablation benchmarks the paper calls for in its
-conclusions.
+conclusions, and :mod:`repro.workloads.arrivals` turns them into timed event
+streams (Poisson/bursty/periodic traffic classes with priorities, admission
+deadlines and holding times) for the event-driven workload engine.
 """
 
-from repro.workloads import hiperlan2, receivers, synthetic
+from repro.workloads import arrivals, hiperlan2, receivers, synthetic
 
-__all__ = ["hiperlan2", "receivers", "synthetic"]
+__all__ = ["arrivals", "hiperlan2", "receivers", "synthetic"]

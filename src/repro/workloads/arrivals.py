@@ -1,0 +1,244 @@
+"""Arrival-process generators: timed workloads for the event-driven engine.
+
+The paper's admission-rate-versus-load story needs *streams* of start/stop
+events, not hand-written scenarios.  This module generates them: an
+arrival process (Poisson, bursty, or periodic-with-jitter) per *traffic
+class*, each class carrying its own synthetic application shape, priority,
+admission deadline window and holding-time distribution.  Mixing several
+classes into one :class:`~repro.runtime.scenario.Scenario` gives the
+heterogeneous event streams the engine is built to drain — and the events'
+monotonic sequence numbers keep the merged replay order deterministic.
+
+All generators take an explicit seed and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
+from repro.runtime.scenario import Scenario
+from repro.workloads.synthetic import SyntheticConfig, generate_application
+
+__all__ = [
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "PeriodicArrivals",
+    "TrafficClass",
+    "generate_workload",
+    "offered_rate_per_s",
+]
+
+_NS_PER_S = 1e9
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals: exponential inter-arrival gaps at ``rate_per_s``."""
+
+    rate_per_s: float
+
+    def arrival_times_ns(self, rng: random.Random, horizon_ns: float) -> list[float]:
+        """Arrival instants in (0, horizon), in increasing order."""
+        if self.rate_per_s <= 0:
+            return []
+        times: list[float] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(self.rate_per_s) * _NS_PER_S
+            if t >= horizon_ns:
+                return times
+            times.append(t)
+
+    def scaled(self, factor: float) -> "PoissonArrivals":
+        """The same process at ``factor`` times the rate."""
+        return replace(self, rate_per_s=self.rate_per_s * factor)
+
+    def nominal_rate_per_s(self) -> float:
+        """Long-run offered arrivals per second."""
+        return self.rate_per_s
+
+
+@dataclass(frozen=True)
+class BurstyArrivals:
+    """Bursts of back-to-back arrivals at Poisson-distributed burst epochs.
+
+    Burst epochs arrive at ``burst_rate_per_s``; each burst holds a uniform
+    ``burst_size_range`` number of arrivals spaced ``intra_burst_gap_ns``
+    apart — the "everyone turns their receiver on at once" shape that
+    stresses a drain far harder than the same average rate spread smoothly.
+    """
+
+    burst_rate_per_s: float
+    burst_size_range: tuple[int, int] = (2, 5)
+    intra_burst_gap_ns: float = 1_000.0
+
+    def arrival_times_ns(self, rng: random.Random, horizon_ns: float) -> list[float]:
+        """Arrival instants in (0, horizon), in increasing order."""
+        if self.burst_rate_per_s <= 0:
+            return []
+        times: list[float] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(self.burst_rate_per_s) * _NS_PER_S
+            if t >= horizon_ns:
+                # Bursts may straddle the next epoch; keep the stream sorted.
+                times.sort()
+                return times
+            size = rng.randint(*self.burst_size_range)
+            for index in range(size):
+                arrival = t + index * self.intra_burst_gap_ns
+                if arrival < horizon_ns:
+                    times.append(arrival)
+
+    def scaled(self, factor: float) -> "BurstyArrivals":
+        """The same burst shape at ``factor`` times the burst rate."""
+        return replace(self, burst_rate_per_s=self.burst_rate_per_s * factor)
+
+    def nominal_rate_per_s(self) -> float:
+        """Long-run offered arrivals per second (burst rate x mean burst size)."""
+        low, high = self.burst_size_range
+        return self.burst_rate_per_s * (low + high) / 2.0
+
+
+@dataclass(frozen=True)
+class PeriodicArrivals:
+    """One arrival every ``period_ns``, optionally jittered, from ``offset_ns``."""
+
+    period_ns: float
+    jitter_ns: float = 0.0
+    offset_ns: float = 0.0
+
+    def arrival_times_ns(self, rng: random.Random, horizon_ns: float) -> list[float]:
+        """Arrival instants in [offset, horizon), in increasing order."""
+        if self.period_ns <= 0:
+            raise ValueError("periodic arrivals need a positive period")
+        times: list[float] = []
+        count = max(0, math.ceil((horizon_ns - self.offset_ns) / self.period_ns))
+        for index in range(count):
+            t = self.offset_ns + index * self.period_ns
+            if self.jitter_ns:
+                t += rng.uniform(0.0, self.jitter_ns)
+            if 0.0 <= t < horizon_ns:
+                times.append(t)
+        return times
+
+    def scaled(self, factor: float) -> "PeriodicArrivals":
+        """The same process at ``factor`` times the rate (period / factor)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self, period_ns=self.period_ns / factor, jitter_ns=self.jitter_ns / factor
+        )
+
+    def nominal_rate_per_s(self) -> float:
+        """Long-run offered arrivals per second."""
+        return _NS_PER_S / self.period_ns
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One stream of a workload mix: an arrival process plus what arrives.
+
+    Parameters
+    ----------
+    name:
+        Stream name; generated applications are named ``{name}_{index}``.
+    arrivals:
+        The arrival process (:class:`PoissonArrivals`,
+        :class:`BurstyArrivals` or :class:`PeriodicArrivals`).
+    config:
+        Shape of the generated synthetic applications.
+    priority:
+        Queue priority of this class's admission requests.
+    admission_window_ns:
+        Relative admission deadline: a request still pending this long
+        after its arrival expires instead of admitting late.  ``None``
+        waits forever.
+    hold_range_ns:
+        Uniform range of how long an admitted application runs before its
+        departure event; ``None`` means it never leaves.
+    source_tile / sink_tile:
+        Pinned I/O tiles of the generated applications — pinning a class to
+        one region's I/O tile is what gives that region's lane its traffic.
+    """
+
+    name: str
+    arrivals: PoissonArrivals | BurstyArrivals | PeriodicArrivals
+    config: SyntheticConfig = SyntheticConfig()
+    priority: int = 0
+    admission_window_ns: float | None = None
+    hold_range_ns: tuple[float, float] | None = None
+    source_tile: str = "io_in"
+    sink_tile: str = "io_out"
+
+    def scaled(self, factor: float) -> "TrafficClass":
+        """The same class with its arrival rate scaled by ``factor``."""
+        return replace(self, arrivals=self.arrivals.scaled(factor))
+
+
+def generate_workload(
+    seed: int,
+    horizon_ns: float,
+    classes: list[TrafficClass] | tuple[TrafficClass, ...],
+    *,
+    name: str = "generated",
+) -> Scenario:
+    """Generate a scenario from a mix of traffic classes.
+
+    Per class, arrival instants are drawn over the horizon and each arrival
+    becomes a fresh synthetic application (its own KPN and implementation
+    library) with a :class:`~repro.runtime.events.StartEvent` carrying the
+    class's priority and absolute deadline, plus — when the class has a
+    holding-time range — a matching departure
+    :class:`~repro.runtime.events.StopEvent`.  Everything is derived from
+    ``seed`` and the class name, so two calls with equal arguments produce
+    identical scenarios (modulo event sequence numbers, which only break
+    equal-time ties deterministically).
+    """
+    if horizon_ns <= 0:
+        raise ValueError("workload horizon must be positive")
+    scenario = Scenario(name, duration_ns=horizon_ns)
+    for traffic in classes:
+        rng = random.Random(f"{seed}:{traffic.name}")
+        events: list[ScenarioEvent] = []
+        for index, time_ns in enumerate(traffic.arrivals.arrival_times_ns(rng, horizon_ns)):
+            app = generate_application(
+                rng.randint(0, 2**31 - 1),
+                traffic.config,
+                name=f"{traffic.name}_{index}",
+                source_tile=traffic.source_tile,
+                sink_tile=traffic.sink_tile,
+            )
+            deadline = (
+                time_ns + traffic.admission_window_ns
+                if traffic.admission_window_ns is not None
+                else None
+            )
+            events.append(
+                StartEvent(
+                    time_ns=time_ns,
+                    als=app.als,
+                    library=app.library,
+                    priority=traffic.priority,
+                    deadline_ns=deadline,
+                )
+            )
+            if traffic.hold_range_ns is not None:
+                low, high = traffic.hold_range_ns
+                if low <= 0:
+                    raise ValueError("holding times must be positive")
+                departure = time_ns + rng.uniform(low, high)
+                if departure < horizon_ns:
+                    events.append(
+                        StopEvent(time_ns=departure, application=app.als.name)
+                    )
+        scenario.extend(events)
+    return scenario
+
+
+def offered_rate_per_s(classes: list[TrafficClass] | tuple[TrafficClass, ...]) -> float:
+    """Aggregate nominal offered load of a mix, in arrivals per second."""
+    return sum(traffic.arrivals.nominal_rate_per_s() for traffic in classes)

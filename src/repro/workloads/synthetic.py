@@ -225,6 +225,54 @@ def generate_platform(
     return builder.build()
 
 
+def generate_region_mesh(
+    regions: int,
+    span: int,
+    *,
+    name: str | None = None,
+    link_capacity_bits_per_s: float = 4e9,
+    frequency_mhz: float = 200.0,
+) -> Platform:
+    """A ``(regions*span)``-square mesh with one I/O tile per region.
+
+    The mesh splits cleanly into a ``regions`` x ``regions`` grid of
+    ``span`` x ``span`` rectangles (``RegionPartition.grid(platform,
+    regions, regions)``), and every rectangle hosts its own pinned I/O tile
+    named ``io_r{column}_{row}`` — the naming contract region-pinned
+    traffic classes rely on.  Applications can therefore live entirely
+    inside one region, which is the topology region sharding needs to pay
+    off.  Processing tiles alternate deterministically between GPP and a
+    half-clocked DSP (heterogeneity without randomness).
+    """
+    if regions < 1 or span < 1:
+        raise ValueError("a region mesh needs at least one region and one router per edge")
+    width = height = regions * span
+    builder = (
+        PlatformBuilder(name or f"region_mesh_{regions}x{regions}")
+        .mesh(
+            width,
+            height,
+            link_capacity_bits_per_s=link_capacity_bits_per_s,
+            router_frequency_mhz=frequency_mhz,
+        )
+        .tile_type("IO", frequency_mhz=frequency_mhz, is_processing=False)
+        .tile_type("GPP", frequency_mhz=frequency_mhz)
+        .tile_type("DSP", frequency_mhz=frequency_mhz / 2)
+    )
+    counter = 0
+    for y in range(height):
+        for x in range(width):
+            if x % span == 0 and y % span == 0:
+                builder.tile(f"io_r{x // span}_{y // span}", "IO", (x, y))
+                continue
+            tile_type = "DSP" if (x + y) % 3 == 0 else "GPP"
+            counter += 1
+            builder.tile(
+                f"{tile_type.lower()}{counter}", tile_type, (x, y), memory_bytes=128 * 1024
+            )
+    return builder.build()
+
+
 def generate_scenario(
     seed: int,
     application_count: int,

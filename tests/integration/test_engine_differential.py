@@ -1,0 +1,225 @@
+"""Differential tests: engine vs legacy player, parallel vs serial draining.
+
+Two equivalences anchor the engine refactor:
+
+* :func:`run_scenario` (now a thin adapter over the engine in immediate
+  drain mode) must be decision-for-decision — and energy-for-energy —
+  identical to the legacy player that called the manager directly; the
+  reference implementation is inlined here, frozen at its PR 2 behaviour.
+* Draining with the threaded per-region executor must be decision-identical
+  to the serial executor on the same event stream, across generated
+  workloads, with and without rejection parking.
+"""
+
+import pytest
+
+from repro.exceptions import AdmissionError
+from repro.platform.builder import PlatformBuilder
+from repro.platform.regions import RegionPartition
+from repro.runtime.accounting import EnergyAccount
+from repro.runtime.engine import (
+    SerialRegionExecutor,
+    ThreadedRegionExecutor,
+    WorkloadEngine,
+)
+from repro.runtime.events import StartEvent, StopEvent
+from repro.runtime.manager import RuntimeResourceManager
+from repro.runtime.scenario import ScenarioOutcome, run_scenario
+from repro.spatialmapper.config import MapperConfig
+from repro.workloads.arrivals import (
+    BurstyArrivals,
+    PoissonArrivals,
+    TrafficClass,
+    generate_workload,
+    offered_rate_per_s,
+)
+from repro.workloads.synthetic import SyntheticConfig
+
+CONFIG = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP",))
+MILLISECOND = 1e6
+
+
+def build_two_region_platform():
+    """A 4x2 mesh with one I/O tile and three GPP tiles per half."""
+    builder = (
+        PlatformBuilder("two_region")
+        .mesh(4, 2, link_capacity_bits_per_s=4e9, router_frequency_mhz=200.0)
+        .tile_type("IO", frequency_mhz=200.0, is_processing=False)
+        .tile_type("GPP", frequency_mhz=200.0)
+        .tile("io_l", "IO", (0, 0))
+        .tile("io_r", "IO", (3, 0))
+    )
+    for index, position in enumerate([(0, 1), (1, 0), (1, 1)]):
+        builder.tile(f"gpp_l{index}", "GPP", position, memory_bytes=128 * 1024)
+    for index, position in enumerate([(2, 0), (2, 1), (3, 1)]):
+        builder.tile(f"gpp_r{index}", "GPP", position, memory_bytes=128 * 1024)
+    return builder.build()
+
+
+def make_manager():
+    platform = build_two_region_platform()
+    return RuntimeResourceManager(
+        platform,
+        config=MapperConfig(analysis_iterations=3),
+        partition=RegionPartition.grid(platform, 2, 1),
+    )
+
+
+def workload_classes():
+    return [
+        TrafficClass(
+            "left",
+            PoissonArrivals(rate_per_s=900.0),
+            config=CONFIG,
+            source_tile="io_l",
+            sink_tile="io_l",
+            hold_range_ns=(2 * MILLISECOND, 5 * MILLISECOND),
+        ),
+        TrafficClass(
+            "right",
+            BurstyArrivals(burst_rate_per_s=250.0, burst_size_range=(2, 4)),
+            config=CONFIG,
+            source_tile="io_r",
+            sink_tile="io_r",
+            hold_range_ns=(2 * MILLISECOND, 5 * MILLISECOND),
+        ),
+    ]
+
+
+def legacy_run_scenario(manager, scenario):
+    """The PR 2 scenario player, frozen as the differential reference."""
+    outcome = ScenarioOutcome(scenario=scenario.name)
+    for event in scenario.sorted_events():
+        if isinstance(event, StartEvent):
+            try:
+                result = manager.start(
+                    event.als, library=event.library, time_ns=event.time_ns
+                )
+            except AdmissionError as error:
+                outcome.rejected.append((event.application, str(error)))
+                continue
+            outcome.admitted.append(event.application)
+            outcome.energy.start(
+                event.application,
+                event.time_ns,
+                result.energy_nj_per_iteration,
+                event.als.period_ns,
+            )
+        elif isinstance(event, StopEvent):
+            if manager.is_running(event.application):
+                manager.stop(event.application)
+                outcome.energy.stop(event.application, event.time_ns)
+    outcome.end_time_ns = scenario.end_time_ns()
+    outcome.energy.finish(outcome.end_time_ns)
+    return outcome
+
+
+class TestScenarioAdapterDifferential:
+    @pytest.mark.parametrize("seed", [3, 21])
+    def test_run_scenario_matches_legacy_player(self, seed):
+        # No deadlines/priorities: the legacy player predates both.
+        classes = [
+            TrafficClass(
+                "left",
+                PoissonArrivals(rate_per_s=700.0),
+                config=CONFIG,
+                source_tile="io_l",
+                sink_tile="io_l",
+                hold_range_ns=(2 * MILLISECOND, 4 * MILLISECOND),
+            ),
+            TrafficClass(
+                "right",
+                PoissonArrivals(rate_per_s=700.0),
+                config=CONFIG,
+                source_tile="io_r",
+                sink_tile="io_r",
+                hold_range_ns=(2 * MILLISECOND, 4 * MILLISECOND),
+            ),
+        ]
+        scenario = generate_workload(seed, 15 * MILLISECOND, classes, name="diff")
+
+        legacy_manager = make_manager()
+        legacy = legacy_run_scenario(legacy_manager, scenario)
+        adapter_manager = make_manager()
+        adapter = run_scenario(adapter_manager, scenario)
+
+        assert adapter.admitted == legacy.admitted
+        assert adapter.rejected == legacy.rejected
+        assert adapter.admission_rate == pytest.approx(legacy.admission_rate)
+        assert adapter.total_energy_nj == pytest.approx(legacy.total_energy_nj)
+        assert adapter.end_time_ns == pytest.approx(legacy.end_time_ns)
+        assert adapter_manager.decisions == legacy_manager.decisions
+        assert sorted(adapter_manager.state.occupied_tiles()) == sorted(
+            legacy_manager.state.occupied_tiles()
+        )
+        assert isinstance(adapter.energy, EnergyAccount)
+
+
+class TestParallelDrainDifferential:
+    @pytest.mark.parametrize("seed", [5, 17])
+    @pytest.mark.parametrize("park", [False, True])
+    def test_threaded_drain_is_decision_identical_to_serial(self, seed, park):
+        scenario = generate_workload(
+            seed, 12 * MILLISECOND, workload_classes(), name="parallel-diff"
+        )
+
+        serial_manager = make_manager()
+        serial = WorkloadEngine(
+            serial_manager,
+            executor=SerialRegionExecutor(),
+            park_rejections=park,
+        ).run(scenario)
+
+        threaded_manager = make_manager()
+        threaded = WorkloadEngine(
+            threaded_manager,
+            executor=ThreadedRegionExecutor(threaded_manager.partition),
+            park_rejections=park,
+        ).run(scenario)
+
+        assert serial.decision_log() == threaded.decision_log()
+        assert serial_manager.decisions == threaded_manager.decisions
+        assert sorted(serial_manager.state.occupied_tiles()) == sorted(
+            threaded_manager.state.occupied_tiles()
+        )
+        assert serial_manager.state.link_loads() == threaded_manager.state.link_loads()
+        assert serial.energy.total_energy_nj == pytest.approx(
+            threaded.energy.total_energy_nj
+        )
+        assert serial.departures == threaded.departures
+
+    def test_parking_changes_work_not_decisions_visible_to_clients(self):
+        # With parking on, hopeless requests are skipped between state
+        # changes — admitted sets must match the non-parking engine run on
+        # the same stream (rejections may differ in *when* they settle).
+        scenario = generate_workload(
+            9, 12 * MILLISECOND, workload_classes(), name="park-diff"
+        )
+        plain_manager = make_manager()
+        plain = WorkloadEngine(plain_manager, park_rejections=False).run(scenario)
+        parked_manager = make_manager()
+        parked = WorkloadEngine(parked_manager, park_rejections=True).run(scenario)
+        assert set(parked.admitted) <= set(plain.admitted) | set(
+            r for r, _ in plain.rejected
+        )
+        assert parked.parked_retries_skipped >= 0
+        assert plain.decided == parked.decided
+
+
+class TestOfferedLoadCurve:
+    def test_admission_rate_degrades_with_offered_load(self):
+        rates = {}
+        for factor in (0.25, 4.0):
+            classes = [c.scaled(factor) for c in workload_classes()]
+            scenario = generate_workload(
+                31, 10 * MILLISECOND, classes, name=f"load-{factor}"
+            )
+            manager = make_manager()
+            outcome = WorkloadEngine(manager, park_rejections=True).run(scenario)
+            rates[factor] = outcome.admission_rate
+            assert outcome.decided > 0
+        assert offered_rate_per_s(
+            [c.scaled(4.0) for c in workload_classes()]
+        ) > offered_rate_per_s([c.scaled(0.25) for c in workload_classes()])
+        # More offered load cannot improve the admission rate.
+        assert rates[4.0] <= rates[0.25] + 1e-9

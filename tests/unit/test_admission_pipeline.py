@@ -1,5 +1,7 @@
 """The staged admission pipeline, region sharding and the admission queue."""
 
+import threading
+
 import pytest
 
 from repro.appmodel.implementation import DEFAULT_PORT, Implementation
@@ -387,3 +389,180 @@ class TestAdmissionQueue:
         assert len(queue) == 1
         assert queue.process_next().application == "two"
         assert queue.process_next() is None
+
+
+class TestQueueTwoPhase:
+    """The take/finalize primitives the workload engine drains through."""
+
+    def test_take_marks_in_flight_and_finalize_settles(self, manager):
+        queue = AdmissionQueue(manager)
+        app = make_app(90, "twophase", "io_l")
+        ticket = queue.submit(app.als, library=app.library)
+        expired, ready = queue.take()
+        assert expired == [] and [r.ticket for r in ready] == [ticket]
+        request = ready[0]
+        assert request.status is RequestStatus.IN_FLIGHT
+        assert not request.status.is_final
+        assert len(queue) == 0
+        decision = manager.admit(app.als, library=app.library)
+        queue.finalize(request, decision)
+        assert request.status is RequestStatus.ADMITTED
+        assert request.attempts == 1
+
+    def test_expired_deadline_wins_over_take(self, manager):
+        queue = AdmissionQueue(manager)
+        app = make_app(91, "late", "io_l")
+        ticket = queue.submit(app.als, library=app.library, deadline_ns=100.0)
+        expired, ready = queue.take(now_ns=200.0)
+        assert [r.ticket for r in expired] == [ticket]
+        assert ready == []
+        assert queue.poll(ticket).status is RequestStatus.EXPIRED
+        assert not manager.is_running("late")
+
+    def test_cancel_in_flight_rolls_back_late_admission(self, manager):
+        # The race the engine must survive: the client cancels after the
+        # worker claimed the request; the worker's admission lands anyway and
+        # must be rolled back at finalize, leaving no allocations behind.
+        queue = AdmissionQueue(manager)
+        app = make_app(92, "raced", "io_l")
+        ticket = queue.submit(app.als, library=app.library)
+        _, ready = queue.take()
+        request = ready[0]
+        assert queue.cancel(ticket) is False  # too late to withdraw
+        assert request.cancel_requested
+        decision = manager.admit(app.als, library=app.library)
+        assert decision.admitted and manager.is_running("raced")
+        queue.finalize(request, decision)
+        assert request.status is RequestStatus.CANCELLED
+        assert "rolled back" in request.reason
+        assert not manager.is_running("raced")
+        assert manager.state.occupied_tiles() == ()
+        assert manager.state.link_loads() == {}
+
+    def test_cancel_in_flight_of_rejected_request(self, manager):
+        queue = AdmissionQueue(manager)
+        blocker = make_app(93, "blocker", "io_l")
+        manager.start(blocker.als, library=blocker.library)
+        tiles_before = manager.state.occupied_tiles()
+        app = make_app(94, "raced", "io_l")
+        ticket = queue.submit(app.als, library=app.library)
+        _, ready = queue.take()
+        request = ready[0]
+        queue.cancel(ticket)
+        decision = manager.admit(app.als, library=app.library)
+        queue.finalize(request, decision)
+        assert request.status is RequestStatus.CANCELLED
+        # The raced rejection rolled nothing back — the blocker still runs.
+        assert manager.is_running("blocker")
+        assert manager.state.occupied_tiles() == tiles_before
+
+    def test_cancel_race_under_concurrent_draining(self, manager):
+        """A worker thread drains while the client cancels mid-decision."""
+        queue = AdmissionQueue(manager)
+        app = make_app(95, "concurrent", "io_l")
+        ticket = queue.submit(app.als, library=app.library)
+        taken = threading.Event()
+        cancelled = threading.Event()
+        settled: list[RequestStatus] = []
+
+        def worker():
+            _, ready = queue.take()
+            request = ready[0]
+            taken.set()
+            # The worker only finishes deciding after the cancellation —
+            # the exact race the intent flag exists for.
+            assert cancelled.wait(timeout=5.0)
+            decision = manager.admit(request.als, library=request.library)
+            queue.finalize(request, decision)
+            settled.append(request.status)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert taken.wait(timeout=5.0)
+        assert queue.cancel(ticket) is False
+        cancelled.set()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert settled == [RequestStatus.CANCELLED]
+        assert not manager.is_running("concurrent")
+        assert manager.state.occupied_tiles() == ()
+
+    def test_requeue_returns_requests_to_the_head(self, manager):
+        queue = AdmissionQueue(manager)
+        first = make_app(96, "first", "io_l")
+        second = make_app(97, "second", "io_l")
+        queue.submit(first.als, library=first.library)
+        queue.submit(second.als, library=second.library)
+        _, ready = queue.take()
+        queue.requeue(ready)
+        assert [r.application for r in queue.pending] == ["first", "second"]
+        assert all(r.status is RequestStatus.PENDING for r in queue.pending)
+
+
+class TestParkedRejections:
+    """Cache-aware rejection retries: park until the lane fingerprint moves."""
+
+    def fill_left_region(self, manager):
+        admitted = []
+        for index in range(4):
+            app = make_app(110 + index, f"filler{index}", "io_l")
+            if manager.admit(app.als, library=app.library).admitted:
+                admitted.append(app.als.name)
+        assert admitted
+        return admitted
+
+    def test_rejection_parks_and_is_skipped_while_state_unchanged(self, manager):
+        self.fill_left_region(manager)
+        queue = AdmissionQueue(manager, park_rejections=True)
+        app = make_app(120, "parked", "io_l")
+        ticket = queue.submit(app.als, library=app.library)
+        drained = queue.drain()
+        # The rejection parked instead of finalising: still pending, with
+        # the fingerprint it was rejected under recorded.
+        assert drained == []
+        request = queue.poll(ticket)
+        assert request.status is RequestStatus.PENDING
+        assert request.parked_fingerprint is not None
+        assert request.attempts == 1
+        # Unchanged state: further drains skip it without mapping work.
+        for _ in range(3):
+            assert queue.drain() == []
+        assert queue.poll(ticket).attempts == 1
+
+    def test_parked_request_retries_once_fingerprint_changes(self, manager):
+        admitted = self.fill_left_region(manager)
+        queue = AdmissionQueue(manager, park_rejections=True)
+        app = make_app(121, "parked", "io_l")
+        ticket = queue.submit(app.als, library=app.library)
+        queue.drain()
+        assert queue.poll(ticket).status is RequestStatus.PENDING
+        for name in admitted:
+            manager.stop(name)
+        drained = queue.drain()
+        assert [r.ticket for r in drained] == [ticket]
+        assert queue.poll(ticket).status is RequestStatus.ADMITTED
+        assert manager.is_running("parked")
+
+    def test_parked_request_expires_past_deadline(self, manager):
+        self.fill_left_region(manager)
+        queue = AdmissionQueue(manager, park_rejections=True)
+        app = make_app(122, "parked", "io_l")
+        ticket = queue.submit(app.als, library=app.library, deadline_ns=1_000.0)
+        queue.drain(now_ns=0.0)
+        assert queue.poll(ticket).status is RequestStatus.PENDING
+        drained = queue.drain(now_ns=2_000.0)
+        assert [r.ticket for r in drained] == [ticket]
+        assert queue.poll(ticket).status is RequestStatus.EXPIRED
+
+    def test_flush_pending_finalises_parked_requests(self, manager):
+        self.fill_left_region(manager)
+        queue = AdmissionQueue(manager, park_rejections=True)
+        app = make_app(123, "parked", "io_l")
+        ticket = queue.submit(app.als, library=app.library)
+        queue.drain()
+        flushed = queue.flush_pending(now_ns=5_000.0)
+        assert [r.ticket for r in flushed] == [ticket]
+        request = queue.poll(ticket)
+        assert request.status is RequestStatus.REJECTED
+        assert request.reason  # keeps the real rejection reason
+        assert len(queue) == 0

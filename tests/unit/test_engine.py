@@ -1,0 +1,331 @@
+"""The discrete-event workload engine and its region executors."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.builder import PlatformBuilder
+from repro.platform.regions import RegionLocks, RegionOwnershipGuard, RegionPartition
+from repro.runtime.engine import (
+    SerialRegionExecutor,
+    ThreadedRegionExecutor,
+    WorkloadEngine,
+)
+from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
+from repro.runtime.manager import RuntimeResourceManager
+from repro.runtime.queue import RequestStatus
+from repro.runtime.scenario import Scenario
+from repro.spatialmapper.config import MapperConfig
+from repro.workloads.synthetic import SyntheticConfig, generate_application
+
+CONFIG = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP",))
+
+
+def build_two_region_platform():
+    """A 4x2 mesh with one I/O tile and three GPP tiles per half."""
+    builder = (
+        PlatformBuilder("two_region")
+        .mesh(4, 2, link_capacity_bits_per_s=4e9, router_frequency_mhz=200.0)
+        .tile_type("IO", frequency_mhz=200.0, is_processing=False)
+        .tile_type("GPP", frequency_mhz=200.0)
+        .tile("io_l", "IO", (0, 0))
+        .tile("io_r", "IO", (3, 0))
+    )
+    for index, position in enumerate([(0, 1), (1, 0), (1, 1)]):
+        builder.tile(f"gpp_l{index}", "GPP", position, memory_bytes=128 * 1024)
+    for index, position in enumerate([(2, 0), (2, 1), (3, 1)]):
+        builder.tile(f"gpp_r{index}", "GPP", position, memory_bytes=128 * 1024)
+    return builder.build()
+
+
+def make_app(seed, name, io_tile):
+    """A two-stage synthetic application pinned to one region's I/O tile."""
+    return generate_application(
+        seed, CONFIG, name=name, source_tile=io_tile, sink_tile=io_tile
+    )
+
+
+def make_manager(platform):
+    return RuntimeResourceManager(
+        platform,
+        config=MapperConfig(analysis_iterations=3),
+        partition=RegionPartition.grid(platform, 2, 1),
+    )
+
+
+@pytest.fixture()
+def platform():
+    return build_two_region_platform()
+
+
+@pytest.fixture()
+def manager(platform):
+    return make_manager(platform)
+
+
+class TestEventLoop:
+    def test_arrivals_admit_and_departures_free_resources(self, manager):
+        first = make_app(1, "first", "io_l")
+        second = make_app(2, "second", "io_l")
+        scenario = (
+            Scenario("lifecycle", duration_ns=4_000_000.0)
+            .add(StartEvent(time_ns=0.0, als=first.als, library=first.library))
+            .add(StopEvent(time_ns=1_000_000.0, application="first"))
+            .add(StartEvent(time_ns=2_000_000.0, als=second.als, library=second.library))
+        )
+        outcome = WorkloadEngine(manager).run(scenario)
+        assert outcome.admitted == ["first", "second"]
+        assert outcome.departures == [(1_000_000.0, "first")]
+        assert outcome.admission_rate == 1.0
+        assert outcome.energy.total_energy_nj > 0
+        assert manager.is_running("second") and not manager.is_running("first")
+
+    def test_same_time_batch_runs_departures_before_arrivals(self, manager):
+        # Batched mode treats same-timestamp events as concurrent, with the
+        # DES convention that departures free resources before arrivals map.
+        filler = [make_app(10 + i, f"filler{i}", "io_l") for i in range(2)]
+        replacement = make_app(20, "replacement", "io_l")
+        scenario = Scenario("handover", duration_ns=3_000_000.0)
+        for app in filler:
+            scenario.add(StartEvent(time_ns=0.0, als=app.als, library=app.library))
+        scenario.add(StopEvent(time_ns=1_000_000.0, application="filler0"))
+        scenario.add(StopEvent(time_ns=1_000_000.0, application="filler1"))
+        scenario.add(
+            StartEvent(time_ns=1_000_000.0, als=replacement.als, library=replacement.library)
+        )
+        outcome = WorkloadEngine(manager, drain_mode="batched").run(scenario)
+        assert "replacement" in outcome.admitted
+
+    def test_unknown_event_type_raises(self, manager):
+        scenario = Scenario("bad").add(ScenarioEvent(time_ns=0.0))
+        with pytest.raises(TypeError):
+            WorkloadEngine(manager).run(scenario)
+
+    def test_unknown_drain_mode_rejected(self, manager):
+        with pytest.raises(ValueError):
+            WorkloadEngine(manager, drain_mode="eager")
+
+    def test_deadline_expires_in_engine(self, manager):
+        blocker = make_app(30, "blocker", "io_l")
+        hopeless = [make_app(31 + i, f"hopeless{i}", "io_l") for i in range(4)]
+        scenario = Scenario("deadlines", duration_ns=10_000_000.0)
+        scenario.add(StartEvent(time_ns=0.0, als=blocker.als, library=blocker.library))
+        for app in hopeless:
+            scenario.add(
+                StartEvent(
+                    time_ns=100.0,
+                    als=app.als,
+                    library=app.library,
+                    deadline_ns=5_000.0,
+                )
+            )
+        # A later event past every deadline forces an expiry sweep.
+        scenario.add(StopEvent(time_ns=9_000_000.0, application="blocker"))
+        engine = WorkloadEngine(manager, park_rejections=True)
+        outcome = engine.run(scenario)
+        assert "blocker" in outcome.admitted
+        # Whatever was not admitted from the hopeless wave either expired at
+        # the sweep or was finalised at the end; nothing is left pending.
+        assert len(outcome.records) == 1 + len(hopeless)
+        assert len(manager.state.applications()) == len(
+            [a for a in manager.running_applications]
+        )
+
+
+class TestTwoPhaseDrain:
+    def test_serial_and_threaded_executors_decide_identically(self):
+        apps = [
+            make_app(40 + index, f"app{index}", "io_l" if index % 2 else "io_r")
+            for index in range(8)
+        ]
+        scenario = Scenario("differential", duration_ns=2_000_000.0)
+        for index, app in enumerate(apps):
+            scenario.add(
+                StartEvent(
+                    time_ns=float(index // 4) * 1_000_000.0,
+                    als=app.als,
+                    library=app.library,
+                )
+            )
+
+        serial_manager = make_manager(build_two_region_platform())
+        serial = WorkloadEngine(serial_manager, executor=SerialRegionExecutor()).run(
+            scenario
+        )
+        threaded_manager = make_manager(build_two_region_platform())
+        threaded = WorkloadEngine(
+            threaded_manager, executor=ThreadedRegionExecutor(threaded_manager.partition)
+        ).run(scenario)
+
+        assert serial.decision_log() == threaded.decision_log()
+        assert serial_manager.decisions == threaded_manager.decisions
+        assert sorted(serial_manager.state.occupied_tiles()) == sorted(
+            threaded_manager.state.occupied_tiles()
+        )
+        assert serial_manager.state.link_loads() == threaded_manager.state.link_loads()
+        assert serial.energy.total_energy_nj == pytest.approx(
+            threaded.energy.total_energy_nj
+        )
+
+    def test_duplicate_names_in_one_batch_are_serialized(self, manager):
+        # Two same-named arrivals in the same batch, pinned to different
+        # regions: the parallel phase may own at most one; the other must be
+        # rejected as already running, never double-admitted.
+        left = make_app(50, "twin", "io_l")
+        right = make_app(51, "twin", "io_r")
+        scenario = (
+            Scenario("twins", duration_ns=1_000_000.0)
+            .add(StartEvent(time_ns=0.0, als=left.als, library=left.library))
+            .add(StartEvent(time_ns=0.0, als=right.als, library=right.library))
+        )
+        outcome = WorkloadEngine(
+            manager, executor=ThreadedRegionExecutor(manager.partition)
+        ).run(scenario)
+        assert len(outcome.admitted) == 1
+        assert len(outcome.rejected) == 1
+        assert outcome.rejected[0][1] == "application is already running"
+        assert len(manager.state.applications()) == 1
+
+    def test_worker_error_unwinds_and_requeues(self, manager, monkeypatch):
+        good = make_app(60, "good", "io_l")
+        exploder = make_app(61, "exploder", "io_r")
+        scenario = (
+            Scenario("explosive", duration_ns=1_000_000.0)
+            .add(StartEvent(time_ns=0.0, als=good.als, library=good.library))
+            .add(StartEvent(time_ns=0.0, als=exploder.als, library=exploder.library))
+        )
+        original_decide = manager.pipeline.decide
+
+        def exploding_decide(als, library=None, *, candidates=None):
+            if als.name == "exploder":
+                raise RuntimeError("mapper exploded")
+            return original_decide(als, library, candidates=candidates)
+
+        monkeypatch.setattr(manager.pipeline, "decide", exploding_decide)
+        engine = WorkloadEngine(manager)
+        with pytest.raises(RuntimeError, match="mapper exploded"):
+            engine.run(scenario)
+        # The good lane's decision survived; the exploding request is back in
+        # the queue for a later drain instead of being stranded in flight.
+        assert manager.is_running("good")
+        assert [r.application for r in engine.queue.pending] == ["exploder"]
+        assert engine.queue.pending[0].status is RequestStatus.PENDING
+
+
+class TestParkedRetries:
+    def test_rejection_parks_until_fingerprint_changes(self, manager, monkeypatch):
+        # Fill the left region, then submit one more left-pinned app: it is
+        # rejected once, parks, and must not be re-mapped by later drains
+        # while the region (and platform) state is unchanged.
+        fillers = [make_app(70 + i, f"filler{i}", "io_l") for i in range(3)]
+        straggler = make_app(80, "straggler", "io_l")
+        scenario = Scenario("parked", duration_ns=10_000_000.0)
+        for app in fillers:
+            scenario.add(StartEvent(time_ns=0.0, als=app.als, library=app.library))
+        scenario.add(
+            StartEvent(time_ns=1_000.0, als=straggler.als, library=straggler.library)
+        )
+        # Idle drains: stop events for an application that never ran force
+        # drain ticks without changing any fingerprint.
+        for index in range(5):
+            scenario.add(StopEvent(time_ns=2_000.0 + index, application="ghost"))
+
+        decide_calls = []
+        original_decide = manager.pipeline.decide
+
+        def counting_decide(als, library=None, *, candidates=None):
+            decide_calls.append(als.name)
+            return original_decide(als, library, candidates=candidates)
+
+        monkeypatch.setattr(manager.pipeline, "decide", counting_decide)
+        outcome = WorkloadEngine(manager, park_rejections=True).run(scenario)
+
+        straggler_attempts = decide_calls.count("straggler")
+        assert outcome.parked_retries_skipped > 0
+        # One parked rejection = at most one in-region attempt plus one full
+        # fallback pass; idle drains must not add more.
+        assert straggler_attempts <= 2
+        assert ("straggler", "rejected") in [
+            (r.application, r.status.value) for r in outcome.records
+        ]
+
+    def test_parked_request_retries_after_departure(self, manager):
+        fillers = [make_app(90 + i, f"filler{i}", "io_l") for i in range(3)]
+        straggler = make_app(95, "straggler", "io_l")
+        scenario = Scenario("retry", duration_ns=10_000_000.0)
+        for app in fillers:
+            scenario.add(StartEvent(time_ns=0.0, als=app.als, library=app.library))
+        scenario.add(
+            StartEvent(time_ns=1_000.0, als=straggler.als, library=straggler.library)
+        )
+        # Departures free the region: the changed fingerprint un-parks the
+        # straggler, which is then admitted.
+        for index, app in enumerate(fillers):
+            scenario.add(
+                StopEvent(time_ns=2_000_000.0 + index, application=app.als.name)
+            )
+        outcome = WorkloadEngine(manager, park_rejections=True).run(scenario)
+        assert "straggler" in outcome.admitted
+
+
+class TestOwnershipGuard:
+    def test_mutation_without_lock_raises(self, manager):
+        locks = RegionLocks(manager.partition)
+        guard = RegionOwnershipGuard(manager.partition, locks)
+        manager.state.ownership_guard = guard
+        app = make_app(100, "guarded", "io_l")
+        try:
+            with pytest.raises(PlatformError, match="does not hold its lock"):
+                manager.start(app.als, library=app.library)
+        finally:
+            manager.state.ownership_guard = None
+
+    def test_mutation_under_region_lock_passes(self, manager):
+        locks = RegionLocks(manager.partition)
+        guard = RegionOwnershipGuard(manager.partition, locks)
+        app = make_app(101, "guarded", "io_l")
+        manager.state.ownership_guard = guard
+        try:
+            with locks.global_lane():
+                result = manager.start(app.als, library=app.library)
+            assert result.is_feasible
+        finally:
+            manager.state.ownership_guard = None
+
+    def test_region_lock_holder_tracking(self, manager):
+        locks = RegionLocks(manager.partition)
+        assert not locks.holds("r0_0")
+        with locks.region_lane("r0_0"):
+            assert locks.holds("r0_0")
+            assert not locks.holds_all()
+        with locks.global_lane():
+            assert locks.holds_all()
+        assert not locks.holds("r0_0")
+        with pytest.raises(PlatformError):
+            with locks.region_lane("nope"):
+                pass
+
+    def test_guard_blocks_foreign_thread(self, manager):
+        locks = RegionLocks(manager.partition)
+        guard = RegionOwnershipGuard(manager.partition, locks)
+        manager.state.ownership_guard = guard
+        app = make_app(102, "foreign", "io_l")
+        errors = []
+
+        def foreign_start():
+            try:
+                manager.start(app.als, library=app.library)
+            except PlatformError as error:
+                errors.append(error)
+
+        try:
+            with locks.global_lane():
+                # The lock is held by *this* thread; a different thread
+                # mutating the same keys must be rejected by the guard.
+                thread = threading.Thread(target=foreign_start)
+                thread.start()
+                thread.join()
+        finally:
+            manager.state.ownership_guard = None
+        assert errors, "foreign-thread mutation slipped past the ownership guard"

@@ -198,6 +198,27 @@ class TestScenario:
         with pytest.raises(ValueError):
             StopEvent(time_ns=0.0, application="")
 
+    def test_deadline_before_arrival_rejected(self, hiperlan_als):
+        with pytest.raises(ValueError):
+            StartEvent(time_ns=1_000.0, als=hiperlan_als, deadline_ns=500.0)
+
+    def test_equal_time_ties_break_by_sequence_number(self, hiperlan_als):
+        # Three same-time events created in a known order, added to the
+        # scenario in a different order: sorted_events must replay them in
+        # creation order via the monotonic sequence number, not insertion
+        # or sort-stability accidents.
+        first = StartEvent(time_ns=10.0, als=hiperlan_als)
+        second = StopEvent(time_ns=10.0, application="a")
+        third = StopEvent(time_ns=10.0, application="b")
+        assert first.seq < second.seq < third.seq
+        scenario = Scenario("ties")
+        for event in (third, first, second):
+            scenario.add(event)
+        assert scenario.sorted_events() == [first, second, third]
+        assert [e.order_key for e in scenario.sorted_events()] == sorted(
+            e.order_key for e in scenario.events
+        )
+
 
 class TestEnergyAccount:
     def test_integration_over_time(self):

@@ -1,0 +1,164 @@
+"""Arrival-process generators and the scenarios they produce."""
+
+import random
+
+import pytest
+
+from repro.runtime.events import StartEvent, StopEvent
+from repro.workloads.arrivals import (
+    BurstyArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    TrafficClass,
+    generate_workload,
+    offered_rate_per_s,
+)
+from repro.workloads.synthetic import SyntheticConfig
+
+CONFIG = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP",))
+MILLISECOND = 1e6
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_scales_arrival_count(self):
+        rng = random.Random(1)
+        slow = PoissonArrivals(rate_per_s=1000.0).arrival_times_ns(rng, 50 * MILLISECOND)
+        rng = random.Random(1)
+        fast = PoissonArrivals(rate_per_s=4000.0).arrival_times_ns(rng, 50 * MILLISECOND)
+        assert len(fast) > 2 * len(slow)
+        assert slow == sorted(slow)
+        assert all(0 < t < 50 * MILLISECOND for t in slow)
+
+    def test_poisson_scaled_constructor(self):
+        process = PoissonArrivals(rate_per_s=100.0).scaled(3.0)
+        assert process.rate_per_s == pytest.approx(300.0)
+        assert process.nominal_rate_per_s() == pytest.approx(300.0)
+
+    def test_bursty_arrivals_cluster(self):
+        process = BurstyArrivals(
+            burst_rate_per_s=200.0, burst_size_range=(3, 3), intra_burst_gap_ns=500.0
+        )
+        times = process.arrival_times_ns(random.Random(2), 100 * MILLISECOND)
+        assert times == sorted(times)
+        assert len(times) >= 6
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # Two of every three gaps are intra-burst (the configured 500 ns).
+        intra = [gap for gap in gaps if gap == pytest.approx(500.0)]
+        assert len(intra) >= len(gaps) // 3
+        assert process.nominal_rate_per_s() == pytest.approx(600.0)
+
+    def test_periodic_arrivals_spacing(self):
+        process = PeriodicArrivals(period_ns=2 * MILLISECOND)
+        times = process.arrival_times_ns(random.Random(3), 10 * MILLISECOND)
+        assert times == [0.0, 2 * MILLISECOND, 4 * MILLISECOND, 6 * MILLISECOND, 8 * MILLISECOND]
+        jittered = PeriodicArrivals(period_ns=2 * MILLISECOND, jitter_ns=1000.0)
+        times = jittered.arrival_times_ns(random.Random(3), 10 * MILLISECOND)
+        assert len(times) == 5
+        assert all(
+            index * 2 * MILLISECOND <= t <= index * 2 * MILLISECOND + 1000.0
+            for index, t in enumerate(times)
+        )
+
+    def test_periodic_scaled_divides_period(self):
+        process = PeriodicArrivals(period_ns=8 * MILLISECOND).scaled(2.0)
+        assert process.period_ns == pytest.approx(4 * MILLISECOND)
+        with pytest.raises(ValueError):
+            process.scaled(0.0)
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicArrivals(period_ns=0.0).arrival_times_ns(random.Random(0), MILLISECOND)
+
+
+class TestGenerateWorkload:
+    def classes(self):
+        return [
+            TrafficClass(
+                "steady",
+                PoissonArrivals(rate_per_s=800.0),
+                config=CONFIG,
+                priority=1,
+                admission_window_ns=2 * MILLISECOND,
+                hold_range_ns=(MILLISECOND, 3 * MILLISECOND),
+            ),
+            TrafficClass(
+                "bursts",
+                BurstyArrivals(burst_rate_per_s=300.0),
+                config=CONFIG,
+            ),
+        ]
+
+    def test_deterministic_for_equal_seeds(self):
+        first = generate_workload(11, 20 * MILLISECOND, self.classes())
+        second = generate_workload(11, 20 * MILLISECOND, self.classes())
+        key = lambda s: [  # noqa: E731
+            (type(e).__name__, e.time_ns, getattr(e, "application", ""))
+            for e in s.sorted_events()
+        ]
+        assert key(first) == key(second)
+        third = generate_workload(12, 20 * MILLISECOND, self.classes())
+        assert key(first) != key(third)
+
+    def test_start_events_carry_class_attributes(self):
+        scenario = generate_workload(13, 20 * MILLISECOND, self.classes())
+        starts = [e for e in scenario.events if isinstance(e, StartEvent)]
+        steady = [e for e in starts if e.application.startswith("steady_")]
+        bursts = [e for e in starts if e.application.startswith("bursts_")]
+        assert steady and bursts
+        assert all(e.priority == 1 for e in steady)
+        assert all(e.deadline_ns == pytest.approx(e.time_ns + 2 * MILLISECOND) for e in steady)
+        assert all(e.priority == 0 and e.deadline_ns is None for e in bursts)
+
+    def test_departures_follow_their_arrivals(self):
+        scenario = generate_workload(14, 20 * MILLISECOND, self.classes())
+        arrival_of = {
+            e.application: e.time_ns
+            for e in scenario.events
+            if isinstance(e, StartEvent)
+        }
+        stops = [e for e in scenario.events if isinstance(e, StopEvent)]
+        assert stops, "the steady class has holding times, so departures exist"
+        for stop in stops:
+            assert stop.application.startswith("steady_")
+            assert arrival_of[stop.application] + MILLISECOND <= stop.time_ns
+            assert stop.time_ns < 20 * MILLISECOND
+
+    def test_each_arrival_is_a_distinct_application(self):
+        scenario = generate_workload(15, 20 * MILLISECOND, self.classes())
+        starts = [e for e in scenario.events if isinstance(e, StartEvent)]
+        names = [e.application for e in starts]
+        assert len(names) == len(set(names))
+        libraries = {id(e.library) for e in starts}
+        assert len(libraries) == len(starts)
+
+    def test_horizon_is_the_scenario_duration(self):
+        scenario = generate_workload(16, 20 * MILLISECOND, self.classes())
+        assert scenario.end_time_ns() == pytest.approx(20 * MILLISECOND)
+        with pytest.raises(ValueError):
+            generate_workload(16, 0.0, self.classes())
+
+    def test_offered_rate_sums_over_classes(self):
+        assert offered_rate_per_s(self.classes()) == pytest.approx(
+            800.0 + 300.0 * (2 + 5) / 2
+        )
+
+    def test_scaled_class_changes_offered_load_only(self):
+        scaled = [c.scaled(2.0) for c in self.classes()]
+        assert offered_rate_per_s(scaled) == pytest.approx(
+            2 * offered_rate_per_s(self.classes())
+        )
+        assert [c.name for c in scaled] == [c.name for c in self.classes()]
+
+    def test_merged_streams_sort_deterministically(self):
+        # The monotonic sequence number breaks equal-time ties: shuffling the
+        # merged event list (destroying any insertion-order stability) must
+        # not change the replay order.
+        scenario = generate_workload(17, 20 * MILLISECOND, self.classes())
+        reference = scenario.sorted_events()
+        shuffled = list(scenario.events)
+        random.Random(99).shuffle(shuffled)
+        scenario.events = shuffled
+        assert scenario.sorted_events() == reference
+        for earlier, later in zip(reference, reference[1:]):
+            if earlier.time_ns == later.time_ns:
+                assert earlier.seq < later.seq
