@@ -3,13 +3,15 @@
 
 The paper's motivation (section 1.3) is that the set of co-running
 applications is only known at run time.  This example makes that concrete
-at engine scale: a region-sharded 4x4 MPSoC receives a *generated* bursty
-workload — one traffic class per region, bursts of streaming applications
-arriving together, holding resources for a while, then departing — driven
+at engine scale: a region-sharded MPSoC receives a *generated* bursty
+workload — one traffic class per region plus a cross-region mix whose
+applications pin their source and sink into different regions — driven
 through the discrete-event workload engine with the worker-per-region
-executor and cache-aware rejection parking.  The offered load is then swept
-to trace the admission-rate-versus-load curve the run-time mapper exists to
-bend.
+executor, the inter-region corridor planner and cache-aware rejection
+parking.  The engine's per-lane telemetry shows where requests settle
+(region lanes, the multi-region lane, the residual global lane) and what
+the region locks cost; the offered load is then swept to trace the
+admission-rate-versus-load curve the run-time mapper exists to bend.
 
 Run with:  python examples/multi_application_runtime.py
 """
@@ -20,6 +22,7 @@ from repro.reporting import format_table
 from repro.workloads.arrivals import (
     BurstyArrivals,
     TrafficClass,
+    cross_region_classes,
     generate_workload,
     offered_rate_per_s,
 )
@@ -27,16 +30,16 @@ from repro.workloads.synthetic import SyntheticConfig, generate_region_mesh
 
 MILLISECOND = 1e6
 REGIONS = 2  # 2x2 grid
-SPAN = 2     # routers per region edge
+SPAN = 3     # routers per region edge
 
 
 def build_platform():
-    """A 4x4 mesh split into four regions, one I/O tile per region."""
+    """A 6x6 mesh split into four regions, one I/O tile per region."""
     return generate_region_mesh(REGIONS, SPAN, name="bursty_mpsoc")
 
 
 def traffic_classes(load_factor=1.0):
-    """One bursty traffic class per region, pinned to its I/O tile."""
+    """Bursty per-region classes plus a cross-region pair mix."""
     config = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP", "DSP"))
     classes = []
     for cx in range(REGIONS):
@@ -53,6 +56,16 @@ def traffic_classes(load_factor=1.0):
                     admission_window_ns=5 * MILLISECOND,
                 ).scaled(load_factor)
             )
+    classes.extend(
+        traffic.scaled(load_factor)
+        for traffic in cross_region_classes(
+            REGIONS,
+            360.0,
+            config=config,
+            admission_window_ns=5 * MILLISECOND,
+            hold_range_ns=(3 * MILLISECOND, 8 * MILLISECOND),
+        )
+    )
     return classes
 
 
@@ -61,7 +74,10 @@ def run_workload(load_factor):
     platform = build_platform()
     partition = RegionPartition.grid(platform, REGIONS, REGIONS)
     manager = RuntimeResourceManager(
-        platform, config=MapperConfig(analysis_iterations=3), partition=partition
+        platform,
+        config=MapperConfig(analysis_iterations=3),
+        partition=partition,
+        cross_region_planner=True,
     )
     engine = WorkloadEngine(
         manager,
@@ -75,6 +91,41 @@ def run_workload(load_factor):
         name=f"bursty_x{load_factor:g}",
     )
     return engine.run(workload)
+
+
+def print_telemetry(outcome):
+    """Per-lane settlement counters and region lock costs of one run."""
+    rows = []
+    for lane, counters in sorted(outcome.telemetry.lanes.items()):
+        rows.append(
+            (
+                lane,
+                str(counters.admitted),
+                str(counters.rejected),
+                str(counters.expired),
+                str(counters.parked),
+            )
+        )
+    print(format_table(
+        ["Lane", "Admitted", "Rejected", "Expired", "Parked"],
+        rows,
+        title="Engine telemetry (per settlement lane)",
+    ))
+    lock_rows = [
+        (
+            region,
+            f"{outcome.telemetry.lock_acquisitions.get(region, 0)}",
+            f"{outcome.telemetry.lock_wait_s.get(region, 0.0) * 1e3:.2f} ms",
+            f"{outcome.telemetry.lock_hold_s.get(region, 0.0) * 1e3:.2f} ms",
+        )
+        for region in sorted(outcome.telemetry.lock_wait_s)
+    ]
+    if lock_rows:
+        print(format_table(
+            ["Region lock", "Acquisitions", "Waited", "Held"],
+            lock_rows,
+            title="Region lock telemetry",
+        ))
 
 
 def main():
@@ -101,6 +152,8 @@ def main():
     print(f"admission rate       : {outcome.admission_rate:.0%}")
     print(f"total energy         : {outcome.energy.total_energy_nj / 1e6:.3f} mJ over "
           f"{outcome.end_time_ns / MILLISECOND:.0f} ms")
+    print()
+    print_telemetry(outcome)
     print()
 
     print("Admission rate vs offered load:")

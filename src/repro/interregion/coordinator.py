@@ -1,0 +1,51 @@
+"""The lock-subset protocol for inter-region admissions.
+
+The global lane acquires *every* region lock — correct, but it turns one
+cross-region admission into a whole-platform stall.  The coordinator
+replaces that with a **subset lane**: an inter-region admission acquires
+only the sorted subset of the regions its plan may touch (anchors plus
+corridor path, from :meth:`InterRegionPlanner.scope_for`), so workers in
+every other region keep draining.
+
+Deadlock freedom is inherited from :meth:`RegionLocks.subset_lane`: every
+lane — per-region, subset, global — acquires along one fixed sorted-name
+order, so no cycle of waiters can form regardless of how subsets overlap.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+from repro.platform.regions import RegionLocks, RegionPartition
+
+
+class InterRegionCoordinator:
+    """Acquires the lock subset an inter-region admission needs.
+
+    Parameters
+    ----------
+    partition:
+        The region partition whose locks are coordinated.
+    locks:
+        The :class:`~repro.platform.regions.RegionLocks` instance shared
+        with the region workers (sharing is what makes the exclusion real);
+        a private instance is created when omitted.
+    """
+
+    def __init__(
+        self, partition: RegionPartition, *, locks: RegionLocks | None = None
+    ) -> None:
+        self.partition = partition
+        self.locks = locks or RegionLocks(partition)
+
+    @contextmanager
+    def admission_lane(self, region_names: Iterable[str]) -> Iterator[tuple[str, ...]]:
+        """Hold exactly the named regions' locks for one admission.
+
+        Yields the sorted region names actually locked, so callers can pass
+        the same set to the planner as its allowed-region scope.
+        """
+        ordered = tuple(sorted(set(region_names)))
+        with self.locks.subset_lane(ordered):
+            yield ordered

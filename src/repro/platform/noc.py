@@ -71,13 +71,16 @@ class Link:
             raise PlatformError(f"link {self.source} -> {self.target} is a self-loop")
         if self.capacity_bits_per_s <= 0:
             raise PlatformError("link capacity must be positive")
+        sx, sy = self.source
+        tx, ty = self.target
+        # Precomputed: the capacity-aware route search reads link names in
+        # its inner loop, and f-string formatting there showed up in profiles.
+        object.__setattr__(self, "_name", f"L{sx}_{sy}__{tx}_{ty}")
 
     @property
     def name(self) -> str:
         """Canonical link name."""
-        sx, sy = self.source
-        tx, ty = self.target
-        return f"L{sx}_{sy}__{tx}_{ty}"
+        return self._name
 
 
 class NoC:
@@ -90,6 +93,10 @@ class NoC:
         self._routers: dict[Position, Router] = {}
         self._links: dict[tuple[Position, Position], Link] = {}
         self._links_by_name: dict[str, Link] = {}
+        # Outgoing-neighbour adjacency, maintained by add_link: the route
+        # searches ask for neighbours in their inner loop, and scanning the
+        # whole link table there made every Dijkstra O(links) per visit.
+        self._neighbours: dict[Position, list[Position]] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -111,6 +118,7 @@ class NoC:
             raise PlatformError(f"duplicate link {link.source} -> {link.target}")
         self._links[key] = link
         self._links_by_name[link.name] = link
+        self._neighbours.setdefault(key[0], []).append(key[1])
         return link
 
     def add_bidirectional_link(self, a: Position, b: Position, capacity_bits_per_s: float) -> None:
@@ -170,9 +178,9 @@ class NoC:
         return name in self._links_by_name
 
     def neighbours(self, position: Position) -> tuple[Position, ...]:
-        """Positions reachable from ``position`` over one outgoing link."""
+        """Positions reachable from ``position`` over one outgoing link (O(degree))."""
         self.router(position)
-        return tuple(target for (source, target) in self._links if source == tuple(position))
+        return tuple(self._neighbours.get(tuple(position), ()))
 
     def links_on_path(self, path: tuple[Position, ...]) -> tuple[Link, ...]:
         """The directed links traversed by a router path."""

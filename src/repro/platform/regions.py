@@ -23,19 +23,26 @@ explicit, deliberate exception rather than a silent journal leak.
 
 For *parallel* draining (one worker thread per region), the module adds:
 
-* :class:`RegionLocks` — one lock per region plus a **global lane**: the
-  global lane acquires every region lock in a deterministic order, so a
-  cross-region (unscoped) admission excludes all regional workers;
+* :class:`RegionLocks` — one lock per region plus two lanes on top: a
+  **subset lane** that acquires only the sorted subset of named regions'
+  locks (the inter-region admission discipline: a two-region admission
+  excludes exactly those two regions' workers) and the **global lane**,
+  which is simply the subset lane over every region.  Both acquire in one
+  deterministic (sorted-name) global order, so any mix of lanes is
+  deadlock-free;
 * :class:`RegionOwnershipGuard` — an assertion hook for
   :attr:`~repro.platform.state.PlatformState.ownership_guard`: while armed,
   any mutation of a tile/link whose owning region's lock is *not* held by
   the mutating thread raises, turning the locking discipline from a
-  convention into an invariant.
+  convention into an invariant.  A cross-region link is owned by its two
+  endpoint regions together: mutating it requires holding *both* their
+  locks (which the subset and global lanes provide).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterable, Iterator
 
@@ -310,18 +317,22 @@ GLOBAL_LANE = "__global__"
 
 
 class RegionLocks:
-    """Per-region locks plus a serialized global lane over one partition.
+    """Per-region locks plus subset and global lanes over one partition.
 
-    Workers draining independent regions each hold their region's lock;
-    work that may touch several regions (cross-region routes, unrestricted
-    fallback mappings) runs in the *global lane*, which acquires every
-    region lock in deterministic (sorted-name) order — excluding all
-    regional workers for its duration and remaining deadlock-free by the
-    fixed acquisition order.
+    Workers draining independent regions each hold their region's lock.
+    Work that touches a known *set* of regions (an inter-region admission
+    with its corridor) runs in a **subset lane**, which acquires exactly
+    those regions' locks in deterministic (sorted-name) order — excluding
+    only the touched regions' workers.  Work that may touch anything
+    (unrestricted fallback mappings) runs in the **global lane**, the
+    subset lane over every region.  Because every lane acquires along the
+    same fixed global order, any mix of concurrent lanes is deadlock-free.
 
     Lock holders are tracked by thread ident so the
     :class:`RegionOwnershipGuard` can *assert* ownership, not just rely on
-    it.  Locks are reentrant within a thread.
+    it.  Locks are reentrant within a thread.  Per-region wait and hold
+    times are accumulated (cheaply, under a dedicated stats lock) for the
+    engine's telemetry.
     """
 
     def __init__(self, partition: RegionPartition) -> None:
@@ -333,35 +344,83 @@ class RegionLocks:
             name: threading.RLock() for name in self._region_names
         }
         self._holders: dict[str, list[int]] = {name: [] for name in self._region_names}
+        self._stats_lock = threading.Lock()
+        self._wait_s: dict[str, float] = {name: 0.0 for name in self._region_names}
+        self._hold_s: dict[str, float] = {name: 0.0 for name in self._region_names}
+        self._acquisitions: dict[str, int] = {name: 0 for name in self._region_names}
 
     @contextmanager
     def region_lane(self, region_name: str) -> Iterator[None]:
         """Hold one region's lock (the per-region worker discipline)."""
-        if region_name not in self._locks:
-            raise PlatformError(f"unknown region {region_name!r}")
-        ident = threading.get_ident()
-        with self._locks[region_name]:
-            self._holders[region_name].append(ident)
-            try:
-                yield
-            finally:
-                self._holders[region_name].pop()
+        with self.subset_lane((region_name,)):
+            yield
 
     @contextmanager
-    def global_lane(self) -> Iterator[None]:
-        """Hold *every* region lock (serialized cross-region work)."""
+    def subset_lane(self, region_names: Iterable[str]) -> Iterator[None]:
+        """Hold exactly the named regions' locks (inter-region work).
+
+        Acquisition follows the partition-wide sorted-name order regardless
+        of the order the caller names the regions in, so concurrent subset
+        lanes (and the global lane, which is one) can never deadlock.
+        """
+        ordered = tuple(sorted(set(region_names)))
+        if not ordered:
+            raise PlatformError("a lock subset needs at least one region")
+        for name in ordered:
+            if name not in self._locks:
+                raise PlatformError(f"unknown region {name!r}")
         ident = threading.get_ident()
         acquired: list[str] = []
+        held_from = time.perf_counter()
         try:
-            for name in self._region_names:
+            for name in ordered:
+                # Each acquire is timed on its own so contention is charged
+                # to the lock that actually blocked, not the whole subset.
+                started = time.perf_counter()
                 self._locks[name].acquire()
+                waited = time.perf_counter() - started
                 self._holders[name].append(ident)
                 acquired.append(name)
+                self._note_wait((name,), waited)
+            held_from = time.perf_counter()
             yield
         finally:
+            if len(acquired) == len(ordered):
+                self._note_hold(ordered, time.perf_counter() - held_from)
             for name in reversed(acquired):
                 self._holders[name].pop()
                 self._locks[name].release()
+
+    @contextmanager
+    def global_lane(self) -> Iterator[None]:
+        """Hold *every* region lock (serialized whole-platform work)."""
+        with self.subset_lane(self._region_names):
+            yield
+
+    def _note_wait(self, names: tuple[str, ...], seconds: float) -> None:
+        """Accumulate time-to-acquire (one acquisition per named region)."""
+        with self._stats_lock:
+            for name in names:
+                self._wait_s[name] += seconds
+                self._acquisitions[name] += 1
+
+    def _note_hold(self, names: tuple[str, ...], seconds: float) -> None:
+        """Accumulate time the lane held the named regions' locks."""
+        with self._stats_lock:
+            for name in names:
+                self._hold_s[name] += seconds
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Per-region acquisition counts and cumulative wait/hold seconds."""
+        with self._stats_lock:
+            return {
+                name: {
+                    "acquisitions": self._acquisitions[name],
+                    "wait_s": self._wait_s[name],
+                    "hold_s": self._hold_s[name],
+                }
+                for name in self._region_names
+            }
 
     def holds(self, region_name: str) -> bool:
         """Whether the current thread holds the named region's lock."""
@@ -378,22 +437,35 @@ class RegionOwnershipGuard:
 
     Installed as :attr:`~repro.platform.state.PlatformState.ownership_guard`
     while a parallel drain is in flight: every ``allocate_*`` / release on
-    the state first resolves the touched tile/link to its owning region and
-    checks the mutating thread holds that region's lock.  Cross-region
-    links belong to no region, so touching one requires the global lane.
-    A violation raises :class:`~repro.exceptions.PlatformError` — racing
-    writers fail loudly instead of corrupting journals.
+    the state first resolves the touched tile/link to its owning region(s)
+    and checks the mutating thread holds the matching lock(s).  A
+    cross-region link is owned by its two endpoint regions *together*:
+    mutating it requires holding both their locks — which a subset lane
+    over the touched regions (or the global lane) provides.  Links with an
+    endpoint on an unassigned router position belong to no region pair and
+    still require the global lane.  A violation raises
+    :class:`~repro.exceptions.PlatformError` — racing writers fail loudly
+    instead of corrupting journals.
     """
 
     def __init__(self, partition: RegionPartition, locks: RegionLocks) -> None:
         self.partition = partition
         self.locks = locks
-        self._link_owner: dict[str, str | None] = {}
+        #: Link name -> owning region names (one for internal links, the
+        #: endpoint pair for cross-region links), or ``None`` when an
+        #: endpoint position belongs to no region (global lane required).
+        self._link_owners: dict[str, tuple[str, ...] | None] = {}
         for region in partition:
             for link_name in region.link_names:
-                self._link_owner[link_name] = region.name
+                self._link_owners[link_name] = (region.name,)
         for link_name in partition.cross_link_names():
-            self._link_owner[link_name] = None
+            link = partition.platform.noc.link_by_name(link_name)
+            source = partition.region_of_position(link.source)
+            target = partition.region_of_position(link.target)
+            if source is None or target is None:
+                self._link_owners[link_name] = None
+            else:
+                self._link_owners[link_name] = (source.name, target.name)
 
     def check_tile(self, tile_name: str) -> None:
         """Raise unless the current thread owns the tile's region."""
@@ -405,16 +477,18 @@ class RegionOwnershipGuard:
             )
 
     def check_link(self, link_name: str) -> None:
-        """Raise unless the current thread owns the link's region (or the globe)."""
-        owner = self._link_owner.get(link_name)
-        if owner is None:
+        """Raise unless the current thread owns the link's region(s)."""
+        owners = self._link_owners.get(link_name)
+        if owners is None:
             if not self.locks.holds_all():
                 raise PlatformError(
-                    f"link {link_name!r} is cross-region; mutating it requires "
-                    "the global lane (all region locks)"
+                    f"link {link_name!r} touches an unassigned router position; "
+                    "mutating it requires the global lane (all region locks)"
                 )
-        elif not self.locks.holds(owner):
-            raise PlatformError(
-                f"link {link_name!r} belongs to region {owner!r} but the "
-                "mutating thread does not hold its lock"
-            )
+            return
+        for owner in owners:
+            if not self.locks.holds(owner):
+                raise PlatformError(
+                    f"link {link_name!r} is owned by region(s) {owners!r} but the "
+                    f"mutating thread does not hold its lock ({owner!r})"
+                )

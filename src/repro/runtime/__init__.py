@@ -19,8 +19,11 @@ from repro.runtime.manager import (
 from repro.runtime.queue import AdmissionQueue, QueuedRequest, RequestStatus
 from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
 from repro.runtime.engine import (
+    MULTI_REGION_LANE,
     EngineOutcome,
     EngineRecord,
+    EngineTelemetry,
+    LaneCounters,
     SerialRegionExecutor,
     ThreadedRegionExecutor,
     WorkloadEngine,
@@ -43,6 +46,9 @@ __all__ = [
     "WorkloadEngine",
     "EngineOutcome",
     "EngineRecord",
+    "EngineTelemetry",
+    "LaneCounters",
+    "MULTI_REGION_LANE",
     "SerialRegionExecutor",
     "ThreadedRegionExecutor",
     "Scenario",

@@ -26,23 +26,33 @@ driver:
 The two-phase drain discipline
 ------------------------------
 
-Each drain claims the ready requests and splits them into **region lanes**
-and a **global lane**:
+Each drain claims the ready requests and splits them into **region lanes**,
+a **multi-region lane** and a **global lane**:
 
 1. *Parallel phase* — a request pinned to a single region lane is decided
    with the pipeline restricted to exactly that region (``candidates=
    (region,)``): mapping, routing and the transactional commit all stay
    inside the shard, so lanes commute and any interleaving of workers
    yields the same decisions as any serial order.
-2. *Serial phase* — requests the parallel phase cannot own (global-lane
-   requests, duplicate application names, and in-region rejections that
-   deserve their cross-region fallback) run through the **full** pipeline
-   on the engine's thread, in arrival order, after every worker has joined.
+2. *Multi-region lane* — with an inter-region planner attached, a request
+   whose pinned tiles span several regions is planned over budgeted
+   boundary corridors under the coordinator's **lock subset** (only the
+   touched regions' locks), between the parallel phase and the residual
+   global fallback.  A planner rejection falls through to phase 3.
+3. *Serial phase* — requests no earlier lane can own (residual global-lane
+   requests, duplicate application names, in-region rejections that
+   deserve their cross-region fallback, planner rejections) run through
+   the **full** pipeline on the engine's thread, in arrival order, after
+   every worker has joined.
 
 Finalisation (audit trail, running registry, queue settlement, energy
 accounting) always happens on the engine's thread in arrival order, so the
 serial and threaded executors are *decision-identical by construction* —
 the differential tests pin exactly that.
+
+Per-lane telemetry (admissions, rejections, expiries, parked retries) and
+per-region lock wait/hold times are accumulated on the
+:class:`EngineOutcome` (:attr:`EngineOutcome.telemetry`).
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.interregion.coordinator import InterRegionCoordinator
 from repro.platform.regions import (
     GLOBAL_LANE,
     Region,
@@ -64,10 +75,16 @@ from repro.runtime.manager import RuntimeResourceManager
 from repro.runtime.pipeline import AdmissionPipeline
 from repro.runtime.queue import AdmissionQueue, QueuedRequest, RequestStatus
 
+#: Lane label of the engine's multi-region (inter-region planner) lane.
+MULTI_REGION_LANE = "__multi__"
+
 __all__ = [
     "WorkloadEngine",
     "EngineOutcome",
     "EngineRecord",
+    "EngineTelemetry",
+    "LaneCounters",
+    "MULTI_REGION_LANE",
     "SerialRegionExecutor",
     "ThreadedRegionExecutor",
 ]
@@ -91,6 +108,30 @@ class _RegionJob:
             self.decision = pipeline.decide(
                 self.request.als, self.request.library, candidates=(self.region,)
             )
+        except Exception as error:  # surfaced (and re-raised) by the engine
+            self.error = error
+
+
+@dataclass
+class _MultiRegionJob:
+    """One multi-region lane work item: plan a spanning request over corridors.
+
+    Runs on the engine's thread between the parallel and serial phases,
+    holding only the lock subset of the regions the plan may touch.
+    """
+
+    request: QueuedRequest
+    scope: tuple[str, ...]
+    decision: object | None = None
+    error: BaseException | None = None
+
+    def run(self, pipeline: AdmissionPipeline, coordinator: InterRegionCoordinator) -> None:
+        """Plan under the coordinator's lock subset; failures are captured."""
+        try:
+            with coordinator.admission_lane(self.scope) as locked:
+                self.decision = pipeline.decide_interregion(
+                    self.request.als, self.request.library, scope=locked
+                )
         except Exception as error:  # surfaced (and re-raised) by the engine
             self.error = error
 
@@ -185,6 +226,64 @@ class ThreadedRegionExecutor:
 # --------------------------------------------------------------------------- #
 # Outcome bookkeeping
 # --------------------------------------------------------------------------- #
+@dataclass
+class LaneCounters:
+    """Per-lane settlement counters of one engine run."""
+
+    admitted: int = 0
+    rejected: int = 0
+    expired: int = 0
+    cancelled: int = 0
+    parked: int = 0
+
+    def settled(self) -> int:
+        """Requests this lane settled terminally."""
+        return self.admitted + self.rejected + self.expired + self.cancelled
+
+
+@dataclass
+class EngineTelemetry:
+    """Observability counters of one engine run.
+
+    ``lanes`` is keyed by the lane that *settled* the request: a region
+    name for phase-1 admissions, :data:`MULTI_REGION_LANE` for the
+    inter-region planner lane, :data:`~repro.platform.regions.GLOBAL_LANE`
+    for the serial phase.  Parked retries count against the request's home
+    lane.  ``lock_wait_s`` / ``lock_hold_s`` aggregate the per-region lock
+    times of every lane (region workers, lock subsets, global lane).
+    """
+
+    lanes: dict[str, LaneCounters] = field(default_factory=dict)
+    lock_wait_s: dict[str, float] = field(default_factory=dict)
+    lock_hold_s: dict[str, float] = field(default_factory=dict)
+    lock_acquisitions: dict[str, int] = field(default_factory=dict)
+
+    def lane(self, name: str) -> LaneCounters:
+        """The counters of one lane (created on first use)."""
+        return self.lanes.setdefault(name, LaneCounters())
+
+    def count(self, lane: str, status: "RequestStatus") -> None:
+        """Account one settled request against a lane."""
+        counters = self.lane(lane)
+        if status is RequestStatus.ADMITTED:
+            counters.admitted += 1
+        elif status is RequestStatus.REJECTED:
+            counters.rejected += 1
+        elif status is RequestStatus.EXPIRED:
+            counters.expired += 1
+        elif status is RequestStatus.CANCELLED:
+            counters.cancelled += 1
+
+    def merge_lock_stats(self, stats: dict[str, dict[str, float]]) -> None:
+        """Fold one :meth:`RegionLocks.stats` snapshot into the totals."""
+        for region, values in stats.items():
+            self.lock_wait_s[region] = self.lock_wait_s.get(region, 0.0) + values["wait_s"]
+            self.lock_hold_s[region] = self.lock_hold_s.get(region, 0.0) + values["hold_s"]
+            self.lock_acquisitions[region] = self.lock_acquisitions.get(region, 0) + int(
+                values["acquisitions"]
+            )
+
+
 @dataclass(frozen=True)
 class EngineRecord:
     """Final outcome of one admission request driven through the engine."""
@@ -218,6 +317,7 @@ class EngineOutcome:
     drain_wall_s: float = 0.0
     mapping_runtime_s: float = 0.0
     parked_retries_skipped: int = 0
+    telemetry: EngineTelemetry = field(default_factory=EngineTelemetry)
 
     def _with_status(self, status: RequestStatus) -> list[EngineRecord]:
         return [record for record in self.records if record.status is status]
@@ -303,6 +403,10 @@ class WorkloadEngine:
         self.queue = queue or AdmissionQueue(manager, park_rejections=park_rejections)
         self.executor = executor or SerialRegionExecutor()
         self.drain_mode = drain_mode
+        #: Lock-subset coordinator of the multi-region lane, created on
+        #: first use.  It shares the threaded executor's locks (so the
+        #: subset exclusion is real) or gets a private set otherwise.
+        self._coordinator: InterRegionCoordinator | None = None
 
     # ------------------------------------------------------------------ #
     def run(self, workload) -> EngineOutcome:
@@ -314,6 +418,7 @@ class WorkloadEngine:
         by :mod:`repro.workloads.arrivals`).
         """
         started = time.perf_counter()
+        lock_baseline = self._lock_stats_snapshot()
         outcome = EngineOutcome(workload=getattr(workload, "name", "workload"))
         events = workload.sorted_events()
         for event in events:
@@ -360,7 +465,48 @@ class WorkloadEngine:
         outcome.end_time_ns = end_time_ns
         outcome.energy.finish(end_time_ns)
         outcome.wall_clock_s = time.perf_counter() - started
+        self._collect_lock_stats(outcome, lock_baseline)
         return outcome
+
+    def _lock_sources(self) -> list[RegionLocks]:
+        """Every RegionLocks instance this engine's lanes may have used."""
+        sources: list[RegionLocks] = []
+        locks = getattr(self.executor, "locks", None)
+        if isinstance(locks, RegionLocks):
+            sources.append(locks)
+        if self._coordinator is not None and all(
+            self._coordinator.locks is not source for source in sources
+        ):
+            sources.append(self._coordinator.locks)
+        return sources
+
+    def _lock_stats_snapshot(self) -> dict[int, dict[str, dict[str, float]]]:
+        """Cumulative lock stats per source, keyed by object identity."""
+        return {id(source): source.stats() for source in self._lock_sources()}
+
+    def _collect_lock_stats(
+        self,
+        outcome: EngineOutcome,
+        baseline: dict[int, dict[str, dict[str, float]]],
+    ) -> None:
+        """Fold this run's lock timings into the outcome's telemetry.
+
+        ``RegionLocks`` accumulates for its lifetime (executors may be
+        reused across runs), so each run reports the delta against the
+        snapshot taken when it started.  A coordinator created mid-run has
+        fresh locks, whose baseline is implicitly zero.
+        """
+        for source in self._lock_sources():
+            stats = source.stats()
+            before = baseline.get(id(source), {})
+            delta = {
+                region: {
+                    key: values[key] - before.get(region, {}).get(key, 0.0)
+                    for key in values
+                }
+                for region, values in stats.items()
+            }
+            outcome.telemetry.merge_lock_stats(delta)
 
     # ------------------------------------------------------------------ #
     def _submit(self, event: StartEvent) -> int:
@@ -398,7 +544,7 @@ class WorkloadEngine:
         running = {app.name for app in self.manager.running_applications}
         claimed: set[str] = set()
         lane_jobs: dict[str, list[_RegionJob]] = {}
-        job_of: dict[int, _RegionJob] = {}
+        job_of: dict[int, _RegionJob | _MultiRegionJob] = {}
         for request in ready:
             name = request.application
             region = (
@@ -408,8 +554,8 @@ class WorkloadEngine:
             )
             if region is None or name in running or name in claimed:
                 # Global-lane work and duplicate names stay serialized: the
-                # serial phase applies the full pipeline (and the manager's
-                # already-running check) in arrival order.
+                # multi-region lane (spanning pins) or the serial phase
+                # applies them in arrival order.
                 continue
             claimed.add(name)
             job = _RegionJob(request, region)
@@ -418,7 +564,7 @@ class WorkloadEngine:
 
         self.executor.execute(lane_jobs, self.manager.pipeline)
 
-        failed = [
+        failed: list[_RegionJob | _MultiRegionJob] = [
             job
             for lane in sorted(lane_jobs)
             for job in lane_jobs[lane]
@@ -428,57 +574,155 @@ class WorkloadEngine:
             self._unwind_failed_drain(now_ns, ready, job_of, outcome)
             raise failed[0].error
 
+        # Multi-region lane: spanning requests plan over budgeted corridors
+        # under a lock subset, after the workers joined, before the global
+        # fallback.  Claiming follows arrival order like everything else.
+        multi_jobs = self._claim_multi_region_jobs(ready, running, claimed, job_of)
+        if multi_jobs:
+            self._run_multi_region_lane(multi_jobs)
+            failed = [job for job in multi_jobs if job.error is not None]
+            if failed:
+                self._unwind_failed_drain(now_ns, ready, job_of, outcome)
+                raise failed[0].error
+
         # Finalisation and the serial phase, both in arrival order.
         serial_phase: list[QueuedRequest] = []
+        planner_rejected: set[int] = set()
         for request in ready:
             job = job_of.get(request.ticket)
             if job is not None and job.decision is not None and job.decision.admitted:
+                lane = (
+                    MULTI_REGION_LANE
+                    if isinstance(job, _MultiRegionJob)
+                    else request.lane
+                )
                 self.manager.adopt_decision(request.als, job.decision, time_ns=now_ns)
                 self.queue.finalize(request, job.decision, now_ns=now_ns)
-                self._record(now_ns, request, outcome)
+                self._record(now_ns, request, outcome, lane=lane)
             else:
                 # In-region rejections retry with their cross-region
-                # fallback; they join the global lane's serial pass.  The
-                # failed attempt still cost mapper time and a pipeline trip
-                # — account both, or the sharded configurations would
+                # fallback and planner rejections with the unrestricted
+                # global mapping; both join the serial pass.  The failed
+                # attempt still cost mapper time and a pipeline trip —
+                # account both, or the sharded configurations would
                 # under-report their real per-admission work.
                 if job is not None and job.decision is not None:
                     outcome.mapping_runtime_s += job.decision.mapping_runtime_s
                     request.attempts += 1
+                    if isinstance(job, _MultiRegionJob):
+                        planner_rejected.add(request.ticket)
                 serial_phase.append(request)
         for request in serial_phase:
             decision = self.manager.admit(
-                request.als, library=request.library, time_ns=now_ns
+                request.als,
+                library=request.library,
+                time_ns=now_ns,
+                # The planner already rejected these this drain; it is
+                # deterministic, so re-running it could only repeat itself.
+                interregion=request.ticket not in planner_rejected,
             )
             self.queue.finalize(request, decision, now_ns=now_ns)
-            self._record(now_ns, request, outcome)
+            # A spanning request the multi-region lane could not claim
+            # (duplicate name in the drain) may still be admitted by the
+            # planner stage inside the full pipeline — credit its lane.
+            settled_lane = (
+                MULTI_REGION_LANE
+                if decision.admitted
+                and getattr(decision, "origin", "pipeline") == "interregion"
+                else GLOBAL_LANE
+            )
+            self._record(now_ns, request, outcome, lane=settled_lane)
+            if not request.status.is_final:
+                outcome.telemetry.lane(request.lane).parked += 1
         outcome.drain_wall_s += time.perf_counter() - drain_started
+
+    def _claim_multi_region_jobs(
+        self,
+        ready: list[QueuedRequest],
+        running: set[str],
+        claimed: set[str],
+        job_of: dict[int, "_RegionJob | _MultiRegionJob"],
+    ) -> list[_MultiRegionJob]:
+        """Claim global-lane requests whose pinned tiles span >= 2 regions."""
+        planner = self.manager.pipeline.interregion
+        if planner is None or self.manager.partition is None:
+            return []
+        jobs: list[_MultiRegionJob] = []
+        for request in ready:
+            if request.ticket in job_of:
+                continue
+            name = request.application
+            if name in running or name in claimed:
+                continue
+            scope = planner.scope_for(request.als)
+            if scope is None:
+                continue
+            claimed.add(name)
+            job = _MultiRegionJob(request, scope)
+            job_of[request.ticket] = job
+            jobs.append(job)
+        return jobs
+
+    def _run_multi_region_lane(self, jobs: list[_MultiRegionJob]) -> None:
+        """Run the planner jobs under lock subsets (ownership guard armed)."""
+        if self._coordinator is None:
+            locks = getattr(self.executor, "locks", None)
+            self._coordinator = InterRegionCoordinator(
+                self.manager.partition,
+                locks=locks if isinstance(locks, RegionLocks) else None,
+            )
+        state = self.manager.pipeline.state
+        guard = getattr(self.executor, "guard", None)
+        previous_guard = state.ownership_guard
+        if guard is not None:
+            # The planner must prove it only touches its lock subset.
+            state.ownership_guard = guard
+        try:
+            for job in jobs:
+                job.run(self.manager.pipeline, self._coordinator)
+        finally:
+            state.ownership_guard = previous_guard
 
     def _unwind_failed_drain(
         self,
         now_ns: float,
         ready: list[QueuedRequest],
-        job_of: dict[int, _RegionJob],
+        job_of: dict[int, "_RegionJob | _MultiRegionJob"],
         outcome: EngineOutcome,
     ) -> None:
-        """Settle what phase 1 decided, requeue the rest, before re-raising."""
+        """Settle what the lanes decided, requeue the rest, before re-raising."""
         requeue: list[QueuedRequest] = []
         for request in ready:
             job = job_of.get(request.ticket)
             if job is not None and job.decision is not None and job.decision.admitted:
+                lane = (
+                    MULTI_REGION_LANE
+                    if isinstance(job, _MultiRegionJob)
+                    else request.lane
+                )
                 self.manager.adopt_decision(request.als, job.decision, time_ns=now_ns)
                 self.queue.finalize(request, job.decision, now_ns=now_ns)
-                self._record(now_ns, request, outcome)
+                self._record(now_ns, request, outcome, lane=lane)
             else:
                 requeue.append(request)
         self.queue.requeue(requeue)
 
     def _record(
-        self, time_ns: float, request: QueuedRequest, outcome: EngineOutcome
+        self,
+        time_ns: float,
+        request: QueuedRequest,
+        outcome: EngineOutcome,
+        lane: str | None = None,
     ) -> None:
-        """Append a settled request to the outcome (parked requests stay open)."""
+        """Append a settled request to the outcome (parked requests stay open).
+
+        ``lane`` names the lane that settled the request for the telemetry
+        counters; it defaults to the request's home lane (expiries, end-of-
+        workload flushes).
+        """
         if not request.status.is_final:
             return  # parked rejection: still pending, not an outcome yet
+        outcome.telemetry.count(lane if lane is not None else request.lane, request.status)
         outcome.records.append(
             EngineRecord(
                 time_ns=time_ns,

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.appmodel.library import ImplementationLibrary
-from repro.exceptions import AdmissionRejected, UnknownApplication
+from repro.exceptions import AdmissionRejected, PlatformError, UnknownApplication
 from repro.kpn.als import ApplicationLevelSpec
 from repro.mapping.result import MappingResult
 from repro.platform.platform import Platform
@@ -93,6 +93,14 @@ class RuntimeResourceManager:
         Capacity of the fingerprint-keyed mapper result cache (0 disables).
     region_fallback:
         Whether admission retries globally when no single region fits.
+    cross_region_planner:
+        Attach an :class:`~repro.interregion.planner.InterRegionPlanner`
+        (requires ``partition``): requests whose pinned tiles span regions
+        are planned over budgeted boundary corridors before the global
+        fallback, and the engine's multi-region lane admits them under a
+        lock subset instead of the serialized global lane.
+    corridor_budget_fraction:
+        Fraction of boundary-link capacity corridors may reserve.
     """
 
     def __init__(
@@ -107,6 +115,8 @@ class RuntimeResourceManager:
         mapper_cache_size: int = 128,
         region_fallback: bool = True,
         max_region_attempts: int = 2,
+        cross_region_planner: bool = False,
+        corridor_budget_fraction: float = 0.5,
     ) -> None:
         self.platform = platform
         self.library = library or ImplementationLibrary()
@@ -123,6 +133,17 @@ class RuntimeResourceManager:
             region_fallback=region_fallback,
             max_region_attempts=max_region_attempts,
         )
+        if cross_region_planner:
+            if partition is None:
+                raise PlatformError(
+                    "cross_region_planner requires a region partition"
+                )
+            # Imported here: repro.interregion builds on the runtime pipeline.
+            from repro.interregion.planner import InterRegionPlanner
+
+            self.pipeline.interregion = InterRegionPlanner(
+                self.pipeline, budget_fraction=corridor_budget_fraction
+            )
         self.state = self.pipeline.state
         self._running: dict[str, RunningApplication] = {}
         #: History of admission decisions: (application, admitted, reason).
@@ -154,6 +175,7 @@ class RuntimeResourceManager:
         *,
         library: ImplementationLibrary | None = None,
         time_ns: float = 0.0,
+        interregion: bool = True,
     ) -> AdmissionDecision:
         """Run one request through the pipeline; never raises on rejection.
 
@@ -161,8 +183,14 @@ class RuntimeResourceManager:
         the application joins :attr:`running_applications`.  This is the
         building block :meth:`start`, :meth:`start_many` and the
         :class:`~repro.runtime.queue.AdmissionQueue` all share.
+        ``interregion=False`` skips the inter-region planner stage (the
+        engine passes it for requests the multi-region lane already
+        rejected — the planner is deterministic, so retrying it within one
+        drain could only repeat the same answer).
         """
-        decision = self._admit(als, library=library, time_ns=time_ns)
+        decision = self._admit(
+            als, library=library, time_ns=time_ns, interregion=interregion
+        )
         self.decisions.append((decision.application, decision.admitted, decision.reason))
         return decision
 
@@ -304,11 +332,15 @@ class RuntimeResourceManager:
         *,
         library: ImplementationLibrary | None,
         time_ns: float,
+        interregion: bool = True,
     ) -> AdmissionDecision:
         """Run one application through the pipeline and track it when admitted."""
         if als.name in self._running:
             return AdmissionDecision(als.name, False, "application is already running")
-        decision = self.pipeline.decide(als, library=library)
+        if interregion:
+            decision = self.pipeline.decide(als, library=library)
+        else:
+            decision = self.pipeline.decide(als, library=library, use_interregion=False)
         if decision.admitted:
             assert decision.result is not None
             self._running[als.name] = RunningApplication(

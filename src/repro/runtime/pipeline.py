@@ -52,6 +52,11 @@ class AdmissionDecision:
     reason: str
     result: MappingResult | None = None
     mapping_runtime_s: float = 0.0
+    #: Which stage produced the decision: ``"pipeline"`` (region attempts /
+    #: global fallback) or ``"interregion"`` (the corridor planner).  The
+    #: engine's telemetry attributes settlements by this, not by the
+    #: free-text ``reason``.
+    origin: str = "pipeline"
 
 
 class AdmissionPipeline:
@@ -129,6 +134,11 @@ class AdmissionPipeline:
         #: Regions each running application's allocations landed in
         #: (observability: which shard an admission was served from).
         self._regions_of_app: dict[str, tuple[str, ...]] = {}
+        #: Optional inter-region planner (duck-typed:
+        #: :class:`repro.interregion.planner.InterRegionPlanner`).  When set,
+        #: a request no single region can host is planned over budgeted
+        #: boundary corridors *before* the unrestricted global fallback.
+        self.interregion = None
 
     # ------------------------------------------------------------------ #
     # Stage 1 — fingerprints
@@ -249,30 +259,41 @@ class AdmissionPipeline:
         """
         mapping = result.mapping
         with self.state.transaction(region):
-            for assignment in mapping.assignments:
-                if assignment.implementation is None:
-                    continue
-                self.state.allocate_process(
-                    ProcessAllocation(
-                        application=als.name,
-                        process=assignment.process,
-                        tile=assignment.tile,
-                        memory_bytes=assignment.implementation.memory_bytes,
-                        compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
+            self.write_allocations(als.name, mapping)
+        self._note_commit(als.name, mapping)
+
+    def write_allocations(self, application: str, mapping: Mapping) -> None:
+        """Allocate a mapping's processes and routed links into the state.
+
+        Writes into whatever transaction scope the caller holds open —
+        :meth:`commit` uses it under a region scope, the inter-region
+        planner under its corridor scope (and for tentative scratch work).
+        Keeping this the single allocation writer means planner-committed
+        and pipeline-committed state can never diverge in bookkeeping.
+        """
+        for assignment in mapping.assignments:
+            if assignment.implementation is None:
+                continue
+            self.state.allocate_process(
+                ProcessAllocation(
+                    application=application,
+                    process=assignment.process,
+                    tile=assignment.tile,
+                    memory_bytes=assignment.implementation.memory_bytes,
+                    compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
+                )
+            )
+        for route in mapping.routes:
+            for a, b in zip(route.path, route.path[1:]):
+                link = self.platform.noc.link(a, b)
+                self.state.allocate_link(
+                    LinkAllocation(
+                        application=application,
+                        channel=route.channel,
+                        link=link.name,
+                        bits_per_s=route.required_bits_per_s,
                     )
                 )
-            for route in mapping.routes:
-                for a, b in zip(route.path, route.path[1:]):
-                    link = self.platform.noc.link(a, b)
-                    self.state.allocate_link(
-                        LinkAllocation(
-                            application=als.name,
-                            channel=route.channel,
-                            link=link.name,
-                            bits_per_s=route.required_bits_per_s,
-                        )
-                    )
-        self._note_commit(als.name, mapping)
 
     # ------------------------------------------------------------------ #
     # The full pipeline
@@ -283,6 +304,7 @@ class AdmissionPipeline:
         library: ImplementationLibrary | None = None,
         *,
         candidates: tuple[Region | None, ...] | None = None,
+        use_interregion: bool = True,
     ) -> AdmissionDecision:
         """Run stages 1-4 for one request and return its decision.
 
@@ -294,6 +316,13 @@ class AdmissionPipeline:
         ``candidates`` overrides stage 2: the caller dictates exactly which
         regions to attempt (the engine's region workers pass their single
         lane region so a parallel attempt can never leave its shard).
+
+        When an inter-region planner is attached, the global-fallback slot
+        first attempts a planned cross-region admission over budgeted
+        boundary corridors; only a planner rejection falls through to the
+        unrestricted global mapping, so the global lane remains the
+        differential reference.  ``use_interregion=False`` skips the
+        planner attempt (used by callers that already ran it).
         """
         runtime_s = 0.0
         best: MappingResult | None = None
@@ -306,6 +335,12 @@ class AdmissionPipeline:
                 "no region can host the application (global fallback disabled)",
             )
         for region in candidates:
+            if region is None and use_interregion and self.interregion is not None:
+                planned = self.interregion.decide(als, library)
+                runtime_s += planned.mapping_runtime_s
+                if planned.admitted:
+                    planned.mapping_runtime_s = runtime_s
+                    return planned
             result = self.map_stage(als, library, region)
             runtime_s += result.runtime_s
             admissible = (
@@ -356,8 +391,29 @@ class AdmissionPipeline:
         """
         with self.state.transaction():
             removed = self.state.release_application(application)
+        if self.interregion is not None:
+            self.interregion.budgets.release_application(application)
         self._regions_of_app.pop(application, None)
         return removed
+
+    def decide_interregion(
+        self,
+        als: ApplicationLevelSpec,
+        library: ImplementationLibrary | None = None,
+        *,
+        scope: tuple[str, ...] | None = None,
+    ) -> AdmissionDecision:
+        """Run only the inter-region planner stage for one request.
+
+        The engine's multi-region lane uses this under the coordinator's
+        lock subset; a rejection is final for this stage only — the caller
+        retries through the serialized global lane.
+        """
+        if self.interregion is None:
+            return AdmissionDecision(
+                als.name, False, "inter-region: no planner configured"
+            )
+        return self.interregion.decide(als, library, scope=scope)
 
     def regions_of(self, application: str) -> tuple[str, ...]:
         """Names of the regions a running application's allocations landed in."""
@@ -368,6 +424,10 @@ class AdmissionPipeline:
         gone without :meth:`release` having run (e.g. a batch rollback undid
         the commit wholesale)."""
         self._regions_of_app.pop(application, None)
+
+    def record_commit(self, application: str, mapping: Mapping) -> None:
+        """Record a commit performed outside :meth:`commit` (planner path)."""
+        self._note_commit(application, mapping)
 
     # ------------------------------------------------------------------ #
     def _note_commit(self, application: str, mapping: Mapping) -> None:

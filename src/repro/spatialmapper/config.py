@@ -60,6 +60,12 @@ class MapperConfig:
         failures feeding back into steps 1-2).
     analysis_iterations:
         Number of graph iterations simulated by the step-4 dataflow analysis.
+    run_feasibility_analysis:
+        Whether step 4 runs at all.  ``False`` caps results at ``ADHERENT``
+        (steps 1-3 plus the adherence check) — used by callers that perform
+        their own feasibility analysis on a composed graph, e.g. the
+        inter-region planner validating whole applications after mapping
+        their per-region segments.
     minimize_buffers:
         When ``True``, step 4 additionally shrinks buffer capacities by
         binary search (slower, smaller buffers).
@@ -76,6 +82,7 @@ class MapperConfig:
     desirability_metric: DesirabilityMetric = DesirabilityMetric.ENERGY
     max_feedback_iterations: int = 8
     analysis_iterations: int = 6
+    run_feasibility_analysis: bool = True
     minimize_buffers: bool = False
     cost_model: CostModel = field(default_factory=CostModel)
     keep_step2_trace: bool = True

@@ -217,6 +217,10 @@ class SpatialMapper:
             return self._result_for(step3.mapping, als, state, MappingStatus.ADEQUATE, feedback)
 
         # Step 4 — QoS feasibility on the mapped CSDF graph.
+        if not self.config.run_feasibility_analysis:
+            # The caller analyses feasibility itself (e.g. on a composed
+            # multi-region graph); adherent is the best this pass can claim.
+            return self._result_for(step3.mapping, als, state, MappingStatus.ADHERENT, [])
         step4 = check_feasibility(
             step3.mapping,
             als,

@@ -20,13 +20,18 @@ from dataclasses import dataclass, replace
 
 from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
 from repro.runtime.scenario import Scenario
-from repro.workloads.synthetic import SyntheticConfig, generate_application
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    cross_region_io_pairs,
+    generate_application,
+)
 
 __all__ = [
     "PoissonArrivals",
     "BurstyArrivals",
     "PeriodicArrivals",
     "TrafficClass",
+    "cross_region_classes",
     "generate_workload",
     "offered_rate_per_s",
 ]
@@ -237,6 +242,45 @@ def generate_workload(
                     )
         scenario.extend(events)
     return scenario
+
+
+def cross_region_classes(
+    regions: int,
+    rate_per_s: float,
+    *,
+    config: SyntheticConfig | None = None,
+    priority: int = 0,
+    admission_window_ns: float | None = None,
+    hold_range_ns: tuple[float, float] | None = None,
+    name_prefix: str = "x",
+) -> list[TrafficClass]:
+    """Poisson traffic classes whose applications *span* region boundaries.
+
+    One class per opposite-corner region pair of a ``regions`` x ``regions``
+    mesh (see :func:`~repro.workloads.synthetic.cross_region_io_pairs`),
+    each generating applications whose pinned source sits in one region and
+    pinned sink in the other — exactly the arrivals that used to fall into
+    the serialized global lane and that the inter-region planner admits
+    over budgeted corridors.  ``rate_per_s`` is the aggregate cross-region
+    rate, split evenly over the pairs.
+    """
+    pairs = cross_region_io_pairs(regions)
+    if not pairs:
+        return []
+    per_pair = rate_per_s / len(pairs)
+    return [
+        TrafficClass(
+            f"{name_prefix}{index}_{source}_{sink}",
+            PoissonArrivals(rate_per_s=per_pair),
+            config=config or SyntheticConfig(),
+            priority=priority,
+            admission_window_ns=admission_window_ns,
+            hold_range_ns=hold_range_ns,
+            source_tile=source,
+            sink_tile=sink,
+        )
+        for index, (source, sink) in enumerate(pairs)
+    ]
 
 
 def offered_rate_per_s(classes: list[TrafficClass] | tuple[TrafficClass, ...]) -> float:

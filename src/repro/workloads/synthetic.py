@@ -273,6 +273,32 @@ def generate_region_mesh(
     return builder.build()
 
 
+def region_io_tile(column: int, row: int) -> str:
+    """Name of the pinned I/O tile of region ``r{column}_{row}`` (see
+    :func:`generate_region_mesh`)."""
+    return f"io_r{column}_{row}"
+
+
+def cross_region_io_pairs(regions: int) -> list[tuple[str, str]]:
+    """Opposite-corner I/O tile pairs of a ``regions`` x ``regions`` mesh.
+
+    Each region cell is paired with its point reflection through the grid
+    centre and every unordered pair appears once, source in the
+    lexicographically smaller cell — the deterministic cross-region traffic
+    matrix the inter-region benchmarks and tests share.  A centre cell (odd
+    ``regions``) pairs with nobody and is skipped.
+    """
+    if regions < 2:
+        return []
+    pairs: list[tuple[str, str]] = []
+    for row in range(regions):
+        for column in range(regions):
+            partner = (regions - 1 - column, regions - 1 - row)
+            if (column, row) < partner:
+                pairs.append((region_io_tile(column, row), region_io_tile(*partner)))
+    return pairs
+
+
 def generate_scenario(
     seed: int,
     application_count: int,

@@ -1,0 +1,111 @@
+"""Corridor selection: region paths, pressure avoidance, link choice."""
+
+import pytest
+
+from repro.interregion.budgets import CorridorBudgets
+from repro.interregion.corridors import CorridorSelector
+from repro.platform.regions import RegionPartition
+from repro.platform.state import PlatformState
+from repro.workloads.synthetic import generate_region_mesh
+
+
+@pytest.fixture()
+def setup():
+    platform = generate_region_mesh(2, 4)
+    partition = RegionPartition.grid(platform, 2, 2)
+    budgets = CorridorBudgets(partition, fraction=0.5)
+    return platform, partition, budgets, CorridorSelector(partition, budgets)
+
+
+class TestRegionPath:
+    def test_adjacent_pair_is_direct(self, setup):
+        _, _, _, selector = setup
+        assert selector.region_path("r0_0", "r0_1") == ("r0_0", "r0_1")
+
+    def test_diagonal_pair_takes_two_hops(self, setup):
+        _, _, _, selector = setup
+        path = selector.region_path("r0_0", "r1_1")
+        assert path is not None and len(path) == 3
+        assert path[0] == "r0_0" and path[-1] == "r1_1"
+
+    def test_same_region_is_trivial(self, setup):
+        _, _, _, selector = setup
+        assert selector.region_path("r0_0", "r0_0") == ("r0_0",)
+
+    def test_saturated_pair_diverts_the_path(self, setup):
+        _, _, budgets, selector = setup
+        free = selector.region_path("r0_0", "r1_1")
+        via = free[1]
+        # Saturate the first hop of the preferred path; the route must divert
+        # through the other intermediate region.
+        budgets.reserve("hog", "r0_0", via, budgets.capacity_bits_per_s("r0_0", via))
+        diverted = selector.region_path("r0_0", "r1_1", 1e6)
+        assert diverted is not None and diverted[1] != via
+
+    def test_no_admissible_path_returns_none(self, setup):
+        _, _, budgets, selector = setup
+        for pair in budgets.pairs():
+            if pair[0] == "r0_0":
+                budgets.reserve("hog", *pair, budgets.capacity_bits_per_s(*pair))
+        assert selector.region_path("r0_0", "r1_1", 1e6) is None
+
+    def test_allowed_regions_confine_the_search(self, setup):
+        _, _, _, selector = setup
+        free = selector.region_path("r0_0", "r1_1")
+        via = free[1]
+        other = "r1_0" if via == "r0_1" else "r0_1"
+        confined = selector.region_path(
+            "r0_0", "r1_1", allowed_regions=frozenset({"r0_0", "r1_1", other})
+        )
+        assert confined is not None and confined[1] == other
+
+
+class TestSelect:
+    def test_corridor_links_cross_the_right_boundaries(self, setup):
+        platform, partition, budgets, selector = setup
+        corridor = selector.select(
+            (0, 0), (7, 7), "r0_0", "r1_1", 1e6,
+        )
+        assert corridor is not None
+        assert corridor.region_path()[0] == "r0_0"
+        assert corridor.region_path()[-1] == "r1_1"
+        for hop in corridor.hops:
+            assert hop.link_name in budgets.links_between(*hop.pair)
+            link = platform.noc.link_by_name(hop.link_name)
+            assert partition.region_of_position(link.source).name == hop.source_region
+            assert partition.region_of_position(link.target).name == hop.target_region
+
+    def test_selection_is_deterministic(self, setup):
+        _, _, _, selector = setup
+        first = selector.select((0, 0), (7, 7), "r0_0", "r1_1", 1e6)
+        second = selector.select((0, 0), (7, 7), "r0_0", "r1_1", 1e6)
+        assert first == second
+
+    def test_loaded_boundary_link_is_avoided(self, setup):
+        platform, _, _, selector = setup
+        baseline = selector.select((0, 0), (7, 7), "r0_0", "r1_1", 1e6)
+        chosen = baseline.hops[0].link_name
+        capacity = platform.noc.link_by_name(chosen).capacity_bits_per_s
+        loads = {chosen: capacity}  # the preferred link is full
+        rerouted = selector.select((0, 0), (7, 7), "r0_0", "r1_1", 1e6, link_loads=loads)
+        assert rerouted is not None
+        assert all(hop.link_name != chosen for hop in rerouted.hops)
+
+    def test_sequential_hops_line_up(self, setup):
+        """Consecutive crossings stay close: no zig-zag across boundaries."""
+        from repro.platform.routing import manhattan_distance
+
+        _, _, _, selector = setup
+        corridor = selector.select((0, 0), (7, 7), "r0_0", "r1_1", 1e6)
+        for previous, following in zip(corridor.hops, corridor.hops[1:]):
+            assert (
+                manhattan_distance(previous.exit_position, following.entry_position) <= 4
+            )
+
+    def test_state_loads_view_is_accepted(self, setup):
+        platform, _, _, selector = setup
+        state = PlatformState(platform)
+        corridor = selector.select(
+            (0, 0), (7, 7), "r0_0", "r1_1", 1e6, link_loads=state.link_loads_view()
+        )
+        assert corridor is not None

@@ -1,0 +1,129 @@
+"""RegionLocks subset lanes: semantics, stats, and deadlock freedom.
+
+The deadlock-freedom argument is the fixed sorted-name acquisition order.
+The property test here exercises it the hard way: many threads repeatedly
+acquiring *random* subsets (including overlapping ones and the full set)
+must all terminate — a bounded join is the oracle — while the holder
+bookkeeping stays consistent throughout.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.interregion.coordinator import InterRegionCoordinator
+from repro.platform.regions import RegionLocks, RegionPartition
+from repro.workloads.synthetic import generate_region_mesh
+
+
+@pytest.fixture()
+def partition():
+    return RegionPartition.grid(generate_region_mesh(2, 2), 2, 2)
+
+
+@pytest.fixture()
+def locks(partition):
+    return RegionLocks(partition)
+
+
+class TestSubsetLane:
+    def test_holds_exactly_the_subset(self, locks):
+        with locks.subset_lane(("r1_0", "r0_0")):
+            assert locks.holds("r0_0") and locks.holds("r1_0")
+            assert not locks.holds("r0_1") and not locks.holds("r1_1")
+            assert not locks.holds_all()
+        assert not locks.holds("r0_0")
+
+    def test_global_lane_is_the_full_subset(self, locks):
+        with locks.global_lane():
+            assert locks.holds_all()
+        assert not locks.holds_all()
+
+    def test_unknown_region_rejected(self, locks):
+        with pytest.raises(PlatformError):
+            with locks.subset_lane(("r0_0", "nope")):
+                pass
+
+    def test_empty_subset_rejected(self, locks):
+        with pytest.raises(PlatformError):
+            with locks.subset_lane(()):
+                pass
+
+    def test_reentrant_within_a_thread(self, locks):
+        with locks.subset_lane(("r0_0", "r0_1")):
+            with locks.subset_lane(("r0_0",)):
+                assert locks.holds("r0_0")
+            assert locks.holds("r0_0")
+
+    def test_subset_excludes_only_the_subset(self, locks):
+        """A worker of an untouched region proceeds while the subset is held."""
+        entered = threading.Event()
+        release = threading.Event()
+        witness = threading.Event()
+
+        def holder():
+            with locks.subset_lane(("r0_0", "r0_1")):
+                entered.set()
+                release.wait(timeout=5.0)
+
+        def bystander():
+            entered.wait(timeout=5.0)
+            with locks.region_lane("r1_1"):
+                witness.set()
+
+        threads = [threading.Thread(target=holder), threading.Thread(target=bystander)]
+        for thread in threads:
+            thread.start()
+        assert witness.wait(timeout=5.0), "disjoint region was blocked by a lock subset"
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+
+    def test_stats_accumulate(self, locks):
+        with locks.subset_lane(("r0_0", "r1_0")):
+            pass
+        stats = locks.stats()
+        assert stats["r0_0"]["acquisitions"] == 1
+        assert stats["r1_0"]["acquisitions"] == 1
+        assert stats["r0_1"]["acquisitions"] == 0
+        assert stats["r0_0"]["hold_s"] >= 0.0
+
+
+class TestDeadlockFreedom:
+    def test_random_concurrent_subsets_terminate(self, partition, locks):
+        """Threads hammering random (overlapping) subsets must all finish."""
+        names = [region.name for region in partition]
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                for _ in range(60):
+                    size = rng.randint(1, len(names))
+                    subset = rng.sample(names, size)
+                    with locks.subset_lane(subset):
+                        for name in subset:
+                            assert locks.holds(name)
+            except BaseException as error:  # surfaced by the main thread
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+            assert not thread.is_alive(), "subset lanes deadlocked"
+        assert not errors, errors
+        # Everything is released again.
+        for name in names:
+            assert not locks.holds(name)
+
+    def test_coordinator_admission_lane_sorts_and_shares(self, partition):
+        coordinator = InterRegionCoordinator(partition)
+        with coordinator.admission_lane(["r1_0", "r0_0"]) as ordered:
+            assert ordered == ("r0_0", "r1_0")
+            assert coordinator.locks.holds("r0_0")
+        assert not coordinator.locks.holds("r0_0")
