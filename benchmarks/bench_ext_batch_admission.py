@@ -43,6 +43,7 @@ import os
 import pytest
 
 from repro.platform.regions import RegionPartition
+from repro.runtime.admission_control import GovernorConfig, LoadSheddingGovernor
 from repro.runtime.engine import (
     SerialRegionExecutor,
     ThreadedRegionExecutor,
@@ -55,6 +56,7 @@ from repro.workloads.arrivals import (
     TrafficClass,
     generate_workload,
     offered_rate_per_s,
+    priority_overload_mix,
 )
 from repro.workloads.synthetic import (
     SyntheticConfig,
@@ -525,6 +527,141 @@ def test_ext_engine_drain_parallelism(benchmark):
         payload["sharded_speedup"] = speedup
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
+
+
+# --------------------------------------------------------------------------- #
+# Overload sweep: the load-shedding governor under 8x offered load
+# --------------------------------------------------------------------------- #
+
+OVERLOAD_FACTOR = 8.0
+HIGH_PRIORITY = 2
+GOVERNOR_CONFIG = GovernorConfig(
+    rate_floor=0.5, resume_margin=0.1, window=32, min_samples=8
+)
+
+
+def overload_workload(horizon_ns):
+    """A two-tier priority mix at 8x a comfortably-admissible base load."""
+    config = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP", "DSP"))
+    classes = [
+        traffic.scaled(OVERLOAD_FACTOR)
+        for traffic in priority_overload_mix(
+            SWEEP_REGIONS,
+            high_rate_per_s=100.0,
+            low_rate_per_s=300.0,
+            config=config,
+            high_priority=HIGH_PRIORITY,
+            admission_window_ns=5e6,
+            hold_range_ns=(3e6, 8e6),
+        )
+    ]
+    workload = generate_workload(ENGINE_SEED, horizon_ns, classes, name="overload-x8")
+    return workload, classes
+
+
+def run_overload_config(workload, *, governor):
+    """Replay the overload stream with (or without) the shedding governor."""
+    platform = build_sweep_platform()
+    partition = RegionPartition.grid(platform, SWEEP_REGIONS, SWEEP_REGIONS)
+    manager = RuntimeResourceManager(
+        platform, config=MapperConfig(analysis_iterations=3), partition=partition
+    )
+    engine = WorkloadEngine(
+        manager,
+        executor=SerialRegionExecutor(),
+        park_rejections=True,
+        governor=governor,
+    )
+    outcome = engine.run(workload)
+    return manager, outcome
+
+
+def overload_summary(label, manager, outcome):
+    return {
+        "config": label,
+        "decided": outcome.decided,
+        "admitted": len(outcome.admitted),
+        "expired": len(outcome.expired),
+        "shed": len(outcome.shed),
+        "admission_rate": round(outcome.admission_rate, 4),
+        "high_priority_rate": round(
+            outcome.priority_admission_rate(HIGH_PRIORITY), 4
+        ),
+        "low_priority_rate": round(outcome.priority_admission_rate(0), 4),
+        "mapper_invocations": manager.pipeline.mapper_invocations,
+        "mapping_runtime_ms": round(outcome.mapping_runtime_s * 1e3, 3),
+        "governor": outcome.telemetry.governor,
+    }
+
+
+def test_ext_overload_shedding_governor(benchmark):
+    """Online load shedding must *pay* under overload.
+
+    At 8x offered load, the governor-on engine must admit high-priority
+    traffic at >= 1.15x the governor-off rate while spending strictly fewer
+    mapper invocations — shedding happens before any mapping work.  Both
+    runs replay the identical event stream, and all asserted quantities are
+    virtual-time/decision metrics, so the verdict is deterministic.
+    ``$OVERLOAD_HORIZON_NS`` shrinks the stream and
+    ``$OVERLOAD_MIN_IMPROVEMENT`` relaxes the floor for the CI smoke step.
+    """
+    horizon_ns = float(os.environ.get("OVERLOAD_HORIZON_NS", ENGINE_HORIZON_NS))
+    min_improvement = float(os.environ.get("OVERLOAD_MIN_IMPROVEMENT", 1.15))
+    workload, classes = overload_workload(horizon_ns)
+    results = {}
+
+    def run_both():
+        results["off"] = run_overload_config(workload, governor=None)
+        results["on"] = run_overload_config(
+            workload, governor=LoadSheddingGovernor(GOVERNOR_CONFIG)
+        )
+        return results
+
+    benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    summaries = {
+        label: overload_summary(label, manager, outcome)
+        for label, (manager, outcome) in results.items()
+    }
+    benchmark.extra_info["overload"] = summaries
+    benchmark.extra_info["offered_rate_per_s"] = round(offered_rate_per_s(classes), 1)
+
+    off, on = summaries["off"], summaries["on"]
+    assert off["decided"] > 0 and on["decided"] > 0
+    # The stream must actually overload the platform (on the full horizon;
+    # a shrunken smoke stream may end before saturation sets in)...
+    assert off["admission_rate"] < 1.0
+    if "OVERLOAD_HORIZON_NS" not in os.environ:
+        assert off["admission_rate"] < GOVERNOR_CONFIG.rate_floor
+    # ...the governor must have engaged and shed only sheddable work...
+    assert on["shed"] > 0
+    assert on["governor"]["transitions"] >= 1
+    # ...saving mapper work: every shed arrival is a mapper run not spent.
+    assert on["mapper_invocations"] < off["mapper_invocations"], (on, off)
+    # ...and converting that saving into protected-tier admissions.
+    improvement = (
+        on["high_priority_rate"] / off["high_priority_rate"]
+        if off["high_priority_rate"]
+        else float("inf")
+    )
+    benchmark.extra_info["high_priority_improvement"] = round(improvement, 3)
+    assert improvement >= min_improvement, (improvement, on, off)
+
+    trajectory = {
+        "offered_rate_per_s": round(offered_rate_per_s(classes), 1),
+        "load_factor": OVERLOAD_FACTOR,
+        "horizon_ns": horizon_ns,
+        "high_priority_improvement": round(improvement, 3),
+        "configs": summaries,
+    }
+    out_path = os.environ.get("OVERLOAD_GOVERNOR_JSON")
+    if not out_path and "OVERLOAD_HORIZON_NS" not in os.environ:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        out_path = os.path.join(root, "BENCH_overload_governor.json")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(trajectory, handle, indent=2)
+            handle.write("\n")
 
 
 LOAD_FACTORS = (0.5, 2.0, 8.0)

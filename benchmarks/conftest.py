@@ -6,23 +6,12 @@ attached to the pytest-benchmark ``extra_info`` so they appear in the JSON
 output, and the qualitative claims of the paper (who wins, what the cost
 trajectory looks like) are asserted so a regression in the reproduction fails
 the benchmark run loudly rather than silently producing different numbers.
+
+The fixtures themselves live in the shared scenario harness
+(``tests/harness.py``) so the test and benchmark suites build their
+platforms, workloads and engines the same way.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.spatialmapper.config import MapperConfig
-from repro.workloads import hiperlan2
-
-
-@pytest.fixture(scope="session")
-def case_study():
-    """The HiperLAN/2 case study: (ALS, platform, implementation library)."""
-    return hiperlan2.build_case_study()
-
-
-@pytest.fixture(scope="session")
-def fast_config():
-    """Mapper configuration with a reduced analysis horizon for benchmarking."""
-    return MapperConfig(analysis_iterations=4)
+from tests.harness import case_study, fast_config  # noqa: F401  (shared fixtures)

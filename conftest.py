@@ -2,12 +2,15 @@
 
 Puts ``src/`` on ``sys.path`` so the test and benchmark suites also run from
 a plain checkout (without ``pip install -e .``), e.g. in offline CI
-environments.
+environments — and the repository root itself, so the shared scenario
+harness (``tests/harness.py``) imports as ``tests.harness`` from both the
+test and the benchmark suite.
 """
 
 import sys
 from pathlib import Path
 
-_SRC = Path(__file__).resolve().parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+_ROOT = Path(__file__).resolve().parent
+for _path in (str(_ROOT / "src"), str(_ROOT)):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)

@@ -11,6 +11,11 @@ builds on.
 """
 
 from repro.runtime.pipeline import AdmissionDecision, AdmissionPipeline
+from repro.runtime.admission_control import (
+    GovernorConfig,
+    GovernorDecision,
+    LoadSheddingGovernor,
+)
 from repro.runtime.manager import (
     BatchAdmissionOutcome,
     RuntimeResourceManager,
@@ -34,6 +39,9 @@ from repro.runtime.accounting import EnergyAccount
 __all__ = [
     "AdmissionDecision",
     "AdmissionPipeline",
+    "GovernorConfig",
+    "GovernorDecision",
+    "LoadSheddingGovernor",
     "AdmissionQueue",
     "QueuedRequest",
     "RequestStatus",

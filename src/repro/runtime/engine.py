@@ -70,6 +70,7 @@ from repro.platform.regions import (
     RegionPartition,
 )
 from repro.runtime.accounting import EnergyAccount
+from repro.runtime.admission_control import GovernorDecision, LoadSheddingGovernor
 from repro.runtime.events import StartEvent, StopEvent
 from repro.runtime.manager import RuntimeResourceManager
 from repro.runtime.pipeline import AdmissionPipeline
@@ -235,10 +236,11 @@ class LaneCounters:
     expired: int = 0
     cancelled: int = 0
     parked: int = 0
+    shed: int = 0
 
     def settled(self) -> int:
         """Requests this lane settled terminally."""
-        return self.admitted + self.rejected + self.expired + self.cancelled
+        return self.admitted + self.rejected + self.expired + self.cancelled + self.shed
 
 
 @dataclass
@@ -257,6 +259,9 @@ class EngineTelemetry:
     lock_wait_s: dict[str, float] = field(default_factory=dict)
     lock_hold_s: dict[str, float] = field(default_factory=dict)
     lock_acquisitions: dict[str, int] = field(default_factory=dict)
+    #: Final :meth:`LoadSheddingGovernor.snapshot` of the run's governor
+    #: (``None`` when the engine ran without one).
+    governor: dict | None = None
 
     def lane(self, name: str) -> LaneCounters:
         """The counters of one lane (created on first use)."""
@@ -273,6 +278,8 @@ class EngineTelemetry:
             counters.expired += 1
         elif status is RequestStatus.CANCELLED:
             counters.cancelled += 1
+        elif status is RequestStatus.SHED:
+            counters.shed += 1
 
     def merge_lock_stats(self, stats: dict[str, dict[str, float]]) -> None:
         """Fold one :meth:`RegionLocks.stats` snapshot into the totals."""
@@ -293,6 +300,7 @@ class EngineRecord:
     application: str
     status: RequestStatus
     reason: str = ""
+    priority: int = 0
 
 
 @dataclass
@@ -345,14 +353,41 @@ class EngineOutcome:
         return [r.application for r in self._with_status(RequestStatus.CANCELLED)]
 
     @property
+    def shed(self) -> list[str]:
+        """Applications the load governor shed before any mapping work."""
+        return [r.application for r in self._with_status(RequestStatus.SHED)]
+
+    @property
     def decided(self) -> int:
         """Requests that reached a terminal admit/reject/expire outcome."""
         return len(self.admitted) + len(self.rejected) + len(self.expired)
 
     @property
     def admission_rate(self) -> float:
-        """Fraction of decided requests that were admitted (cancellations excluded)."""
+        """Fraction of decided requests that were admitted (cancellations and
+        governor sheds excluded — a shed request was never offered to the
+        mapper, so counting it as a rejection would charge the pipeline for
+        work the governor deliberately avoided)."""
         return len(self.admitted) / self.decided if self.decided else 0.0
+
+    def priority_admission_rate(self, priority: int) -> float:
+        """Admission rate of one priority class (admitted / decided).
+
+        Decided covers admitted, rejected and expired records of the class;
+        shed and cancelled requests are excluded, exactly as in
+        :attr:`admission_rate`.
+        """
+        decided = [
+            r
+            for r in self.records
+            if r.priority == priority
+            and r.status
+            in (RequestStatus.ADMITTED, RequestStatus.REJECTED, RequestStatus.EXPIRED)
+        ]
+        if not decided:
+            return 0.0
+        admitted = sum(1 for r in decided if r.status is RequestStatus.ADMITTED)
+        return admitted / len(decided)
 
     def decision_log(self) -> list[tuple[str, str, str]]:
         """(application, status, reason) per settled request — the differential key."""
@@ -386,6 +421,14 @@ class WorkloadEngine:
         Enable cache-aware rejection parking on the engine-created queue: a
         rejected request waits until its lane's fingerprint changes instead
         of being re-mapped on every drain.
+    governor:
+        Optional :class:`~repro.runtime.admission_control.LoadSheddingGovernor`.
+        When attached (and enabled), every drain gates the claimed requests
+        through it before any mapping work: under overload, low-priority
+        arrivals are shed (terminal ``SHED`` status) or deferred back to
+        the queue.  The governor observes every settled pipeline decision,
+        so its windowed rate estimate follows the run it is governing.  A
+        disabled governor (or none) is decision-inert.
     """
 
     def __init__(
@@ -396,6 +439,7 @@ class WorkloadEngine:
         executor: SerialRegionExecutor | ThreadedRegionExecutor | None = None,
         drain_mode: str = "batched",
         park_rejections: bool = False,
+        governor: LoadSheddingGovernor | None = None,
     ) -> None:
         if drain_mode not in ("batched", "immediate"):
             raise ValueError(f"unknown drain mode {drain_mode!r}")
@@ -403,6 +447,7 @@ class WorkloadEngine:
         self.queue = queue or AdmissionQueue(manager, park_rejections=park_rejections)
         self.executor = executor or SerialRegionExecutor()
         self.drain_mode = drain_mode
+        self.governor = governor
         #: Lock-subset coordinator of the multi-region lane, created on
         #: first use.  It shares the threaded executor's locks (so the
         #: subset exclusion is real) or gets a private set otherwise.
@@ -466,6 +511,8 @@ class WorkloadEngine:
         outcome.energy.finish(end_time_ns)
         outcome.wall_clock_s = time.perf_counter() - started
         self._collect_lock_stats(outcome, lock_baseline)
+        if self.governor is not None:
+            outcome.telemetry.governor = self.governor.snapshot()
         return outcome
 
     def _lock_sources(self) -> list[RegionLocks]:
@@ -535,7 +582,17 @@ class WorkloadEngine:
         outcome.drains += 1
         outcome.parked_retries_skipped += pending_before - len(ready) - len(expired)
         for request in expired:
+            # An expired deadline is an admission the platform failed to
+            # deliver — exactly the overload signal the governor watches.
+            # Unless the governor itself deferred the request away from the
+            # mapper: counting that expiry would let the governor's own
+            # deferrals keep its window depressed (a self-reinforcing
+            # shedding loop that never re-opens).
+            if not (request.deferred_by_governor and request.attempts == 0):
+                self._observe(request, False)
             self._record(now_ns, request, outcome)
+        if self.governor is not None and self.governor.enabled:
+            ready = self._govern(now_ns, ready, outcome)
         if not ready:
             outcome.drain_wall_s += time.perf_counter() - drain_started
             return
@@ -598,6 +655,10 @@ class WorkloadEngine:
                 )
                 self.manager.adopt_decision(request.als, job.decision, time_ns=now_ns)
                 self.queue.finalize(request, job.decision, now_ns=now_ns)
+                if request.status is not RequestStatus.CANCELLED:
+                    # A raced cancellation rolled the admission back; an
+                    # admission that never stood must not feed the window.
+                    self._observe(request, True)
                 self._record(now_ns, request, outcome, lane=lane)
             else:
                 # In-region rejections retry with their cross-region
@@ -622,6 +683,8 @@ class WorkloadEngine:
                 interregion=request.ticket not in planner_rejected,
             )
             self.queue.finalize(request, decision, now_ns=now_ns)
+            if request.status is not RequestStatus.CANCELLED:
+                self._observe(request, decision.admitted)
             # A spanning request the multi-region lane could not claim
             # (duplicate name in the drain) may still be admitted by the
             # planner stage inside the full pipeline — credit its lane.
@@ -635,6 +698,57 @@ class WorkloadEngine:
             if not request.status.is_final:
                 outcome.telemetry.lane(request.lane).parked += 1
         outcome.drain_wall_s += time.perf_counter() - drain_started
+
+    def _observe(self, request: QueuedRequest, admitted: bool) -> None:
+        """Feed one pipeline decision (or deadline expiry) to the governor.
+
+        Observation happens at *decision* time — a parked rejection counts
+        the moment it happens, not when the run's final flush settles it —
+        so the governor's window follows the live run.  Cancellations and
+        the governor's own sheds are never observed: neither measures the
+        platform's ability to admit.
+        """
+        if self.governor is not None:
+            self.governor.observe(request.priority, admitted)
+
+    def _govern(
+        self,
+        now_ns: float,
+        ready: list[QueuedRequest],
+        outcome: EngineOutcome,
+    ) -> list[QueuedRequest]:
+        """Gate claimed requests through the load-shedding governor.
+
+        Runs strictly before any mapping work: shed requests settle
+        terminally, deferred requests go back to pending (a cancellation
+        that raced the claim settles ``CANCELLED`` instead — the queue
+        arbitrates, exactly once).  Returns the requests that proceed to
+        the region lanes.
+        """
+        governor = self.governor
+        proceed: list[QueuedRequest] = []
+        deferred: list[QueuedRequest] = []
+        for request in ready:
+            verdict = governor.assess(request.priority)
+            if verdict == GovernorDecision.SHED:
+                self.queue.shed(
+                    request,
+                    now_ns=now_ns,
+                    reason=(
+                        "shed by load governor (admission rate "
+                        f"{governor.admission_rate():.2f} below floor "
+                        f"{governor.config.rate_floor:.2f})"
+                    ),
+                )
+                self._record(now_ns, request, outcome)
+            elif verdict == GovernorDecision.DEFER:
+                deferred.append(request)
+            else:
+                proceed.append(request)
+        if deferred:
+            for request in self.queue.defer(deferred, now_ns=now_ns):
+                self._record(now_ns, request, outcome)
+        return proceed
 
     def _claim_multi_region_jobs(
         self,
@@ -730,6 +844,7 @@ class WorkloadEngine:
                 application=request.application,
                 status=request.status,
                 reason=request.reason,
+                priority=request.priority,
             )
         )
         decision = request.decision

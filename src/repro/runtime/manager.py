@@ -101,6 +101,13 @@ class RuntimeResourceManager:
         lock subset instead of the serialized global lane.
     corridor_budget_fraction:
         Fraction of boundary-link capacity corridors may reserve.
+    region_scorer:
+        Optional :class:`~repro.spatialmapper.region_score.RegionScorer`:
+        candidate regions are ordered by the composite residual/pressure/
+        feedback score instead of raw fill level (see
+        :mod:`repro.spatialmapper.region_score`).  Use
+        ``RegionScorer.adaptive()`` for scoring *with* rejection-feedback
+        memory; ``None`` (default) keeps the historic fill-level ordering.
     """
 
     def __init__(
@@ -117,6 +124,7 @@ class RuntimeResourceManager:
         max_region_attempts: int = 2,
         cross_region_planner: bool = False,
         corridor_budget_fraction: float = 0.5,
+        region_scorer=None,
     ) -> None:
         self.platform = platform
         self.library = library or ImplementationLibrary()
@@ -132,6 +140,7 @@ class RuntimeResourceManager:
             cache_size=mapper_cache_size,
             region_fallback=region_fallback,
             max_region_attempts=max_region_attempts,
+            region_scorer=region_scorer,
         )
         if cross_region_planner:
             if partition is None:
@@ -192,6 +201,7 @@ class RuntimeResourceManager:
             als, library=library, time_ns=time_ns, interregion=interregion
         )
         self.decisions.append((decision.application, decision.admitted, decision.reason))
+        self.pipeline.note_feedback(decision)
         return decision
 
     def adopt_decision(
@@ -211,6 +221,7 @@ class RuntimeResourceManager:
         application was not already running when the worker mapped it.
         """
         self.decisions.append((decision.application, decision.admitted, decision.reason))
+        self.pipeline.note_feedback(decision)
         if decision.admitted:
             assert decision.result is not None
             self._running[als.name] = RunningApplication(
@@ -294,10 +305,16 @@ class RuntimeResourceManager:
 
         if all_or_nothing:
             try:
-                with self.state.transaction() as txn:
-                    if not admit_all():
-                        txn.rollback()
-                        unwind()
+                # Rejection feedback recorded for the batch's decisions must
+                # vanish with the batch: a rolled-back admission never stood,
+                # so the memory must not demote regions for it.
+                with self.pipeline.feedback_transaction() as feedback_txn:
+                    with self.state.transaction() as txn:
+                        if not admit_all():
+                            txn.rollback()
+                            if feedback_txn is not None:
+                                feedback_txn.rollback()
+                            unwind()
             except BaseException:
                 # The transaction context already rolled the state back; the
                 # manager bookkeeping must follow, or _running would name

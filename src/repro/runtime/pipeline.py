@@ -28,6 +28,7 @@ feeds it request by request.
 
 from __future__ import annotations
 
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 
 from repro.appmodel.library import ImplementationLibrary
@@ -41,6 +42,7 @@ from repro.platform.state import LinkAllocation, PlatformState, ProcessAllocatio
 from repro.spatialmapper.cache import MapperCache
 from repro.spatialmapper.config import MapperConfig
 from repro.spatialmapper.mapper import SpatialMapper
+from repro.spatialmapper.region_score import RegionScorer
 
 
 @dataclass
@@ -57,6 +59,15 @@ class AdmissionDecision:
     #: engine's telemetry attributes settlements by this, not by the
     #: free-text ``reason``.
     origin: str = "pipeline"
+    #: Names of the regions whose in-region mapping attempt failed on the
+    #: way to this decision (empty without a partition, or when the first
+    #: candidate admitted).  Rejection feedback is derived from these at
+    #: the single finalisation point (:meth:`AdmissionPipeline.note_feedback`),
+    #: never inside the possibly-concurrent mapping itself.
+    attempted_regions: tuple[str, ...] = ()
+    #: Shape fingerprint of the application, computed while the library was
+    #: at hand; ``None`` when no rejection feedback is configured.
+    shape: tuple | None = None
 
 
 class AdmissionPipeline:
@@ -93,6 +104,13 @@ class AdmissionPipeline:
         allocations.
     max_region_attempts:
         How many candidate regions to try before the global fallback.
+    region_scorer:
+        Optional :class:`~repro.spatialmapper.region_score.RegionScorer`.
+        With it, qualifying regions are ordered by the composite score
+        (per-tile-type residuals, routing pressure, rejection feedback)
+        instead of raw fill level, and regions whose feedback penalty
+        crosses the exclusion threshold are skipped without mapping.
+        ``None`` keeps the historic least-filled-first ordering.
     """
 
     def __init__(
@@ -108,6 +126,7 @@ class AdmissionPipeline:
         cache_size: int = 128,
         region_fallback: bool = True,
         max_region_attempts: int = 2,
+        region_scorer: RegionScorer | None = None,
     ) -> None:
         self.platform = platform
         self.library = library or ImplementationLibrary()
@@ -117,6 +136,10 @@ class AdmissionPipeline:
         self.require_feasible = require_feasible
         self.region_fallback = region_fallback
         self.max_region_attempts = max(1, max_region_attempts)
+        self.region_scorer = region_scorer
+        #: How many times the mapping stage ran (cache hits included): the
+        #: "wasted mapper calls" currency of the load-shedding benchmark.
+        self.mapper_invocations = 0
         self.cache: MapperCache | None = MapperCache(cache_size) if cache_size else None
         self._uses_default_factory = mapper_factory is None
         self._mapper_factory = mapper_factory or (
@@ -156,6 +179,8 @@ class AdmissionPipeline:
         self,
         als: ApplicationLevelSpec,
         library: ImplementationLibrary | None = None,
+        *,
+        shape: tuple | None = None,
     ) -> tuple[Region | None, ...]:
         """Regions worth attempting for this application, best first.
 
@@ -164,10 +189,14 @@ class AdmissionPipeline:
         mappable processes, and offers — per process — some implementation
         whose tile type still has a free-slot tile inside the region.
         Qualifying regions are ordered least-filled-first (ties broken by
-        name); ``None`` (the global, unrestricted attempt) is appended when
-        fallback is enabled, and is the only candidate without a partition.
-        With fallback disabled and no qualifying region, the tuple is empty
-        and :meth:`decide` rejects the request without mapping.
+        name) — or, with a :attr:`region_scorer`, by the composite score
+        over per-tile-type residuals, routing pressure and rejection
+        feedback (regions past the feedback exclusion threshold are dropped
+        before scoring); ``None`` (the global, unrestricted attempt) is
+        appended when fallback is enabled, and is the only candidate
+        without a partition.  With fallback disabled and no qualifying
+        region, the tuple is empty and :meth:`decide` rejects the request
+        without mapping.
         """
         if self.partition is None:
             return (None,)
@@ -176,6 +205,11 @@ class AdmissionPipeline:
         pinned_tiles = [
             p.pinned_tile for p in als.kpn.pinned_processes() if p.pinned_tile
         ]
+        scorer = self.region_scorer
+        if shape is None and scorer is not None:
+            # ``decide`` passes its precomputed fingerprint; other callers
+            # (lane assignment) pay for the digest here, once.
+            shape = scorer.shape_of(als, effective)
         scored: list[tuple[float, str, Region]] = []
         for region in self.partition:
             if any(tile not in region for tile in pinned_tiles):
@@ -196,7 +230,13 @@ class AdmissionPipeline:
                 for process in mappable
             ):
                 continue
-            scored.append((view.fill_level(), region.name, region))
+            if scorer is not None:
+                if scorer.excludes(region.name, shape):
+                    continue
+                score = scorer.score(als, effective, region, self.state, shape=shape)
+            else:
+                score = view.fill_level()
+            scored.append((score, region.name, region))
         scored.sort(key=lambda item: (item[0], item[1]))
         candidates: list[Region | None] = [
             region for _, _, region in scored[: self.max_region_attempts]
@@ -235,6 +275,7 @@ class AdmissionPipeline:
         region: Region | None,
     ) -> MappingResult:
         """Run the (possibly region-scoped, possibly cached) mapper."""
+        self.mapper_invocations += 1
         mapper = self.mapper_for(library)
         if region is None:
             return mapper.map(als, self.state)
@@ -326,13 +367,21 @@ class AdmissionPipeline:
         """
         runtime_s = 0.0
         best: MappingResult | None = None
+        scorer = self.region_scorer
+        shape = (
+            scorer.shape_of(als, library if library is not None else self.library)
+            if scorer is not None
+            else None
+        )
+        attempted: list[str] = []
         if candidates is None:
-            candidates = self.candidate_regions(als, library)
+            candidates = self.candidate_regions(als, library, shape=shape)
         if not candidates:
             return AdmissionDecision(
                 als.name,
                 False,
                 "no region can host the application (global fallback disabled)",
+                shape=shape,
             )
         for region in candidates:
             if region is None and use_interregion and self.interregion is not None:
@@ -340,6 +389,8 @@ class AdmissionPipeline:
                 runtime_s += planned.mapping_runtime_s
                 if planned.admitted:
                     planned.mapping_runtime_s = runtime_s
+                    planned.attempted_regions = tuple(attempted)
+                    planned.shape = shape
                     return planned
             result = self.map_stage(als, library, region)
             runtime_s += result.runtime_s
@@ -349,6 +400,8 @@ class AdmissionPipeline:
                 else result.status.at_least(MappingStatus.ADHERENT)
             )
             if not admissible:
+                if region is not None:
+                    attempted.append(region.name)
                 if best is None or (
                     result.status.at_least(best.status)
                     and (
@@ -361,14 +414,24 @@ class AdmissionPipeline:
             try:
                 self.commit(als, result, region)
             except PlatformError as error:
+                if region is not None:
+                    attempted.append(region.name)
                 return AdmissionDecision(
                     als.name,
                     False,
                     f"commit failed: {error}",
                     mapping_runtime_s=runtime_s,
+                    attempted_regions=tuple(attempted),
+                    shape=shape,
                 )
             return AdmissionDecision(
-                als.name, True, "admitted", result=result, mapping_runtime_s=runtime_s
+                als.name,
+                True,
+                "admitted",
+                result=result,
+                mapping_runtime_s=runtime_s,
+                attempted_regions=tuple(attempted),
+                shape=shape,
             )
         assert best is not None  # candidate_regions always yields >= 1 attempt
         reason = (
@@ -376,7 +439,14 @@ class AdmissionPipeline:
             if best.feasibility and best.feasibility.reason
             else f"mapping status {best.status.value}"
         )
-        return AdmissionDecision(als.name, False, reason, mapping_runtime_s=runtime_s)
+        return AdmissionDecision(
+            als.name,
+            False,
+            reason,
+            mapping_runtime_s=runtime_s,
+            attempted_regions=tuple(attempted),
+            shape=shape,
+        )
 
     def release(self, application: str) -> int:
         """Release every allocation of an application, transactionally.
@@ -414,6 +484,45 @@ class AdmissionPipeline:
                 als.name, False, "inter-region: no planner configured"
             )
         return self.interregion.decide(als, library, scope=scope)
+
+    def note_feedback(self, decision: AdmissionDecision) -> None:
+        """Fold one finalised decision into the rejection-feedback memory.
+
+        Advances the memory's decay clock by one decision and records every
+        region whose in-region mapping attempt failed
+        (:attr:`AdmissionDecision.attempted_regions`).  Callers — the
+        manager's :meth:`~repro.runtime.manager.RuntimeResourceManager.admit`
+        and :meth:`~repro.runtime.manager.RuntimeResourceManager.adopt_decision`
+        — invoke this at the single finalisation point, on the finalising
+        thread, in deterministic settlement order: the possibly-concurrent
+        region workers never mutate the memory, which is what keeps the
+        serial and threaded engines decision-identical with feedback on.
+        """
+        scorer = self.region_scorer
+        if scorer is None or scorer.feedback is None:
+            return
+        scorer.feedback.tick()
+        if decision.shape is None:
+            return
+        for region_name in decision.attempted_regions:
+            scorer.feedback.record(region_name, decision.shape)
+
+    @contextmanager
+    def feedback_transaction(self):
+        """A journaled scope over the rejection-feedback memory (or a no-op).
+
+        Batch admission wraps its state transaction in this, so feedback
+        recorded for a batch that is later rolled back (all-or-nothing)
+        vanishes with the batch — the memory must only remember decisions
+        that actually stood.
+        """
+        scorer = self.region_scorer
+        if scorer is None or scorer.feedback is None:
+            with nullcontext():
+                yield None
+            return
+        with scorer.feedback.transaction() as txn:
+            yield txn
 
     def regions_of(self, application: str) -> tuple[str, ...]:
         """Names of the regions a running application's allocations landed in."""

@@ -67,6 +67,8 @@ class RequestStatus(enum.Enum):
     REJECTED = "rejected"
     CANCELLED = "cancelled"
     EXPIRED = "expired"
+    #: Dropped by the load-shedding governor before any mapping work.
+    SHED = "shed"
 
     @property
     def is_final(self) -> bool:
@@ -91,6 +93,10 @@ class QueuedRequest:
     decided_ns: float | None = None
     #: Set when ``cancel`` raced an in-flight decision; honoured at finalize.
     cancel_requested: bool = False
+    #: Set when the load governor deferred the request back to the queue.
+    #: A later deadline expiry of such a request is the governor's own
+    #: doing, not an admission failure the rate estimate should count.
+    deferred_by_governor: bool = False
     #: Lane fingerprint the request was last rejected under (parked retries).
     parked_fingerprint: tuple | None = None
     #: How many times the request went through the pipeline.
@@ -289,6 +295,65 @@ class AdmissionQueue:
             request.reason = decision.reason
             return request
 
+    def shed(
+        self,
+        request: QueuedRequest,
+        *,
+        now_ns: float = 0.0,
+        reason: str = "shed by load governor",
+    ) -> QueuedRequest:
+        """Settle a claimed request as ``SHED`` — before any mapping work.
+
+        Settlement is exactly-once under the queue lock: a cancellation
+        that raced the governor (the request was ``IN_FLIGHT`` when the
+        client called :meth:`cancel`, registering an intent) wins — the
+        request settles ``CANCELLED``, never both.  There is no admission
+        to roll back either way, because shedding happens strictly before
+        the pipeline runs.
+        """
+        with self._lock:
+            if request.status is not RequestStatus.IN_FLIGHT:
+                return request  # already settled by a racing finalisation
+            if request.cancel_requested:
+                request.status = RequestStatus.CANCELLED
+                request.reason = "cancelled while in flight"
+            else:
+                request.status = RequestStatus.SHED
+                request.reason = reason
+            request.decided_ns = now_ns
+            return request
+
+    def defer(
+        self,
+        requests: list[QueuedRequest],
+        *,
+        now_ns: float = 0.0,
+    ) -> list[QueuedRequest]:
+        """Return governor-deferred requests to the queue without an attempt.
+
+        Unlike :meth:`requeue` (the failure-unwind path), deferral honours
+        a cancellation intent registered while the request was claimed: such
+        a request settles ``CANCELLED`` here — exactly once — instead of
+        going back to pending.  Returns the requests that settled (the rest
+        are pending again, awaiting a drain in which the governor has
+        disengaged, or their deadline).
+        """
+        with self._lock:
+            settled: list[QueuedRequest] = []
+            for request in requests:
+                if request.status is not RequestStatus.IN_FLIGHT:
+                    continue
+                if request.cancel_requested:
+                    request.status = RequestStatus.CANCELLED
+                    request.reason = "cancelled while in flight"
+                    request.decided_ns = now_ns
+                    settled.append(request)
+                else:
+                    request.status = RequestStatus.PENDING
+                    request.deferred_by_governor = True
+                    self._pending.append(request)
+            return settled
+
     def requeue(self, requests: list[QueuedRequest]) -> None:
         """Return claimed-but-undecided requests to the head of the queue."""
         with self._lock:
@@ -306,15 +371,25 @@ class AdmissionQueue:
 
         Called when a workload run ends: parked requests keep the reason of
         their last real rejection; requests never attempted get ``reason``.
-        Returns the flushed requests in submission order.
+        A request the governor deferred and that never reached the mapper
+        settles as ``SHED`` instead — it was never offered to the pipeline,
+        so settling it rejected would charge the admission rate for work
+        the governor deliberately avoided.  Returns the flushed requests in
+        submission order.
         """
         with self._lock:
             flushed = list(self._pending)
             self._pending.clear()
             for request in flushed:
-                request.status = RequestStatus.REJECTED
-                if not request.reason:
-                    request.reason = reason
+                if request.deferred_by_governor and request.attempts == 0:
+                    request.status = RequestStatus.SHED
+                    request.reason = (
+                        "shed by load governor (deferred until workload end)"
+                    )
+                else:
+                    request.status = RequestStatus.REJECTED
+                    if not request.reason:
+                        request.reason = reason
                 request.decided_ns = now_ns
             return flushed
 

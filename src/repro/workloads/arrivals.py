@@ -34,6 +34,7 @@ __all__ = [
     "cross_region_classes",
     "generate_workload",
     "offered_rate_per_s",
+    "priority_overload_mix",
 ]
 
 _NS_PER_S = 1e9
@@ -281,6 +282,52 @@ def cross_region_classes(
         )
         for index, (source, sink) in enumerate(pairs)
     ]
+
+
+def priority_overload_mix(
+    regions: int,
+    *,
+    high_rate_per_s: float,
+    low_rate_per_s: float,
+    config: SyntheticConfig | None = None,
+    high_priority: int = 2,
+    low_priority: int = 0,
+    admission_window_ns: float | None = None,
+    hold_range_ns: tuple[float, float] | None = None,
+) -> list[TrafficClass]:
+    """A two-tier workload mix: protected traffic plus a sheddable flood.
+
+    Per region of a ``regions`` x ``regions`` mesh (I/O tiles named
+    ``io_r{cx}_{cy}``, as produced by
+    :func:`~repro.workloads.synthetic.generate_region_mesh`), one
+    high-priority Poisson class at ``high_rate_per_s`` and one low-priority
+    class at ``low_rate_per_s`` — the workload shape the load-shedding
+    governor exists for: scale the mix up and the low tier drowns the high
+    tier unless low-priority arrivals are shed before mapping work is spent
+    on them.  Both rates are per class (per region).
+    """
+    effective = config or SyntheticConfig()
+    classes: list[TrafficClass] = []
+    for cx in range(regions):
+        for cy in range(regions):
+            io_tile = f"io_r{cx}_{cy}"
+            for tier, priority, rate in (
+                ("hi", high_priority, high_rate_per_s),
+                ("lo", low_priority, low_rate_per_s),
+            ):
+                classes.append(
+                    TrafficClass(
+                        f"{tier}_r{cx}_{cy}",
+                        PoissonArrivals(rate_per_s=rate),
+                        config=effective,
+                        priority=priority,
+                        admission_window_ns=admission_window_ns,
+                        hold_range_ns=hold_range_ns,
+                        source_tile=io_tile,
+                        sink_tile=io_tile,
+                    )
+                )
+    return classes
 
 
 def offered_rate_per_s(classes: list[TrafficClass] | tuple[TrafficClass, ...]) -> float:

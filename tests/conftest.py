@@ -12,12 +12,7 @@ from repro.kpn.process import Process, ProcessKind
 from repro.kpn.qos import QoSConstraints
 from repro.platform.builder import PlatformBuilder
 from repro.workloads import hiperlan2
-
-
-@pytest.fixture(scope="session")
-def case_study():
-    """The HiperLAN/2 case study: (ALS, platform, implementation library)."""
-    return hiperlan2.build_case_study()
+from tests.harness import case_study, fast_config  # noqa: F401  (shared fixtures)
 
 
 @pytest.fixture()

@@ -14,8 +14,6 @@ Two equivalences anchor the engine refactor:
 import pytest
 
 from repro.exceptions import AdmissionError
-from repro.platform.builder import PlatformBuilder
-from repro.platform.regions import RegionPartition
 from repro.runtime.accounting import EnergyAccount
 from repro.runtime.engine import (
     SerialRegionExecutor,
@@ -23,67 +21,19 @@ from repro.runtime.engine import (
     WorkloadEngine,
 )
 from repro.runtime.events import StartEvent, StopEvent
-from repro.runtime.manager import RuntimeResourceManager
 from repro.runtime.scenario import ScenarioOutcome, run_scenario
-from repro.spatialmapper.config import MapperConfig
 from repro.workloads.arrivals import (
-    BurstyArrivals,
     PoissonArrivals,
     TrafficClass,
     generate_workload,
     offered_rate_per_s,
 )
-from repro.workloads.synthetic import SyntheticConfig
-
-CONFIG = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP",))
-MILLISECOND = 1e6
-
-
-def build_two_region_platform():
-    """A 4x2 mesh with one I/O tile and three GPP tiles per half."""
-    builder = (
-        PlatformBuilder("two_region")
-        .mesh(4, 2, link_capacity_bits_per_s=4e9, router_frequency_mhz=200.0)
-        .tile_type("IO", frequency_mhz=200.0, is_processing=False)
-        .tile_type("GPP", frequency_mhz=200.0)
-        .tile("io_l", "IO", (0, 0))
-        .tile("io_r", "IO", (3, 0))
-    )
-    for index, position in enumerate([(0, 1), (1, 0), (1, 1)]):
-        builder.tile(f"gpp_l{index}", "GPP", position, memory_bytes=128 * 1024)
-    for index, position in enumerate([(2, 0), (2, 1), (3, 1)]):
-        builder.tile(f"gpp_r{index}", "GPP", position, memory_bytes=128 * 1024)
-    return builder.build()
-
-
-def make_manager():
-    platform = build_two_region_platform()
-    return RuntimeResourceManager(
-        platform,
-        config=MapperConfig(analysis_iterations=3),
-        partition=RegionPartition.grid(platform, 2, 1),
-    )
-
-
-def workload_classes():
-    return [
-        TrafficClass(
-            "left",
-            PoissonArrivals(rate_per_s=900.0),
-            config=CONFIG,
-            source_tile="io_l",
-            sink_tile="io_l",
-            hold_range_ns=(2 * MILLISECOND, 5 * MILLISECOND),
-        ),
-        TrafficClass(
-            "right",
-            BurstyArrivals(burst_rate_per_s=250.0, burst_size_range=(2, 4)),
-            config=CONFIG,
-            source_tile="io_r",
-            sink_tile="io_r",
-            hold_range_ns=(2 * MILLISECOND, 5 * MILLISECOND),
-        ),
-    ]
+from tests.harness import (
+    MILLISECOND,
+    TWO_STAGE_CONFIG as CONFIG,
+    make_manager,
+    two_region_classes as workload_classes,
+)
 
 
 def legacy_run_scenario(manager, scenario):

@@ -5,53 +5,16 @@ import threading
 import pytest
 
 from repro.exceptions import PlatformError
-from repro.platform.builder import PlatformBuilder
-from repro.platform.regions import RegionLocks, RegionOwnershipGuard, RegionPartition
+from repro.platform.regions import RegionLocks, RegionOwnershipGuard
 from repro.runtime.engine import (
     SerialRegionExecutor,
     ThreadedRegionExecutor,
     WorkloadEngine,
 )
 from repro.runtime.events import ScenarioEvent, StartEvent, StopEvent
-from repro.runtime.manager import RuntimeResourceManager
 from repro.runtime.queue import RequestStatus
 from repro.runtime.scenario import Scenario
-from repro.spatialmapper.config import MapperConfig
-from repro.workloads.synthetic import SyntheticConfig, generate_application
-
-CONFIG = SyntheticConfig(stages=2, period_ns=100_000.0, tile_types=("GPP",))
-
-
-def build_two_region_platform():
-    """A 4x2 mesh with one I/O tile and three GPP tiles per half."""
-    builder = (
-        PlatformBuilder("two_region")
-        .mesh(4, 2, link_capacity_bits_per_s=4e9, router_frequency_mhz=200.0)
-        .tile_type("IO", frequency_mhz=200.0, is_processing=False)
-        .tile_type("GPP", frequency_mhz=200.0)
-        .tile("io_l", "IO", (0, 0))
-        .tile("io_r", "IO", (3, 0))
-    )
-    for index, position in enumerate([(0, 1), (1, 0), (1, 1)]):
-        builder.tile(f"gpp_l{index}", "GPP", position, memory_bytes=128 * 1024)
-    for index, position in enumerate([(2, 0), (2, 1), (3, 1)]):
-        builder.tile(f"gpp_r{index}", "GPP", position, memory_bytes=128 * 1024)
-    return builder.build()
-
-
-def make_app(seed, name, io_tile):
-    """A two-stage synthetic application pinned to one region's I/O tile."""
-    return generate_application(
-        seed, CONFIG, name=name, source_tile=io_tile, sink_tile=io_tile
-    )
-
-
-def make_manager(platform):
-    return RuntimeResourceManager(
-        platform,
-        config=MapperConfig(analysis_iterations=3),
-        partition=RegionPartition.grid(platform, 2, 1),
-    )
+from tests.harness import build_two_region_platform, make_app, make_manager
 
 
 @pytest.fixture()
