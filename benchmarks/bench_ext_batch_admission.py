@@ -45,6 +45,7 @@ import pytest
 from repro.platform.regions import RegionPartition
 from repro.runtime.admission_control import GovernorConfig, LoadSheddingGovernor
 from repro.runtime.engine import (
+    ProcessRegionExecutor,
     SerialRegionExecutor,
     ThreadedRegionExecutor,
     WorkloadEngine,
@@ -431,7 +432,7 @@ def engine_traffic_classes(load_factor=1.0):
     return classes
 
 
-def run_engine_config(workload, *, sharded, executor_kind, park=True):
+def run_engine_config(workload, *, sharded, executor_kind, park=True, workers=None):
     """Replay one workload on a fresh manager under one engine configuration."""
     platform = build_sweep_platform()
     partition = (
@@ -442,13 +443,18 @@ def run_engine_config(workload, *, sharded, executor_kind, park=True):
     manager = RuntimeResourceManager(
         platform, config=MapperConfig(analysis_iterations=3), partition=partition
     )
-    executor = (
-        ThreadedRegionExecutor(partition)
-        if executor_kind == "threaded"
-        else SerialRegionExecutor()
-    )
+    if executor_kind == "threaded":
+        executor = ThreadedRegionExecutor(partition)
+    elif executor_kind == "process":
+        executor = ProcessRegionExecutor(partition, workers=workers)
+    else:
+        executor = SerialRegionExecutor()
     engine = WorkloadEngine(manager, executor=executor, park_rejections=park)
-    return engine.run(workload)
+    try:
+        return engine.run(workload)
+    finally:
+        if executor_kind == "process":
+            executor.close()
 
 
 def test_ext_engine_drain_parallelism(benchmark):
@@ -527,6 +533,100 @@ def test_ext_engine_drain_parallelism(benchmark):
         payload["sharded_speedup"] = speedup
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
+
+
+def test_ext_process_drain_throughput(benchmark):
+    """Serial vs threaded vs process drain of one stream over 4 regions.
+
+    The process executor is the one back-end the GIL cannot serialize:
+    region lanes ship out as snapshots, decide in worker processes, and
+    fold back as allocation deltas.  This benchmark replays one generated
+    4-region workload through all three executors, asserts they are
+    decision-identical, and records the drain throughput comparison in
+    ``BENCH_process_drain.json`` at the repository root (with
+    ``os.cpu_count()`` — the speedup claim only makes sense on a
+    multi-core runner).
+
+    The speedup floor defaults to 1.8x on runners with >= 4 cores and is
+    waived elsewhere; ``$PROCESS_DRAIN_MIN_SPEEDUP`` overrides it either
+    way (the CI smoke step pins ``0`` — it asserts the protocol, not the
+    hardware).
+    """
+    cpu_count = os.cpu_count() or 1
+    workers = int(os.environ.get("PROCESS_DRAIN_WORKERS", "0")) or min(4, cpu_count)
+    workload = generate_workload(
+        ENGINE_SEED,
+        ENGINE_HORIZON_NS,
+        engine_traffic_classes(load_factor=3.0),
+        name="process-drain",
+    )
+    results = {}
+
+    def run_all():
+        results["serial"] = run_engine_config(
+            workload, sharded=True, executor_kind="serial"
+        )
+        results["threaded"] = run_engine_config(
+            workload, sharded=True, executor_kind="threaded"
+        )
+        results["process"] = run_engine_config(
+            workload, sharded=True, executor_kind="process", workers=workers
+        )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Identical decisions across all three executors — the differential
+    # suites pin this on small workloads; the benchmark re-pins it at scale.
+    for kind in ("threaded", "process"):
+        assert results["serial"].decision_log() == results[kind].decision_log()
+        assert results["serial"].departures == results[kind].departures
+
+    comparison = {}
+    for label, outcome in results.items():
+        assert outcome.decided > 0
+        comparison[label] = {
+            "decided": outcome.decided,
+            "admitted": len(outcome.admitted),
+            "drain_wall_ms": round(outcome.drain_wall_s * 1e3, 3),
+            "per_admission_wall_ms": round(
+                outcome.drain_wall_s / outcome.decided * 1e3, 4
+            ),
+        }
+    worker_stats = results["process"].telemetry.workers
+    speedup = (
+        comparison["serial"]["drain_wall_ms"] / comparison["process"]["drain_wall_ms"]
+    )
+    payload = {
+        "cpu_count": cpu_count,
+        "workers": workers,
+        "regions": SWEEP_REGIONS * SWEEP_REGIONS,
+        "comparison": comparison,
+        "process_speedup_vs_serial": round(speedup, 3),
+        "worker_stats": {
+            name: {key: round(value, 6) for key, value in values.items()}
+            for name, values in worker_stats.items()
+        },
+    }
+    benchmark.extra_info.update(payload)
+
+    out_path = os.environ.get("PROCESS_DRAIN_JSON")
+    if not out_path:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        out_path = os.path.join(root, "BENCH_process_drain.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    # The protocol must have actually shipped work to the workers.
+    assert worker_stats and sum(w["requests"] for w in worker_stats.values()) > 0
+
+    min_speedup = float(
+        os.environ.get(
+            "PROCESS_DRAIN_MIN_SPEEDUP", "1.8" if cpu_count >= 4 else "0"
+        )
+    )
+    assert speedup >= min_speedup, payload
 
 
 # --------------------------------------------------------------------------- #

@@ -10,13 +10,22 @@ through the discrete-event workload engine with the worker-per-region
 executor, the inter-region corridor planner and cache-aware rejection
 parking.  The engine's per-lane telemetry shows where requests settle
 (region lanes, the multi-region lane, the residual global lane) and what
-the region locks cost; the offered load is then swept to trace the
-admission-rate-versus-load curve the run-time mapper exists to bend.
+the region locks cost; the same workload is then replayed on the
+process-parallel snapshot-out / delta-in executor (decision-identical,
+with per-worker traffic telemetry) and the offered load is swept to
+trace the admission-rate-versus-load curve the run-time mapper exists
+to bend.
 
 Run with:  python examples/multi_application_runtime.py
 """
 
-from repro import MapperConfig, RuntimeResourceManager, ThreadedRegionExecutor, WorkloadEngine
+from repro import (
+    MapperConfig,
+    ProcessRegionExecutor,
+    RuntimeResourceManager,
+    ThreadedRegionExecutor,
+    WorkloadEngine,
+)
 from repro.platform.regions import RegionPartition
 from repro.reporting import format_table
 from repro.runtime.admission_control import GovernorConfig, LoadSheddingGovernor
@@ -72,7 +81,7 @@ def traffic_classes(load_factor=1.0):
     return classes
 
 
-def run_workload(load_factor):
+def run_workload(load_factor, executor="threaded"):
     """Play one generated workload through the engine; returns its outcome."""
     platform = build_platform()
     partition = RegionPartition.grid(platform, REGIONS, REGIONS)
@@ -82,18 +91,22 @@ def run_workload(load_factor):
         partition=partition,
         cross_region_planner=True,
     )
-    engine = WorkloadEngine(
-        manager,
-        executor=ThreadedRegionExecutor(partition),
-        park_rejections=True,
-    )
+    if executor == "process":
+        backend = ProcessRegionExecutor(partition, workers=2)
+    else:
+        backend = ThreadedRegionExecutor(partition)
+    engine = WorkloadEngine(manager, executor=backend, park_rejections=True)
     workload = generate_workload(
         seed=2008,
         horizon_ns=25 * MILLISECOND,
         classes=traffic_classes(load_factor),
         name=f"bursty_x{load_factor:g}",
     )
-    return engine.run(workload)
+    try:
+        return engine.run(workload)
+    finally:
+        if executor == "process":
+            backend.close()
 
 
 def print_telemetry(outcome):
@@ -128,6 +141,25 @@ def print_telemetry(outcome):
             ["Region lock", "Acquisitions", "Waited", "Held"],
             lock_rows,
             title="Region lock telemetry",
+        ))
+    worker_rows = [
+        (
+            worker,
+            f"{int(stats.get('dispatches', 0))}",
+            f"{int(stats.get('requests', 0))}",
+            f"{stats.get('snapshot_bytes', 0) / 1024:.1f} KiB",
+            f"{stats.get('delta_bytes', 0) / 1024:.1f} KiB",
+            f"{int(stats.get('stale_redecides', 0))}",
+            f"{stats.get('worker_wall_s', 0.0) * 1e3:.2f} ms",
+        )
+        for worker, stats in sorted(outcome.telemetry.workers.items())
+    ]
+    if worker_rows:
+        print(format_table(
+            ["Drain worker", "Dispatches", "Requests", "Snapshots out",
+             "Deltas in", "Stale", "Wall"],
+            worker_rows,
+            title="Process-executor telemetry (per worker)",
         ))
 
 
@@ -225,6 +257,16 @@ def main():
           f"{outcome.end_time_ns / MILLISECOND:.0f} ms")
     print()
     print_telemetry(outcome)
+    print()
+
+    print("Same workload, process-parallel drain (snapshot-out / delta-in):")
+    process_outcome = run_workload(1.0, executor="process")
+    identical = (
+        process_outcome.decision_log() == outcome.decision_log()
+        and process_outcome.departures == outcome.departures
+    )
+    print(f"  decision-identical to the threaded run: {identical}")
+    print_telemetry(process_outcome)
     print()
 
     print("Admission rate vs offered load:")

@@ -48,6 +48,7 @@ from repro.mapping import (
 )
 from repro.spatialmapper import MapperConfig, SpatialMapper, Step2Strategy
 from repro.runtime import (
+    ProcessRegionExecutor,
     RuntimeResourceManager,
     Scenario,
     StartEvent,
@@ -103,5 +104,6 @@ __all__ = [
     "StopEvent",
     "WorkloadEngine",
     "ThreadedRegionExecutor",
+    "ProcessRegionExecutor",
     "run_scenario",
 ]

@@ -41,6 +41,7 @@ For *parallel* draining (one worker thread per region), the module adds:
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
 from contextlib import contextmanager
@@ -49,7 +50,17 @@ from typing import Iterable, Iterator
 from repro.exceptions import PlatformError
 from repro.platform.noc import Position
 from repro.platform.platform import Platform
-from repro.platform.state import PlatformState
+from repro.platform.state import PlatformState, RegionSnapshot
+
+
+def current_worker_name() -> str:
+    """``process/thread`` label of the caller, for ownership diagnostics.
+
+    Executor workers carry meaningful names (``region-worker-<lane>``
+    threads, ``region-drain-<n>`` processes), so a guard violation can name
+    the executor lane that raced instead of a raw thread ident.
+    """
+    return f"{multiprocessing.current_process().name}/{threading.current_thread().name}"
 
 
 class Region:
@@ -101,6 +112,14 @@ class Region:
     def fingerprint(self, state: PlatformState) -> tuple:
         """Digest of the region's allocation state (see :meth:`PlatformState.fingerprint`)."""
         return state.fingerprint(self.tile_names, self.link_names)
+
+    def snapshot(self, state: PlatformState) -> RegionSnapshot:
+        """Picklable extract of this region's allocations (and fingerprint).
+
+        The snapshot-out half of the process drain protocol; see
+        :meth:`PlatformState.snapshot_scope`.
+        """
+        return state.snapshot_scope(self)
 
     def view(self, state: PlatformState) -> "RegionView":
         """Aggregate fill metrics of this region over the given state."""
@@ -344,6 +363,9 @@ class RegionLocks:
             name: threading.RLock() for name in self._region_names
         }
         self._holders: dict[str, list[int]] = {name: [] for name in self._region_names}
+        #: Parallel to ``_holders``: the human-readable ``process/thread``
+        #: label of each holder, for ownership-violation diagnostics.
+        self._holder_names: dict[str, list[str]] = {name: [] for name in self._region_names}
         self._stats_lock = threading.Lock()
         self._wait_s: dict[str, float] = {name: 0.0 for name in self._region_names}
         self._hold_s: dict[str, float] = {name: 0.0 for name in self._region_names}
@@ -370,6 +392,7 @@ class RegionLocks:
             if name not in self._locks:
                 raise PlatformError(f"unknown region {name!r}")
         ident = threading.get_ident()
+        label = current_worker_name()
         acquired: list[str] = []
         held_from = time.perf_counter()
         try:
@@ -380,6 +403,7 @@ class RegionLocks:
                 self._locks[name].acquire()
                 waited = time.perf_counter() - started
                 self._holders[name].append(ident)
+                self._holder_names[name].append(label)
                 acquired.append(name)
                 self._note_wait((name,), waited)
             held_from = time.perf_counter()
@@ -389,6 +413,7 @@ class RegionLocks:
                 self._note_hold(ordered, time.perf_counter() - held_from)
             for name in reversed(acquired):
                 self._holders[name].pop()
+                self._holder_names[name].pop()
                 self._locks[name].release()
 
     @contextmanager
@@ -425,6 +450,10 @@ class RegionLocks:
     def holds(self, region_name: str) -> bool:
         """Whether the current thread holds the named region's lock."""
         return threading.get_ident() in self._holders.get(region_name, ())
+
+    def holder_names(self, region_name: str) -> tuple[str, ...]:
+        """``process/thread`` labels currently holding the region's lock."""
+        return tuple(self._holder_names.get(region_name, ()))
 
     def holds_all(self) -> bool:
         """Whether the current thread holds the global lane (every lock)."""
@@ -467,13 +496,19 @@ class RegionOwnershipGuard:
             else:
                 self._link_owners[link_name] = (source.name, target.name)
 
+    def _held_by(self, region_name: str) -> str:
+        """Who currently holds a region's lock, for violation messages."""
+        holders = self.locks.holder_names(region_name)
+        return f"held by {', '.join(holders)}" if holders else "currently unheld"
+
     def check_tile(self, tile_name: str) -> None:
         """Raise unless the current thread owns the tile's region."""
         region = self.partition.region_of_tile(tile_name)
         if not self.locks.holds(region.name):
             raise PlatformError(
                 f"tile {tile_name!r} belongs to region {region.name!r} but the "
-                "mutating thread does not hold its lock"
+                f"mutating worker {current_worker_name()!r} does not hold its "
+                f"lock ({self._held_by(region.name)})"
             )
 
     def check_link(self, link_name: str) -> None:
@@ -483,12 +518,14 @@ class RegionOwnershipGuard:
             if not self.locks.holds_all():
                 raise PlatformError(
                     f"link {link_name!r} touches an unassigned router position; "
-                    "mutating it requires the global lane (all region locks)"
+                    f"mutating it (from worker {current_worker_name()!r}) "
+                    "requires the global lane (all region locks)"
                 )
             return
         for owner in owners:
             if not self.locks.holds(owner):
                 raise PlatformError(
                     f"link {link_name!r} is owned by region(s) {owners!r} but the "
-                    f"mutating thread does not hold its lock ({owner!r})"
+                    f"mutating worker {current_worker_name()!r} does not hold its "
+                    f"lock ({owner!r} {self._held_by(owner)})"
                 )

@@ -83,6 +83,61 @@ class LinkAllocation:
     bits_per_s: float
 
 
+@dataclass(frozen=True)
+class RegionSnapshot:
+    """Picklable region-local extract of a :class:`PlatformState`.
+
+    This is what crosses the process boundary in the engine's
+    snapshot-out / delta-in drain protocol: the scope's allocation lists
+    (in their exact engine-side order) plus the scope fingerprint they were
+    taken under.  Preserving list order matters — the cached aggregates are
+    float sums over those lists, so a reordered snapshot could rebuild to a
+    state whose fingerprint differs in the last bit.  A snapshot taken from
+    a state and rebuilt with :meth:`build_state` therefore reproduces the
+    scope's :meth:`PlatformState.fingerprint` bit-identically (the property
+    tests pin exactly this).
+    """
+
+    scope_name: str
+    tile_names: tuple[str, ...]
+    link_names: tuple[str, ...]
+    fingerprint: tuple
+    tile_occupants: tuple[tuple[str, tuple[ProcessAllocation, ...]], ...]
+    link_allocations: tuple[tuple[str, tuple[LinkAllocation, ...]], ...]
+
+    def build_state(self, platform: Platform) -> "PlatformState":
+        """A fresh state holding exactly this snapshot's allocations.
+
+        Aggregates are recomputed from the (order-preserved) allocation
+        lists, so the rebuilt state's scope fingerprint equals
+        :attr:`fingerprint` exactly.  Tiles and links outside the scope are
+        empty — a worker deciding strictly inside the scope never reads
+        them.
+        """
+        return PlatformState(
+            platform,
+            {name: list(allocations) for name, allocations in self.tile_occupants},
+            {name: list(allocations) for name, allocations in self.link_allocations},
+        )
+
+
+@dataclass(frozen=True)
+class AllocationDelta:
+    """The commit records of one admitted application, as transportable data.
+
+    Exactly what :meth:`PlatformState.apply_delta` folds back into the
+    engine-side state: the process and link allocations a worker's
+    region-scoped commit produced, in commit order.
+    """
+
+    application: str
+    processes: tuple[ProcessAllocation, ...]
+    links: tuple[LinkAllocation, ...]
+
+    def __len__(self) -> int:
+        return len(self.processes) + len(self.links)
+
+
 class StateTransaction:
     """Undo journal of one :meth:`PlatformState.transaction` scope.
 
@@ -524,6 +579,50 @@ class PlatformState:
             self._link_allocations[link_name] = kept
             self._link_load[link_name] = sum(a.bits_per_s for a in kept)
         return removed
+
+    def snapshot_scope(self, scope) -> RegionSnapshot:
+        """Extract a picklable :class:`RegionSnapshot` of one scope.
+
+        ``scope`` is anything with ``name``, ``tile_names`` and
+        ``link_names`` (in practice a
+        :class:`~repro.platform.regions.Region`).  Allocation lists are
+        copied in their live order, so rebuilding the snapshot reproduces
+        the scope fingerprint bit-identically (float aggregate sums depend
+        on summation order).
+        """
+        tile_names = tuple(scope.tile_names)
+        link_names = tuple(scope.link_names)
+        return RegionSnapshot(
+            scope_name=scope.name,
+            tile_names=tile_names,
+            link_names=link_names,
+            fingerprint=self.fingerprint(tile_names, link_names),
+            tile_occupants=tuple(
+                (name, tuple(self._tile_occupants[name]))
+                for name in tile_names
+                if self._tile_occupants.get(name)
+            ),
+            link_allocations=tuple(
+                (name, tuple(self._link_allocations[name]))
+                for name in link_names
+                if self._link_allocations.get(name)
+            ),
+        )
+
+    def apply_delta(self, delta: AllocationDelta) -> None:
+        """Fold one allocation delta into the state, allocation by allocation.
+
+        Runs through the ordinary :meth:`allocate_process` /
+        :meth:`allocate_link` path, so every record is re-validated against
+        the *current* state and journaled into whatever transaction scope
+        the caller holds open — the engine folds worker deltas under a
+        region-scoped transaction, which makes a stale or conflicting delta
+        roll back cleanly instead of half-applying.
+        """
+        for allocation in delta.processes:
+            self.allocate_process(allocation)
+        for allocation in delta.links:
+            self.allocate_link(allocation)
 
     def copy(self) -> "PlatformState":
         """A deep-enough copy for what-if exploration by mappers.

@@ -29,6 +29,7 @@ from repro.runtime.engine import (
     EngineRecord,
     EngineTelemetry,
     LaneCounters,
+    ProcessRegionExecutor,
     SerialRegionExecutor,
     ThreadedRegionExecutor,
     WorkloadEngine,
@@ -57,6 +58,7 @@ __all__ = [
     "EngineTelemetry",
     "LaneCounters",
     "MULTI_REGION_LANE",
+    "ProcessRegionExecutor",
     "SerialRegionExecutor",
     "ThreadedRegionExecutor",
     "Scenario",

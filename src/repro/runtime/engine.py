@@ -14,14 +14,18 @@ driver:
   :class:`~repro.runtime.queue.AdmissionQueue` (with their priorities and
   deadlines), and the queue is drained through a pluggable *region
   executor*.
-* :class:`SerialRegionExecutor` / :class:`ThreadedRegionExecutor` — the two
-  drain back-ends.  Both follow the same two-phase discipline; the threaded
-  one runs phase 1 with one worker per region, each holding its region's
-  lock (:class:`~repro.platform.regions.RegionLocks`) with the
+* :class:`SerialRegionExecutor` / :class:`ThreadedRegionExecutor` /
+  :class:`ProcessRegionExecutor` — the three drain back-ends.  All follow
+  the same two-phase discipline; the threaded one runs phase 1 with one
+  worker thread per region, each holding its region's lock
+  (:class:`~repro.platform.regions.RegionLocks`) with the
   :class:`~repro.platform.regions.RegionOwnershipGuard` armed, so the
   per-thread transaction journals of
   :class:`~repro.platform.state.PlatformState` provably never interleave on
-  the same keys.
+  the same keys; the process one ships each lane's region as a picklable
+  snapshot to a worker *process* and folds the returned allocation deltas
+  back on commit (see :mod:`repro.runtime.procdrain`), which is the one
+  back-end the GIL cannot serialize.
 
 The two-phase drain discipline
 ------------------------------
@@ -57,10 +61,15 @@ per-region lock wait/hold times are accumulated on the
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 import time
+import weakref
+import zlib
 from dataclasses import dataclass, field
 
+from repro.exceptions import PlatformError
 from repro.interregion.coordinator import InterRegionCoordinator
 from repro.platform.regions import (
     GLOBAL_LANE,
@@ -69,6 +78,7 @@ from repro.platform.regions import (
     RegionOwnershipGuard,
     RegionPartition,
 )
+from repro.runtime import procdrain
 from repro.runtime.accounting import EnergyAccount
 from repro.runtime.admission_control import GovernorDecision, LoadSheddingGovernor
 from repro.runtime.events import StartEvent, StopEvent
@@ -86,6 +96,7 @@ __all__ = [
     "EngineTelemetry",
     "LaneCounters",
     "MULTI_REGION_LANE",
+    "ProcessRegionExecutor",
     "SerialRegionExecutor",
     "ThreadedRegionExecutor",
 ]
@@ -224,6 +235,312 @@ class ThreadedRegionExecutor:
                     break
 
 
+class _DrainWorker:
+    """Engine-side handle of one drain worker process (pipe + stats label)."""
+
+    def __init__(self, index: int, context, settings_blob: bytes) -> None:
+        self.name = f"region-drain-{index}"
+        self.conn, child = context.Pipe()
+        self.process = context.Process(
+            target=procdrain.drain_worker,
+            args=(child, settings_blob),
+            name=self.name,
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Ask the worker to exit; escalate to terminate if it will not."""
+        try:
+            self.conn.send_bytes(procdrain.SHUTDOWN_FRAME)
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=timeout_s)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+
+
+def _stop_workers(pool: list) -> None:
+    """Module-level so a ``weakref.finalize`` can call it without resurrecting
+    the executor."""
+    for worker in pool:
+        worker.stop()
+
+
+class ProcessRegionExecutor:
+    """Drain region lanes across worker *processes*: snapshot out, delta in.
+
+    The GIL-free counterpart of :class:`ThreadedRegionExecutor`.  Each
+    drain, every lane's region is extracted as a picklable
+    :class:`~repro.platform.state.RegionSnapshot` and shipped — with the
+    lane's requests — to a persistent worker process
+    (:mod:`repro.runtime.procdrain`), which runs the ordinary
+    ``decide(candidates=(region,))`` pipeline against a state rebuilt from
+    the snapshot and ships back, per admitted job, a serialized
+    :class:`~repro.platform.state.AllocationDelta` (exactly the commit's
+    journal records).  The engine process then *folds* each delta under the
+    lane's region lock inside a region-scoped transaction — the existing
+    transaction discipline — with the ownership guard armed.
+
+    Stale snapshots are handled explicitly, never silently committed: every
+    worker response carries the region fingerprint its decision was based
+    on, and the fold applies a delta only while the engine-side fingerprint
+    still matches (within a lane the fingerprints chain across the lane's
+    local commits, so a matching base proves the worker saw exactly the
+    state the fold is about to mutate).  On a mismatch — or a delta the
+    current state rejects — the job is re-decided on the engine process
+    through the same region-restricted pipeline.  Finalisation stays on the
+    engine thread in arrival order, so sheds and cancels settle exactly
+    once, and decisions are identical to the serial executor's (the
+    differential suites pin this across all three executors).
+
+    Lanes are assigned to workers by a stable hash of the lane name, so a
+    region's dispatches keep hitting the same worker and its region-scoped
+    mapper-cache warm state accumulates.  Workers are started lazily on the
+    first drain (the pipeline is only known then), reused across drains and
+    runs, and torn down by :meth:`close` (or the garbage collector / daemon
+    flag as backstops).  Requires the pipeline's default mapper factory —
+    a custom factory cannot cross the process boundary.
+
+    Per-worker executor stats (dispatches, requests, snapshot/delta bytes
+    shipped, worker wall-clock, stale re-decides) accumulate for the
+    executor's lifetime; the engine reports per-run deltas in
+    :attr:`EngineTelemetry.workers`.
+    """
+
+    def __init__(
+        self,
+        partition: RegionPartition,
+        *,
+        workers: int | None = None,
+        locks: RegionLocks | None = None,
+        guard: bool = True,
+        start_method: str | None = None,
+    ) -> None:
+        self.partition = partition
+        self.locks = locks or RegionLocks(partition)
+        self.guard: RegionOwnershipGuard | None = (
+            RegionOwnershipGuard(partition, self.locks) if guard else None
+        )
+        self.workers = max(
+            1,
+            workers
+            if workers is not None
+            else min(len(partition), os.cpu_count() or 1),
+        )
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._context = multiprocessing.get_context(start_method)
+        self._pool: list[_DrainWorker] | None = None
+        self._finalizer: weakref.finalize | None = None
+        self._stats: dict[str, dict[str, float]] = {}
+
+    # -- worker pool lifecycle ------------------------------------------- #
+    def _ensure_pool(self, pipeline: AdmissionPipeline) -> list[_DrainWorker]:
+        """Start the worker pool on first use (the pipeline defines the world)."""
+        if self._pool is not None:
+            return self._pool
+        if not pipeline._uses_default_factory:
+            raise PlatformError(
+                "ProcessRegionExecutor requires the pipeline's default mapper "
+                "factory: a custom factory cannot cross the process boundary"
+            )
+        scorer = pipeline.region_scorer
+        settings = procdrain.WorkerSettings(
+            platform=pipeline.platform,
+            partition=pipeline.partition,
+            library=pipeline.library,
+            config=pipeline.config,
+            require_feasible=pipeline.require_feasible,
+            cache_size=pipeline.cache.maxsize if pipeline.cache is not None else 0,
+            scorer_policy=scorer.policy if scorer is not None else None,
+            scorer_has_feedback=scorer is not None and scorer.feedback is not None,
+        )
+        settings_blob = procdrain.dump_frame(settings)
+        pool = [
+            _DrainWorker(index, self._context, settings_blob)
+            for index in range(self.workers)
+        ]
+        self._pool = pool
+        self._finalizer = weakref.finalize(self, _stop_workers, pool)
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a fresh pool starts on reuse)."""
+        self._pool = None
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+
+    def __enter__(self) -> "ProcessRegionExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def worker_stats(self) -> dict[str, dict[str, float]]:
+        """Cumulative per-worker executor stats (copied; engine takes deltas)."""
+        return {name: dict(values) for name, values in self._stats.items()}
+
+    def _stats_for(self, worker_name: str) -> dict[str, float]:
+        return self._stats.setdefault(
+            worker_name,
+            {
+                "dispatches": 0,
+                "requests": 0,
+                "snapshot_bytes": 0,
+                "delta_bytes": 0,
+                "stale_redecides": 0,
+                "worker_wall_s": 0.0,
+            },
+        )
+
+    def _worker_for(self, pool: list[_DrainWorker], lane: str) -> _DrainWorker:
+        """Stable lane-to-worker assignment (cache warmth over balance)."""
+        return pool[zlib.crc32(lane.encode("utf-8")) % len(pool)]
+
+    # -- the drain ------------------------------------------------------- #
+    def execute(
+        self, lane_jobs: dict[str, list[_RegionJob]], pipeline: AdmissionPipeline
+    ) -> None:
+        """Dispatch every lane to its worker, then fold the results in order."""
+        if not lane_jobs:
+            return
+        # Engine-side re-decides (stale snapshots) use the engine pipeline's
+        # mapper; materialise it outside the fold loop.
+        pipeline.mapper_for(None)
+        pool = self._ensure_pool(pipeline)
+        state = pipeline.state
+        lanes = sorted(lane_jobs)
+        dispatched: dict[str, _DrainWorker] = {}
+        per_worker: dict[str, list[str]] = {}
+        for lane in lanes:
+            jobs = lane_jobs[lane]
+            region = jobs[0].region
+            dispatch = procdrain.LaneDispatch(
+                lane=lane,
+                snapshot=state.snapshot_scope(region),
+                jobs=tuple(
+                    procdrain.JobSpec(
+                        ticket=job.request.ticket,
+                        als_blob=procdrain.dump_frame(job.request.als),
+                        library_blob=(
+                            procdrain.dump_frame(job.request.library)
+                            if job.request.library is not None
+                            else None
+                        ),
+                    )
+                    for job in jobs
+                ),
+            )
+            frame = procdrain.dump_frame(dispatch)
+            worker = self._worker_for(pool, lane)
+            worker.conn.send_bytes(frame)
+            dispatched[lane] = worker
+            per_worker.setdefault(worker.name, []).append(lane)
+            stats = self._stats_for(worker.name)
+            stats["dispatches"] += 1
+            stats["requests"] += len(jobs)
+            stats["snapshot_bytes"] += len(frame)
+        # Collect every worker's answers (one frame per dispatched lane; a
+        # worker answers its lanes in the order they were sent).
+        results: dict[str, procdrain.LaneResult] = {}
+        for worker in pool:
+            for _ in per_worker.get(worker.name, ()):
+                result: procdrain.LaneResult = procdrain.load_frame(
+                    worker.conn.recv_bytes()
+                )
+                results[result.lane] = result
+        # Fold on commit, lane by lane in the serial executor's order, under
+        # each lane's region lock with the ownership guard armed.
+        previous_guard = state.ownership_guard
+        state.ownership_guard = self.guard
+        try:
+            for lane in lanes:
+                self._fold_lane(
+                    lane,
+                    lane_jobs[lane],
+                    results[lane],
+                    pipeline,
+                    self._stats_for(dispatched[lane].name),
+                )
+        finally:
+            state.ownership_guard = previous_guard
+
+    def _fold_lane(
+        self,
+        lane: str,
+        jobs: list[_RegionJob],
+        result: procdrain.LaneResult,
+        pipeline: AdmissionPipeline,
+        stats: dict[str, float],
+    ) -> None:
+        """Fold one lane's worker responses into the engine state.
+
+        Per job: check the response's base fingerprint against the live
+        region fingerprint; apply the delta in a region-scoped transaction
+        on a match, re-decide on the engine process otherwise.  Worker
+        errors surface on the job (the engine unwinds and re-raises), and a
+        lane a worker aborted early leaves its remaining jobs undecided —
+        exactly the serial lane-abort discipline.
+        """
+        state = pipeline.state
+        region = jobs[0].region
+        responses = {response.ticket: response for response in result.responses}
+        with self.locks.region_lane(lane):
+            for job in jobs:
+                response = responses.get(job.request.ticket)
+                if response is None:
+                    break  # worker aborted the lane on an earlier error
+                stats["worker_wall_s"] += response.wall_s
+                # The worker's mapper ran for real; keep the engine-wide
+                # invocation accounting honest across executors.
+                pipeline.mapper_invocations += response.mapper_invocations
+                if response.error is not None:
+                    job.error = PlatformError(
+                        f"region drain worker failed in lane {lane!r}:\n"
+                        f"{response.error}"
+                    )
+                    break
+                if region.fingerprint(state) != response.base_fingerprint:
+                    stats["stale_redecides"] += 1
+                    job.run(pipeline)
+                    if job.error is not None:
+                        break
+                    continue
+                decision = procdrain.load_frame(response.decision_blob)
+                if decision.admitted:
+                    delta = procdrain.load_frame(response.delta_blob)
+                    stats["delta_bytes"] += len(response.delta_blob)
+                    try:
+                        with state.transaction(region):
+                            state.apply_delta(delta)
+                    except PlatformError:
+                        # The fingerprint matched but the delta no longer
+                        # fits (aggregates can collide across histories);
+                        # the transaction rolled everything back — re-decide
+                        # against the live state instead of committing.
+                        stats["stale_redecides"] += 1
+                        job.run(pipeline)
+                        if job.error is not None:
+                            break
+                        continue
+                    pipeline.record_commit(
+                        decision.application, decision.result.mapping
+                    )
+                job.decision = decision
+
+
 # --------------------------------------------------------------------------- #
 # Outcome bookkeeping
 # --------------------------------------------------------------------------- #
@@ -262,6 +579,11 @@ class EngineTelemetry:
     #: Final :meth:`LoadSheddingGovernor.snapshot` of the run's governor
     #: (``None`` when the engine ran without one).
     governor: dict | None = None
+    #: Per-worker executor stats of this run (empty for executors without
+    #: workers): lane dispatches, requests decided, snapshot/delta bytes
+    #: shipped across the process boundary, stale-snapshot re-decides and
+    #: in-worker wall-clock, keyed by worker name.
+    workers: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def lane(self, name: str) -> LaneCounters:
         """The counters of one lane (created on first use)."""
@@ -289,6 +611,13 @@ class EngineTelemetry:
             self.lock_acquisitions[region] = self.lock_acquisitions.get(region, 0) + int(
                 values["acquisitions"]
             )
+
+    def merge_worker_stats(self, stats: dict[str, dict[str, float]]) -> None:
+        """Fold one :meth:`ProcessRegionExecutor.worker_stats` delta into the totals."""
+        for worker, values in stats.items():
+            totals = self.workers.setdefault(worker, {})
+            for key, value in values.items():
+                totals[key] = totals.get(key, 0) + value
 
 
 @dataclass(frozen=True)
@@ -436,7 +765,10 @@ class WorkloadEngine:
         manager: RuntimeResourceManager,
         *,
         queue: AdmissionQueue | None = None,
-        executor: SerialRegionExecutor | ThreadedRegionExecutor | None = None,
+        executor: SerialRegionExecutor
+        | ThreadedRegionExecutor
+        | ProcessRegionExecutor
+        | None = None,
         drain_mode: str = "batched",
         park_rejections: bool = False,
         governor: LoadSheddingGovernor | None = None,
@@ -464,6 +796,7 @@ class WorkloadEngine:
         """
         started = time.perf_counter()
         lock_baseline = self._lock_stats_snapshot()
+        worker_baseline = self._worker_stats_snapshot()
         outcome = EngineOutcome(workload=getattr(workload, "name", "workload"))
         events = workload.sorted_events()
         for event in events:
@@ -511,6 +844,7 @@ class WorkloadEngine:
         outcome.energy.finish(end_time_ns)
         outcome.wall_clock_s = time.perf_counter() - started
         self._collect_lock_stats(outcome, lock_baseline)
+        self._collect_worker_stats(outcome, worker_baseline)
         if self.governor is not None:
             outcome.telemetry.governor = self.governor.snapshot()
         return outcome
@@ -554,6 +888,35 @@ class WorkloadEngine:
                 for region, values in stats.items()
             }
             outcome.telemetry.merge_lock_stats(delta)
+
+    def _worker_stats_snapshot(self) -> dict[str, dict[str, float]]:
+        """Cumulative per-worker executor stats, empty for worker-less executors."""
+        stats = getattr(self.executor, "worker_stats", None)
+        return stats() if callable(stats) else {}
+
+    def _collect_worker_stats(
+        self,
+        outcome: EngineOutcome,
+        baseline: dict[str, dict[str, float]],
+    ) -> None:
+        """Fold this run's per-worker executor stats into the telemetry.
+
+        Like the lock stats, the executor accumulates for its lifetime
+        (worker pools are reused across runs), so each run reports the
+        delta against its starting snapshot.
+        """
+        stats = self._worker_stats_snapshot()
+        if not stats:
+            return
+        outcome.telemetry.merge_worker_stats(
+            {
+                worker: {
+                    key: value - baseline.get(worker, {}).get(key, 0)
+                    for key, value in values.items()
+                }
+                for worker, values in stats.items()
+            }
+        )
 
     # ------------------------------------------------------------------ #
     def _submit(self, event: StartEvent) -> int:

@@ -29,7 +29,7 @@ feeds it request by request.
 from __future__ import annotations
 
 from contextlib import contextmanager, nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.appmodel.library import ImplementationLibrary
 from repro.exceptions import PlatformError
@@ -68,6 +68,27 @@ class AdmissionDecision:
     #: Shape fingerprint of the application, computed while the library was
     #: at hand; ``None`` when no rejection feedback is configured.
     shape: tuple | None = None
+
+    def as_transport(self) -> "AdmissionDecision":
+        """A transport-safe copy of this decision for crossing process boundaries.
+
+        Everything settlement needs — admitted/reason, the mapping and its
+        energy/feasibility figures, the mapper runtime, ``attempted_regions``
+        and ``shape`` (consumed by :meth:`AdmissionPipeline.note_feedback` on
+        the engine process) — is carried verbatim.  The mapped CSDF graph
+        and the mapper's pending step feedback are dropped: both are
+        worker-local search artefacts no finalisation or differential key
+        reads, and they dominate the pickled size.
+        """
+        result = self.result
+        if result is not None:
+            result = replace(
+                result,
+                mapped_csdf=None,
+                pending_feedback=[],
+                diagnostics=list(result.diagnostics),
+            )
+        return replace(self, result=result)
 
 
 class AdmissionPipeline:
@@ -303,6 +324,41 @@ class AdmissionPipeline:
             self.write_allocations(als.name, mapping)
         self._note_commit(als.name, mapping)
 
+    def allocation_records(
+        self, application: str, mapping: Mapping
+    ) -> tuple[tuple[ProcessAllocation, ...], tuple[LinkAllocation, ...]]:
+        """The allocation records a mapping commits, in commit order.
+
+        This is the single translation from a mapping to state mutations:
+        :meth:`write_allocations` applies it locally, and the process drain
+        ships it across the boundary as an
+        :class:`~repro.platform.state.AllocationDelta` — so a worker-side
+        commit and the engine-side fold of its delta write bit-identical
+        records in the same order.
+        """
+        processes = tuple(
+            ProcessAllocation(
+                application=application,
+                process=assignment.process,
+                tile=assignment.tile,
+                memory_bytes=assignment.implementation.memory_bytes,
+                compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
+            )
+            for assignment in mapping.assignments
+            if assignment.implementation is not None
+        )
+        links = tuple(
+            LinkAllocation(
+                application=application,
+                channel=route.channel,
+                link=self.platform.noc.link(a, b).name,
+                bits_per_s=route.required_bits_per_s,
+            )
+            for route in mapping.routes
+            for a, b in zip(route.path, route.path[1:])
+        )
+        return processes, links
+
     def write_allocations(self, application: str, mapping: Mapping) -> None:
         """Allocate a mapping's processes and routed links into the state.
 
@@ -312,29 +368,11 @@ class AdmissionPipeline:
         Keeping this the single allocation writer means planner-committed
         and pipeline-committed state can never diverge in bookkeeping.
         """
-        for assignment in mapping.assignments:
-            if assignment.implementation is None:
-                continue
-            self.state.allocate_process(
-                ProcessAllocation(
-                    application=application,
-                    process=assignment.process,
-                    tile=assignment.tile,
-                    memory_bytes=assignment.implementation.memory_bytes,
-                    compute_cycles_per_iteration=assignment.implementation.total_wcet_cycles,
-                )
-            )
-        for route in mapping.routes:
-            for a, b in zip(route.path, route.path[1:]):
-                link = self.platform.noc.link(a, b)
-                self.state.allocate_link(
-                    LinkAllocation(
-                        application=application,
-                        channel=route.channel,
-                        link=link.name,
-                        bits_per_s=route.required_bits_per_s,
-                    )
-                )
+        processes, links = self.allocation_records(application, mapping)
+        for allocation in processes:
+            self.state.allocate_process(allocation)
+        for allocation in links:
+            self.state.allocate_link(allocation)
 
     # ------------------------------------------------------------------ #
     # The full pipeline

@@ -1,0 +1,285 @@
+"""Worker-side protocol of the process-parallel region drain.
+
+The GIL caps what :class:`~repro.runtime.engine.ThreadedRegionExecutor` can
+win: CPython threads interleave the pure-Python mapper instead of running
+it.  This module is the other half of
+:class:`~repro.runtime.engine.ProcessRegionExecutor` — the part that runs
+*inside* a drain worker process and the framing both sides share:
+
+* **snapshot out** — the engine extracts a
+  :class:`~repro.platform.state.RegionSnapshot` of each lane's region and
+  ships it with the lane's requests as one :class:`LaneDispatch`;
+* **decide locally** — the worker rebuilds a region-local
+  :class:`~repro.platform.state.PlatformState` from the snapshot and runs
+  the *ordinary* ``pipeline.decide(candidates=(region,))`` against it, job
+  by job, committing locally so later jobs in the lane see earlier ones;
+* **delta in** — for every admitted job the worker ships back the commit's
+  :class:`~repro.platform.state.AllocationDelta` (exactly the records
+  :meth:`~repro.runtime.pipeline.AdmissionPipeline.allocation_records`
+  would write) plus a transport-safe copy of the decision, tagged with the
+  region fingerprint the decision was based on.  The engine folds each
+  delta only if that base fingerprint still matches; anything stale is
+  re-decided on the engine process, never silently committed.
+
+All frames cross the pipe as explicit pickle bytes (``send_bytes`` /
+``recv_bytes``), so both sides can meter the traffic — the per-worker
+``snapshot_bytes`` / ``delta_bytes`` telemetry is measured on the real
+payloads, not estimated.
+
+Worker-side determinism notes:
+
+* The worker's pipeline is rebuilt from :class:`WorkerSettings` (platform,
+  partition, library, mapper config, scorer policy) — all plain picklable
+  data.  A custom ``mapper_factory`` cannot cross the boundary; the
+  executor refuses to start workers for one.
+* The worker's scorer gets a **dummy** rejection memory whenever the
+  engine's scorer has one: with explicit candidates the scorer never
+  scores, but ``decide`` still computes ``decision.shape`` through it, and
+  the engine-side :meth:`~repro.runtime.pipeline.AdmissionPipeline.note_feedback`
+  needs that shape to keep adaptive runs decision-identical to the serial
+  executor.  The worker memory itself is never read.
+* The :class:`~repro.spatialmapper.cache.MapperCache` pins ALS/library
+  *object identity*; unpickling would break that, so the worker interns
+  unpickled objects by payload digest — a re-dispatched request (parked
+  retries, recurring fingerprints) reuses the same objects and the
+  region-scoped warm state keeps paying across drains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.platform.platform import Platform
+from repro.platform.regions import RegionPartition
+from repro.platform.state import AllocationDelta, PlatformState, RegionSnapshot
+from repro.runtime.pipeline import AdmissionPipeline
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.region_score import (
+    RegionScorePolicy,
+    RegionScorer,
+    RejectionMemory,
+)
+
+#: Pickle protocol of every frame (highest shared by 3.11/3.12).
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+#: Sentinel frame asking a worker to exit its receive loop.
+SHUTDOWN_FRAME = b""
+
+#: Interned-object table bound: far above any benchmark's working set, but
+#: a week-long run with ever-fresh applications must not grow unbounded.
+INTERN_LIMIT = 4096
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkerSettings:
+    """Everything a drain worker needs to rebuild the admission pipeline.
+
+    Plain picklable data only — this is the worker's whole world.  The
+    scorer travels as its (frozen, picklable) policy plus a flag for
+    whether the engine side keeps a rejection memory; see the module
+    docstring for why the worker then builds a dummy one.
+    """
+
+    platform: Platform
+    partition: RegionPartition
+    library: ImplementationLibrary
+    config: MapperConfig
+    require_feasible: bool
+    cache_size: int
+    scorer_policy: RegionScorePolicy | None
+    scorer_has_feedback: bool
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One request of a lane dispatch, with its inputs as pickle payloads.
+
+    The ALS/library travel as nested pickle bytes (not objects) so the
+    worker can intern them by digest — object identity is what keys the
+    mapper cache's pinning.
+    """
+
+    ticket: int
+    als_blob: bytes
+    library_blob: bytes | None
+
+
+@dataclass(frozen=True)
+class LaneDispatch:
+    """One lane's worth of drain work: the region snapshot plus its jobs."""
+
+    lane: str
+    snapshot: RegionSnapshot
+    jobs: tuple[JobSpec, ...]
+
+
+@dataclass(frozen=True)
+class JobResponse:
+    """What the worker decided for one job.
+
+    ``base_fingerprint`` is the region fingerprint of the worker's local
+    state *immediately before* this job was decided (so within a lane the
+    fingerprints chain: job *i*'s base includes jobs ``0..i-1``'s local
+    commits).  The engine folds ``delta_blob`` only while its own region
+    fingerprint equals this base — the stale-snapshot rule.
+    """
+
+    ticket: int
+    base_fingerprint: tuple
+    decision_blob: bytes | None
+    delta_blob: bytes | None
+    mapper_invocations: int
+    wall_s: float
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class LaneResult:
+    """A worker's answer to one :class:`LaneDispatch` (responses in job order).
+
+    A lane aborts on its first error, mirroring the serial executor's
+    discipline: jobs after the failed one get no response.
+    """
+
+    lane: str
+    responses: tuple[JobResponse, ...]
+
+
+def dump_frame(payload) -> bytes:
+    """Pickle one frame for the pipe."""
+    return pickle.dumps(payload, protocol=PICKLE_PROTOCOL)
+
+
+def load_frame(blob: bytes):
+    """Unpickle one frame from the pipe."""
+    return pickle.loads(blob)
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+def build_worker_pipeline(settings: WorkerSettings) -> AdmissionPipeline:
+    """The worker's private pipeline, equivalent to the engine's for
+    region-restricted decisions (explicit candidates bypass stage 2, so
+    fallback/attempt knobs are irrelevant here)."""
+    scorer = None
+    if settings.scorer_policy is not None:
+        scorer = RegionScorer(
+            settings.scorer_policy,
+            RejectionMemory() if settings.scorer_has_feedback else None,
+        )
+    return AdmissionPipeline(
+        settings.platform,
+        settings.library,
+        settings.config,
+        state=PlatformState(settings.platform),
+        partition=settings.partition,
+        require_feasible=settings.require_feasible,
+        cache_size=settings.cache_size,
+        region_scorer=scorer,
+    )
+
+
+def _intern(table: dict[bytes, object], blob: bytes):
+    """Unpickle ``blob``, reusing the previously unpickled object for equal
+    payloads (digest-keyed) so the mapper cache's identity pinning holds
+    across repeated dispatches of the same request."""
+    digest = hashlib.sha1(blob).digest()
+    cached = table.get(digest)
+    if cached is None:
+        if len(table) >= INTERN_LIMIT:
+            table.clear()
+        cached = table[digest] = pickle.loads(blob)
+    return cached
+
+
+def decide_lane(
+    pipeline: AdmissionPipeline,
+    dispatch: LaneDispatch,
+    interned: dict[bytes, object],
+) -> LaneResult:
+    """Decide one lane dispatch against a state rebuilt from its snapshot."""
+    region = pipeline.partition.region(dispatch.lane)
+    state = dispatch.snapshot.build_state(pipeline.platform)
+    pipeline.state = state
+    responses: list[JobResponse] = []
+    for job in dispatch.jobs:
+        als = _intern(interned, job.als_blob)
+        library = (
+            _intern(interned, job.library_blob)
+            if job.library_blob is not None
+            else None
+        )
+        base = region.fingerprint(state)
+        invocations_before = pipeline.mapper_invocations
+        started = time.perf_counter()
+        try:
+            decision = pipeline.decide(als, library, candidates=(region,))
+        except Exception:
+            responses.append(
+                JobResponse(
+                    ticket=job.ticket,
+                    base_fingerprint=base,
+                    decision_blob=None,
+                    delta_blob=None,
+                    mapper_invocations=pipeline.mapper_invocations - invocations_before,
+                    wall_s=time.perf_counter() - started,
+                    error=traceback.format_exc(),
+                )
+            )
+            break  # serial lane-abort discipline: skip the rest of the lane
+        wall_s = time.perf_counter() - started
+        delta_blob = None
+        if decision.admitted:
+            processes, links = pipeline.allocation_records(
+                decision.application, decision.result.mapping
+            )
+            delta_blob = dump_frame(
+                AllocationDelta(decision.application, processes, links)
+            )
+        responses.append(
+            JobResponse(
+                ticket=job.ticket,
+                base_fingerprint=base,
+                decision_blob=dump_frame(decision.as_transport()),
+                delta_blob=delta_blob,
+                mapper_invocations=pipeline.mapper_invocations - invocations_before,
+                wall_s=wall_s,
+            )
+        )
+    return LaneResult(lane=dispatch.lane, responses=tuple(responses))
+
+
+def drain_worker(conn, settings_blob: bytes) -> None:
+    """Entry point of one drain worker process.
+
+    Receives :class:`LaneDispatch` frames until the shutdown sentinel (or
+    EOF, should the engine die first) and answers each with a
+    :class:`LaneResult` frame.  The pipeline — and with it the mapper
+    cache's region-scoped warm state and the interning table — persists
+    across dispatches for the worker's lifetime.
+    """
+    settings: WorkerSettings = load_frame(settings_blob)
+    pipeline = build_worker_pipeline(settings)
+    interned: dict[bytes, object] = {}
+    try:
+        while True:
+            try:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            if frame == SHUTDOWN_FRAME:
+                break
+            dispatch: LaneDispatch = load_frame(frame)
+            conn.send_bytes(dump_frame(decide_lane(pipeline, dispatch, interned)))
+    finally:
+        conn.close()

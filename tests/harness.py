@@ -23,6 +23,7 @@ import pytest
 from repro.platform.builder import PlatformBuilder
 from repro.platform.regions import RegionPartition
 from repro.runtime.engine import (
+    ProcessRegionExecutor,
     SerialRegionExecutor,
     ThreadedRegionExecutor,
     WorkloadEngine,
@@ -106,14 +107,19 @@ def make_engine(
 ) -> WorkloadEngine:
     """An engine over the manager with a named executor kind.
 
-    ``executor`` is ``"serial"`` or ``"threaded"``; remaining keyword
-    arguments (``park_rejections``, ``governor``, ``drain_mode``, ...) are
-    forwarded to :class:`WorkloadEngine`.
+    ``executor`` is ``"serial"``, ``"threaded"`` or ``"process"``;
+    remaining keyword arguments (``park_rejections``, ``governor``,
+    ``drain_mode``, ...) are forwarded to :class:`WorkloadEngine`.  The
+    process executor gets a pinned two-worker pool so tests behave the
+    same on any core count; callers should ``close()`` it (or rely on
+    garbage collection) when done.
     """
     if executor == "threaded":
         backend = ThreadedRegionExecutor(manager.partition)
     elif executor == "serial":
         backend = SerialRegionExecutor()
+    elif executor == "process":
+        backend = ProcessRegionExecutor(manager.partition, workers=2)
     else:
         raise ValueError(f"unknown executor kind {executor!r}")
     return WorkloadEngine(manager, executor=backend, **kwargs)

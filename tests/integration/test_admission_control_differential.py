@@ -4,16 +4,16 @@ Three equivalences anchor the subsystem:
 
 * the composite region scorer at its *neutral* policy (``fill_only``, no
   feedback memory) must order — and therefore decide — exactly like the
-  historic least-filled-first selection stage, on the serial and the
-  threaded executor alike;
+  historic least-filled-first selection stage, on the serial, threaded and
+  process executors alike;
 * an engine with a *disabled* governor (and one with no governor at all)
   must be decision-inert: bit-identical outcomes to the pre-governor
   engine;
 * with the full adaptive configuration (composite scoring, rejection
-  feedback, governor shedding) the serial and threaded executors must stay
-  decision-identical to each other — feedback updates and governor state
-  both live on the engine thread in settlement order, and this test is
-  what keeps them there.
+  feedback, governor shedding) every parallel executor (threaded and
+  process) must stay decision-identical to the serial reference —
+  feedback updates and governor state both live on the engine thread in
+  settlement order, and this test is what keeps them there.
 """
 
 import pytest
@@ -39,13 +39,18 @@ def run(seed, *, executor="serial", scorer=None, governor=None, park=True):
     engine = make_engine(
         manager, executor=executor, governor=governor, park_rejections=park
     )
-    outcome = engine.run(two_region_workload(seed, name=f"acd-{seed}"))
+    try:
+        outcome = engine.run(two_region_workload(seed, name=f"acd-{seed}"))
+    finally:
+        close = getattr(engine.executor, "close", None)
+        if close is not None:
+            close()
     return manager, outcome
 
 
 class TestNeutralScorerDifferential:
     @pytest.mark.parametrize("seed", [5, 17, 29])
-    @pytest.mark.parametrize("executor", ["serial", "threaded"])
+    @pytest.mark.parametrize("executor", ["serial", "threaded", "process"])
     def test_fill_only_scorer_reproduces_fill_level_decisions(self, seed, executor):
         baseline_manager, baseline = run(seed, executor=executor)
         scored_manager, scored = run(
@@ -98,13 +103,14 @@ class TestGovernorInertness:
         assert governed.telemetry.governor["shed"] == 0
 
 
-class TestAdaptiveSerialThreadedIdentity:
+class TestAdaptiveExecutorIdentity:
     @pytest.mark.parametrize("seed", [11, 41])
-    def test_full_adaptive_config_is_executor_invariant(self, seed):
-        def adaptive_run(executor):
+    @pytest.mark.parametrize("executor", ["threaded", "process"])
+    def test_full_adaptive_config_is_executor_invariant(self, seed, executor):
+        def adaptive_run(kind):
             return run(
                 seed,
-                executor=executor,
+                executor=kind,
                 scorer=RegionScorer.adaptive(),
                 governor=LoadSheddingGovernor(
                     GovernorConfig(rate_floor=0.5, window=16, min_samples=4)
@@ -112,8 +118,8 @@ class TestAdaptiveSerialThreadedIdentity:
             )
 
         serial_manager, serial = adaptive_run("serial")
-        threaded_manager, threaded = adaptive_run("threaded")
+        parallel_manager, parallel = adaptive_run(executor)
         assert outcome_key(serial_manager, serial) == outcome_key(
-            threaded_manager, threaded
+            parallel_manager, parallel
         )
-        assert serial.telemetry.governor == threaded.telemetry.governor
+        assert serial.telemetry.governor == parallel.telemetry.governor

@@ -6,9 +6,10 @@ Two equivalences anchor the engine refactor:
   drain mode) must be decision-for-decision — and energy-for-energy —
   identical to the legacy player that called the manager directly; the
   reference implementation is inlined here, frozen at its PR 2 behaviour.
-* Draining with the threaded per-region executor must be decision-identical
-  to the serial executor on the same event stream, across generated
-  workloads, with and without rejection parking.
+* Draining with the threaded per-region executor — and with the
+  process-parallel snapshot-out / delta-in executor — must be
+  decision-identical to the serial executor on the same event stream,
+  across generated workloads, with and without rejection parking.
 """
 
 import pytest
@@ -16,6 +17,7 @@ import pytest
 from repro.exceptions import AdmissionError
 from repro.runtime.accounting import EnergyAccount
 from repro.runtime.engine import (
+    ProcessRegionExecutor,
     SerialRegionExecutor,
     ThreadedRegionExecutor,
     WorkloadEngine,
@@ -108,7 +110,8 @@ class TestScenarioAdapterDifferential:
 class TestParallelDrainDifferential:
     @pytest.mark.parametrize("seed", [5, 17])
     @pytest.mark.parametrize("park", [False, True])
-    def test_threaded_drain_is_decision_identical_to_serial(self, seed, park):
+    @pytest.mark.parametrize("kind", ["threaded", "process"])
+    def test_parallel_drain_is_decision_identical_to_serial(self, seed, park, kind):
         scenario = generate_workload(
             seed, 12 * MILLISECOND, workload_classes(), name="parallel-diff"
         )
@@ -120,23 +123,36 @@ class TestParallelDrainDifferential:
             park_rejections=park,
         ).run(scenario)
 
-        threaded_manager = make_manager()
-        threaded = WorkloadEngine(
-            threaded_manager,
-            executor=ThreadedRegionExecutor(threaded_manager.partition),
-            park_rejections=park,
-        ).run(scenario)
+        parallel_manager = make_manager()
+        executor = (
+            ThreadedRegionExecutor(parallel_manager.partition)
+            if kind == "threaded"
+            else ProcessRegionExecutor(parallel_manager.partition, workers=2)
+        )
+        try:
+            parallel = WorkloadEngine(
+                parallel_manager,
+                executor=executor,
+                park_rejections=park,
+            ).run(scenario)
+        finally:
+            if kind == "process":
+                executor.close()
 
-        assert serial.decision_log() == threaded.decision_log()
-        assert serial_manager.decisions == threaded_manager.decisions
+        assert serial.decision_log() == parallel.decision_log()
+        assert serial_manager.decisions == parallel_manager.decisions
         assert sorted(serial_manager.state.occupied_tiles()) == sorted(
-            threaded_manager.state.occupied_tiles()
+            parallel_manager.state.occupied_tiles()
         )
-        assert serial_manager.state.link_loads() == threaded_manager.state.link_loads()
+        assert serial_manager.state.link_loads() == parallel_manager.state.link_loads()
         assert serial.energy.total_energy_nj == pytest.approx(
-            threaded.energy.total_energy_nj
+            parallel.energy.total_energy_nj
         )
-        assert serial.departures == threaded.departures
+        assert serial.departures == parallel.departures
+        if kind == "process":
+            # The snapshot-out / delta-in protocol must report its traffic.
+            workers = parallel.telemetry.workers
+            assert workers and sum(w["requests"] for w in workers.values()) > 0
 
     def test_parking_changes_work_not_decisions_visible_to_clients(self):
         # With parking on, hopeless requests are skipped between state

@@ -18,7 +18,12 @@ These tests pin the equivalence the tentpole promises:
 import pytest
 
 from repro.platform.regions import RegionPartition
-from repro.runtime.engine import SerialRegionExecutor, ThreadedRegionExecutor, WorkloadEngine
+from repro.runtime.engine import (
+    ProcessRegionExecutor,
+    SerialRegionExecutor,
+    ThreadedRegionExecutor,
+    WorkloadEngine,
+)
 from repro.runtime.manager import RuntimeResourceManager
 from repro.spatialmapper.config import MapperConfig
 from repro.workloads.arrivals import (
@@ -85,7 +90,7 @@ class TestSingleRegionIdentity:
         # And nothing ever settled in the multi-region lane.
         assert "__multi__" not in outcomes["on"].telemetry.lanes
 
-    def test_serial_and_threaded_planner_engines_match(self):
+    def test_parallel_planner_engines_match_serial(self):
         """The multi-region lane preserves executor decision-identity."""
         classes = [
             TrafficClass(
@@ -101,17 +106,23 @@ class TestSingleRegionIdentity:
         )
         workload = generate_workload(78, 1.5e7, classes, name="mixed")
         outcomes = {}
-        for kind in ("serial", "threaded"):
+        for kind in ("serial", "threaded", "process"):
             manager = make_manager(planner=True)
-            executor = (
-                ThreadedRegionExecutor(manager.partition)
-                if kind == "threaded"
-                else SerialRegionExecutor()
-            )
+            if kind == "threaded":
+                executor = ThreadedRegionExecutor(manager.partition)
+            elif kind == "process":
+                executor = ProcessRegionExecutor(manager.partition, workers=2)
+            else:
+                executor = SerialRegionExecutor()
             engine = WorkloadEngine(manager, executor=executor, park_rejections=True)
-            outcomes[kind] = engine.run(workload)
-        assert outcomes["serial"].decision_log() == outcomes["threaded"].decision_log()
-        assert outcomes["serial"].departures == outcomes["threaded"].departures
+            try:
+                outcomes[kind] = engine.run(workload)
+            finally:
+                if kind == "process":
+                    executor.close()
+        for kind in ("threaded", "process"):
+            assert outcomes["serial"].decision_log() == outcomes[kind].decision_log()
+            assert outcomes["serial"].departures == outcomes[kind].departures
         multi = outcomes["serial"].telemetry.lanes.get("__multi__")
         assert multi is not None and multi.admitted > 0
 

@@ -1,0 +1,306 @@
+"""The process-parallel region drain: executor lifecycle and fold discipline.
+
+The differential suites pin that :class:`ProcessRegionExecutor` is
+decision-identical to the serial reference; these tests pin the edges the
+differentials cannot reach — the stale-snapshot re-decide path, worker
+error surfacing, the custom-factory refusal, pool lifecycle, and the
+ownership guard's enriched violation diagnostics.
+"""
+
+import threading
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.regions import (
+    RegionLocks,
+    RegionOwnershipGuard,
+    current_worker_name,
+)
+from repro.runtime import procdrain
+from repro.runtime.engine import ProcessRegionExecutor, WorkloadEngine, _RegionJob
+from repro.runtime.events import StartEvent
+from repro.runtime.queue import AdmissionQueue
+from repro.runtime.scenario import Scenario
+from tests.harness import build_two_region_platform, make_app, make_manager
+
+
+@pytest.fixture()
+def platform():
+    return build_two_region_platform()
+
+
+@pytest.fixture()
+def manager(platform):
+    return make_manager(platform)
+
+
+def _region_job(manager, seed: int, name: str, io_tile: str = "io_l") -> _RegionJob:
+    """A claimed phase-1 job for one synthetic request, via the real queue."""
+    queue = AdmissionQueue(manager)
+    app = make_app(seed, name, io_tile)
+    queue.submit(app.als, library=app.library)
+    _, ready = queue.take()
+    request = ready[0]
+    region = manager.partition.region(request.lane)
+    return _RegionJob(request, region)
+
+
+def _scenario(apps) -> Scenario:
+    scenario = Scenario("procdrain-unit", duration_ns=4_000_000.0)
+    for index, app in enumerate(apps):
+        scenario.add(
+            StartEvent(time_ns=float(index) * 1_000.0, als=app.als, library=app.library)
+        )
+    return scenario
+
+
+class TestFoldDiscipline:
+    def test_stale_snapshot_is_redecided_never_committed(self, manager):
+        """A response whose base fingerprint mismatches must be re-decided on
+        the engine process; its shipped delta must never be folded."""
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        pipeline = manager.pipeline
+        job = _region_job(manager, 200, "victim")
+        # A delta for an application that never went through the pipeline:
+        # were the stale response folded, 'phantom' would appear in state.
+        from repro.platform.state import AllocationDelta, ProcessAllocation
+
+        tile = job.region.processing_tile_names()[0]
+        phantom = AllocationDelta(
+            "phantom", (ProcessAllocation("phantom", "p0", tile),), ()
+        )
+        response = procdrain.JobResponse(
+            ticket=job.request.ticket,
+            base_fingerprint=("definitely", "stale"),
+            decision_blob=procdrain.dump_frame(None),
+            delta_blob=procdrain.dump_frame(phantom),
+            mapper_invocations=1,
+            wall_s=0.5,
+        )
+        stats = executor._stats_for("region-drain-0")
+        executor._fold_lane(
+            job.region.name,
+            [job],
+            procdrain.LaneResult(job.region.name, (response,)),
+            pipeline,
+            stats,
+        )
+        assert stats["stale_redecides"] == 1
+        assert job.error is None
+        assert job.decision is not None and job.decision.admitted
+        assert job.decision.application == "victim"
+        assert "phantom" not in pipeline.state.applications()
+        executor.close()
+
+    def test_conflicting_delta_triggers_engine_redecide(self, manager):
+        """A matching fingerprint whose delta no longer fits re-decides too
+        (the transaction rolls the partial fold back first)."""
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        pipeline = manager.pipeline
+        job = _region_job(manager, 201, "squeezed")
+        from repro.platform.state import AllocationDelta, ProcessAllocation
+
+        tile = job.region.processing_tile_names()[0]
+        capacity = manager.platform.tile(tile).resources.max_processes
+        overflow = AllocationDelta(
+            "overflow",
+            tuple(
+                ProcessAllocation("overflow", f"p{i}", tile)
+                for i in range(capacity + 1)
+            ),
+            (),
+        )
+        admitted = procdrain.dump_frame(
+            pipeline.decide(job.request.als, job.request.library, candidates=(job.region,))
+            .as_transport()
+        )
+        # Undo that probe decision's commit so the engine state is clean.
+        pipeline.release("squeezed")
+        pipeline.forget("squeezed")
+        response = procdrain.JobResponse(
+            ticket=job.request.ticket,
+            base_fingerprint=job.region.fingerprint(pipeline.state),
+            decision_blob=admitted,
+            delta_blob=procdrain.dump_frame(overflow),
+            mapper_invocations=0,
+            wall_s=0.0,
+        )
+        stats = executor._stats_for("region-drain-0")
+        executor._fold_lane(
+            job.region.name,
+            [job],
+            procdrain.LaneResult(job.region.name, (response,)),
+            pipeline,
+            stats,
+        )
+        assert stats["stale_redecides"] == 1
+        assert job.decision is not None and job.decision.admitted
+        assert "overflow" not in pipeline.state.applications()
+        executor.close()
+
+    def test_worker_error_surfaces_as_platform_error(self, manager):
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        job = _region_job(manager, 202, "doomed")
+        response = procdrain.JobResponse(
+            ticket=job.request.ticket,
+            base_fingerprint=job.region.fingerprint(manager.pipeline.state),
+            decision_blob=None,
+            delta_blob=None,
+            mapper_invocations=0,
+            wall_s=0.0,
+            error="Traceback: synthetic worker explosion",
+        )
+        executor._fold_lane(
+            job.region.name,
+            [job],
+            procdrain.LaneResult(job.region.name, (response,)),
+            manager.pipeline,
+            executor._stats_for("region-drain-0"),
+        )
+        assert isinstance(job.error, PlatformError)
+        assert "synthetic worker explosion" in str(job.error)
+        assert job.decision is None
+        executor.close()
+
+    def test_lane_abort_leaves_later_jobs_undecided(self, manager):
+        """Jobs after a worker-aborted one get no decision (the engine
+        requeues them), mirroring the serial lane-abort discipline."""
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        first = _region_job(manager, 203, "first")
+        second = _region_job(manager, 204, "second")
+        response = procdrain.JobResponse(
+            ticket=first.request.ticket,
+            base_fingerprint=first.region.fingerprint(manager.pipeline.state),
+            decision_blob=None,
+            delta_blob=None,
+            mapper_invocations=0,
+            wall_s=0.0,
+            error="boom",
+        )
+        executor._fold_lane(
+            first.region.name,
+            [first, second],
+            procdrain.LaneResult(first.region.name, (response,)),
+            manager.pipeline,
+            executor._stats_for("region-drain-0"),
+        )
+        assert first.error is not None
+        assert second.decision is None and second.error is None
+        executor.close()
+
+
+class TestExecutorLifecycle:
+    def test_custom_mapper_factory_is_refused(self, platform):
+        from repro.spatialmapper.mapper import SpatialMapper
+
+        manager = make_manager(
+            platform,
+            mapper_factory=lambda p, lib, cfg: SpatialMapper(p, lib, cfg),
+        )
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        job = _region_job(manager, 210, "refused")
+        with pytest.raises(PlatformError, match="default mapper factory"):
+            executor.execute({job.region.name: [job]}, manager.pipeline)
+        executor.close()
+
+    def test_close_is_idempotent_and_pool_restarts(self, manager):
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        engine = WorkloadEngine(manager, executor=executor)
+        apps = [make_app(220 + i, f"cycle{i}", "io_l") for i in range(2)]
+        outcome = engine.run(_scenario(apps))
+        assert outcome.admitted == ["cycle0", "cycle1"]
+        pool = executor._pool
+        assert pool is not None and all(w.process.is_alive() for w in pool)
+        executor.close()
+        executor.close()  # idempotent
+        assert executor._pool is None
+        for worker in pool:
+            assert not worker.process.is_alive()
+        # Reuse after close starts a fresh pool transparently.
+        for app in apps:
+            manager.stop(app.als.name)
+        again = engine.run(_scenario(apps))
+        assert again.admitted == ["cycle0", "cycle1"]
+        executor.close()
+
+    def test_worker_count_defaults_are_bounded(self, manager):
+        import os
+
+        executor = ProcessRegionExecutor(manager.partition)
+        assert 1 <= executor.workers <= max(
+            1, min(len(manager.partition), os.cpu_count() or 1)
+        )
+        floor = ProcessRegionExecutor(manager.partition, workers=0)
+        assert floor.workers == 1
+
+    def test_engine_telemetry_reports_worker_stats(self, manager):
+        executor = ProcessRegionExecutor(manager.partition, workers=2)
+        engine = WorkloadEngine(manager, executor=executor)
+        apps = [make_app(230 + i, f"tele{i}", tile) for i, tile in enumerate(["io_l", "io_r"])]
+        outcome = engine.run(_scenario(apps))
+        assert outcome.admitted == ["tele0", "tele1"]
+        workers = outcome.telemetry.workers
+        assert workers, "process executor runs must report per-worker stats"
+        total = {
+            key: sum(values[key] for values in workers.values())
+            for key in next(iter(workers.values()))
+        }
+        assert total["requests"] == 2
+        assert total["dispatches"] >= 2
+        assert total["snapshot_bytes"] > 0
+        assert total["delta_bytes"] > 0
+        assert total["stale_redecides"] == 0
+        assert total["worker_wall_s"] > 0
+        # A second run reports only its own delta, not the pool's lifetime.
+        for app in apps:
+            manager.stop(app.als.name)
+        second = engine.run(_scenario(apps))
+        assert second.telemetry.workers["region-drain-0"]["requests"] <= 2
+        executor.close()
+
+
+class TestGuardDiagnostics:
+    def test_violation_names_worker_and_unheld_lock(self, manager):
+        locks = RegionLocks(manager.partition)
+        guard = RegionOwnershipGuard(manager.partition, locks)
+        manager.state.ownership_guard = guard
+        app = make_app(240, "diagnosed", "io_l")
+        try:
+            with pytest.raises(PlatformError) as excinfo:
+                manager.start(app.als, library=app.library)
+        finally:
+            manager.state.ownership_guard = None
+        message = str(excinfo.value)
+        assert "does not hold its lock" in message
+        assert current_worker_name() in message
+        assert "currently unheld" in message
+
+    def test_violation_names_the_actual_holder(self, manager):
+        locks = RegionLocks(manager.partition)
+        guard = RegionOwnershipGuard(manager.partition, locks)
+        manager.state.ownership_guard = guard
+        app = make_app(241, "contested", "io_l")
+        errors: list[PlatformError] = []
+
+        def foreign_start():
+            try:
+                manager.start(app.als, library=app.library)
+            except PlatformError as error:
+                errors.append(error)
+
+        holder_label = current_worker_name()
+        try:
+            with locks.global_lane():
+                thread = threading.Thread(
+                    target=foreign_start, name="imposter-thread"
+                )
+                thread.start()
+                thread.join()
+        finally:
+            manager.state.ownership_guard = None
+        assert errors
+        message = str(errors[0])
+        assert "held by" in message
+        assert holder_label in message
+        assert "imposter-thread" in message  # the mutating worker's own name
