@@ -161,6 +161,18 @@ def print_telemetry(outcome):
             worker_rows,
             title="Process-executor telemetry (per worker)",
         ))
+    analysis = outcome.telemetry.analysis
+    if analysis:
+        print(format_table(
+            ["Simulations", "Simulated events", "Cache hits", "Budget exhausted"],
+            [(
+                str(analysis.get("simulations_run", 0)),
+                str(analysis.get("simulated_events", 0)),
+                str(analysis.get("cache_hits", 0)),
+                str(analysis.get("budget_exhausted", 0)),
+            )],
+            title="Step-4 analysis telemetry (engine-side pipeline)",
+        ))
 
 
 def run_overload(governor):

@@ -23,8 +23,15 @@ from repro.csdf.analysis.buffers import (
     sufficient_buffer_capacities,
     minimize_buffer_capacities,
     apply_buffer_capacities,
+    probe_order,
 )
 from repro.csdf.analysis.latency import end_to_end_latency_ns
+from repro.csdf.analysis.budget import (
+    AnalysisBudget,
+    AnalysisEngine,
+    SimulationCache,
+    SimulationCacheStats,
+)
 
 __all__ = [
     "FiringRecord",
@@ -37,5 +44,10 @@ __all__ = [
     "sufficient_buffer_capacities",
     "minimize_buffer_capacities",
     "apply_buffer_capacities",
+    "probe_order",
     "end_to_end_latency_ns",
+    "AnalysisBudget",
+    "AnalysisEngine",
+    "SimulationCache",
+    "SimulationCacheStats",
 ]

@@ -35,12 +35,23 @@ def sufficient_buffer_capacities(
     graph: CSDFGraph,
     period_ns: float | None = None,
     iterations: int = 10,
+    *,
+    early_exit: bool = False,
+    budget=None,
 ) -> dict[str, int]:
     """Per-edge buffer capacities sufficient to sustain ``period_ns``.
 
     When ``period_ns`` is ``None`` the graph runs fully self-timed (maximum
     throughput); otherwise the sources are released once per period, which is
     the configuration relevant for the mapper's feasibility check.
+
+    With ``early_exit`` the simulation stops once its state repeats at an
+    iteration boundary: from there the execution replays the observed cycle,
+    so the occupancy maxima have stabilised and further iterations cannot
+    raise them.  The returned capacities are identical to the full run's.
+    ``budget`` is an optional
+    :class:`~repro.csdf.analysis.budget.AnalysisBudget` charged with the
+    run's simulated events.
 
     Raises :class:`~repro.exceptions.DeadlockError` if the graph cannot
     complete a single iteration even with unbounded buffers.
@@ -49,7 +60,14 @@ def sufficient_buffer_capacities(
     for edge in graph.edges:
         if edge.capacity is not None:
             unbounded.replace_edge(edge.with_capacity(None))
-    result = simulate(unbounded, iterations=iterations, source_period_ns=period_ns)
+    result = simulate(
+        unbounded,
+        iterations=iterations,
+        source_period_ns=period_ns,
+        cycle_exit=early_exit,
+    )
+    if budget is not None:
+        budget.charge_events(result.simulated_events)
     if result.deadlocked and result.completed_iterations == 0:
         raise DeadlockError(
             f"graph {graph.name!r} cannot complete an iteration even with unbounded buffers"
@@ -70,39 +88,81 @@ def apply_buffer_capacities(graph: CSDFGraph, capacities: dict[str, int]) -> CSD
     return bounded
 
 
+def probe_order(
+    graph: CSDFGraph,
+    capacities: dict[str, int],
+    edges: tuple[str, ...],
+    order: str,
+) -> tuple[str, ...]:
+    """Edge processing order of the buffer minimisation.
+
+    ``"graph"`` keeps insertion order; ``"gain"`` sorts by descending search
+    range (``high - low``, ties broken by insertion order), so the edges
+    with the most capacity to win are shrunk first — the order the budgeted
+    scheduler uses so that an exhausted probe budget leaves the least
+    reduction on the table.
+    """
+    if order == "graph":
+        return edges
+    if order != "gain":
+        raise ValueError(f"unknown probe order {order!r}")
+    position = {name: i for i, name in enumerate(edges)}
+    return tuple(
+        sorted(
+            edges,
+            key=lambda name: (
+                -(capacities[name] - _lower_bound_capacity(graph, name)),
+                position[name],
+            ),
+        )
+    )
+
+
 def minimize_buffer_capacities(
     graph: CSDFGraph,
     period_ns: float,
     iterations: int = 8,
     edges: tuple[str, ...] | None = None,
+    *,
+    order: str = "graph",
+    early_exit: bool = False,
 ) -> dict[str, int]:
     """Shrink buffer capacities while keeping ``period_ns`` sustainable.
 
     Starting from :func:`sufficient_buffer_capacities`, each edge capacity is
-    reduced by binary search (edges processed one at a time, in graph order).
-    The result is a per-edge capacity vector under which
+    reduced by binary search, one edge at a time, in :func:`probe_order`
+    order.  The result is a per-edge capacity vector under which
     :func:`~repro.csdf.analysis.throughput.is_period_sustainable` still holds.
+
+    One bounded graph is built up front and each probe swaps only the probed
+    edge's capacity (a capacity-only ``replace_edge``), instead of copying
+    the whole graph per trial; the probe sequence and the resulting vector
+    are unchanged.
     """
     capacities = sufficient_buffer_capacities(graph, period_ns, iterations=iterations)
     if edges is None:
         edges = tuple(capacities.keys())
+    edges = probe_order(graph, capacities, edges, order)
 
+    bounded = apply_buffer_capacities(graph, capacities)
     for edge_name in edges:
         low = _lower_bound_capacity(graph, edge_name)
         high = capacities[edge_name]
         if high <= low:
             capacities[edge_name] = low
+            bounded.replace_edge(bounded.edge(edge_name).with_capacity(low))
             continue
         best = high
         while low <= high:
             candidate = (low + high) // 2
-            trial = dict(capacities)
-            trial[edge_name] = candidate
-            bounded = apply_buffer_capacities(graph, trial)
-            if is_period_sustainable(bounded, period_ns, iterations=iterations):
+            bounded.replace_edge(bounded.edge(edge_name).with_capacity(candidate))
+            if is_period_sustainable(
+                bounded, period_ns, iterations=iterations, early_exit=early_exit
+            ):
                 best = candidate
                 high = candidate - 1
             else:
                 low = candidate + 1
         capacities[edge_name] = best
+        bounded.replace_edge(bounded.edge(edge_name).with_capacity(best))
     return capacities

@@ -13,6 +13,8 @@ def end_to_end_latency_ns(
     sink: str | None = None,
     iterations: int = 10,
     source_period_ns: float | None = None,
+    *,
+    budget=None,
 ) -> float:
     """Worst observed iteration latency from ``source`` to ``sink``.
 
@@ -44,6 +46,8 @@ def end_to_end_latency_ns(
     graph.actor(sink)
 
     result = simulate(graph, iterations=iterations, source_period_ns=source_period_ns)
+    if budget is not None:
+        budget.charge_events(result.simulated_events)
     if result.completed_iterations == 0:
         raise DeadlockError(f"graph {graph.name!r} completed no iteration")
     worst = 0.0

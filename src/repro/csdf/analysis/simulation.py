@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import Callable, NamedTuple
 
 from repro.csdf.graph import CSDFGraph
 from repro.csdf.repetition import repetition_vector
@@ -59,6 +59,15 @@ class SimulationResult:
     deadlocked: bool = False
     deadlock_time_ns: float | None = None
     end_time_ns: float = 0.0
+    #: Number of firing-completion events the simulator processed — the
+    #: currency of the analysis budget (see :mod:`repro.csdf.analysis.budget`).
+    simulated_events: int = 0
+    #: Whether the run stopped before executing all requested iterations
+    #: because an early-exit condition fired (never set by deadlocks).
+    aborted: bool = False
+    #: Why the run aborted: ``"monitor"`` (the iteration monitor vetoed) or
+    #: ``"cycle"`` (an exact state repeat proved the rest of the run).
+    abort_reason: str | None = None
 
     @property
     def completed_iterations(self) -> int:
@@ -124,6 +133,22 @@ class SelfTimedSimulator:
     periodic_actors:
         Names of the actors the period constraint applies to.  Defaults to
         all source actors when a period is given.
+    iteration_monitor:
+        Optional ``(iteration_index, finish_ns) -> bool`` hook, called the
+        moment each graph iteration completes (with the same finish time the
+        post-hoc ``iteration_finish_times_ns`` would report).  Returning
+        ``False`` aborts the run (``aborted=True, abort_reason="monitor"``);
+        the throughput check uses this to stop the instant the backlog
+        criterion is violated.
+    cycle_exit:
+        When ``True``, the simulator snapshots its complete relative state at
+        every iteration boundary and stops (``abort_reason="cycle"``) as soon
+        as a state repeats exactly: from a repeated state the execution
+        replays the observed cycle shifted in time, so the occupancy maxima
+        and the per-iteration backlog spread of the remaining iterations are
+        already known (see ARCHITECTURE.md, "Analysis budget & simulation
+        cache" for the soundness argument, including why the target-truncated
+        tail of the full run cannot exceed the recorded maxima).
     """
 
     def __init__(
@@ -133,6 +158,8 @@ class SelfTimedSimulator:
         *,
         source_period_ns: float | None = None,
         periodic_actors: tuple[str, ...] | None = None,
+        iteration_monitor: Callable[[int, float], bool] | None = None,
+        cycle_exit: bool = False,
     ) -> None:
         if iterations < 1:
             raise ValueError("iterations must be at least 1")
@@ -142,6 +169,8 @@ class SelfTimedSimulator:
         self._iterations = iterations
         self._repetitions = repetition_vector(graph)
         self._source_period_ns = source_period_ns
+        self._iteration_monitor = iteration_monitor
+        self._cycle_exit = cycle_exit
         if source_period_ns is None:
             self._periodic_actors: frozenset[str] = frozenset()
         elif periodic_actors is not None:
@@ -269,6 +298,20 @@ class SelfTimedSimulator:
         now = 0.0
         deadlocked = False
         deadlock_time: float | None = None
+        events = 0
+        aborted = False
+        abort_reason: str | None = None
+
+        # Online iteration-boundary tracking (only when an early-exit hook is
+        # active): the event processed when ``min(fired // reps)`` advances is
+        # by construction the latest-finishing firing of the completed
+        # iteration, so ``now`` at that moment equals the post-hoc
+        # ``iteration_finish_times_ns`` entry bit for bit.
+        monitor = self._iteration_monitor
+        cycle_exit = self._cycle_exit
+        track_iterations = monitor is not None or cycle_exit
+        online_completed = 0
+        seen_states: set[tuple] | None = set() if cycle_exit else None
 
         def try_start(a: int) -> bool:
             """Start actor ``a`` if it is ready; returns whether it started."""
@@ -343,6 +386,7 @@ class SelfTimedSimulator:
             if pending:
                 finish_time, _, a, finished_phase, start_time = heappop(pending)
                 now = finish_time
+                events += 1
                 for e, produced in out_rates[a][finished_phase]:
                     tokens[e] += produced
                     if tokens[e] > max_occupancy[e]:
@@ -354,11 +398,34 @@ class SelfTimedSimulator:
                 phase[a] = (finished_phase + 1) % phase_counts[a]
                 busy[a] = False
                 remaining -= 1
+                crossed_boundary = False
+                if track_iterations and fired[a] % reps[a] == 0:
+                    completed_now = min(fired[b] // reps[b] for b in actor_range)
+                    while online_completed < completed_now:
+                        k = online_completed
+                        online_completed += 1
+                        crossed_boundary = True
+                        if monitor is not None and monitor(k, now) is False:
+                            aborted = True
+                            abort_reason = "monitor"
+                            break
+                if aborted:
+                    break
                 if bounded:
                     scan_candidates(affected[a])
                 else:
                     for b in affected[a]:
                         try_start(b)
+                if crossed_boundary and cycle_exit and remaining:
+                    state = self._relative_state(
+                        phase, fired, reps, online_completed, tokens,
+                        pending, now, periodic_indices, period,
+                    )
+                    if state in seen_states:
+                        aborted = True
+                        abort_reason = "cycle"
+                        break
+                    seen_states.add(state)
                 continue
             # Nothing running and nothing can start.  Either every remaining
             # actor is a periodic source waiting for its next release, or the
@@ -389,6 +456,51 @@ class SelfTimedSimulator:
             deadlocked=deadlocked,
             deadlock_time_ns=deadlock_time,
             end_time_ns=now,
+            simulated_events=events,
+            aborted=aborted,
+            abort_reason=abort_reason,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _relative_state(
+        phase: list[int],
+        fired: list[int],
+        reps: list[int],
+        completed: int,
+        tokens: list[int],
+        pending: list[tuple[float, int, int, int, float]],
+        now: float,
+        periodic_indices: list[int],
+        period: float | None,
+    ) -> tuple:
+        """The simulator's complete state at an iteration boundary, made
+        time- and iteration-shift invariant.
+
+        Everything the continuation of the run depends on is captured
+        relative to ``now`` and to the number of completed iterations: actor
+        phases, firing counts as lags behind the boundary, edge token counts,
+        in-flight firings as (time-to-finish, actor, phase) in heap pop order
+        (position encodes the sequence tie-break), and the periodic sources'
+        next-release offsets.  Two boundaries with equal states therefore
+        continue identically, shifted in time — which is what licenses the
+        cycle early-exit.
+        """
+        in_flight = tuple(
+            (entry[0] - now, entry[2], entry[3])
+            for entry in sorted(pending, key=lambda entry: (entry[0], entry[1]))
+        )
+        releases = (
+            tuple((fired[a] // reps[a]) * period - now for a in periodic_indices)
+            if period is not None
+            else ()
+        )
+        return (
+            tuple(phase),
+            tuple(fired[a] - completed * reps[a] for a in range(len(fired))),
+            tuple(tokens),
+            in_flight,
+            releases,
         )
 
     # ------------------------------------------------------------------ #
@@ -439,6 +551,8 @@ def simulate(
     *,
     source_period_ns: float | None = None,
     periodic_actors: tuple[str, ...] | None = None,
+    iteration_monitor: Callable[[int, float], bool] | None = None,
+    cycle_exit: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`SelfTimedSimulator` and run it."""
     simulator = SelfTimedSimulator(
@@ -446,5 +560,7 @@ def simulate(
         iterations,
         source_period_ns=source_period_ns,
         periodic_actors=periodic_actors,
+        iteration_monitor=iteration_monitor,
+        cycle_exit=cycle_exit,
     )
     return simulator.run()

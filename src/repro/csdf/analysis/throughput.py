@@ -51,28 +51,66 @@ def is_period_sustainable(
     period_ns: float,
     iterations: int = 10,
     tolerance: float = 1e-9,
+    *,
+    early_exit: bool = False,
+    budget=None,
 ) -> bool:
     """Whether the graph can sustain one iteration every ``period_ns`` nanoseconds.
 
     The check runs the graph with its sources released periodically at
     ``period_ns`` and verifies that (a) it does not deadlock, and (b) the
-    backlog does not grow: the completion time of the last simulated
-    iteration stays within one period of the ideal schedule.
+    backlog does not grow: shifting every iteration finish back by its ideal
+    offset (``finish[k] - k * period``), the spread between the latest and
+    earliest shifted finish must stay within one period.  The earliest
+    shifted finish — not iteration 0's — is the latency reference, so a
+    warmup transient that delays the first iteration cannot mask a later
+    backlog.
+
+    With ``early_exit`` the simulation aborts the instant the spread is
+    exceeded (the spread over a prefix only grows as more iterations are
+    observed, so the first violation already decides the verdict) and stops
+    early on an exact state cycle (from which the remaining iterations
+    provably replay the observed spread).  Both exits are answer-preserving:
+    the verdict is identical to the full run's.
+
+    ``budget`` is an optional :class:`~repro.csdf.analysis.budget.AnalysisBudget`
+    charged with the simulated events of the run.
     """
     if period_ns <= 0:
         raise ValueError("period_ns must be positive")
-    result = simulate(graph, iterations=iterations, source_period_ns=period_ns)
+    slack = period_ns * (1 + tolerance)
+
+    monitor = None
+    if early_exit:
+        shifted_min = [float("inf")]
+        shifted_max = [float("-inf")]
+
+        def monitor(k: int, finish_ns: float) -> bool:
+            shifted = finish_ns - k * period_ns
+            if shifted < shifted_min[0]:
+                shifted_min[0] = shifted
+            if shifted > shifted_max[0]:
+                shifted_max[0] = shifted
+            return shifted_max[0] - shifted_min[0] <= slack
+
+    result = simulate(
+        graph,
+        iterations=iterations,
+        source_period_ns=period_ns,
+        iteration_monitor=monitor,
+        cycle_exit=early_exit,
+    )
+    if budget is not None:
+        budget.charge_events(result.simulated_events)
+    if result.aborted:
+        # "monitor" aborts on the first spread violation (verdict False);
+        # "cycle" proves the remaining iterations repeat the already-checked
+        # spread without deadlocking (verdict True).
+        return result.abort_reason == "cycle"
     if result.deadlocked:
         return False
     if result.completed_iterations < iterations:
         return False
     finishes = result.iteration_finish_times_ns
-    # Under a sustainable period, iteration k finishes at most (latency + k * period);
-    # compare the last iterations against the first to detect an unbounded backlog.
-    reference = finishes[0]
-    slack = period_ns * (1 + tolerance)
-    for k, finish in enumerate(finishes):
-        ideal = reference + k * period_ns
-        if finish > ideal + slack:
-            return False
-    return True
+    shifted = [finish - k * period_ns for k, finish in enumerate(finishes)]
+    return max(shifted) - min(shifted) <= slack

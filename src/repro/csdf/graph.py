@@ -26,6 +26,7 @@ class CSDFGraph:
         self.name = name
         self._actors: dict[str, CSDFActor] = {}
         self._edges: dict[str, CSDFEdge] = {}
+        self._fingerprint: tuple | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -35,6 +36,7 @@ class CSDFGraph:
         if actor.name in self._actors:
             raise CSDFError(f"duplicate actor name {actor.name!r} in graph {self.name!r}")
         self._actors[actor.name] = actor
+        self._fingerprint = None
         return actor
 
     def add_edge(self, edge: CSDFEdge) -> CSDFEdge:
@@ -66,6 +68,7 @@ class CSDFGraph:
             )
         edge = self._expand_constant_rates(edge, source.phases, target.phases)
         self._edges[edge.name] = edge
+        self._fingerprint = None
         return edge
 
     @staticmethod
@@ -114,6 +117,15 @@ class CSDFGraph:
         edge = self._expand_constant_rates(
             edge, self._actors[edge.source].phases, self._actors[edge.target].phases
         )
+        # Capacity is deliberately outside the structural fingerprint (it is a
+        # separate cache-key component), so a capacity-only replacement — the
+        # buffer minimizer's per-probe swap — keeps the cached digest valid.
+        if not (
+            existing.production_rates == edge.production_rates
+            and existing.consumption_rates == edge.consumption_rates
+            and existing.initial_tokens == edge.initial_tokens
+        ):
+            self._fingerprint = None
         self._edges[edge.name] = edge
         return edge
 
@@ -184,12 +196,51 @@ class CSDFGraph:
         """Actors with no output edges."""
         return tuple(a for a in self._actors.values() if not self.output_edges(a.name))
 
+    def structural_fingerprint(self) -> tuple:
+        """A name-free digest of the graph's analysis-relevant structure.
+
+        Two graphs with equal fingerprints behave identically under every
+        dataflow analysis in :mod:`repro.csdf.analysis`: the fingerprint
+        covers, in insertion order, each actor's phase execution times and
+        role and each edge's endpoint *indices*, per-phase rates and initial
+        tokens.  Graph and actor/edge *names* are excluded — a mapped graph
+        rebuilt for a renamed application digests identically — and so are
+        buffer capacities, which vary per probe and form a separate cache-key
+        component (:meth:`capacity_vector`).
+
+        The digest is cached on the instance and invalidated by structural
+        mutations; a capacity-only :meth:`replace_edge` keeps it.
+        """
+        if self._fingerprint is None:
+            index_of = {name: i for i, name in enumerate(self._actors)}
+            actors = tuple(
+                (actor.execution_times_ns.values, actor.role)
+                for actor in self._actors.values()
+            )
+            edges = tuple(
+                (
+                    index_of[edge.source],
+                    index_of[edge.target],
+                    edge.production_rates.values,
+                    edge.consumption_rates.values,
+                    edge.initial_tokens,
+                )
+                for edge in self._edges.values()
+            )
+            self._fingerprint = (actors, edges)
+        return self._fingerprint
+
+    def capacity_vector(self) -> tuple[int | None, ...]:
+        """Per-edge buffer capacities in insertion order (``None`` = unbounded)."""
+        return tuple(edge.capacity for edge in self._edges.values())
+
     def copy(self, name: str | None = None) -> "CSDFGraph":
         """A shallow structural copy (actors and edges are immutable and shared)."""
         clone = CSDFGraph(name or self.name)
         clone.add_actors(self.actors)
         for edge in self.edges:
             clone.add_edge(edge)
+        clone._fingerprint = self._fingerprint
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

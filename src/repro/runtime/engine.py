@@ -584,6 +584,15 @@ class EngineTelemetry:
     #: shipped across the process boundary, stale-snapshot re-decides and
     #: in-worker wall-clock, keyed by worker name.
     workers: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Step-4 analysis work of this run: ``simulations_run`` /
+    #: ``simulated_events`` (real simulations only), ``cache_hits`` (verdicts
+    #: replayed without simulating) and ``budget_exhausted`` (minimisations
+    #: degraded to sufficient capacities), as the delta of the engine-side
+    #: pipeline's :class:`~repro.csdf.analysis.budget.AnalysisEngine`
+    #: counters around the run.  Process workers run their own pipelines, so
+    #: their analysis work is not included here (it shows up in their
+    #: in-worker wall-clock instead).
+    analysis: dict[str, int] = field(default_factory=dict)
 
     def lane(self, name: str) -> LaneCounters:
         """The counters of one lane (created on first use)."""
@@ -797,6 +806,7 @@ class WorkloadEngine:
         started = time.perf_counter()
         lock_baseline = self._lock_stats_snapshot()
         worker_baseline = self._worker_stats_snapshot()
+        analysis_baseline = self._analysis_snapshot()
         outcome = EngineOutcome(workload=getattr(workload, "name", "workload"))
         events = workload.sorted_events()
         for event in events:
@@ -845,6 +855,7 @@ class WorkloadEngine:
         outcome.wall_clock_s = time.perf_counter() - started
         self._collect_lock_stats(outcome, lock_baseline)
         self._collect_worker_stats(outcome, worker_baseline)
+        self._collect_analysis_stats(outcome, analysis_baseline)
         if self.governor is not None:
             outcome.telemetry.governor = self.governor.snapshot()
         return outcome
@@ -888,6 +899,27 @@ class WorkloadEngine:
                 for region, values in stats.items()
             }
             outcome.telemetry.merge_lock_stats(delta)
+
+    def _analysis_snapshot(self) -> dict[str, int]:
+        """Cumulative analysis-engine counters of the engine-side pipeline."""
+        analysis = getattr(self.manager.pipeline, "analysis", None)
+        return analysis.snapshot() if analysis is not None else {}
+
+    def _collect_analysis_stats(
+        self, outcome: EngineOutcome, baseline: dict[str, int]
+    ) -> None:
+        """Fold this run's step-4 analysis work into the telemetry.
+
+        The analysis engine accumulates for the pipeline's lifetime, so each
+        run reports the delta against its starting snapshot (same discipline
+        as the lock and worker stats).
+        """
+        stats = self._analysis_snapshot()
+        if not stats:
+            return
+        outcome.telemetry.analysis = {
+            key: value - baseline.get(key, 0) for key, value in stats.items()
+        }
 
     def _worker_stats_snapshot(self) -> dict[str, dict[str, float]]:
         """Cumulative per-worker executor stats, empty for worker-less executors."""

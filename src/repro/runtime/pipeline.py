@@ -32,6 +32,7 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, replace
 
 from repro.appmodel.library import ImplementationLibrary
+from repro.csdf.analysis.budget import AnalysisEngine
 from repro.exceptions import PlatformError
 from repro.kpn.als import ApplicationLevelSpec
 from repro.mapping.mapping import Mapping
@@ -162,10 +163,15 @@ class AdmissionPipeline:
         #: "wasted mapper calls" currency of the load-shedding benchmark.
         self.mapper_invocations = 0
         self.cache: MapperCache | None = MapperCache(cache_size) if cache_size else None
+        #: Step-4 analysis engine shared by every mapper this pipeline
+        #: creates: one simulation-verdict cache across regions, refinement
+        #: iterations and admission requests, and the source of the
+        #: engine-level ``analysis`` telemetry counters.
+        self.analysis = AnalysisEngine.from_config(self.config)
         self._uses_default_factory = mapper_factory is None
         self._mapper_factory = mapper_factory or (
             lambda platform_, library_, config_: SpatialMapper(
-                platform_, library_, config_, cache=self.cache
+                platform_, library_, config_, cache=self.cache, analysis=self.analysis
             )
         )
         # The mapper for the pipeline's own library is cached for the

@@ -69,6 +69,21 @@ class MapperConfig:
     minimize_buffers:
         When ``True``, step 4 additionally shrinks buffer capacities by
         binary search (slower, smaller buffers).
+    analysis_cache_size:
+        Capacity of the step-4 simulation-verdict cache
+        (:class:`~repro.csdf.analysis.budget.SimulationCache`); ``0``
+        disables caching.
+    analysis_early_exit:
+        Whether step-4 simulations may stop early (backlog-violation abort,
+        state-cycle exit).  Early exits are answer-preserving; disabling them
+        exists for differential baselines and benchmarks.
+    analysis_event_budget:
+        Optional ceiling on simulated events per buffer-minimisation call;
+        ``None`` (the default) is unlimited.  An exhausted budget degrades
+        the minimisation gracefully to the sufficient capacities.
+    analysis_probe_budget:
+        Optional ceiling on binary-search probes per buffer-minimisation
+        call; ``None`` is unlimited.
     cost_model:
         Weights of the full energy objective.
     keep_step2_trace:
@@ -84,6 +99,10 @@ class MapperConfig:
     analysis_iterations: int = 6
     run_feasibility_analysis: bool = True
     minimize_buffers: bool = False
+    analysis_cache_size: int = 256
+    analysis_early_exit: bool = True
+    analysis_event_budget: int | None = None
+    analysis_probe_budget: int | None = None
     cost_model: CostModel = field(default_factory=CostModel)
     keep_step2_trace: bool = True
 
@@ -96,3 +115,9 @@ class MapperConfig:
             raise ConfigurationError("max_feedback_iterations must be at least 1")
         if self.analysis_iterations < 1:
             raise ConfigurationError("analysis_iterations must be at least 1")
+        if self.analysis_cache_size < 0:
+            raise ConfigurationError("analysis_cache_size must be non-negative")
+        if self.analysis_event_budget is not None and self.analysis_event_budget < 1:
+            raise ConfigurationError("analysis_event_budget must be positive or None")
+        if self.analysis_probe_budget is not None and self.analysis_probe_budget < 1:
+            raise ConfigurationError("analysis_probe_budget must be positive or None")

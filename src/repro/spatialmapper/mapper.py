@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 
 from repro.appmodel.library import ImplementationLibrary
+from repro.csdf.analysis.budget import AnalysisEngine
 from repro.exceptions import NoFeasibleMappingError
 from repro.kpn.als import ApplicationLevelSpec
 from repro.mapping.cost import manhattan_cost, mapping_energy_nj
@@ -49,6 +50,7 @@ class SpatialMapper:
         config: MapperConfig | None = None,
         *,
         cache: MapperCache | None = None,
+        analysis: AnalysisEngine | None = None,
     ) -> None:
         self.platform = platform
         self.library = library
@@ -57,6 +59,10 @@ class SpatialMapper:
         #: serves repeated (application, region, state-fingerprint) questions
         #: without re-running the search.
         self.cache = cache
+        #: Shared step-4 analysis engine (simulation cache, early exits,
+        #: budgets).  Passing one in shares its verdict cache across mappers;
+        #: by default each mapper owns a fresh engine built from its config.
+        self.analysis = analysis if analysis is not None else AnalysisEngine.from_config(self.config)
         #: Trace of the most recent :meth:`map` call (step-2 iterations, feedback log).
         #: A cache hit leaves the trace of the last *computed* call in place.
         self.last_trace: MapperTrace = MapperTrace()
@@ -117,6 +123,7 @@ class SpatialMapper:
 
         exclusions = ExclusionSet()
         trace = MapperTrace()
+        analysis_before = self.analysis.snapshot()
         best: MappingResult | None = None
         diagnostics: list[str] = []
 
@@ -139,6 +146,11 @@ class SpatialMapper:
         assert best is not None
         best.runtime_s = time.perf_counter() - start_time
         best.diagnostics = diagnostics + best.diagnostics
+        analysis_after = self.analysis.snapshot()
+        trace.simulations_run = analysis_after["simulations_run"] - analysis_before["simulations_run"]
+        trace.simulated_events = analysis_after["simulated_events"] - analysis_before["simulated_events"]
+        trace.analysis_cache_hits = analysis_after["cache_hits"] - analysis_before["cache_hits"]
+        trace.budget_exhausted = analysis_after["budget_exhausted"] - analysis_before["budget_exhausted"]
         self.last_trace = trace
         if cache_key is not None:
             self.cache.store(cache_key, als, self.library, best)
@@ -228,6 +240,7 @@ class SpatialMapper:
             self.library,
             state=state,
             config=self.config,
+            analysis=self.analysis,
         )
         status = MappingStatus.FEASIBLE if step4.feasible else MappingStatus.ADHERENT
         if not step4.feasible:

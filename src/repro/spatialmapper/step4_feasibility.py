@@ -20,9 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.appmodel.library import ImplementationLibrary
-from repro.csdf.analysis.buffers import minimize_buffer_capacities, sufficient_buffer_capacities
-from repro.csdf.analysis.latency import end_to_end_latency_ns
-from repro.csdf.analysis.throughput import minimal_period_ns
+from repro.csdf.analysis.budget import AnalysisEngine
 from repro.csdf.graph import CSDFGraph
 from repro.csdf.repetition import repetition_vector
 from repro.exceptions import DeadlockError, InconsistentGraphError
@@ -85,9 +83,18 @@ def check_feasibility(
     *,
     state: PlatformState | None = None,
     config: MapperConfig | None = None,
+    analysis: AnalysisEngine | None = None,
 ) -> Step4Result:
-    """Run the step-4 dataflow feasibility check on a routed mapping."""
+    """Run the step-4 dataflow feasibility check on a routed mapping.
+
+    ``analysis`` is the shared :class:`~repro.csdf.analysis.budget.AnalysisEngine`
+    all simulations go through (early exit, verdict cache, budgets); when
+    omitted a fresh engine is built from ``config``, which preserves the
+    analysis behaviour but starts with a cold cache.
+    """
     config = config or MapperConfig()
+    if analysis is None:
+        analysis = AnalysisEngine.from_config(config)
     report = FeasibilityReport(required_period_ns=als.period_ns)
     result = Step4Result(mapping=mapping.copy(), report=report)
 
@@ -105,7 +112,7 @@ def check_feasibility(
     # Throughput
     # ------------------------------------------------------------------ #
     try:
-        achieved = minimal_period_ns(graph, iterations=config.analysis_iterations)
+        achieved = analysis.minimal_period_ns(graph, iterations=config.analysis_iterations)
     except (DeadlockError, InconsistentGraphError) as error:
         report.reason = f"dataflow analysis failed: {error}"
         result.feedback.append(
@@ -135,11 +142,11 @@ def check_feasibility(
     # ------------------------------------------------------------------ #
     try:
         if config.minimize_buffers:
-            capacities = minimize_buffer_capacities(
+            capacities = analysis.minimize_buffer_capacities(
                 graph, als.period_ns, iterations=config.analysis_iterations
             )
         else:
-            capacities = sufficient_buffer_capacities(
+            capacities = analysis.sufficient_buffer_capacities(
                 graph, als.period_ns, iterations=config.analysis_iterations
             )
     except DeadlockError as error:
@@ -178,7 +185,7 @@ def check_feasibility(
         sources = [a.name for a in graph.actors_with_role("source")]
         sinks = [a.name for a in graph.actors_with_role("sink")]
         if len(sources) == 1 and len(sinks) == 1:
-            latency = end_to_end_latency_ns(
+            latency = analysis.end_to_end_latency_ns(
                 graph,
                 sources[0],
                 sinks[0],

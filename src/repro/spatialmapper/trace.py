@@ -73,11 +73,23 @@ class Step2Trace:
 
 @dataclass
 class MapperTrace:
-    """Trace of one complete mapper run (all refinement iterations)."""
+    """Trace of one complete mapper run (all refinement iterations).
+
+    The ``simulations_run`` / ``simulated_events`` / ``analysis_cache_hits`` /
+    ``budget_exhausted`` counters are the step-4 analysis work this run
+    caused, measured as the delta of the shared
+    :class:`~repro.csdf.analysis.budget.AnalysisEngine` counters around the
+    run (cache hits are answered without simulating, so a warm cache shows up
+    as hits instead of events).
+    """
 
     step2_traces: list[Step2Trace] = field(default_factory=list)
     feedback_log: list[str] = field(default_factory=list)
     refinement_iterations: int = 0
+    simulations_run: int = 0
+    simulated_events: int = 0
+    analysis_cache_hits: int = 0
+    budget_exhausted: int = 0
 
     @property
     def last_step2_trace(self) -> Step2Trace | None:

@@ -52,6 +52,32 @@ class TestThroughput:
         with pytest.raises(ValueError):
             is_period_sustainable(simple_chain_csdf, 0.0)
 
+    def test_warmup_transient_does_not_mask_backlog(self):
+        # Initial tokens let the middle stages start immediately, so the
+        # pipeline settles to a much lower ideal-shifted finish (2 ns) than
+        # iteration 0's (14 ns).  With iteration 0 as the latency reference
+        # the 12 ns spread was invisible (every later finish beats it); the
+        # criterion must measure the spread against the *earliest* shifted
+        # finish and reject the period.
+        graph = (
+            CSDFBuilder("warmup_transient")
+            .actor("a0", [2.0])
+            .actor("a1", [6.0])
+            .actor("a2", [8.0])
+            .actor("a3", [9.0])
+            .actor("a4", [6.0])
+            .edge("a0", "a1", production=[1], consumption=[1], initial_tokens=3)
+            .edge("a1", "a2", production=[1], consumption=[1])
+            .edge("a2", "a3", production=[1], consumption=[1], initial_tokens=2)
+            .edge("a3", "a4", production=[1], consumption=[1], initial_tokens=2)
+            .build()
+        )
+        assert not is_period_sustainable(graph, 10.0, iterations=8)
+        assert not is_period_sustainable(graph, 10.0, iterations=8, early_exit=True)
+        # A period generous enough to absorb the transient is accepted.
+        assert is_period_sustainable(graph, 13.0, iterations=8)
+        assert is_period_sustainable(graph, 13.0, iterations=8, early_exit=True)
+
 
 class TestBufferSizing:
     def test_sufficient_capacities_sustain_period(self, simple_chain_csdf):
