@@ -145,9 +145,12 @@ def print_telemetry(outcome):
     worker_rows = [
         (
             worker,
-            f"{int(stats.get('dispatches', 0))}",
+            f"{int(stats.get('full_dispatches', 0))}",
+            f"{int(stats.get('delta_dispatches', 0))}",
             f"{int(stats.get('requests', 0))}",
             f"{stats.get('snapshot_bytes', 0) / 1024:.1f} KiB",
+            f"{stats.get('delta_dispatch_bytes', 0) / 1024:.1f} KiB",
+            f"{stats.get('dispatch_bytes_saved', 0) / 1024:.1f} KiB",
             f"{stats.get('delta_bytes', 0) / 1024:.1f} KiB",
             f"{int(stats.get('stale_redecides', 0))}",
             f"{stats.get('worker_wall_s', 0.0) * 1e3:.2f} ms",
@@ -156,8 +159,8 @@ def print_telemetry(outcome):
     ]
     if worker_rows:
         print(format_table(
-            ["Drain worker", "Dispatches", "Requests", "Snapshots out",
-             "Deltas in", "Stale", "Wall"],
+            ["Drain worker", "Fulls", "Deltas", "Requests", "Snapshots out",
+             "Delta frames out", "Bytes saved", "Deltas in", "Stale", "Wall"],
             worker_rows,
             title="Process-executor telemetry (per worker)",
         ))

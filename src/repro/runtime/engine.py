@@ -61,6 +61,7 @@ per-region lock wait/hold times are accumulated on the
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
 import threading
@@ -78,6 +79,7 @@ from repro.platform.regions import (
     RegionOwnershipGuard,
     RegionPartition,
 )
+from repro.platform.state import fingerprint_digest
 from repro.runtime import procdrain
 from repro.runtime.accounting import EnergyAccount
 from repro.runtime.admission_control import GovernorDecision, LoadSheddingGovernor
@@ -274,44 +276,80 @@ def _stop_workers(pool: list) -> None:
 
 
 class ProcessRegionExecutor:
-    """Drain region lanes across worker *processes*: snapshot out, delta in.
+    """Drain region lanes across *stateful* worker processes: snapshot once,
+    deltas forever.
 
-    The GIL-free counterpart of :class:`ThreadedRegionExecutor`.  Each
-    drain, every lane's region is extracted as a picklable
-    :class:`~repro.platform.state.RegionSnapshot` and shipped — with the
-    lane's requests — to a persistent worker process
-    (:mod:`repro.runtime.procdrain`), which runs the ordinary
-    ``decide(candidates=(region,))`` pipeline against a state rebuilt from
-    the snapshot and ships back, per admitted job, a serialized
-    :class:`~repro.platform.state.AllocationDelta` (exactly the commit's
-    journal records).  The engine process then *folds* each delta under the
-    lane's region lock inside a region-scoped transaction — the existing
-    transaction discipline — with the ownership guard armed.
+    The GIL-free counterpart of :class:`ThreadedRegionExecutor`.  Workers
+    (:mod:`repro.runtime.procdrain`) keep the region-local state they last
+    rebuilt **resident between drains**, so each drain the engine ships one
+    of two per-lane frames:
 
-    Stale snapshots are handled explicitly, never silently committed: every
-    worker response carries the region fingerprint its decision was based
-    on, and the fold applies a delta only while the engine-side fingerprint
-    still matches (within a lane the fingerprints chain across the lane's
-    local commits, so a matching base proves the worker saw exactly the
-    state the fold is about to mutate).  On a mismatch — or a delta the
-    current state rejects — the job is re-decided on the engine process
-    through the same region-restricted pipeline.  Finalisation stays on the
-    engine thread in arrival order, so sheds and cancels settle exactly
-    once, and decisions are identical to the serial executor's (the
-    differential suites pin this across all three executors).
+    * a full :class:`~repro.platform.state.RegionSnapshot`
+      (``SnapshotDispatch``) — the bootstrap and the explicit fallback;
+    * a :class:`~repro.runtime.procdrain.DeltaDispatch` — the ordered
+      :class:`~repro.platform.state.RegionDeltaOp` chain committed on the
+      region since the worker's last acknowledged (seq, fingerprint-digest)
+      watermark, read from the engine state's per-region
+      :class:`~repro.platform.state.RegionJournal`.
+
+    The delta path is taken exactly when the watermark bridges to the
+    journal tip *and* the journal tip still matches the live region
+    fingerprint; every full dispatch is **counted under its reason**
+    (``full_bootstrap``, ``full_watermark_gap``, ``full_journal_stale``,
+    ``full_resync``, ``full_disabled``) — there is no silent fallback.  A
+    worker that cannot honour a delta (lost resident, base mismatch,
+    broken chain) answers *resync* and is re-sent a counted full snapshot
+    in a second pass before anything is folded.  All lanes routed to one
+    worker travel batched in a single ``send_bytes`` round-trip
+    (:class:`~repro.runtime.procdrain.WorkerDispatch`), with per-lane
+    frames nested as their own pickle blobs for exact byte metering.
+
+    The worker runs the ordinary ``decide(candidates=(region,))`` pipeline
+    against its resident state and ships back, per admitted job, a
+    serialized :class:`~repro.platform.state.AllocationDelta` (exactly the
+    commit's journal records).  The engine process then *folds* each delta
+    under the lane's region lock inside a region-scoped transaction — the
+    existing transaction discipline — with the ownership guard armed.
+
+    Stale decisions are handled explicitly, never silently committed:
+    every worker response carries the digest of the region fingerprint its decision was
+    based on, and the fold applies a delta only while the engine-side
+    fingerprint still matches (within a lane the fingerprints chain across
+    the lane's local commits, so a matching base proves the worker saw
+    exactly the state the fold is about to mutate).  On a mismatch — or a
+    delta the current state rejects — the job is re-decided on the engine
+    process through the same region-restricted pipeline, and the worker's
+    watermark is dropped (its resident diverged).  Finalisation stays on
+    the engine thread in arrival order, so sheds and cancels settle
+    exactly once, and decisions are identical to the serial executor's
+    (the differential suites pin this across all three executors).
 
     Lanes are assigned to workers by a stable hash of the lane name, so a
-    region's dispatches keep hitting the same worker and its region-scoped
-    mapper-cache warm state accumulates.  Workers are started lazily on the
-    first drain (the pipeline is only known then), reused across drains and
-    runs, and torn down by :meth:`close` (or the garbage collector / daemon
-    flag as backstops).  Requires the pipeline's default mapper factory —
-    a custom factory cannot cross the process boundary.
+    region's dispatches keep hitting the same worker and its resident
+    state and region-scoped mapper-cache warmth accumulate.  ALS/library
+    payloads are digested once on the engine side and shipped to each
+    worker at most once per intern window (steady-state job specs carry
+    digests only).  Workers are started lazily on the first drain (the
+    pipeline is only known then), reused across drains and runs, and torn
+    down by :meth:`close` (or the garbage collector / daemon flag as
+    backstops).  Requires the pipeline's default mapper factory — a custom
+    factory cannot cross the process boundary.
 
-    Per-worker executor stats (dispatches, requests, snapshot/delta bytes
-    shipped, worker wall-clock, stale re-decides) accumulate for the
-    executor's lifetime; the engine reports per-run deltas in
-    :attr:`EngineTelemetry.workers`.
+    Per-worker executor stats accumulate for the executor's lifetime; the
+    engine reports per-run deltas in :attr:`EngineTelemetry.workers`:
+    ``dispatches``/``requests``, ``delta_dispatches`` vs
+    ``full_dispatches`` (with the per-reason fallback counters),
+    ``snapshot_bytes`` (full-dispatch frames out),
+    ``delta_dispatch_bytes`` (delta frames out), ``delta_bytes`` (worker
+    deltas in), ``dispatch_bytes_saved`` (estimated: last full frame of
+    the lane minus the delta frame that replaced it), plus
+    ``stale_redecides`` and ``worker_wall_s``.
+
+    ``delta_dispatch=False`` pins the executor to the PR 6 full-snapshot
+    protocol (every dispatch counted ``full_disabled``) — the comparison
+    baseline of the dispatch-bytes benchmark.  ``journal_capacity`` bounds
+    each region's op window; a worker idle longer than the window falls
+    back to one counted full snapshot.
     """
 
     def __init__(
@@ -322,6 +360,8 @@ class ProcessRegionExecutor:
         locks: RegionLocks | None = None,
         guard: bool = True,
         start_method: str | None = None,
+        delta_dispatch: bool = True,
+        journal_capacity: int = 512,
     ) -> None:
         self.partition = partition
         self.locks = locks or RegionLocks(partition)
@@ -340,10 +380,30 @@ class ProcessRegionExecutor:
                 if "fork" in multiprocessing.get_all_start_methods()
                 else "spawn"
             )
+        #: The multiprocessing start method workers are launched with
+        #: (``"fork"`` where available, else ``"spawn"``) — recorded by the
+        #: benchmarks so artifacts state which protocol path they measured.
+        self.start_method = start_method
+        self.delta_dispatch = delta_dispatch
+        self.journal_capacity = journal_capacity
         self._context = multiprocessing.get_context(start_method)
         self._pool: list[_DrainWorker] | None = None
         self._finalizer: weakref.finalize | None = None
         self._stats: dict[str, dict[str, float]] = {}
+        #: (worker name, lane) -> (journal seq, fingerprint digest) the
+        #: resident state was last acknowledged at.  Dropped whenever a
+        #: lane's fold was not clean, and wholesale on pool teardown.
+        self._watermarks: dict[tuple[str, str], tuple[int, bytes]] = {}
+        #: Per-worker digests already shipped (the engine-side half of the
+        #: worker intern table; cleared in lockstep via ``clear_interned``).
+        self._sent_digests: dict[str, set[bytes]] = {}
+        #: id(payload object) -> (pinned object, digest, blob): pickling
+        #: and hashing happen once per live ALS/library object, not per
+        #: dispatch.  Pinning the object keeps the id stable.
+        self._payloads: dict[int, tuple[object, bytes, bytes]] = {}
+        #: Last full-dispatch frame size per lane — the honest baseline the
+        #: ``dispatch_bytes_saved`` estimate is computed against.
+        self._last_full_bytes: dict[str, int] = {}
 
     # -- worker pool lifecycle ------------------------------------------- #
     def _ensure_pool(self, pipeline: AdmissionPipeline) -> list[_DrainWorker]:
@@ -367,6 +427,12 @@ class ProcessRegionExecutor:
             scorer_has_feedback=scorer is not None and scorer.feedback is not None,
         )
         settings_blob = procdrain.dump_frame(settings)
+        # A fresh pool has empty intern tables, and unlike stale watermarks
+        # (which the resync protocol detects and repairs), a stale shipped-
+        # digest window has no self-validating fallback — a blob withheld
+        # from a worker that never saw it is a protocol error.  Drop it here
+        # rather than only in close(), so any restart path is safe.
+        self._sent_digests.clear()
         pool = [
             _DrainWorker(index, self._context, settings_blob)
             for index in range(self.workers)
@@ -376,8 +442,16 @@ class ProcessRegionExecutor:
         return pool
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; a fresh pool starts on reuse)."""
+        """Shut the worker pool down (idempotent; a fresh pool starts on reuse).
+
+        Worker resident states and intern tables die with the processes, so
+        the engine-side watermarks and shipped-digest windows are dropped
+        with them — a fresh pool bootstraps every lane with a counted full
+        snapshot.
+        """
         self._pool = None
+        self._watermarks.clear()
+        self._sent_digests.clear()
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
@@ -399,7 +473,16 @@ class ProcessRegionExecutor:
                 "dispatches": 0,
                 "requests": 0,
                 "snapshot_bytes": 0,
+                "delta_dispatch_bytes": 0,
                 "delta_bytes": 0,
+                "delta_dispatches": 0,
+                "full_dispatches": 0,
+                "full_bootstrap": 0,
+                "full_disabled": 0,
+                "full_journal_stale": 0,
+                "full_watermark_gap": 0,
+                "full_resync": 0,
+                "dispatch_bytes_saved": 0,
                 "stale_redecides": 0,
                 "worker_wall_s": 0.0,
             },
@@ -408,6 +491,161 @@ class ProcessRegionExecutor:
     def _worker_for(self, pool: list[_DrainWorker], lane: str) -> _DrainWorker:
         """Stable lane-to-worker assignment (cache warmth over balance)."""
         return pool[zlib.crc32(lane.encode("utf-8")) % len(pool)]
+
+    # -- dispatch assembly ---------------------------------------------- #
+    def _payload_for(self, payload: object) -> tuple[bytes, bytes]:
+        """(digest, blob) of one ALS/library object, pickled and hashed once.
+
+        Keyed by object identity with the object pinned in the cache entry,
+        so a request re-dispatched across drains (parked retries) reuses
+        the digest without re-pickling — and the digest stays stable for
+        the worker's identity-interning.
+        """
+        entry = self._payloads.get(id(payload))
+        if entry is None or entry[0] is not payload:
+            if len(self._payloads) >= procdrain.INTERN_LIMIT:
+                self._payloads.clear()
+            blob = procdrain.dump_frame(payload)
+            digest = hashlib.sha1(blob).digest()
+            self._payloads[id(payload)] = (payload, digest, blob)
+            return digest, blob
+        return entry[1], entry[2]
+
+    def _job_specs(
+        self, jobs: list[_RegionJob], sent: set[bytes]
+    ) -> tuple[procdrain.JobSpec, ...]:
+        """The lane's job specs, shipping each payload blob at most once per
+        worker intern window (``sent`` is that worker's shipped-digest set)."""
+        specs = []
+        for job in jobs:
+            als_digest, als_blob = self._payload_for(job.request.als)
+            if als_digest in sent:
+                als_blob = None
+            else:
+                sent.add(als_digest)
+            library_digest = library_blob = None
+            if job.request.library is not None:
+                library_digest, library_blob = self._payload_for(job.request.library)
+                if library_digest in sent:
+                    library_blob = None
+                else:
+                    sent.add(library_digest)
+            specs.append(
+                procdrain.JobSpec(
+                    ticket=job.request.ticket,
+                    als_digest=als_digest,
+                    als_blob=als_blob,
+                    library_digest=library_digest,
+                    library_blob=library_blob,
+                )
+            )
+        return tuple(specs)
+
+    def _assemble_lane(
+        self,
+        lane: str,
+        jobs: list[_RegionJob],
+        worker: _DrainWorker,
+        pipeline: AdmissionPipeline,
+        sent: set[bytes],
+        force_full: str | None = None,
+    ) -> bytes:
+        """Build one lane's dispatch frame: delta when bridgeable, else a
+        full snapshot counted under its reason (never silent)."""
+        state = pipeline.state
+        region = jobs[0].region
+        journal = state.region_journal(region, self.journal_capacity)
+        live = fingerprint_digest(region.fingerprint(state))
+        key = (worker.name, lane)
+        reason = force_full
+        mark = None
+        ops: tuple | None = None
+        if reason is None and journal.tip_fingerprint != live:
+            # An un-journaled mutation bypassed the commit/release hooks
+            # (e.g. a batch rollback): rebase the chain and resync the
+            # worker from a snapshot.
+            journal.reset(live)
+            reason = "journal_stale"
+        if reason is None and not self.delta_dispatch:
+            reason = "disabled"
+        if reason is None:
+            mark = self._watermarks.get(key)
+            if mark is None:
+                reason = "bootstrap"
+            else:
+                ops = journal.ops_since(*mark)
+                if ops is None:
+                    reason = "watermark_gap"
+        specs = self._job_specs(jobs, sent)
+        stats = self._stats_for(worker.name)
+        stats["dispatches"] += 1
+        stats["requests"] += len(jobs)
+        if reason is None:
+            frame = procdrain.dump_frame(
+                procdrain.DeltaDispatch(
+                    lane=lane,
+                    base_seq=mark[0],
+                    base_fingerprint=mark[1],
+                    ops=ops,
+                    jobs=specs,
+                )
+            )
+            stats["delta_dispatches"] += 1
+            stats["delta_dispatch_bytes"] += len(frame)
+            stats["dispatch_bytes_saved"] += max(
+                0, self._last_full_bytes.get(lane, 0) - len(frame)
+            )
+        else:
+            self._watermarks.pop(key, None)
+            frame = procdrain.dump_frame(
+                procdrain.SnapshotDispatch(
+                    lane=lane, snapshot=state.snapshot_scope(region), jobs=specs
+                )
+            )
+            stats["full_dispatches"] += 1
+            stats[f"full_{reason}"] += 1
+            stats["snapshot_bytes"] += len(frame)
+            self._last_full_bytes[lane] = len(frame)
+        return frame
+
+    def _dispatch_round(
+        self,
+        lanes_by_worker: dict[str, list[str]],
+        workers_by_name: dict[str, _DrainWorker],
+        lane_jobs: dict[str, list[_RegionJob]],
+        pipeline: AdmissionPipeline,
+        force_full: str | None = None,
+    ) -> dict[str, procdrain.LaneResult]:
+        """One batched send/receive round: every worker gets at most one
+        frame holding all its lanes; answers map back by lane name."""
+        for worker_name, lanes in lanes_by_worker.items():
+            worker = workers_by_name[worker_name]
+            sent = self._sent_digests.setdefault(worker_name, set())
+            clear_interned = False
+            if len(sent) >= procdrain.INTERN_LIMIT:
+                # Engine-driven eviction, at a frame boundary: wipe both
+                # halves of the intern bookkeeping together so a digest-only
+                # spec can never reference an object the worker dropped.
+                sent.clear()
+                clear_interned = True
+            frames = tuple(
+                self._assemble_lane(
+                    lane, lane_jobs[lane], worker, pipeline, sent, force_full
+                )
+                for lane in lanes
+            )
+            worker.conn.send_bytes(
+                procdrain.dump_frame(
+                    procdrain.WorkerDispatch(frames=frames, clear_interned=clear_interned)
+                )
+            )
+        results: dict[str, procdrain.LaneResult] = {}
+        for worker_name in lanes_by_worker:
+            for result in procdrain.load_frame(
+                workers_by_name[worker_name].conn.recv_bytes()
+            ):
+                results[result.lane] = result
+        return results
 
     # -- the drain ------------------------------------------------------- #
     def execute(
@@ -423,44 +661,37 @@ class ProcessRegionExecutor:
         state = pipeline.state
         lanes = sorted(lane_jobs)
         dispatched: dict[str, _DrainWorker] = {}
-        per_worker: dict[str, list[str]] = {}
+        lanes_by_worker: dict[str, list[str]] = {}
+        workers_by_name: dict[str, _DrainWorker] = {}
         for lane in lanes:
-            jobs = lane_jobs[lane]
-            region = jobs[0].region
-            dispatch = procdrain.LaneDispatch(
-                lane=lane,
-                snapshot=state.snapshot_scope(region),
-                jobs=tuple(
-                    procdrain.JobSpec(
-                        ticket=job.request.ticket,
-                        als_blob=procdrain.dump_frame(job.request.als),
-                        library_blob=(
-                            procdrain.dump_frame(job.request.library)
-                            if job.request.library is not None
-                            else None
-                        ),
-                    )
-                    for job in jobs
-                ),
-            )
-            frame = procdrain.dump_frame(dispatch)
             worker = self._worker_for(pool, lane)
-            worker.conn.send_bytes(frame)
             dispatched[lane] = worker
-            per_worker.setdefault(worker.name, []).append(lane)
-            stats = self._stats_for(worker.name)
-            stats["dispatches"] += 1
-            stats["requests"] += len(jobs)
-            stats["snapshot_bytes"] += len(frame)
-        # Collect every worker's answers (one frame per dispatched lane; a
-        # worker answers its lanes in the order they were sent).
-        results: dict[str, procdrain.LaneResult] = {}
-        for worker in pool:
-            for _ in per_worker.get(worker.name, ()):
-                result: procdrain.LaneResult = procdrain.load_frame(
-                    worker.conn.recv_bytes()
+            lanes_by_worker.setdefault(worker.name, []).append(lane)
+            workers_by_name[worker.name] = worker
+        results = self._dispatch_round(
+            lanes_by_worker, workers_by_name, lane_jobs, pipeline
+        )
+        # A worker that could not honour a delta dispatch (lost resident,
+        # base mismatch, broken chain) decided nothing: re-dispatch those
+        # lanes as full snapshots — counted, and resolved before any fold.
+        resync = {
+            lane: result.resync
+            for lane, result in results.items()
+            if result.resync is not None
+        }
+        if resync:
+            retry_by_worker: dict[str, list[str]] = {}
+            for lane in sorted(resync):
+                retry_by_worker.setdefault(dispatched[lane].name, []).append(lane)
+            results.update(
+                self._dispatch_round(
+                    retry_by_worker,
+                    workers_by_name,
+                    lane_jobs,
+                    pipeline,
+                    force_full="resync",
                 )
-                results[result.lane] = result
+            )
         # Fold on commit, lane by lane in the serial executor's order, under
         # each lane's region lock with the ownership guard armed.
         previous_guard = state.ownership_guard
@@ -473,6 +704,7 @@ class ProcessRegionExecutor:
                     results[lane],
                     pipeline,
                     self._stats_for(dispatched[lane].name),
+                    worker_name=dispatched[lane].name,
                 )
         finally:
             state.ownership_guard = previous_guard
@@ -484,6 +716,7 @@ class ProcessRegionExecutor:
         result: procdrain.LaneResult,
         pipeline: AdmissionPipeline,
         stats: dict[str, float],
+        worker_name: str | None = None,
     ) -> None:
         """Fold one lane's worker responses into the engine state.
 
@@ -493,26 +726,36 @@ class ProcessRegionExecutor:
         errors surface on the job (the engine unwinds and re-raises), and a
         lane a worker aborted early leaves its remaining jobs undecided —
         exactly the serial lane-abort discipline.
+
+        A lane folded *clean* — every job answered, no error, no engine-side
+        re-decide — advances the worker's delta watermark to the journal
+        tip (which then equals the worker's acknowledged final
+        fingerprint); anything else drops the watermark, forcing a counted
+        full snapshot next dispatch.
         """
         state = pipeline.state
         region = jobs[0].region
         responses = {response.ticket: response for response in result.responses}
+        clean = result.resync is None
         with self.locks.region_lane(lane):
             for job in jobs:
                 response = responses.get(job.request.ticket)
                 if response is None:
+                    clean = False
                     break  # worker aborted the lane on an earlier error
                 stats["worker_wall_s"] += response.wall_s
                 # The worker's mapper ran for real; keep the engine-wide
                 # invocation accounting honest across executors.
                 pipeline.mapper_invocations += response.mapper_invocations
                 if response.error is not None:
+                    clean = False
                     job.error = PlatformError(
                         f"region drain worker failed in lane {lane!r}:\n"
                         f"{response.error}"
                     )
                     break
-                if region.fingerprint(state) != response.base_fingerprint:
+                if fingerprint_digest(region.fingerprint(state)) != response.base_fingerprint:
+                    clean = False
                     stats["stale_redecides"] += 1
                     job.run(pipeline)
                     if job.error is not None:
@@ -530,6 +773,7 @@ class ProcessRegionExecutor:
                         # fits (aggregates can collide across histories);
                         # the transaction rolled everything back — re-decide
                         # against the live state instead of committing.
+                        clean = False
                         stats["stale_redecides"] += 1
                         job.run(pipeline)
                         if job.error is not None:
@@ -539,6 +783,39 @@ class ProcessRegionExecutor:
                         decision.application, decision.result.mapping
                     )
                 job.decision = decision
+            if worker_name is not None:
+                self._advance_watermark(
+                    worker_name, lane, region, result, clean, state
+                )
+
+    def _advance_watermark(
+        self,
+        worker_name: str,
+        lane: str,
+        region: Region,
+        result: procdrain.LaneResult,
+        clean: bool,
+        state,
+    ) -> None:
+        """Record (or drop) one worker's post-fold delta watermark.
+
+        After a clean fold the engine journal's tip covers exactly the
+        lane's folded commits, so it must fingerprint-match the worker's
+        acknowledged resident state; if it does not (defensive — an
+        invariant breach, not an expected path), the watermark is dropped
+        and the next dispatch bootstraps from a counted snapshot.
+        """
+        key = (worker_name, lane)
+        journal = state.region_journals.get(region.name)
+        if (
+            clean
+            and journal is not None
+            and result.final_fingerprint is not None
+            and journal.tip_fingerprint == result.final_fingerprint
+        ):
+            self._watermarks[key] = (journal.tip_seq, result.final_fingerprint)
+        else:
+            self._watermarks.pop(key, None)
 
 
 # --------------------------------------------------------------------------- #

@@ -17,8 +17,14 @@ from repro.platform.regions import (
     RegionOwnershipGuard,
     current_worker_name,
 )
+from repro.platform.state import fingerprint_digest
 from repro.runtime import procdrain
-from repro.runtime.engine import ProcessRegionExecutor, WorkloadEngine, _RegionJob
+from repro.runtime.engine import (
+    ProcessRegionExecutor,
+    SerialRegionExecutor,
+    WorkloadEngine,
+    _RegionJob,
+)
 from repro.runtime.events import StartEvent
 from repro.runtime.queue import AdmissionQueue
 from repro.runtime.scenario import Scenario
@@ -72,7 +78,7 @@ class TestFoldDiscipline:
         )
         response = procdrain.JobResponse(
             ticket=job.request.ticket,
-            base_fingerprint=("definitely", "stale"),
+            base_fingerprint=b"definitely stale",
             decision_blob=procdrain.dump_frame(None),
             delta_blob=procdrain.dump_frame(phantom),
             mapper_invocations=1,
@@ -120,7 +126,7 @@ class TestFoldDiscipline:
         pipeline.forget("squeezed")
         response = procdrain.JobResponse(
             ticket=job.request.ticket,
-            base_fingerprint=job.region.fingerprint(pipeline.state),
+            base_fingerprint=fingerprint_digest(job.region.fingerprint(pipeline.state)),
             decision_blob=admitted,
             delta_blob=procdrain.dump_frame(overflow),
             mapper_invocations=0,
@@ -144,7 +150,7 @@ class TestFoldDiscipline:
         job = _region_job(manager, 202, "doomed")
         response = procdrain.JobResponse(
             ticket=job.request.ticket,
-            base_fingerprint=job.region.fingerprint(manager.pipeline.state),
+            base_fingerprint=fingerprint_digest(job.region.fingerprint(manager.pipeline.state)),
             decision_blob=None,
             delta_blob=None,
             mapper_invocations=0,
@@ -171,7 +177,7 @@ class TestFoldDiscipline:
         second = _region_job(manager, 204, "second")
         response = procdrain.JobResponse(
             ticket=first.request.ticket,
-            base_fingerprint=first.region.fingerprint(manager.pipeline.state),
+            base_fingerprint=fingerprint_digest(first.region.fingerprint(manager.pipeline.state)),
             decision_blob=None,
             delta_blob=None,
             mapper_invocations=0,
@@ -258,6 +264,148 @@ class TestExecutorLifecycle:
         second = engine.run(_scenario(apps))
         assert second.telemetry.workers["region-drain-0"]["requests"] <= 2
         executor.close()
+
+
+def _worker_totals(outcome) -> dict[str, float]:
+    """Sum the per-run worker telemetry deltas across all workers."""
+    workers = outcome.telemetry.workers
+    assert workers, "process executor runs must report per-worker stats"
+    return {
+        key: sum(values[key] for values in workers.values())
+        for key in next(iter(workers.values()))
+    }
+
+
+def _fallback_reasons(totals: dict[str, float]) -> float:
+    return (
+        totals["full_bootstrap"]
+        + totals["full_disabled"]
+        + totals["full_journal_stale"]
+        + totals["full_watermark_gap"]
+        + totals["full_resync"]
+    )
+
+
+class TestStatefulDispatch:
+    """The snapshot-once / delta-forever protocol, per fallback reason.
+
+    Every test also asserts the zero-silent-fallback invariant: each full
+    dispatch is attributed to exactly one counted reason.
+    """
+
+    def test_steady_state_ships_deltas_after_the_bootstrap_snapshot(self, manager):
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        engine = WorkloadEngine(manager, executor=executor)
+        apps = [
+            make_app(250 + i, f"warm{i}", tile)
+            for i, tile in enumerate(["io_l", "io_r"])
+        ]
+        first = engine.run(_scenario(apps))
+        assert first.admitted == ["warm0", "warm1"]
+        t1 = _worker_totals(first)
+        assert t1["full_bootstrap"] >= 1
+        assert t1["full_dispatches"] == _fallback_reasons(t1)
+        for app in apps:
+            manager.stop(app.als.name)
+        # Warm pool, journaled releases: the next drain bridges via deltas.
+        second = engine.run(_scenario(apps))
+        assert second.admitted == ["warm0", "warm1"]
+        t2 = _worker_totals(second)
+        assert t2["delta_dispatches"] >= 1
+        assert t2["full_dispatches"] == 0
+        assert t2["full_dispatches"] == _fallback_reasons(t2)
+        assert t2["delta_dispatch_bytes"] > 0
+        executor.close()
+
+    def test_disabled_mode_ships_full_snapshots_and_counts_them(self, manager):
+        executor = ProcessRegionExecutor(
+            manager.partition, workers=1, delta_dispatch=False
+        )
+        engine = WorkloadEngine(manager, executor=executor)
+        apps = [make_app(255, "flat0", "io_l")]
+        first = engine.run(_scenario(apps))
+        manager.stop("flat0")
+        second = engine.run(_scenario(apps))
+        assert second.admitted == ["flat0"]
+        for outcome in (first, second):
+            totals = _worker_totals(outcome)
+            assert totals["delta_dispatches"] == 0
+            assert totals["full_dispatches"] == totals["full_disabled"] >= 1
+            assert totals["full_dispatches"] == _fallback_reasons(totals)
+        executor.close()
+
+    def test_unjournaled_mutation_falls_back_to_a_counted_full(self, manager):
+        """State mutated behind the journal's back (tip fingerprint no longer
+        the live region fingerprint) must resnapshot, counted journal_stale."""
+        from repro.platform.state import ProcessAllocation
+
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        engine = WorkloadEngine(manager, executor=executor)
+        first = engine.run(_scenario([make_app(260, "stale0", "io_l")]))
+        assert first.admitted == ["stale0"]
+        manager.stop("stale0")
+        region = next(r for r in manager.partition if "io_l" in r.tile_names)
+        ghost_tile = region.processing_tile_names()[0]
+        manager.state.allocate_process(
+            ProcessAllocation("ghost", "ghost0", ghost_tile)
+        )
+        second = engine.run(_scenario([make_app(261, "stale1", "io_l")]))
+        assert second.admitted == ["stale1"]
+        t2 = _worker_totals(second)
+        assert t2["full_journal_stale"] >= 1
+        assert t2["full_dispatches"] == _fallback_reasons(t2)
+        executor.close()
+
+    def test_worker_restart_resyncs_with_a_counted_full(self, manager):
+        """Watermarks that outlive the worker's resident state (manual pool
+        teardown here; a crashed lane in production) are detected by the
+        worker's resync answer and repaired with a counted full dispatch."""
+        executor = ProcessRegionExecutor(manager.partition, workers=1)
+        engine = WorkloadEngine(manager, executor=executor)
+        first = engine.run(_scenario([make_app(270, "sync0", "io_l")]))
+        assert first.admitted == ["sync0"]
+        assert executor._watermarks
+        # Kill the pool but keep the watermarks: the next drain attempts a
+        # delta against workers whose resident state died with them.
+        for worker in executor._pool:
+            worker.stop()
+        executor._pool = None
+        manager.stop("sync0")
+        second = engine.run(_scenario([make_app(271, "sync1", "io_l")]))
+        assert second.admitted == ["sync1"]
+        t2 = _worker_totals(second)
+        assert t2["delta_dispatches"] >= 1  # the refused attempt is visible
+        assert t2["full_resync"] >= 1
+        assert t2["full_dispatches"] == _fallback_reasons(t2)
+        executor.close()
+
+    def test_spawn_start_method_is_decision_identical_to_serial(self, platform):
+        """The worker protocol must not lean on fork-inherited state: a
+        spawn-started pool re-derives everything from the settings frame."""
+        serial_manager = make_manager(platform)
+        apps = [
+            make_app(280 + i, f"spawned{i}", tile)
+            for i, tile in enumerate(["io_l", "io_r"])
+        ]
+        serial = WorkloadEngine(serial_manager, executor=SerialRegionExecutor()).run(
+            _scenario(apps)
+        )
+        spawn_manager = make_manager(build_two_region_platform())
+        executor = ProcessRegionExecutor(
+            spawn_manager.partition, workers=1, start_method="spawn"
+        )
+        assert executor.start_method == "spawn"
+        try:
+            spawned = WorkloadEngine(spawn_manager, executor=executor).run(
+                _scenario(apps)
+            )
+        finally:
+            executor.close()
+        assert serial.decision_log() == spawned.decision_log()
+        assert serial_manager.decisions == spawn_manager.decisions
+        assert sorted(serial_manager.state.occupied_tiles()) == sorted(
+            spawn_manager.state.occupied_tiles()
+        )
 
 
 class TestGuardDiagnostics:

@@ -1,0 +1,284 @@
+"""Unit tests of the per-region delta journal and its replay validation.
+
+The stateful drain protocol hinges on three properties the differential
+suites cannot isolate: the journal's (seq, fingerprint-digest) watermark
+(:meth:`RegionJournal.ops_since`, eviction, reset), the coverage filter
+that routes one committed mapping into exactly the journals it touches,
+and :meth:`PlatformState.replay_region_ops` rejecting every malformed
+chain — gaps, reorderings, fingerprint divergence — instead of
+half-applying it.
+"""
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.state import (
+    LinkAllocation,
+    PlatformState,
+    ProcessAllocation,
+    RegionDeltaOp,
+    RegionJournal,
+    fingerprint_digest,
+)
+from tests.harness import build_two_region_platform, two_region_partition
+
+
+@pytest.fixture()
+def world():
+    platform = build_two_region_platform()
+    partition = two_region_partition(platform)
+    state = PlatformState(platform)
+    return platform, partition, state
+
+
+def _commit(state, journal_region, application, tile):
+    """Allocate one process and journal the commit, pipeline-style."""
+    record = ProcessAllocation(application, f"p_{application}_{tile}", tile)
+    state.allocate_process(record)
+    state.journal_mapping_commit(application, (record,), ())
+    return record
+
+
+class TestJournalWatermarks:
+    def test_fresh_journal_bases_on_the_current_fingerprint(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        _commit(state, region, "early", region.processing_tile_names()[0])
+        journal = state.region_journal(region)
+        assert journal.base_seq == 0
+        assert journal.tip_seq == 0
+        assert journal.base_fingerprint == fingerprint_digest(region.fingerprint(state))
+        # Get-or-create: a second call returns the same journal unchanged.
+        assert state.region_journal(region) is journal
+
+    def test_ops_since_bridges_any_unevicted_watermark(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        journal = state.region_journal(region)
+        tile = region.processing_tile_names()[0]
+        marks = [(journal.tip_seq, journal.tip_fingerprint)]
+        for i in range(4):
+            _commit(state, region, f"app{i}", tile)
+            marks.append((journal.tip_seq, journal.tip_fingerprint))
+            state.release_application(f"app{i}")
+            state.journal_release(f"app{i}", (region.name,))
+            marks.append((journal.tip_seq, journal.tip_fingerprint))
+        for seq, fingerprint in marks:
+            ops = journal.ops_since(seq, fingerprint)
+            assert ops is not None
+            assert len(ops) == journal.tip_seq - seq
+            assert [op.seq for op in ops] == list(range(seq + 1, journal.tip_seq + 1))
+        # At-tip watermark bridges with an empty chain.
+        assert journal.ops_since(journal.tip_seq, journal.tip_fingerprint) == ()
+
+    def test_wrong_fingerprint_or_alien_seq_is_unbridgeable(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        journal = state.region_journal(region)
+        _commit(state, region, "one", region.processing_tile_names()[0])
+        assert journal.ops_since(0, b"not-the-base") is None
+        assert journal.ops_since(journal.tip_seq, b"stale") is None
+        assert journal.ops_since(journal.tip_seq + 1, journal.tip_fingerprint) is None
+        assert journal.ops_since(-1, journal.base_fingerprint) is None
+
+    def test_eviction_advances_the_base_and_is_counted(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        journal = state.region_journal(region, capacity=2)
+        tile = region.processing_tile_names()[0]
+        stale_mark = (journal.tip_seq, journal.tip_fingerprint)
+        for i in range(3):  # 3 commit+release pairs = 6 ops through a 2-op window
+            _commit(state, region, f"evict{i}", tile)
+            state.release_application(f"evict{i}")
+            state.journal_release(f"evict{i}", (region.name,))
+        assert journal.evictions == 4
+        assert journal.base_seq == 4
+        assert journal.tip_seq == 6
+        assert journal.ops_since(*stale_mark) is None  # fell off the window
+        assert journal.ops_since(journal.base_seq, journal.base_fingerprint) is not None
+
+    def test_reset_rebases_monotonically(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        journal = state.region_journal(region)
+        _commit(state, region, "pre", region.processing_tile_names()[0])
+        tip_before = journal.tip_seq
+        mark = (journal.tip_seq, journal.tip_fingerprint)
+        journal.reset(b"rebased")
+        assert journal.resets == 1
+        assert journal.base_seq == tip_before  # seqs never reuse
+        assert journal.tip_seq == tip_before
+        assert journal.base_fingerprint == b"rebased"
+        # The pre-reset watermark cannot alias the rebased chain.
+        assert journal.ops_since(*mark) is None
+
+    def test_capacity_floor_is_enforced(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        with pytest.raises(PlatformError, match="capacity"):
+            RegionJournal(region, base_fingerprint=b"", capacity=0)
+
+
+class TestJournalRouting:
+    def test_commit_lands_only_in_covering_journals(self, world):
+        platform, partition, state = world
+        left, right = list(partition)
+        left_journal = state.region_journal(left)
+        right_journal = state.region_journal(right)
+        _commit(state, left, "lefty", left.processing_tile_names()[0])
+        assert left_journal.tip_seq == 1
+        assert right_journal.tip_seq == 0
+
+    def test_release_broadcast_and_targeted(self, world):
+        platform, partition, state = world
+        left, right = list(partition)
+        left_journal = state.region_journal(left)
+        right_journal = state.region_journal(right)
+        _commit(state, left, "tenant", left.processing_tile_names()[0])
+        state.release_application("tenant")
+        state.journal_release("tenant", None)  # broadcast
+        assert left_journal.tip_seq == 2
+        assert right_journal.tip_seq == 1  # release op even without records
+        _commit(state, left, "tenant2", left.processing_tile_names()[0])
+        state.release_application("tenant2")
+        state.journal_release("tenant2", (left.name,))  # targeted
+        assert left_journal.tip_seq == 4
+        assert right_journal.tip_seq == 1
+
+    def test_journalling_without_journals_is_free(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        record = ProcessAllocation("solo", "p0", region.processing_tile_names()[0])
+        state.allocate_process(record)
+        state.journal_mapping_commit("solo", (record,), ())
+        state.journal_release("solo", None)
+        assert state.region_journals == {}
+
+
+class TestReplayValidation:
+    def _chain(self, state, region, count=3):
+        journal = state.region_journal(region)
+        tiles = region.processing_tile_names()
+        mark = (journal.tip_seq, journal.tip_fingerprint)
+        for i in range(count):
+            _commit(state, region, f"chain{i}", tiles[i % len(tiles)])
+        ops = journal.ops_since(*mark)
+        assert ops is not None and len(ops) == count
+        return journal, mark, ops
+
+    def test_replay_reaches_the_tip_bit_identically(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        journal, mark, ops = self._chain(state, region)
+        worker = PlatformState(platform)
+        last = worker.replay_region_ops(
+            ops,
+            tuple(region.tile_names),
+            tuple(region.link_names),
+            expected_seq=mark[0] + 1,
+        )
+        assert last == journal.tip_seq
+        assert region.fingerprint(worker) == region.fingerprint(state)
+
+    def test_gap_in_the_chain_raises(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        _, mark, ops = self._chain(state, region)
+        worker = PlatformState(platform)
+        with pytest.raises(PlatformError, match="gap or out-of-order"):
+            worker.replay_region_ops(
+                ops[:1] + ops[2:],
+                tuple(region.tile_names),
+                tuple(region.link_names),
+                expected_seq=mark[0] + 1,
+            )
+
+    def test_out_of_order_chain_raises(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        _, mark, ops = self._chain(state, region)
+        worker = PlatformState(platform)
+        with pytest.raises(PlatformError, match="gap or out-of-order"):
+            worker.replay_region_ops(
+                (ops[1], ops[0], ops[2]),
+                tuple(region.tile_names),
+                tuple(region.link_names),
+                expected_seq=mark[0] + 1,
+            )
+
+    def test_wrong_start_seq_raises(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        _, mark, ops = self._chain(state, region)
+        worker = PlatformState(platform)
+        with pytest.raises(PlatformError, match="gap or out-of-order"):
+            worker.replay_region_ops(
+                ops[1:],
+                tuple(region.tile_names),
+                tuple(region.link_names),
+                expected_seq=mark[0] + 1,
+            )
+
+    def test_fingerprint_divergence_raises(self, world):
+        """Replaying onto the wrong base state diverges at the first op's
+        target check — the worker must resync, not decide."""
+        platform, partition, state = world
+        region = next(iter(partition))
+        _, mark, ops = self._chain(state, region)
+        worker = PlatformState(platform)
+        # Poison the worker state: an extra allocation the engine never saw.
+        worker.allocate_process(
+            ProcessAllocation("poison", "px", region.processing_tile_names()[-1])
+        )
+        with pytest.raises(PlatformError, match="diverged"):
+            worker.replay_region_ops(
+                ops,
+                tuple(region.tile_names),
+                tuple(region.link_names),
+                expected_seq=mark[0] + 1,
+            )
+
+    def test_unknown_op_kind_raises(self, world):
+        platform, partition, state = world
+        region = next(iter(partition))
+        worker = PlatformState(platform)
+        bogus = RegionDeltaOp(1, "compact", "x", None, b"")
+        with pytest.raises(PlatformError, match="unknown region delta op"):
+            worker.replay_region_ops(
+                (bogus,),
+                tuple(region.tile_names),
+                tuple(region.link_names),
+                expected_seq=1,
+            )
+
+    def test_release_replay_resums_identically(self, world):
+        """Interleaved commit/release chains replay bit-identically — the
+        release op re-sums survivors exactly like the engine did."""
+        platform, partition, state = world
+        region = next(iter(partition))
+        journal = state.region_journal(region)
+        tiles = region.processing_tile_names()
+        links = list(region.link_names)
+        mark = (journal.tip_seq, journal.tip_fingerprint)
+        worker = PlatformState(platform)
+        for i, app in enumerate(["a", "b", "a"]):
+            record = ProcessAllocation(
+                app, f"rp{i}", tiles[i % len(tiles)], memory_bytes=128 * (i + 1),
+                compute_cycles_per_iteration=3.7 * i,
+            )
+            state.allocate_process(record)
+            link = LinkAllocation(app, f"rc{i}", links[i % len(links)], 1e6 * (i + 1))
+            state.allocate_link(link)
+            state.journal_mapping_commit(app, (record,), (link,))
+        state.release_application("a")
+        state.journal_release("a", (region.name,))
+        _commit(state, region, "c", tiles[0])  # re-fills a freed slot post-release
+        ops = journal.ops_since(*mark)
+        worker.replay_region_ops(
+            ops,
+            tuple(region.tile_names),
+            tuple(region.link_names),
+            expected_seq=mark[0] + 1,
+        )
+        assert region.fingerprint(worker) == region.fingerprint(state)
+        assert "a" not in worker.applications()
