@@ -42,6 +42,7 @@ import os
 
 import pytest
 
+from repro.obs import ObsConfig
 from repro.platform.regions import RegionPartition
 from repro.runtime.admission_control import GovernorConfig, LoadSheddingGovernor
 from repro.runtime.engine import (
@@ -433,12 +434,13 @@ def engine_traffic_classes(load_factor=1.0):
 
 
 def run_engine_config(
-    workload, *, sharded, executor_kind, park=True, workers=None, info=None
+    workload, *, sharded, executor_kind, park=True, workers=None, info=None, obs=None
 ):
     """Replay one workload on a fresh manager under one engine configuration.
 
     ``info``, when given, receives executor facts the outcome does not carry
-    (currently the process executor's resolved ``start_method``).
+    (currently the process executor's resolved ``start_method``).  ``obs``
+    is forwarded to the engine (``None`` = observability fully off).
     """
     platform = build_sweep_platform()
     partition = (
@@ -457,7 +459,9 @@ def run_engine_config(
         executor = SerialRegionExecutor()
     if info is not None:
         info["start_method"] = getattr(executor, "start_method", None)
-    engine = WorkloadEngine(manager, executor=executor, park_rejections=park)
+    engine = WorkloadEngine(
+        manager, executor=executor, park_rejections=park, obs=obs
+    )
     try:
         return engine.run(workload)
     finally:
@@ -573,6 +577,7 @@ def test_ext_process_drain_throughput(benchmark):
     )
     results = {}
     process_info = {}
+    obs_walls = {}
 
     def run_all():
         results["serial"] = run_engine_config(
@@ -581,22 +586,42 @@ def test_ext_process_drain_throughput(benchmark):
         results["threaded"] = run_engine_config(
             workload, sharded=True, executor_kind="threaded"
         )
-        results["process"] = run_engine_config(
-            workload,
-            sharded=True,
-            executor_kind="process",
-            workers=workers,
-            info=process_info,
+        # The observability cost columns: the same process drain with the
+        # obs layer absent, constructed-but-disabled, and fully on at
+        # sample rate 1.0.  Each configuration runs twice, interleaved, and
+        # the overhead comparison takes each configuration's best drain —
+        # machine-load drift hits all three alike, a one-sided spike only
+        # one, so best-of-interleaved is the noise-robust estimator.
+        obs_configs = (
+            ("process", None),
+            ("process_obs_disabled", ObsConfig(enabled=False)),
+            ("process_obs_on", ObsConfig(sample_rate=1.0)),
         )
+        for _ in range(2):
+            for label, obs in obs_configs:
+                outcome = run_engine_config(
+                    workload,
+                    sharded=True,
+                    executor_kind="process",
+                    workers=workers,
+                    info=process_info if label == "process" else None,
+                    obs=obs,
+                )
+                results[label] = outcome
+                obs_walls.setdefault(label, []).append(outcome.drain_wall_s)
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     # Identical decisions across all three executors — the differential
     # suites pin this on small workloads; the benchmark re-pins it at scale.
-    for kind in ("threaded", "process"):
+    for kind in ("threaded", "process", "process_obs_disabled", "process_obs_on"):
         assert results["serial"].decision_log() == results[kind].decision_log()
         assert results["serial"].departures == results[kind].departures
+    # The obs-on run must actually have traced and metered the drain.
+    assert results["process_obs_on"].spans
+    assert results["process_obs_on"].metrics is not None
+    assert results["process_obs_disabled"].spans == []
 
     comparison = {}
     for label, outcome in results.items():
@@ -654,6 +679,49 @@ def test_ext_process_drain_throughput(benchmark):
     else:
         waiver = None
 
+    # Observability cost, against the obs-off process drain: the disabled
+    # layer must be near-free (CI pins <= 3%) and full-sampling tracing +
+    # metrics must stay within the documented <= 5% budget.  Shared runners
+    # are noisy, so both floors are env-overridable and an absolute slack
+    # (default 25 ms) keeps sub-millisecond deltas from failing on jitter.
+    baseline_wall_ms = min(obs_walls["process"]) * 1e3
+    slack_ms = float(os.environ.get("PROCESS_DRAIN_OBS_SLACK_MS", "50"))
+    max_off_pct = float(os.environ.get("PROCESS_DRAIN_MAX_OBS_OFF_OVERHEAD_PCT", "3"))
+    max_on_pct = float(os.environ.get("PROCESS_DRAIN_MAX_OBS_OVERHEAD_PCT", "5"))
+    # Like the speedup floor: on a starved runner (fewer cores than the
+    # engine + workers need) drain wall-clock is scheduler noise, so the
+    # overhead floors are recorded but waived, with the reason in the
+    # artifact.  $PROCESS_DRAIN_OBS_STRICT=1 forces them anywhere.
+    if os.environ.get("PROCESS_DRAIN_OBS_STRICT"):
+        overhead_waiver = None
+    elif cpu_count < 4:
+        overhead_waiver = (
+            f"cpu_count={cpu_count} < 4: drain wall-clock is scheduler noise "
+            "on this runner, overhead recorded but not asserted"
+        )
+    else:
+        overhead_waiver = None
+    obs_overhead = {
+        "baseline_drain_wall_ms": round(baseline_wall_ms, 3),
+        "slack_ms": slack_ms,
+        "repeats": len(obs_walls["process"]),
+        "overhead_waiver": overhead_waiver,
+    }
+    for label, max_pct in (
+        ("process_obs_disabled", max_off_pct),
+        ("process_obs_on", max_on_pct),
+    ):
+        wall_ms = min(obs_walls[label]) * 1e3
+        delta_ms = wall_ms - baseline_wall_ms
+        pct = delta_ms / baseline_wall_ms * 100.0 if baseline_wall_ms else 0.0
+        obs_overhead[label] = {
+            "drain_wall_ms": round(wall_ms, 3),
+            "all_drain_wall_ms": [round(w * 1e3, 3) for w in obs_walls[label]],
+            "overhead_ms": round(delta_ms, 3),
+            "overhead_pct": round(pct, 2),
+            "max_overhead_pct": max_pct,
+        }
+
     payload = {
         "cpu_count": cpu_count,
         "workers": workers,
@@ -664,6 +732,7 @@ def test_ext_process_drain_throughput(benchmark):
         "min_speedup": min_speedup,
         "speedup_waiver": waiver,
         "dispatch_bytes": dispatch_bytes,
+        "obs_overhead": obs_overhead,
         "worker_stats": {
             name: {key: round(value, 6) for key, value in values.items()}
             for name, values in worker_stats.items()
@@ -682,6 +751,13 @@ def test_ext_process_drain_throughput(benchmark):
     # The protocol must have actually shipped work to the workers.
     assert worker_stats and sum(w["requests"] for w in worker_stats.values()) > 0
     assert speedup >= min_speedup, payload
+    if overhead_waiver is None:
+        for label in ("process_obs_disabled", "process_obs_on"):
+            entry = obs_overhead[label]
+            assert (
+                entry["overhead_pct"] <= entry["max_overhead_pct"]
+                or entry["overhead_ms"] <= slack_ms
+            ), payload
 
 
 # --------------------------------------------------------------------------- #

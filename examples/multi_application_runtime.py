@@ -21,11 +21,13 @@ Run with:  python examples/multi_application_runtime.py
 
 from repro import (
     MapperConfig,
+    ObsConfig,
     ProcessRegionExecutor,
     RuntimeResourceManager,
     ThreadedRegionExecutor,
     WorkloadEngine,
 )
+from repro.obs.metrics import split_name
 from repro.platform.regions import RegionPartition
 from repro.reporting import format_table
 from repro.runtime.admission_control import GovernorConfig, LoadSheddingGovernor
@@ -95,7 +97,9 @@ def run_workload(load_factor, executor="threaded"):
         backend = ProcessRegionExecutor(partition, workers=2)
     else:
         backend = ThreadedRegionExecutor(partition)
-    engine = WorkloadEngine(manager, executor=backend, park_rejections=True)
+    engine = WorkloadEngine(
+        manager, executor=backend, park_rejections=True, obs=ObsConfig()
+    )
     workload = generate_workload(
         seed=2008,
         horizon_ns=25 * MILLISECOND,
@@ -109,32 +113,59 @@ def run_workload(load_factor, executor="threaded"):
             backend.close()
 
 
+def _pivot_counters(counters, prefix):
+    """Group ``"<prefix>.<field>[<label>=<row>]"`` counters by row label.
+
+    Returns ``{row: {field: value}}`` — the flat labelled names of the
+    metrics registry pivoted back into per-entity rows for the tables.
+    """
+    rows = {}
+    for name, value in counters.items():
+        base, labels = split_name(name)
+        if not base.startswith(prefix + ".") or not labels:
+            continue
+        row = next(iter(labels.values()))
+        rows.setdefault(row, {})[base[len(prefix) + 1:]] = value
+    return rows
+
+
 def print_telemetry(outcome):
-    """Per-lane settlement counters and region lock costs of one run."""
-    rows = []
-    for lane, counters in sorted(outcome.telemetry.lanes.items()):
-        rows.append(
-            (
-                lane,
-                str(counters.admitted),
-                str(counters.rejected),
-                str(counters.expired),
-                str(counters.parked),
-            )
-        )
+    """Render every telemetry table from the run's metrics registry snapshot.
+
+    One source: the engine's folded :class:`~repro.obs.MetricsRegistry`
+    (``outcome.metrics``) — lane settlements, lock costs, per-worker
+    executor traffic and step-4 analysis work all arrive through the same
+    fold, so the tables below are pivots of one flat counter namespace.
+    """
+    counters = outcome.metrics["counters"]
+    lanes = {}
+    for name, value in counters.items():
+        base, labels = split_name(name)
+        if base == "engine.settled":
+            lanes.setdefault(labels["lane"], {})[labels["status"]] = value
     print(format_table(
         ["Lane", "Admitted", "Rejected", "Expired", "Parked"],
-        rows,
+        [
+            (
+                lane,
+                str(int(statuses.get("admitted", 0))),
+                str(int(statuses.get("rejected", 0))),
+                str(int(statuses.get("expired", 0))),
+                str(int(statuses.get("parked", 0))),
+            )
+            for lane, statuses in sorted(lanes.items())
+        ],
         title="Engine telemetry (per settlement lane)",
     ))
+    locks = _pivot_counters(counters, "locks")
     lock_rows = [
         (
             region,
-            f"{outcome.telemetry.lock_acquisitions.get(region, 0)}",
-            f"{outcome.telemetry.lock_wait_s.get(region, 0.0) * 1e3:.2f} ms",
-            f"{outcome.telemetry.lock_hold_s.get(region, 0.0) * 1e3:.2f} ms",
+            f"{int(stats.get('acquisitions', 0))}",
+            f"{stats.get('wait_s', 0.0) * 1e3:.2f} ms",
+            f"{stats.get('hold_s', 0.0) * 1e3:.2f} ms",
         )
-        for region in sorted(outcome.telemetry.lock_wait_s)
+        for region, stats in sorted(locks.items())
     ]
     if lock_rows:
         print(format_table(
@@ -142,6 +173,7 @@ def print_telemetry(outcome):
             lock_rows,
             title="Region lock telemetry",
         ))
+    workers = _pivot_counters(counters, "executor")
     worker_rows = [
         (
             worker,
@@ -155,7 +187,7 @@ def print_telemetry(outcome):
             f"{int(stats.get('stale_redecides', 0))}",
             f"{stats.get('worker_wall_s', 0.0) * 1e3:.2f} ms",
         )
-        for worker, stats in sorted(outcome.telemetry.workers.items())
+        for worker, stats in sorted(workers.items())
     ]
     if worker_rows:
         print(format_table(
@@ -164,18 +196,27 @@ def print_telemetry(outcome):
             worker_rows,
             title="Process-executor telemetry (per worker)",
         ))
-    analysis = outcome.telemetry.analysis
+    analysis = {
+        split_name(name)[0][len("analysis."):]: value
+        for name, value in counters.items()
+        if name.startswith("analysis.")
+    }
     if analysis:
         print(format_table(
             ["Simulations", "Simulated events", "Cache hits", "Budget exhausted"],
             [(
-                str(analysis.get("simulations_run", 0)),
-                str(analysis.get("simulated_events", 0)),
-                str(analysis.get("cache_hits", 0)),
-                str(analysis.get("budget_exhausted", 0)),
+                str(int(analysis.get("simulations_run", 0))),
+                str(int(analysis.get("simulated_events", 0))),
+                str(int(analysis.get("cache_hits", 0))),
+                str(int(analysis.get("budget_exhausted", 0))),
             )],
-            title="Step-4 analysis telemetry (engine-side pipeline)",
+            title="Step-4 analysis telemetry (engine + workers)",
         ))
+    latency = outcome.metrics["histograms"].get("engine.request_latency_s")
+    if latency and latency["count"]:
+        mean_ms = latency["sum"] / latency["count"] * 1e3
+        print(f"  request decide latency: {latency['count']} settled, "
+              f"mean {mean_ms:.3f} ms (registry histogram)")
 
 
 def run_overload(governor):

@@ -38,6 +38,7 @@ from repro.platform import (
     build_mesh_noc,
 )
 from repro.appmodel import Implementation, ImplementationLibrary
+from repro.obs import MetricsRegistry, ObsConfig, Tracer
 from repro.mapping import (
     ChannelRoute,
     CostModel,
@@ -97,6 +98,10 @@ __all__ = [
     "SpatialMapper",
     "MapperConfig",
     "Step2Strategy",
+    # observability
+    "MetricsRegistry",
+    "ObsConfig",
+    "Tracer",
     # runtime
     "RuntimeResourceManager",
     "Scenario",

@@ -222,6 +222,16 @@ class AnalysisEngine:
                 "budget_exhausted": self.budget_exhausted,
             }
 
+    def publish_metrics(self, registry, counters: dict[str, int] | None = None) -> None:
+        """Publish analysis counters (default: a fresh snapshot) into a registry.
+
+        Callers that account per-run deltas (the workload engine) pass the
+        delta dict; the counter names match the snapshot keys under the
+        ``analysis.`` prefix.
+        """
+        for key, value in (counters if counters is not None else self.snapshot()).items():
+            registry.count(f"analysis.{key}", float(value))
+
     def _count_simulation(self, events: int) -> None:
         with self._lock:
             self.simulations_run += 1

@@ -1,0 +1,42 @@
+"""Unified observability: request-scoped tracing plus a metrics registry.
+
+The admission path's one answer to "where did this request's 40 ms go?":
+
+* :mod:`~repro.obs.trace` — per-request span trees with cross-process
+  propagation (engine dispatch → worker decide → engine fold) and
+  deterministic head-based sampling.
+* :mod:`~repro.obs.metrics` — counters / gauges / fixed-bucket histograms
+  with one associative fold replacing the runtime's bespoke merge paths.
+* :mod:`~repro.obs.export` — versioned JSONL export and its validator.
+* :mod:`~repro.obs.report` — ``python -m repro.obs.report`` latency CLI.
+"""
+
+from .export import SCHEMA_VERSION, read_export, validate_export, write_export
+from .metrics import DEFAULT_LATENCY_BUCKETS_S, Histogram, MetricsRegistry, fold_snapshots
+from .trace import (
+    NULL_TRACER,
+    ObsConfig,
+    Span,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    reanchor_spans,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "ObsConfig",
+    "SCHEMA_VERSION",
+    "Span",
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "fold_snapshots",
+    "read_export",
+    "reanchor_spans",
+    "validate_export",
+    "write_export",
+]

@@ -1,0 +1,149 @@
+"""Render latency breakdowns from an observability export.
+
+Usage::
+
+    python -m repro.obs.report TRACE.jsonl [--top N] [--validate]
+
+Reads a JSONL export produced by :func:`repro.obs.export.write_export`
+and prints (a) a per-stage latency breakdown — one row per span name,
+aggregated across every trace — and (b) the top-N slowest requests with
+their dominant stage, so "where did this request's 40 ms go?" is one
+command away from any exported run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+
+from ..reporting import format_table
+from .export import read_export, validate_export
+from .trace import SpanRecord
+
+__all__ = ["stage_breakdown", "slowest_requests", "main"]
+
+
+def _percentile(durations_ns: list[int], q: float) -> float:
+    ordered = sorted(durations_ns)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def stage_breakdown(spans: list[SpanRecord]) -> list[tuple[str, int, float, float, float]]:
+    """Per span-name aggregate: (name, count, total_ms, mean_ms, p95_ms)."""
+    by_name: dict[str, list[int]] = defaultdict(list)
+    for span in spans:
+        by_name[span.name].append(span.duration_ns)
+    rows = []
+    for name, durations in by_name.items():
+        total = sum(durations)
+        rows.append(
+            (
+                name,
+                len(durations),
+                total / 1e6,
+                total / len(durations) / 1e6,
+                _percentile(durations, 0.95) / 1e6,
+            )
+        )
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return rows
+
+
+def slowest_requests(
+    spans: list[SpanRecord], top: int = 10
+) -> list[tuple[str, float, str, float]]:
+    """Top-N slowest root spans: (trace_id, total_ms, dominant stage, its ms).
+
+    The dominant stage is the longest *leaf* span of the trace — leaves
+    are where time is actually spent; interior spans merely contain them.
+    """
+    roots = [span for span in spans if span.parent_id is None]
+    parents = {span.parent_id for span in spans if span.parent_id is not None}
+    leaves_by_trace: dict[str, list[SpanRecord]] = defaultdict(list)
+    for span in spans:
+        if span.span_id not in parents:
+            leaves_by_trace[span.trace_id].append(span)
+    rows = []
+    for root in sorted(roots, key=lambda span: span.duration_ns, reverse=True)[:top]:
+        leaves = leaves_by_trace.get(root.trace_id, [])
+        if leaves:
+            dominant = max(leaves, key=lambda span: span.duration_ns)
+            dominant_name, dominant_ms = dominant.name, dominant.duration_ns / 1e6
+        else:
+            dominant_name, dominant_ms = "-", 0.0
+        rows.append(
+            (root.trace_id, root.duration_ns / 1e6, dominant_name, dominant_ms)
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Per-stage latency breakdown of an obs JSONL export.",
+    )
+    parser.add_argument("export", help="path to a spans/metrics JSONL export")
+    parser.add_argument(
+        "--top", type=int, default=10, help="slowest requests to list (default 10)"
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the export against the schema and exit non-zero on problems",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        problems = validate_export(args.export)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.export}: valid")
+
+    meta, spans, _metrics = read_export(args.export)
+    workload = meta.get("workload") or "?"
+    print(
+        f"Export {args.export!r}: workload={workload} "
+        f"spans={len(spans)} traces={meta.get('trace_count', '?')}"
+    )
+    if not spans:
+        return 0
+
+    print(
+        format_table(
+            ["Stage", "Count", "Total", "Mean", "p95"],
+            [
+                (
+                    name,
+                    str(count),
+                    f"{total_ms:.2f} ms",
+                    f"{mean_ms:.3f} ms",
+                    f"{p95_ms:.3f} ms",
+                )
+                for name, count, total_ms, mean_ms, p95_ms in stage_breakdown(spans)
+            ],
+            title="Per-stage latency breakdown",
+            align_right=(1, 2, 3, 4),
+        )
+    )
+    print(
+        format_table(
+            ["Trace", "Total", "Dominant stage", "Stage time"],
+            [
+                (trace_id, f"{total_ms:.2f} ms", stage, f"{stage_ms:.3f} ms")
+                for trace_id, total_ms, stage, stage_ms in slowest_requests(
+                    spans, args.top
+                )
+            ],
+            title=f"Top {args.top} slowest requests",
+            align_right=(1, 3),
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

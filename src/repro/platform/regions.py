@@ -447,6 +447,21 @@ class RegionLocks:
                 for name in self._region_names
             }
 
+    def publish_metrics(
+        self, registry, stats: dict[str, dict[str, float]] | None = None
+    ) -> None:
+        """Publish per-region lock timings (default: lifetime totals) as counters.
+
+        Callers that account per-run deltas (the workload engine) pass the
+        delta dict in :meth:`stats` shape.
+        """
+        for region, values in (stats if stats is not None else self.stats()).items():
+            registry.count(f"locks.wait_s[region={region}]", float(values["wait_s"]))
+            registry.count(f"locks.hold_s[region={region}]", float(values["hold_s"]))
+            registry.count(
+                f"locks.acquisitions[region={region}]", float(values["acquisitions"])
+            )
+
     def holds(self, region_name: str) -> bool:
         """Whether the current thread holds the named region's lock."""
         return threading.get_ident() in self._holders.get(region_name, ())

@@ -200,3 +200,20 @@ class LoadSheddingGovernor:
             "deferred": self.deferred_count,
             "transitions": self.transitions,
         }
+
+    def publish_metrics(self, registry) -> None:
+        """Publish the governor's snapshot into a metrics registry.
+
+        Rates and state are gauges (max-folded across snapshots), lifetime
+        counters are counters — the registry's one fold discipline.
+        """
+        snapshot = self.snapshot()
+        registry.gauge("governor.admission_rate", float(snapshot["aggregate_rate"]))
+        registry.gauge("governor.shedding", 1.0 if snapshot["shedding"] else 0.0)
+        registry.count("governor.shed", float(snapshot["shed"]))
+        registry.count("governor.deferred", float(snapshot["deferred"]))
+        registry.count("governor.transitions", float(snapshot["transitions"]))
+        for priority, rate in snapshot["rate_by_priority"].items():
+            registry.gauge(
+                f"governor.admission_rate[priority={priority}]", float(rate)
+            )

@@ -72,6 +72,16 @@ from dataclasses import dataclass, field
 
 from repro.exceptions import PlatformError
 from repro.interregion.coordinator import InterRegionCoordinator
+from repro.obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    ObsConfig,
+    Span,
+    SpanRecord,
+    TraceContext,
+    Tracer,
+    reanchor_spans,
+)
 from repro.platform.regions import (
     GLOBAL_LANE,
     Region,
@@ -115,12 +125,18 @@ class _RegionJob:
     region: Region
     decision: object | None = None
     error: BaseException | None = None
+    #: Trace context of the request's root span (``None`` when unsampled):
+    #: the decide span tree of whichever process runs this job hangs off it.
+    trace: TraceContext | None = None
 
     def run(self, pipeline: AdmissionPipeline) -> None:
         """Run the region-restricted pipeline; failures are captured, not raised."""
         try:
             self.decision = pipeline.decide(
-                self.request.als, self.request.library, candidates=(self.region,)
+                self.request.als,
+                self.request.library,
+                candidates=(self.region,),
+                trace=self.trace,
             )
         except Exception as error:  # surfaced (and re-raised) by the engine
             self.error = error
@@ -138,6 +154,9 @@ class _MultiRegionJob:
     scope: tuple[str, ...]
     decision: object | None = None
     error: BaseException | None = None
+    #: Trace context of the request's root span (the engine wraps the
+    #: planner attempt in an ``interregion_plan`` span when set).
+    trace: TraceContext | None = None
 
     def run(self, pipeline: AdmissionPipeline, coordinator: InterRegionCoordinator) -> None:
         """Plan under the coordinator's lock subset; failures are captured."""
@@ -404,6 +423,15 @@ class ProcessRegionExecutor:
         #: Last full-dispatch frame size per lane — the honest baseline the
         #: ``dispatch_bytes_saved`` estimate is computed against.
         self._last_full_bytes: dict[str, int] = {}
+        #: Lifetime totals of worker-side step-4 analysis counters (each
+        #: lane result ships its per-lane delta); the engine reports per-run
+        #: deltas, exactly like :meth:`worker_stats`.
+        self._analysis_totals: dict[str, int] = {}
+        #: ticket -> open engine-side ``dispatch`` span of the current round.
+        self._dispatch_spans: dict[int, Span] = {}
+        #: The tracer of the pipeline currently draining (installed by
+        #: :meth:`execute`; dispatch frames and folds record spans on it).
+        self._tracer: Tracer = NULL_TRACER
 
     # -- worker pool lifecycle ------------------------------------------- #
     def _ensure_pool(self, pipeline: AdmissionPipeline) -> list[_DrainWorker]:
@@ -425,6 +453,7 @@ class ProcessRegionExecutor:
             cache_size=pipeline.cache.maxsize if pipeline.cache is not None else 0,
             scorer_policy=scorer.policy if scorer is not None else None,
             scorer_has_feedback=scorer is not None and scorer.feedback is not None,
+            obs=pipeline.tracer.config if pipeline.tracer.enabled else None,
         )
         settings_blob = procdrain.dump_frame(settings)
         # A fresh pool has empty intern tables, and unlike stale watermarks
@@ -465,6 +494,18 @@ class ProcessRegionExecutor:
     def worker_stats(self) -> dict[str, dict[str, float]]:
         """Cumulative per-worker executor stats (copied; engine takes deltas)."""
         return {name: dict(values) for name, values in self._stats.items()}
+
+    def worker_analysis(self) -> dict[str, int]:
+        """Cumulative worker-side analysis counters (copied; engine takes deltas)."""
+        return dict(self._analysis_totals)
+
+    def publish_metrics(
+        self, registry: MetricsRegistry, stats: dict[str, dict[str, float]] | None = None
+    ) -> None:
+        """Publish per-worker executor stats (default: lifetime totals) as counters."""
+        for worker, values in (stats if stats is not None else self.worker_stats()).items():
+            for key, value in values.items():
+                registry.count(f"executor.{key}[worker={worker}]", float(value))
 
     def _stats_for(self, worker_name: str) -> dict[str, float]:
         return self._stats.setdefault(
@@ -517,6 +558,7 @@ class ProcessRegionExecutor:
         """The lane's job specs, shipping each payload blob at most once per
         worker intern window (``sent`` is that worker's shipped-digest set)."""
         specs = []
+        tracer = self._tracer
         for job in jobs:
             als_digest, als_blob = self._payload_for(job.request.als)
             if als_digest in sent:
@@ -530,6 +572,16 @@ class ProcessRegionExecutor:
                     library_blob = None
                 else:
                     sent.add(library_digest)
+            trace = None
+            if tracer.enabled and job.trace is not None:
+                # One dispatch span per job, open until the worker's answer
+                # frame lands: the worker's decide tree parents onto it, and
+                # its window is the re-anchoring target for worker spans.
+                span = tracer.start(
+                    "dispatch", job.trace, attrs={"lane": job.request.lane}
+                )
+                self._dispatch_spans[job.request.ticket] = span
+                trace = job.trace.child(span.span_id)
             specs.append(
                 procdrain.JobSpec(
                     ticket=job.request.ticket,
@@ -537,6 +589,7 @@ class ProcessRegionExecutor:
                     als_blob=als_blob,
                     library_digest=library_digest,
                     library_blob=library_blob,
+                    trace=trace,
                 )
             )
         return tuple(specs)
@@ -617,7 +670,16 @@ class ProcessRegionExecutor:
         force_full: str | None = None,
     ) -> dict[str, procdrain.LaneResult]:
         """One batched send/receive round: every worker gets at most one
-        frame holding all its lanes; answers map back by lane name."""
+        frame holding all its lanes; answers map back by lane name.
+
+        The engine stamps each worker's send/receive window; returned
+        worker-clock spans are re-anchored into it and adopted, worker
+        analysis-counter deltas accumulate on the executor, and worker
+        metrics snapshots fold into the engine's run registry — one fold,
+        same as every other delta.
+        """
+        tracer = self._tracer
+        send_ns: dict[str, int] = {}
         for worker_name, lanes in lanes_by_worker.items():
             worker = workers_by_name[worker_name]
             sent = self._sent_digests.setdefault(worker_name, set())
@@ -634,6 +696,7 @@ class ProcessRegionExecutor:
                 )
                 for lane in lanes
             )
+            send_ns[worker_name] = time.perf_counter_ns()
             worker.conn.send_bytes(
                 procdrain.dump_frame(
                     procdrain.WorkerDispatch(frames=frames, clear_interned=clear_interned)
@@ -641,10 +704,31 @@ class ProcessRegionExecutor:
             )
         results: dict[str, procdrain.LaneResult] = {}
         for worker_name in lanes_by_worker:
-            for result in procdrain.load_frame(
+            worker_results = procdrain.load_frame(
                 workers_by_name[worker_name].conn.recv_bytes()
-            ):
+            )
+            recv_ns = time.perf_counter_ns()
+            for result in worker_results:
                 results[result.lane] = result
+                if result.analysis:
+                    for key, value in result.analysis.items():
+                        self._analysis_totals[key] = (
+                            self._analysis_totals.get(key, 0) + value
+                        )
+                if pipeline.metrics is not None and result.metrics is not None:
+                    pipeline.metrics.fold(result.metrics)
+                if result.spans and tracer.enabled:
+                    tracer.adopt(
+                        reanchor_spans(
+                            result.spans,
+                            window_start_ns=send_ns[worker_name],
+                            window_end_ns=recv_ns,
+                        )
+                    )
+                for response in result.responses:
+                    span = self._dispatch_spans.pop(response.ticket, None)
+                    if span is not None:
+                        tracer.end(span, end_ns=recv_ns)
         return results
 
     # -- the drain ------------------------------------------------------- #
@@ -657,6 +741,8 @@ class ProcessRegionExecutor:
         # Engine-side re-decides (stale snapshots) use the engine pipeline's
         # mapper; materialise it outside the fold loop.
         pipeline.mapper_for(None)
+        self._tracer = pipeline.tracer
+        self._dispatch_spans.clear()
         pool = self._ensure_pool(pipeline)
         state = pipeline.state
         lanes = sorted(lane_jobs)
@@ -735,10 +821,16 @@ class ProcessRegionExecutor:
         """
         state = pipeline.state
         region = jobs[0].region
+        tracer = self._tracer
         responses = {response.ticket: response for response in result.responses}
         clean = result.resync is None
         with self.locks.region_lane(lane):
             for job in jobs:
+                fold_start_ns = (
+                    time.perf_counter_ns()
+                    if tracer.enabled and job.trace is not None
+                    else 0
+                )
                 response = responses.get(job.request.ticket)
                 if response is None:
                     clean = False
@@ -781,6 +873,14 @@ class ProcessRegionExecutor:
                         continue
                     pipeline.record_commit(
                         decision.application, decision.result.mapping
+                    )
+                if fold_start_ns:
+                    tracer.record(
+                        "engine_fold",
+                        job.trace,
+                        fold_start_ns,
+                        time.perf_counter_ns(),
+                        attrs={"lane": lane, "folded": decision.admitted},
                     )
                 job.decision = decision
             if worker_name is not None:
@@ -866,9 +966,10 @@ class EngineTelemetry:
     #: replayed without simulating) and ``budget_exhausted`` (minimisations
     #: degraded to sufficient capacities), as the delta of the engine-side
     #: pipeline's :class:`~repro.csdf.analysis.budget.AnalysisEngine`
-    #: counters around the run.  Process workers run their own pipelines, so
-    #: their analysis work is not included here (it shows up in their
-    #: in-worker wall-clock instead).
+    #: counters around the run.  Process workers run their own pipelines;
+    #: their per-lane counter deltas travel back in each
+    #: :class:`~repro.runtime.procdrain.LaneResult` and are folded in here,
+    #: so the totals agree with the serial executor's (caches aside).
     analysis: dict[str, int] = field(default_factory=dict)
 
     def lane(self, name: str) -> LaneCounters:
@@ -941,9 +1042,30 @@ class EngineOutcome:
     mapping_runtime_s: float = 0.0
     parked_retries_skipped: int = 0
     telemetry: EngineTelemetry = field(default_factory=EngineTelemetry)
+    #: Every span the run's tracer recorded (engine spans plus re-anchored
+    #: worker spans), in buffer order; empty with observability off.
+    spans: list[SpanRecord] = field(default_factory=list)
+    #: Snapshot of the run's folded :class:`~repro.obs.metrics.MetricsRegistry`
+    #: (``None`` with observability or metrics off).
+    metrics: dict | None = None
 
     def _with_status(self, status: RequestStatus) -> list[EngineRecord]:
-        return [record for record in self.records if record.status is status]
+        """Records with one status, served from a lazily built index.
+
+        The status properties (:attr:`admitted`, :attr:`rejected`, ...) are
+        hot in reporting and differential loops; re-scanning ``records`` on
+        every property access is quadratic over a run's settlement count.
+        The index is keyed by ``len(records)``, so an append invalidates it
+        and the next access rebuilds — records are append-only.
+        """
+        cache = getattr(self, "_status_cache", None)
+        if cache is None or cache[0] != len(self.records):
+            index: dict[RequestStatus, list[EngineRecord]] = {}
+            for record in self.records:
+                index.setdefault(record.status, []).append(record)
+            cache = (len(self.records), index)
+            self._status_cache = cache
+        return cache[1].get(status, [])
 
     @property
     def admitted(self) -> list[str]:
@@ -1044,6 +1166,16 @@ class WorkloadEngine:
         the queue.  The governor observes every settled pipeline decision,
         so its windowed rate estimate follows the run it is governing.  A
         disabled governor (or none) is decision-inert.
+    obs:
+        Optional :class:`~repro.obs.trace.ObsConfig`.  When enabled, the
+        engine owns a :class:`~repro.obs.trace.Tracer` (installed on the
+        manager's pipeline, shipped to drain workers) producing per-request
+        span trees keyed by ``"<workload>:<ticket>"``, and a per-run
+        :class:`~repro.obs.metrics.MetricsRegistry` every component
+        publishes into.  Both land on the outcome
+        (:attr:`EngineOutcome.spans` / :attr:`EngineOutcome.metrics`).
+        Observability only ever observes: the differential suites pin that
+        decisions are bit-identical with it on or off.
     """
 
     def __init__(
@@ -1058,6 +1190,7 @@ class WorkloadEngine:
         drain_mode: str = "batched",
         park_rejections: bool = False,
         governor: LoadSheddingGovernor | None = None,
+        obs: ObsConfig | None = None,
     ) -> None:
         if drain_mode not in ("batched", "immediate"):
             raise ValueError(f"unknown drain mode {drain_mode!r}")
@@ -1066,6 +1199,21 @@ class WorkloadEngine:
         self.executor = executor or SerialRegionExecutor()
         self.drain_mode = drain_mode
         self.governor = governor
+        self.obs = obs
+        self.tracer: Tracer = (
+            Tracer(obs) if obs is not None and obs.enabled else NULL_TRACER
+        )
+        manager.pipeline.tracer = self.tracer
+        #: The current run's metrics registry (``None`` between runs or with
+        #: metrics off); installed on the pipeline and queue for the run.
+        self.metrics: MetricsRegistry | None = None
+        #: ticket -> open root ("request") span of every in-flight sampled
+        #: request; closed (and popped) when the request settles terminally.
+        self._roots: dict[int, Span] = {}
+        #: Tickets whose ``queue_wait`` span was already recorded (a parked
+        #: request is claimed repeatedly; only its first wait is the wait).
+        self._queue_waited: set[int] = set()
+        self._workload_name = "workload"
         #: Lock-subset coordinator of the multi-region lane, created on
         #: first use.  It shares the threaded executor's locks (so the
         #: subset exclusion is real) or gets a private set otherwise.
@@ -1084,7 +1232,17 @@ class WorkloadEngine:
         lock_baseline = self._lock_stats_snapshot()
         worker_baseline = self._worker_stats_snapshot()
         analysis_baseline = self._analysis_snapshot()
+        worker_analysis_baseline = self._worker_analysis_snapshot()
         outcome = EngineOutcome(workload=getattr(workload, "name", "workload"))
+        self._workload_name = outcome.workload
+        obs = self.obs
+        self.metrics = (
+            MetricsRegistry()
+            if obs is not None and obs.enabled and obs.metrics
+            else None
+        )
+        self.manager.pipeline.metrics = self.metrics
+        self.queue.metrics = self.metrics
         events = workload.sorted_events()
         for event in events:
             if not isinstance(event, (StartEvent, StopEvent)):
@@ -1132,10 +1290,60 @@ class WorkloadEngine:
         outcome.wall_clock_s = time.perf_counter() - started
         self._collect_lock_stats(outcome, lock_baseline)
         self._collect_worker_stats(outcome, worker_baseline)
-        self._collect_analysis_stats(outcome, analysis_baseline)
+        self._collect_analysis_stats(
+            outcome, analysis_baseline, worker_analysis_baseline
+        )
         if self.governor is not None:
             outcome.telemetry.governor = self.governor.snapshot()
+        metrics = self.metrics
+        if metrics is not None:
+            self._publish_run_metrics(metrics, outcome)
+            outcome.metrics = metrics.snapshot()
+        if self.tracer.enabled:
+            outcome.spans = self.tracer.drain()
+        self.metrics = None
+        self.manager.pipeline.metrics = None
+        self.queue.metrics = None
         return outcome
+
+    def _publish_run_metrics(
+        self, metrics: MetricsRegistry, outcome: EngineOutcome
+    ) -> None:
+        """Publish the run's telemetry deltas into the metrics registry.
+
+        One fold path: the engine publishes its lane counters itself, and
+        every other component (locks, analysis, governor, process executor)
+        publishes through its own ``publish_metrics`` — all into the same
+        registry the queue and pipeline counted into live, and the same
+        registry worker snapshots folded into at dispatch time.
+        """
+        telemetry = outcome.telemetry
+        for lane, counters in sorted(telemetry.lanes.items()):
+            for status in ("admitted", "rejected", "expired", "cancelled", "shed", "parked"):
+                value = getattr(counters, status)
+                if value:
+                    metrics.count(
+                        f"engine.settled[lane={lane},status={status}]", float(value)
+                    )
+        for source in self._lock_sources():
+            lock_delta = {
+                region: {
+                    "wait_s": telemetry.lock_wait_s.get(region, 0.0),
+                    "hold_s": telemetry.lock_hold_s.get(region, 0.0),
+                    "acquisitions": telemetry.lock_acquisitions.get(region, 0),
+                }
+                for region in telemetry.lock_wait_s
+            }
+            source.publish_metrics(metrics, lock_delta)
+            break  # the telemetry deltas are already merged across sources
+        analysis = getattr(self.manager.pipeline, "analysis", None)
+        if analysis is not None and telemetry.analysis:
+            analysis.publish_metrics(metrics, telemetry.analysis)
+        if self.governor is not None:
+            self.governor.publish_metrics(metrics)
+        publish = getattr(self.executor, "publish_metrics", None)
+        if callable(publish) and telemetry.workers:
+            publish(metrics, telemetry.workers)
 
     def _lock_sources(self) -> list[RegionLocks]:
         """Every RegionLocks instance this engine's lanes may have used."""
@@ -1182,21 +1390,35 @@ class WorkloadEngine:
         analysis = getattr(self.manager.pipeline, "analysis", None)
         return analysis.snapshot() if analysis is not None else {}
 
+    def _worker_analysis_snapshot(self) -> dict[str, int]:
+        """Cumulative worker-side analysis counters (process executor only)."""
+        stats = getattr(self.executor, "worker_analysis", None)
+        return stats() if callable(stats) else {}
+
     def _collect_analysis_stats(
-        self, outcome: EngineOutcome, baseline: dict[str, int]
+        self,
+        outcome: EngineOutcome,
+        baseline: dict[str, int],
+        worker_baseline: dict[str, int],
     ) -> None:
         """Fold this run's step-4 analysis work into the telemetry.
 
         The analysis engine accumulates for the pipeline's lifetime, so each
         run reports the delta against its starting snapshot (same discipline
-        as the lock and worker stats).
+        as the lock and worker stats).  Process drain workers run their own
+        analysis engines; their per-lane counter deltas accumulate on the
+        executor and this run's share is folded in here, so
+        ``telemetry.analysis`` accounts *all* analysis work regardless of
+        executor.
         """
         stats = self._analysis_snapshot()
-        if not stats:
+        worker_stats = self._worker_analysis_snapshot()
+        if not stats and not worker_stats:
             return
-        outcome.telemetry.analysis = {
-            key: value - baseline.get(key, 0) for key, value in stats.items()
-        }
+        totals = {key: value - baseline.get(key, 0) for key, value in stats.items()}
+        for key, value in worker_stats.items():
+            totals[key] = totals.get(key, 0) + value - worker_baseline.get(key, 0)
+        outcome.telemetry.analysis = totals
 
     def _worker_stats_snapshot(self) -> dict[str, dict[str, float]]:
         """Cumulative per-worker executor stats, empty for worker-less executors."""
@@ -1230,13 +1452,45 @@ class WorkloadEngine:
     # ------------------------------------------------------------------ #
     def _submit(self, event: StartEvent) -> int:
         """Enqueue one arrival with its priority and admission deadline."""
-        return self.queue.submit(
+        ticket = self.queue.submit(
             event.als,
             library=event.library,
             priority=event.priority,
             deadline_ns=event.deadline_ns,
             now_ns=event.time_ns,
         )
+        if self.tracer.enabled:
+            context = self.tracer.context_for(f"{self._workload_name}:{ticket}")
+            if context is not None:
+                # The root span opens at submission and closes at terminal
+                # settlement, so queue wait is inside the request's window.
+                self._roots[ticket] = self.tracer.start(
+                    "request",
+                    context,
+                    attrs={
+                        "application": event.als.name,
+                        "priority": event.priority,
+                        "ticket": ticket,
+                    },
+                )
+        return ticket
+
+    def _job_trace(self, request: QueuedRequest) -> TraceContext | None:
+        """The request's root-child trace context (recording its queue wait
+        once, on the first claim); ``None`` when unsampled."""
+        root = self._roots.get(request.ticket)
+        if root is None:
+            return None
+        if request.ticket not in self._queue_waited:
+            self._queue_waited.add(request.ticket)
+            self.tracer.record(
+                "queue_wait",
+                root.context(),
+                root.start_ns,
+                time.perf_counter_ns(),
+                attrs={"lane": request.lane},
+            )
+        return root.context()
 
     def _stop(self, application: str, time_ns: float, outcome: EngineOutcome) -> None:
         """Execute one departure; departures of never-admitted apps are no-ops."""
@@ -1287,7 +1541,7 @@ class WorkloadEngine:
                 # applies them in arrival order.
                 continue
             claimed.add(name)
-            job = _RegionJob(request, region)
+            job = _RegionJob(request, region, trace=self._job_trace(request))
             lane_jobs.setdefault(request.lane, []).append(job)
             job_of[request.ticket] = job
 
@@ -1353,6 +1607,7 @@ class WorkloadEngine:
                 # The planner already rejected these this drain; it is
                 # deterministic, so re-running it could only repeat itself.
                 interregion=request.ticket not in planner_rejected,
+                trace=self._job_trace(request),
             )
             self.queue.finalize(request, decision, now_ns=now_ns)
             if request.status is not RequestStatus.CANCELLED:
@@ -1398,10 +1653,21 @@ class WorkloadEngine:
         the region lanes.
         """
         governor = self.governor
+        tracer = self.tracer
         proceed: list[QueuedRequest] = []
         deferred: list[QueuedRequest] = []
         for request in ready:
+            root = self._roots.get(request.ticket) if tracer.enabled else None
+            check_start_ns = time.perf_counter_ns() if root is not None else 0
             verdict = governor.assess(request.priority)
+            if root is not None:
+                tracer.record(
+                    "governor_check",
+                    root.context(),
+                    check_start_ns,
+                    time.perf_counter_ns(),
+                    attrs={"verdict": verdict},
+                )
             if verdict == GovernorDecision.SHED:
                 self.queue.shed(
                     request,
@@ -1444,7 +1710,7 @@ class WorkloadEngine:
             if scope is None:
                 continue
             claimed.add(name)
-            job = _MultiRegionJob(request, scope)
+            job = _MultiRegionJob(request, scope, trace=self._job_trace(request))
             job_of[request.ticket] = job
             jobs.append(job)
         return jobs
@@ -1465,7 +1731,23 @@ class WorkloadEngine:
             state.ownership_guard = guard
         try:
             for job in jobs:
+                plan_start_ns = (
+                    time.perf_counter_ns()
+                    if self.tracer.enabled and job.trace is not None
+                    else 0
+                )
                 job.run(self.manager.pipeline, self._coordinator)
+                if plan_start_ns:
+                    self.tracer.record(
+                        "interregion_plan",
+                        job.trace,
+                        plan_start_ns,
+                        time.perf_counter_ns(),
+                        attrs={
+                            "admitted": job.decision is not None
+                            and job.decision.admitted
+                        },
+                    )
         finally:
             state.ownership_guard = previous_guard
 
@@ -1508,6 +1790,15 @@ class WorkloadEngine:
         """
         if not request.status.is_final:
             return  # parked rejection: still pending, not an outcome yet
+        root = self._roots.pop(request.ticket, None)
+        if root is not None:
+            self._queue_waited.discard(request.ticket)
+            root.attrs["status"] = request.status.value
+            record = self.tracer.end(root)
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "engine.request_latency_s", record.duration_ns / 1e9
+                )
         outcome.telemetry.count(lane if lane is not None else request.lane, request.status)
         outcome.records.append(
             EngineRecord(

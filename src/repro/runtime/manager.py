@@ -185,6 +185,7 @@ class RuntimeResourceManager:
         library: ImplementationLibrary | None = None,
         time_ns: float = 0.0,
         interregion: bool = True,
+        trace=None,
     ) -> AdmissionDecision:
         """Run one request through the pipeline; never raises on rejection.
 
@@ -195,10 +196,11 @@ class RuntimeResourceManager:
         ``interregion=False`` skips the inter-region planner stage (the
         engine passes it for requests the multi-region lane already
         rejected — the planner is deterministic, so retrying it within one
-        drain could only repeat the same answer).
+        drain could only repeat the same answer).  ``trace`` forwards a
+        request's trace context to the pipeline's span instrumentation.
         """
         decision = self._admit(
-            als, library=library, time_ns=time_ns, interregion=interregion
+            als, library=library, time_ns=time_ns, interregion=interregion, trace=trace
         )
         self.decisions.append((decision.application, decision.admitted, decision.reason))
         self.pipeline.note_feedback(decision)
@@ -350,14 +352,17 @@ class RuntimeResourceManager:
         library: ImplementationLibrary | None,
         time_ns: float,
         interregion: bool = True,
+        trace=None,
     ) -> AdmissionDecision:
         """Run one application through the pipeline and track it when admitted."""
         if als.name in self._running:
             return AdmissionDecision(als.name, False, "application is already running")
         if interregion:
-            decision = self.pipeline.decide(als, library=library)
+            decision = self.pipeline.decide(als, library=library, trace=trace)
         else:
-            decision = self.pipeline.decide(als, library=library, use_interregion=False)
+            decision = self.pipeline.decide(
+                als, library=library, use_interregion=False, trace=trace
+            )
         if decision.admitted:
             assert decision.result is not None
             self._running[als.name] = RunningApplication(

@@ -28,6 +28,7 @@ feeds it request by request.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, replace
 
@@ -37,6 +38,7 @@ from repro.exceptions import PlatformError
 from repro.kpn.als import ApplicationLevelSpec
 from repro.mapping.mapping import Mapping
 from repro.mapping.result import MappingResult, MappingStatus
+from repro.obs import NULL_TRACER, TraceContext
 from repro.platform.platform import Platform
 from repro.platform.regions import Region, RegionPartition
 from repro.platform.state import LinkAllocation, PlatformState, ProcessAllocation
@@ -189,6 +191,12 @@ class AdmissionPipeline:
         #: a request no single region can host is planned over budgeted
         #: boundary corridors *before* the unrestricted global fallback.
         self.interregion = None
+        #: Observability hooks.  The engine (or a drain worker) installs its
+        #: :class:`~repro.obs.trace.Tracer` / per-run
+        #: :class:`~repro.obs.metrics.MetricsRegistry` here; the defaults keep
+        #: an un-instrumented pipeline allocation-free on the hot path.
+        self.tracer = NULL_TRACER
+        self.metrics = None
 
     # ------------------------------------------------------------------ #
     # Stage 1 — fingerprints
@@ -398,6 +406,7 @@ class AdmissionPipeline:
         *,
         candidates: tuple[Region | None, ...] | None = None,
         use_interregion: bool = True,
+        trace: TraceContext | None = None,
     ) -> AdmissionDecision:
         """Run stages 1-4 for one request and return its decision.
 
@@ -416,7 +425,56 @@ class AdmissionPipeline:
         unrestricted global mapping, so the global lane remains the
         differential reference.  ``use_interregion=False`` skips the
         planner attempt (used by callers that already ran it).
+
+        ``trace`` attaches the request's trace context: the decision then
+        emits a ``decide`` span with region-selection / per-attempt map /
+        cache-lookup / mapper-step / commit children.  Tracing only ever
+        observes — decisions are bit-identical with it on or off.
         """
+        tracer = self.tracer
+        metrics = self.metrics
+        span = (
+            tracer.start("decide", trace, attrs={"application": als.name})
+            if trace is not None and tracer.enabled
+            else None
+        )
+        if span is None and metrics is None:
+            return self._decide(
+                als, library, candidates=candidates, use_interregion=use_interregion
+            )
+        start_ns = span.start_ns if span is not None else time.perf_counter_ns()
+        decision = self._decide(
+            als,
+            library,
+            candidates=candidates,
+            use_interregion=use_interregion,
+            trace=span.context() if span is not None else None,
+        )
+        end_ns = time.perf_counter_ns()
+        if span is not None:
+            span.attrs["admitted"] = decision.admitted
+            span.attrs["origin"] = decision.origin
+            tracer.end(span, end_ns=end_ns)
+        if metrics is not None:
+            metrics.observe("pipeline.decide_s", (end_ns - start_ns) / 1e9)
+            metrics.count(f"pipeline.decisions[admitted={decision.admitted}]")
+        return decision
+
+    def _decide(
+        self,
+        als: ApplicationLevelSpec,
+        library: ImplementationLibrary | None = None,
+        *,
+        candidates: tuple[Region | None, ...] | None = None,
+        use_interregion: bool = True,
+        trace: TraceContext | None = None,
+    ) -> AdmissionDecision:
+        """The un-instrumented pipeline walk behind :meth:`decide`.
+
+        ``trace`` here is the *child* context of the already-open ``decide``
+        span (or ``None``); stage spans parent onto it.
+        """
+        tracer = self.tracer
         runtime_s = 0.0
         best: MappingResult | None = None
         scorer = self.region_scorer
@@ -427,7 +485,21 @@ class AdmissionPipeline:
         )
         attempted: list[str] = []
         if candidates is None:
+            selection_start_ns = time.perf_counter_ns() if trace is not None else 0
             candidates = self.candidate_regions(als, library, shape=shape)
+            if trace is not None:
+                tracer.record(
+                    "region_selection",
+                    trace,
+                    selection_start_ns,
+                    time.perf_counter_ns(),
+                    attrs={
+                        "candidates": ",".join(
+                            region.name if region is not None else "global"
+                            for region in candidates
+                        )
+                    },
+                )
         if not candidates:
             return AdmissionDecision(
                 als.name,
@@ -437,14 +509,28 @@ class AdmissionPipeline:
             )
         for region in candidates:
             if region is None and use_interregion and self.interregion is not None:
+                plan_start_ns = time.perf_counter_ns() if trace is not None else 0
                 planned = self.interregion.decide(als, library)
+                if trace is not None:
+                    tracer.record(
+                        "interregion_plan",
+                        trace,
+                        plan_start_ns,
+                        time.perf_counter_ns(),
+                        attrs={"admitted": planned.admitted},
+                    )
                 runtime_s += planned.mapping_runtime_s
                 if planned.admitted:
                     planned.mapping_runtime_s = runtime_s
                     planned.attempted_regions = tuple(attempted)
                     planned.shape = shape
                     return planned
+            map_start_ns = time.perf_counter_ns() if trace is not None else 0
             result = self.map_stage(als, library, region)
+            if trace is not None:
+                self._trace_map_attempt(
+                    trace, region, library, map_start_ns, time.perf_counter_ns(), result
+                )
             runtime_s += result.runtime_s
             admissible = (
                 result.status is MappingStatus.FEASIBLE
@@ -463,9 +549,18 @@ class AdmissionPipeline:
                 ):
                     best = result
                 continue
+            commit_start_ns = time.perf_counter_ns() if trace is not None else 0
             try:
                 self.commit(als, result, region)
             except PlatformError as error:
+                if trace is not None:
+                    tracer.record(
+                        "commit",
+                        trace,
+                        commit_start_ns,
+                        time.perf_counter_ns(),
+                        attrs={"committed": False},
+                    )
                 if region is not None:
                     attempted.append(region.name)
                 return AdmissionDecision(
@@ -475,6 +570,14 @@ class AdmissionPipeline:
                     mapping_runtime_s=runtime_s,
                     attempted_regions=tuple(attempted),
                     shape=shape,
+                )
+            if trace is not None:
+                tracer.record(
+                    "commit",
+                    trace,
+                    commit_start_ns,
+                    time.perf_counter_ns(),
+                    attrs={"committed": True},
                 )
             return AdmissionDecision(
                 als.name,
@@ -499,6 +602,48 @@ class AdmissionPipeline:
             attempted_regions=tuple(attempted),
             shape=shape,
         )
+
+    def _trace_map_attempt(
+        self,
+        trace: TraceContext,
+        region: Region | None,
+        library: ImplementationLibrary | None,
+        start_ns: int,
+        end_ns: int,
+        result: MappingResult,
+    ) -> None:
+        """Emit the spans of one mapping attempt (map → cache lookup / steps).
+
+        Rebuilt after the fact from the mapper's cheap, always-on
+        ``perf_counter_ns`` stamps (:attr:`SpatialMapper.last_lookup` and
+        ``MapperTrace.step_windows``), so the mapper itself stays free of
+        tracer plumbing.  On a cache hit the step windows belong to an
+        *earlier* invocation and are skipped.
+        """
+        tracer = self.tracer
+        name = region.name if region is not None else "global"
+        span = tracer.record(
+            f"map:{name}",
+            trace,
+            start_ns,
+            end_ns,
+            attrs={"status": result.status.value},
+        )
+        ctx = trace.child(span.span_id)
+        mapper = self.mapper_for(library)
+        lookup = getattr(mapper, "last_lookup", None)
+        hit = False
+        if lookup is not None:
+            lookup_start_ns, lookup_end_ns, hit = lookup
+            tracer.record(
+                "cache_lookup", ctx, lookup_start_ns, lookup_end_ns, attrs={"hit": hit}
+            )
+        if hit:
+            return
+        mapper_trace = getattr(mapper, "last_trace", None)
+        if mapper_trace is not None:
+            for step_name, step_start_ns, step_end_ns in mapper_trace.step_windows:
+                tracer.record(step_name, ctx, step_start_ns, step_end_ns)
 
     def release(self, application: str) -> int:
         """Release every allocation of an application, transactionally.

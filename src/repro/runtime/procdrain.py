@@ -68,6 +68,7 @@ Worker-side determinism notes:
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 import time
 import traceback
@@ -75,6 +76,7 @@ from dataclasses import dataclass
 
 from repro.appmodel.library import ImplementationLibrary
 from repro.exceptions import PlatformError
+from repro.obs import MetricsRegistry, ObsConfig, SpanRecord, TraceContext, Tracer
 from repro.platform.platform import Platform
 from repro.platform.regions import RegionPartition
 from repro.platform.state import (
@@ -129,6 +131,10 @@ class WorkerSettings:
     cache_size: int
     scorer_policy: RegionScorePolicy | None
     scorer_has_feedback: bool
+    #: Observability config of the run (``None`` = obs off).  Workers build
+    #: their own :class:`~repro.obs.trace.Tracer` from it — span ids are
+    #: namespaced by process name, so engine and worker spans never collide.
+    obs: ObsConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -147,6 +153,11 @@ class JobSpec:
     als_blob: bytes | None
     library_digest: bytes | None = None
     library_blob: bytes | None = None
+    #: Trace context of a sampled request, parented on the engine's
+    #: ``dispatch`` span; ``None`` for unsampled requests / obs off.  The
+    #: worker's ``decide`` span tree hangs off it, which is what stitches
+    #: engine dispatch → worker decide → engine fold into one tree.
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -230,6 +241,18 @@ class LaneResult:
     responses: tuple[JobResponse, ...]
     final_fingerprint: bytes | None = None
     resync: str | None = None
+    #: Worker-clock span records of this lane's decides (empty when obs is
+    #: off or nothing was sampled).  The engine re-anchors them onto its own
+    #: timeline before adopting them — see :func:`repro.obs.trace.reanchor_spans`.
+    spans: tuple[SpanRecord, ...] = ()
+    #: Delta of the worker pipeline's step-4 analysis counters over this
+    #: lane (``None`` only for resync answers, which decide nothing).
+    #: Shipped *unconditionally* — engine telemetry must account worker-side
+    #: analysis work with observability off too.
+    analysis: dict[str, int] | None = None
+    #: Snapshot of the worker's per-lane metrics registry (obs on) — folded
+    #: into the engine's run registry like any other delta.
+    metrics: dict | None = None
 
 
 def dump_frame(payload) -> bytes:
@@ -311,7 +334,9 @@ def decide_jobs(
                 if job.library_digest is not None
                 else None
             )
-            decision = pipeline.decide(als, library, candidates=(region,))
+            decision = pipeline.decide(
+                als, library, candidates=(region,), trace=job.trace
+            )
         except Exception:
             responses.append(
                 JobResponse(
@@ -397,11 +422,24 @@ def handle_lane(
                     dispatch.lane, (), resync=f"delta replay failed: {error}"
                 )
     pipeline.state = state
+    if pipeline.metrics is not None:
+        # Fresh registry per lane: the snapshot shipped back is exactly this
+        # lane's delta, so the engine folds it without double counting.
+        pipeline.metrics = MetricsRegistry()
+    analysis_before = pipeline.analysis.snapshot()
     responses = decide_jobs(pipeline, region, dispatch.jobs, interned)
+    analysis_after = pipeline.analysis.snapshot()
+    if pipeline.metrics is not None:
+        pipeline.metrics.count("worker.jobs", float(len(responses)))
     return LaneResult(
         lane=dispatch.lane,
         responses=responses,
         final_fingerprint=fingerprint_digest(region.fingerprint(state)),
+        spans=tuple(pipeline.tracer.drain()) if pipeline.tracer.enabled else (),
+        analysis={
+            key: analysis_after[key] - analysis_before[key] for key in analysis_after
+        },
+        metrics=pipeline.metrics.snapshot() if pipeline.metrics is not None else None,
     )
 
 
@@ -417,6 +455,14 @@ def drain_worker(conn, settings_blob: bytes) -> None:
     """
     settings: WorkerSettings = load_frame(settings_blob)
     pipeline = build_worker_pipeline(settings)
+    if settings.obs is not None and settings.obs.enabled:
+        pipeline.tracer = Tracer(
+            settings.obs, process=multiprocessing.current_process().name
+        )
+        if settings.obs.metrics:
+            # Replaced with a fresh per-lane registry in ``handle_lane``;
+            # non-None is the switch.
+            pipeline.metrics = MetricsRegistry()
     interned: dict[bytes, object] = {}
     residents: dict[str, PlatformState] = {}
     try:

@@ -137,6 +137,10 @@ class AdmissionQueue:
         self._requests: dict[int, QueuedRequest] = {}
         self._pending: list[QueuedRequest] = []
         self._lock = threading.RLock()
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` the queue
+        #: counts submissions/claims/expiries (and gauges its depth) into;
+        #: the engine installs its per-run registry here.
+        self.metrics = None
 
     # ------------------------------------------------------------------ #
     # Submission side
@@ -165,6 +169,9 @@ class AdmissionQueue:
             request._order = (-priority, ticket)
             self._requests[ticket] = request
             self._pending.append(request)
+            if self.metrics is not None:
+                self.metrics.count("queue.submitted")
+                self.metrics.gauge("queue.depth", float(len(self._pending)))
             return ticket
 
     def poll(self, ticket: int) -> QueuedRequest:
@@ -250,6 +257,11 @@ class AdmissionQueue:
             for request in ready:
                 self._pending.remove(request)
                 request.status = RequestStatus.IN_FLIGHT
+            if self.metrics is not None:
+                self.metrics.count("queue.claimed", float(len(ready)))
+                if expired:
+                    self.metrics.count("queue.expired", float(len(expired)))
+                self.metrics.gauge("queue.depth", float(len(self._pending)))
             return expired, ready
 
     def finalize(

@@ -66,6 +66,12 @@ class SpatialMapper:
         #: Trace of the most recent :meth:`map` call (step-2 iterations, feedback log).
         #: A cache hit leaves the trace of the last *computed* call in place.
         self.last_trace: MapperTrace = MapperTrace()
+        #: ``(start_ns, end_ns, hit)`` of the most recent call's cache
+        #: lookup, or ``None`` when caching is disabled.  Consumers (the
+        #: admission pipeline's tracer) use ``hit`` to know whether
+        #: :attr:`last_trace` belongs to this call or is a stale leftover
+        #: of the last computed one.
+        self.last_lookup: tuple[int, int, bool] | None = None
 
     # ------------------------------------------------------------------ #
     def map(
@@ -100,7 +106,9 @@ class SpatialMapper:
         state = state if state is not None else PlatformState(self.platform)
 
         cache_key = None
+        self.last_lookup = None
         if self.cache is not None:
+            lookup_start_ns = time.perf_counter_ns()
             fingerprint = (
                 region.fingerprint(state) if region is not None else state.fingerprint()
             )
@@ -108,6 +116,11 @@ class SpatialMapper:
                 als.name, region.name if region is not None else None, fingerprint
             )
             cached = self.cache.lookup(cache_key, als, self.library)
+            self.last_lookup = (
+                lookup_start_ns,
+                time.perf_counter_ns(),
+                cached is not None,
+            )
             if cached is not None:
                 cached.runtime_s = time.perf_counter() - start_time
                 if raise_on_failure and cached.status is not MappingStatus.FEASIBLE:
@@ -176,6 +189,7 @@ class SpatialMapper:
         allowed_positions = region.positions if region is not None else None
 
         # Step 1 — implementations and first-fit tiles.
+        step_start_ns = time.perf_counter_ns()
         step1 = select_implementations(
             als,
             self.platform,
@@ -185,12 +199,16 @@ class SpatialMapper:
             exclusions=exclusions,
             allowed_tiles=allowed_tiles,
         )
+        trace.step_windows.append(
+            ("mapper.step1", step_start_ns, time.perf_counter_ns())
+        )
         if not step1.succeeded:
             for feedback in step1.feedback:
                 diagnostics.append(f"step 1: {feedback.message}")
             return self._result_for(step1.mapping, als, state, MappingStatus.FAILED, step1.feedback)
 
         # Step 2 — local-search refinement of the tile assignment.
+        step_start_ns = time.perf_counter_ns()
         step2 = refine_tile_assignment(
             step1.mapping,
             als,
@@ -201,8 +219,12 @@ class SpatialMapper:
             allowed_tiles=allowed_tiles,
         )
         trace.step2_traces.append(step2.trace)
+        trace.step_windows.append(
+            ("mapper.step2", step_start_ns, time.perf_counter_ns())
+        )
 
         # Step 3 — channel routing.
+        step_start_ns = time.perf_counter_ns()
         step3 = route_channels(
             step2.mapping,
             als,
@@ -210,6 +232,9 @@ class SpatialMapper:
             state=state,
             config=self.config,
             allowed_positions=allowed_positions,
+        )
+        trace.step_windows.append(
+            ("mapper.step3", step_start_ns, time.perf_counter_ns())
         )
         if not step3.succeeded:
             for feedback in step3.feedback:
@@ -233,6 +258,7 @@ class SpatialMapper:
             # The caller analyses feasibility itself (e.g. on a composed
             # multi-region graph); adherent is the best this pass can claim.
             return self._result_for(step3.mapping, als, state, MappingStatus.ADHERENT, [])
+        step_start_ns = time.perf_counter_ns()
         step4 = check_feasibility(
             step3.mapping,
             als,
@@ -241,6 +267,9 @@ class SpatialMapper:
             state=state,
             config=self.config,
             analysis=self.analysis,
+        )
+        trace.step_windows.append(
+            ("mapper.step4", step_start_ns, time.perf_counter_ns())
         )
         status = MappingStatus.FEASIBLE if step4.feasible else MappingStatus.ADHERENT
         if not step4.feasible:

@@ -90,6 +90,12 @@ class MapperTrace:
     simulated_events: int = 0
     analysis_cache_hits: int = 0
     budget_exhausted: int = 0
+    #: ``(step name, start_ns, end_ns)`` per executed mapper step, in
+    #: execution order across all refinement iterations —
+    #: ``perf_counter_ns`` stamps the observability layer turns into
+    #: ``mapper.step1`` .. ``mapper.step4`` spans.  The paper's algorithm
+    #: is explicitly staged, so these windows map 1:1 onto it.
+    step_windows: list[tuple[str, int, int]] = field(default_factory=list)
 
     @property
     def last_step2_trace(self) -> Step2Trace | None:

@@ -1,0 +1,178 @@
+"""End-to-end acceptance of the unified tracing & metrics layer.
+
+The observability layer's contract, pinned against real engine runs:
+
+* **Decision-inert** — with tracing and metrics fully on (sample rate 1.0)
+  the engine settles every request identically to an obs-off run, on both
+  the serial and the process executor.
+* **One connected tree per request** — on the process executor a sampled
+  request's spans form a single tree rooted at the engine's ``request``
+  span, crossing the process boundary through ``dispatch`` → worker
+  ``decide`` → mapper steps, with every worker span re-anchored inside
+  its dispatch window and the engine's fold recorded after it.
+* **Exportable** — ``write_export`` + ``validate_export`` round-trips a
+  real run with zero problems, and the report CLI renders it.
+* **Worker analysis deltas** (satellite) — with caches disabled, the
+  process executor's folded step-4 analysis totals equal the serial
+  executor's, and an obs-off run still reports them.
+"""
+
+import pytest
+
+from repro.obs import ObsConfig, validate_export, write_export
+from repro.obs.report import main as report_main
+from repro.spatialmapper.config import MapperConfig
+from tests.harness import (
+    MILLISECOND,
+    make_engine,
+    make_manager,
+    two_region_workload,
+)
+
+
+def _run(seed=7, *, executor="serial", obs=None, manager_kwargs=None, **engine_kwargs):
+    manager = make_manager(**(manager_kwargs or {}))
+    engine = make_engine(manager, executor=executor, obs=obs, **engine_kwargs)
+    scenario = two_region_workload(seed, 12 * MILLISECOND, name="obs-accept")
+    try:
+        return engine.run(scenario)
+    finally:
+        close = getattr(engine.executor, "close", None)
+        if close is not None:
+            close()
+
+
+def _decision_log(outcome):
+    return [
+        (record.ticket, record.application, record.status.value, record.reason)
+        for record in outcome.records
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Decision inertness
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("executor", ["serial", "process"])
+def test_obs_on_is_decision_inert(executor):
+    baseline = _run(executor=executor)
+    traced = _run(executor=executor, obs=ObsConfig(sample_rate=1.0))
+    assert _decision_log(traced) == _decision_log(baseline)
+    # and the traced run actually traced: one root span per settled request
+    roots = [span for span in traced.spans if span.parent_id is None]
+    assert len(roots) == len(traced.records)
+
+
+def test_partial_sampling_is_decision_inert_and_subsets():
+    baseline = _run()
+    sampled = _run(obs=ObsConfig(sample_rate=0.4, seed=3))
+    assert _decision_log(sampled) == _decision_log(baseline)
+    traced_ids = {span.trace_id for span in sampled.spans}
+    all_ids = {f"obs-accept:{record.ticket}" for record in baseline.records}
+    assert traced_ids < all_ids  # strict subset: some but not all at 0.4
+    assert traced_ids
+
+
+def test_obs_off_publishes_nothing_but_analysis_survives():
+    outcome = _run()
+    assert outcome.spans == []
+    assert outcome.metrics is None
+    # satellite: analysis counters are telemetry, not observability — they
+    # must be populated with obs fully off.
+    assert outcome.telemetry.analysis.get("simulations_run", 0) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Cross-process span trees
+# --------------------------------------------------------------------------- #
+def test_process_run_produces_connected_reanchored_trees():
+    outcome = _run(executor="process", obs=ObsConfig(sample_rate=1.0))
+    spans = outcome.spans
+    by_id = {span.span_id: span for span in spans}
+    worker_spans = [span for span in spans if span.process != "engine"]
+    assert worker_spans, "process run recorded no worker spans"
+
+    # Every span's parent resolves within the same trace — one connected
+    # tree per trace id, rooted at the engine's request span.
+    for span in spans:
+        if span.parent_id is None:
+            assert span.name == "request"
+            continue
+        parent = by_id[span.parent_id]
+        assert parent.trace_id == span.trace_id
+
+    # Worker spans hang under an engine dispatch span and are re-anchored
+    # inside its window (the validator's slack applies to stamping skew).
+    slack = 1_000
+    dispatches = set()
+    for span in worker_spans:
+        assert dict(span.attrs).get("reanchored") is True
+        cursor = span
+        while cursor.parent_id is not None and cursor.process != "engine":
+            cursor = by_id[cursor.parent_id]
+        assert cursor.process == "engine" and cursor.name == "dispatch"
+        dispatches.add(cursor.span_id)
+        assert span.start_ns >= cursor.start_ns - slack
+        assert span.end_ns <= cursor.end_ns + slack
+
+    # Sibling worker decide spans of one dispatch ran sequentially on the
+    # worker's lane loop — re-anchoring must preserve their non-overlap.
+    for dispatch_id in dispatches:
+        decides = sorted(
+            (s for s in worker_spans if s.parent_id == dispatch_id and s.name == "decide"),
+            key=lambda s: s.start_ns,
+        )
+        for earlier, later in zip(decides, decides[1:]):
+            assert earlier.end_ns <= later.start_ns + slack
+
+    # The mapper's staged pipeline shows up under worker decides, and the
+    # engine folds each dispatched lane after its worker round.
+    names = {span.name for span in spans}
+    assert {"dispatch", "decide", "engine_fold", "queue_wait"} <= names
+    assert any(name.startswith("mapper.step") for name in names)
+    assert any(name.startswith("map:") for name in names)
+
+
+def test_export_of_real_run_validates_and_reports(tmp_path, capsys):
+    outcome = _run(executor="process", obs=ObsConfig(sample_rate=1.0))
+    path = str(tmp_path / "run.jsonl")
+    write_export(path, outcome.spans, metrics=outcome.metrics, workload=outcome.workload)
+    assert validate_export(path) == []
+    assert report_main([path, "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "Per-stage latency breakdown" in out
+    assert "slowest requests" in out
+
+
+def test_run_metrics_cover_every_island():
+    outcome = _run(executor="process", obs=ObsConfig(sample_rate=1.0))
+    counters = outcome.metrics["counters"]
+    gauges = outcome.metrics["gauges"]
+    histograms = outcome.metrics["histograms"]
+    assert any(name.startswith("engine.settled[") for name in counters)
+    assert any(name.startswith("analysis.") for name in counters)
+    assert any(name.startswith("executor.") for name in counters)
+    assert any(name.startswith("queue.") for name in counters)
+    assert "governor.admission_rate" in gauges or not outcome.telemetry.governor
+    assert "engine.request_latency_s" in histograms
+    assert histograms["engine.request_latency_s"]["count"] == len(outcome.records)
+
+
+# --------------------------------------------------------------------------- #
+# Satellite: worker analysis counter deltas
+# --------------------------------------------------------------------------- #
+def test_worker_analysis_totals_agree_with_serial():
+    # Caches off so every decide pays full analysis cost in whichever
+    # process runs it — the totals must then be executor-independent.
+    manager_kwargs = {
+        "mapper_cache_size": 0,
+        "config": MapperConfig(analysis_iterations=3, analysis_cache_size=0),
+    }
+    serial = _run(manager_kwargs=manager_kwargs)
+    process = _run(executor="process", manager_kwargs=manager_kwargs)
+    assert _decision_log(process) == _decision_log(serial)
+    stale = sum(
+        stats.get("stale_redecides", 0) for stats in process.telemetry.workers.values()
+    )
+    assert stale == 0, "stale re-decides would double-count analysis work"
+    assert process.telemetry.analysis == serial.telemetry.analysis
+    assert serial.telemetry.analysis["simulations_run"] > 0

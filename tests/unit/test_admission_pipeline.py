@@ -358,10 +358,10 @@ class TestAdmissionQueue:
 
         original_decide = manager.pipeline.decide
 
-        def exploding_decide(als, library=None):
+        def exploding_decide(als, library=None, *, trace=None):
             if als.name == "exploder":
                 raise RuntimeError("mapper exploded")
-            return original_decide(als, library=library)
+            return original_decide(als, library=library, trace=trace)
 
         monkeypatch.setattr(manager.pipeline, "decide", exploding_decide)
         with pytest.raises(RuntimeError):

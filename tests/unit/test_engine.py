@@ -160,10 +160,10 @@ class TestTwoPhaseDrain:
         )
         original_decide = manager.pipeline.decide
 
-        def exploding_decide(als, library=None, *, candidates=None):
+        def exploding_decide(als, library=None, *, candidates=None, trace=None):
             if als.name == "exploder":
                 raise RuntimeError("mapper exploded")
-            return original_decide(als, library, candidates=candidates)
+            return original_decide(als, library, candidates=candidates, trace=trace)
 
         monkeypatch.setattr(manager.pipeline, "decide", exploding_decide)
         engine = WorkloadEngine(manager)
@@ -197,9 +197,9 @@ class TestParkedRetries:
         decide_calls = []
         original_decide = manager.pipeline.decide
 
-        def counting_decide(als, library=None, *, candidates=None):
+        def counting_decide(als, library=None, *, candidates=None, trace=None):
             decide_calls.append(als.name)
-            return original_decide(als, library, candidates=candidates)
+            return original_decide(als, library, candidates=candidates, trace=trace)
 
         monkeypatch.setattr(manager.pipeline, "decide", counting_decide)
         outcome = WorkloadEngine(manager, park_rejections=True).run(scenario)
@@ -292,3 +292,75 @@ class TestOwnershipGuard:
         finally:
             manager.state.ownership_guard = None
         assert errors, "foreign-thread mutation slipped past the ownership guard"
+
+
+class TestOutcomeStatusIndex:
+    """The lazily built per-status index behind EngineOutcome's accessors."""
+
+    @staticmethod
+    def _outcome(count):
+        from repro.runtime.engine import EngineOutcome, EngineRecord
+
+        statuses = [
+            RequestStatus.ADMITTED,
+            RequestStatus.REJECTED,
+            RequestStatus.EXPIRED,
+            RequestStatus.CANCELLED,
+            RequestStatus.SHED,
+        ]
+        outcome = EngineOutcome(workload="index")
+        for ticket in range(count):
+            outcome.records.append(
+                EngineRecord(
+                    time_ns=float(ticket),
+                    ticket=ticket,
+                    application=f"app{ticket}",
+                    status=statuses[ticket % len(statuses)],
+                )
+            )
+        return outcome
+
+    def test_index_matches_linear_scan_at_10k_records(self):
+        outcome = self._outcome(10_000)
+        for status, accessor in (
+            (RequestStatus.ADMITTED, lambda o: o.admitted),
+            (RequestStatus.EXPIRED, lambda o: o.expired),
+            (RequestStatus.CANCELLED, lambda o: o.cancelled),
+            (RequestStatus.SHED, lambda o: o.shed),
+        ):
+            expected = [r.application for r in outcome.records if r.status is status]
+            assert accessor(outcome) == expected
+        assert outcome.rejected == [
+            (r.application, r.reason)
+            for r in outcome.records
+            if r.status is RequestStatus.REJECTED
+        ]
+        assert outcome.decided == 6_000  # admitted + rejected + expired
+
+    def test_index_built_once_and_invalidated_by_append(self):
+        from repro.runtime.engine import EngineRecord
+
+        outcome = self._outcome(100)
+        assert len(outcome.admitted) == 20
+        first_cache = outcome._status_cache
+        outcome.rejected, outcome.expired  # further accesses reuse the index
+        assert outcome._status_cache is first_cache
+        outcome.records.append(
+            EngineRecord(
+                time_ns=100.0, ticket=100, application="late", status=RequestStatus.ADMITTED
+            )
+        )
+        assert outcome.admitted[-1] == "late"  # append invalidated the index
+        assert outcome._status_cache is not first_cache
+
+    def test_accessors_stay_linear_not_quadratic(self):
+        # Reporting loops hit every accessor per record; with the index a
+        # full sweep over 10k records is ~one scan, without it ~50k scans.
+        # Pin behaviour (not wall-clock): count index rebuilds via the
+        # cache key.
+        outcome = self._outcome(10_000)
+        for _ in range(100):
+            outcome.admitted
+            outcome.rejected
+            outcome.shed
+        assert outcome._status_cache[0] == 10_000
