@@ -26,6 +26,12 @@ rate per fill band are attached as a JSON-serialisable trajectory in
 a subset — the CI smoke step runs one tiny configuration this way; the
 cross-configuration assertions only fire when their configurations ran.
 
+The *rescue sweep* (`test_ext_rescue_lane_fill_sweep`) replays one churny
+schedule on a multi-slot, memory-tight mesh with the stochastic rescue lane
+off and on, and asserts the lane's admission-rate gain in the high-fill band
+(``$RESCUE_MIN_GAIN`` relaxes the floor, ``$RESCUE_ARRIVALS`` shrinks the
+stream for CI, and the trajectory lands in ``BENCH_rescue_lane.json``).
+
 Two event-driven companions exercise the workload engine on the same
 platform: `test_ext_engine_drain_parallelism` replays one generated
 workload through the unsharded pipeline, the sharded serial executor and
@@ -37,8 +43,12 @@ Poisson mix to produce the paper-style admission-rate-versus-load curve
 (optionally written to ``$ADMISSION_LOAD_CURVE_JSON``).
 """
 
+import itertools
 import json
 import os
+import random
+from collections import deque
+from dataclasses import replace
 
 import pytest
 
@@ -274,11 +284,11 @@ def band_of(fill):
     return "high"
 
 
-def summarise(samples):
+def summarise(samples, band=band_of):
     """Per-fill-band admission rate and latency (mean + noise-robust median)."""
     bands = {}
     for sample in samples:
-        bands.setdefault(band_of(sample["fill"]), []).append(sample)
+        bands.setdefault(band(sample["fill"]), []).append(sample)
     summary = {}
     for band, rows in bands.items():
         latencies = sorted(row["latency_ms"] for row in rows)
@@ -892,6 +902,242 @@ def test_ext_overload_shedding_governor(benchmark):
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(trajectory, handle, indent=2)
+            handle.write("\n")
+
+
+# --------------------------------------------------------------------------- #
+# Rescue lane: stochastic placement portfolio under memory fragmentation
+# --------------------------------------------------------------------------- #
+
+# The rescue regime is deliberately a *packing* problem, not a matching one:
+# multi-slot tiles with tight memories make the greedy first-fit front end
+# strand memory (channel buffers live in consumer-tile memory, so placement
+# decides whether they fit), and those rejections are exactly the ones a
+# seeded random-placement portfolio can convert.  With one slot per tile —
+# the default mesh — placement is pure type matching and greedy is already
+# near-optimal, so this sweep builds its own mesh.
+RESCUE_SPAN = 3                 # 6x6 mesh, four 3x3 regions
+RESCUE_SLOTS = 4                # multi-slot tiles: packing, not matching
+RESCUE_TILE_MEMORY = 16 * 1024  # tight per-tile memory
+RESCUE_MEMORY_CHOICES = (2048, 4096, 8192, 12288)
+RESCUE_HOLD = 12                # churn keeps this many applications resident
+RESCUE_SEED = 900
+RESCUE_SEARCHERS = 6
+RESCUE_ATTEMPTS = 4
+
+
+def build_rescue_workload(arrivals):
+    """``arrivals`` heterogeneous applications, round-robined over the four
+    regions' I/O tiles.  Sizes are drawn from one seeded RNG while building
+    the schedule, so every configuration replays the identical arrival
+    sequence (the RNG never touches the admission loop)."""
+    rng = random.Random(7)
+    cells = itertools.cycle([(0, 0), (1, 0), (0, 1), (1, 1)])
+    schedule = []
+    for index, cell in zip(range(1, arrivals + 1), cells):
+        io_tile = f"io_r{cell[0]}_{cell[1]}"
+        config = SyntheticConfig(
+            stages=rng.choice((3, 4, 5, 6)),
+            period_ns=60_000.0,
+            tokens_range=(16, 64),
+            tile_types=("GPP", "DSP"),
+            memory_choices=RESCUE_MEMORY_CHOICES,
+        )
+        schedule.append(
+            generate_application(
+                RESCUE_SEED + index,
+                config,
+                name=f"rescue_app{index}",
+                source_tile=io_tile,
+                sink_tile=io_tile,
+            )
+        )
+    return schedule
+
+
+def memory_fill(manager):
+    """Fraction of tile memory currently allocated — the binding resource in
+    the rescue regime (slots stay loose while buffers exhaust memory)."""
+    tiles = manager.platform.processing_tiles()
+    capacity = sum(tile.resources.memory_bytes for tile in tiles)
+    used = sum(manager.state.used_memory_bytes(tile.name) for tile in tiles)
+    return used / capacity if capacity else 0.0
+
+
+def rescue_band_of(fill):
+    """Memory-fill bands for the rescue regime.
+
+    Fragmentation caps the usable fraction well below 1.0 here: the greedy
+    steady state under churn oscillates around 0.45-0.50 memory fill, and
+    that *is* the saturated regime (nearly every rejection happens there).
+    The generic thirds-based :func:`band_of` would file the whole steady
+    state under "mid", so the high band starts at 0.40 instead.
+    """
+    if fill < 0.2:
+        return "low"
+    if fill < 0.4:
+        return "mid"
+    return "high"
+
+
+def run_rescue_config(label, config, schedule):
+    """Replay the rescue churn schedule under one mapper configuration."""
+    platform = generate_region_mesh(
+        SWEEP_REGIONS,
+        RESCUE_SPAN,
+        name="rescue_mesh",
+        max_processes_per_tile=RESCUE_SLOTS,
+        tile_memory_bytes=RESCUE_TILE_MEMORY,
+    )
+    partition = RegionPartition.grid(platform, SWEEP_REGIONS, SWEEP_REGIONS)
+    manager = RuntimeResourceManager(platform, config=config, partition=partition)
+    running = deque()
+    samples = []
+    for app in schedule:
+        # Churn *before* each arrival so departures keep flowing even
+        # through rejection streaks — the resident set is pinned at
+        # RESCUE_HOLD and the platform stays in the high-fill band.
+        while len(running) >= RESCUE_HOLD:
+            manager.stop(running.popleft())
+        fill = memory_fill(manager)
+        decision = manager.admit(app.als, library=app.library)
+        if decision.admitted:
+            running.append(app.als.name)
+        rescued = bool(
+            decision.result is not None
+            and any(
+                line.startswith("rescue: adopted")
+                for line in decision.result.diagnostics
+            )
+        )
+        samples.append(
+            {
+                "config": label,
+                "fill": round(fill, 4),
+                "admitted": decision.admitted,
+                "rescued": rescued,
+                "latency_ms": decision.mapping_runtime_s * 1e3,
+            }
+        )
+    return samples
+
+
+def test_ext_rescue_lane_fill_sweep(benchmark):
+    """The stochastic rescue lane must *pay* at high fill.
+
+    The identical churny arrival schedule replays twice — rescue off (the
+    plain greedy pipeline) and rescue on (seeded random-placement portfolio
+    after the refinement loop gives up) — and the admission rate in the
+    high-memory-fill band must improve by at least ``$RESCUE_MIN_GAIN``
+    (absolute percentage points, default 0.10).  All asserted quantities
+    are decisions, not wall clock, so the verdict is deterministic: the
+    rescue searchers are seeded from request fingerprints and the schedule
+    never consults a global RNG.  ``$RESCUE_ARRIVALS`` shrinks the stream
+    for the CI smoke step (which also relaxes the floor — a short stream
+    barely reaches the high band).
+    """
+    arrivals = int(os.environ.get("RESCUE_ARRIVALS", "200"))
+    min_gain = float(os.environ.get("RESCUE_MIN_GAIN", "0.10"))
+    schedule = build_rescue_workload(arrivals)
+    base = MapperConfig(analysis_iterations=3)
+    configs = [
+        ("rescue_off", base),
+        (
+            "rescue_on",
+            replace(
+                base,
+                rescue_searchers=RESCUE_SEARCHERS,
+                rescue_attempts=RESCUE_ATTEMPTS,
+            ),
+        ),
+    ]
+    results = {}
+
+    def run_all():
+        for label, config in configs:
+            results[label] = run_rescue_config(label, config, schedule)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    off, on = results["rescue_off"], results["rescue_on"]
+    assert len(off) == len(on) == arrivals
+
+    # Rescue never fires when disabled, and every adoption is an admission.
+    assert not any(sample["rescued"] for sample in off)
+    assert all(sample["admitted"] for sample in on if sample["rescued"])
+
+    # Rescue is strictly additive at the decision level: the first index
+    # where the two runs diverge must be a rejection the rescue lane
+    # converted into an admission — never a previously-admitted application
+    # deciding differently.  (After that index the resident sets differ, so
+    # later decisions may legitimately diverge either way.)
+    divergences = [
+        index
+        for index, (a, b) in enumerate(zip(off, on))
+        if a["admitted"] != b["admitted"]
+    ]
+    if divergences:
+        first = divergences[0]
+        assert not off[first]["admitted"] and on[first]["admitted"], (first, off[first])
+        assert on[first]["rescued"], on[first]
+
+    summary = {}
+    for label, samples in results.items():
+        per_band = summarise(samples, band=rescue_band_of)
+        for band, row in per_band.items():
+            row["rescued"] = sum(
+                1
+                for sample in samples
+                if rescue_band_of(sample["fill"]) == band and sample["rescued"]
+            )
+            row["admission_rate"] = round(row["admitted"] / row["admissions"], 4)
+        summary[label] = per_band
+    benchmark.extra_info["rescue_summary"] = summary
+
+    rescued_total = sum(1 for sample in on if sample["rescued"])
+    benchmark.extra_info["rescued_total"] = rescued_total
+    assert rescued_total > 0, summary
+
+    # The headline claim: a measurable admission-rate gain in the high-fill
+    # band.  Decisions are deterministic, so the default floor is set from
+    # the measured effect (~+0.2) with generous headroom, not CI noise.
+    assert "high" in summary["rescue_off"] and "high" in summary["rescue_on"], summary
+    off_high = summary["rescue_off"]["high"]
+    on_high = summary["rescue_on"]["high"]
+    gain = on_high["admission_rate"] - off_high["admission_rate"]
+    benchmark.extra_info["high_fill_admission_gain"] = round(gain, 4)
+    assert gain >= min_gain, (gain, summary)
+
+    payload = {
+        "arrivals": arrivals,
+        "hold": RESCUE_HOLD,
+        "regime": {
+            "span": RESCUE_SPAN,
+            "slots_per_tile": RESCUE_SLOTS,
+            "tile_memory_bytes": RESCUE_TILE_MEMORY,
+            "memory_choices": list(RESCUE_MEMORY_CHOICES),
+            "searchers": RESCUE_SEARCHERS,
+            "attempts": RESCUE_ATTEMPTS,
+        },
+        "min_gain": min_gain,
+        "high_fill_admission_gain": round(gain, 4),
+        "rescued_total": rescued_total,
+        "summary": {
+            label: {
+                band: {key: round(value, 4) for key, value in row.items()}
+                for band, row in bands.items()
+            }
+            for label, bands in summary.items()
+        },
+    }
+    out_path = os.environ.get("RESCUE_LANE_JSON")
+    if not out_path and "RESCUE_ARRIVALS" not in os.environ:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        out_path = os.path.join(root, "BENCH_rescue_lane.json")
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
             handle.write("\n")
 
 

@@ -264,7 +264,12 @@ class AnalysisEngine:
             self.cache.store(key, value, cost)
 
     def minimal_period_ns(
-        self, graph: CSDFGraph, iterations: int = 10, warmup: int | None = None
+        self,
+        graph: CSDFGraph,
+        iterations: int = 10,
+        warmup: int | None = None,
+        *,
+        budget: AnalysisBudget | None = None,
     ) -> float:
         """Cached :func:`~repro.csdf.analysis.throughput.minimal_period_ns`."""
         key = (
@@ -274,11 +279,13 @@ class AnalysisEngine:
             iterations,
             warmup,
         )
-        entry = self._lookup(key, None)
+        entry = self._lookup(key, budget)
         if entry is None:
             result = simulate(graph, iterations=iterations)
             cost = result.simulated_events
             self._count_simulation(cost)
+            if budget is not None:
+                budget.charge_events(cost)
             if result.deadlocked and result.completed_iterations == 0:
                 value = ("deadlock", f"graph deadlocks at t={result.deadlock_time_ns} ns")
             else:
@@ -429,6 +436,8 @@ class AnalysisEngine:
         period_ns: float,
         iterations: int = 8,
         edges: tuple[str, ...] | None = None,
+        *,
+        budget: AnalysisBudget | None = None,
     ) -> dict[str, int]:
         """Budgeted, cached, warm-started buffer minimisation.
 
@@ -455,8 +464,13 @@ class AnalysisEngine:
         smallest capacity already *proven* sustainable and every unprocessed
         edge keeps its sufficient capacity, so the returned vector always
         sustains ``period_ns``.
+
+        ``budget`` overrides the engine's per-call budget with one the caller
+        owns — the rescue lane uses this to charge all its feasibility checks
+        against a single shared ledger.
         """
-        budget = self.budget()
+        if budget is None:
+            budget = self.budget()
         capacities = self.sufficient_buffer_capacities(
             graph, period_ns, iterations=iterations, budget=budget
         )

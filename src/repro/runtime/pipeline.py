@@ -313,8 +313,33 @@ class AdmissionPipeline:
         self.mapper_invocations += 1
         mapper = self.mapper_for(library)
         if region is None:
-            return mapper.map(als, self.state)
-        return mapper.map(als, self.state, region=region)
+            result = mapper.map(als, self.state)
+        else:
+            result = mapper.map(als, self.state, region=region)
+        self._count_rescue_metrics(mapper)
+        return result
+
+    def _count_rescue_metrics(self, mapper) -> None:
+        """Fold the last computed call's rescue-lane counters into metrics.
+
+        Worker-process pipelines count into their local registry, whose
+        snapshot ships back in ``LaneResult.metrics`` and folds engine-side,
+        so the counters aggregate across executors without extra plumbing.
+        Cache hits carry a marked empty trace and count nothing.
+        """
+        metrics = self.metrics
+        if metrics is None:
+            return
+        trace = getattr(mapper, "last_trace", None)
+        if trace is None or trace.cache_hit or not trace.rescue_searchers_run:
+            return
+        metrics.count("mapper.rescue.searchers", float(trace.rescue_searchers_run))
+        metrics.count("mapper.rescue.candidates", float(trace.rescue_candidates))
+        metrics.count("mapper.rescue.feasible", float(trace.rescue_feasible))
+        if trace.rescue_adopted:
+            metrics.count("mapper.rescue.adopted", 1.0)
+        if trace.rescue_budget_exhausted:
+            metrics.count("mapper.rescue.budget_exhausted", 1.0)
 
     # ------------------------------------------------------------------ #
     # Stage 4 — transactional commit
@@ -617,8 +642,9 @@ class AdmissionPipeline:
         Rebuilt after the fact from the mapper's cheap, always-on
         ``perf_counter_ns`` stamps (:attr:`SpatialMapper.last_lookup` and
         ``MapperTrace.step_windows``), so the mapper itself stays free of
-        tracer plumbing.  On a cache hit the step windows belong to an
-        *earlier* invocation and are skipped.
+        tracer plumbing.  On a cache hit the mapper leaves a marked empty
+        trace (``MapperTrace.cache_hit``) and only the lookup span is
+        emitted.
         """
         tracer = self.tracer
         name = region.name if region is not None else "global"
@@ -641,9 +667,11 @@ class AdmissionPipeline:
         if hit:
             return
         mapper_trace = getattr(mapper, "last_trace", None)
-        if mapper_trace is not None:
-            for step_name, step_start_ns, step_end_ns in mapper_trace.step_windows:
-                tracer.record(step_name, ctx, step_start_ns, step_end_ns)
+        if mapper_trace is None or mapper_trace.cache_hit:
+            # Cache hits reset the trace to a marked empty one; nothing ran.
+            return
+        for step_name, step_start_ns, step_end_ns in mapper_trace.step_windows:
+            tracer.record(step_name, ctx, step_start_ns, step_end_ns)
 
     def release(self, application: str) -> int:
         """Release every allocation of an application, transactionally.

@@ -120,7 +120,11 @@ class WorkerSettings:
     Plain picklable data only — this is the worker's whole world.  The
     scorer travels as its (frozen, picklable) policy plus a flag for
     whether the engine side keeps a rejection memory; see the module
-    docstring for why the worker then builds a dummy one.
+    docstring for why the worker then builds a dummy one.  ``config``
+    ships the full :class:`~repro.spatialmapper.config.MapperConfig`, so
+    worker-side mappers are rescue-enabled exactly when the engine's are
+    (rescue seeds derive from request fingerprints, keeping worker and
+    serial-reference decisions bit-identical).
     """
 
     platform: Platform

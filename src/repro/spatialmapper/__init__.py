@@ -32,6 +32,7 @@ from repro.spatialmapper.region_score import (
     RejectionMemory,
     shape_fingerprint,
 )
+from repro.spatialmapper.rescue import RescueOutcome, rescue_search, rescue_seed
 from repro.spatialmapper.trace import Step2Iteration, Step2Trace, MapperTrace
 from repro.spatialmapper.step1_implementation import select_implementations
 from repro.spatialmapper.step2_tile_assignment import refine_tile_assignment
@@ -55,6 +56,9 @@ __all__ = [
     "Feedback",
     "FeedbackKind",
     "ExclusionSet",
+    "RescueOutcome",
+    "rescue_search",
+    "rescue_seed",
     "Step2Iteration",
     "Step2Trace",
     "MapperTrace",

@@ -88,6 +88,22 @@ class MapperConfig:
         Weights of the full energy objective.
     keep_step2_trace:
         Record every step-2 iteration (needed to regenerate Table 2).
+    rescue_searchers:
+        Number of seeded random-placement searchers the rescue lane runs
+        when the refinement loop ends without a feasible mapping; ``0``
+        (the default) disables the lane entirely, leaving every decision
+        exactly as it was without it.  Seeds derive deterministically from
+        the request fingerprint, so the lane keeps serial/threaded/process
+        executors decision-identical and results cacheable.
+    rescue_attempts:
+        Full placements each rescue searcher proposes and scores.
+    rescue_budget:
+        Ceiling on simulated events the whole rescue lane (all searchers of
+        one :meth:`~repro.spatialmapper.mapper.SpatialMapper.map` call
+        combined) may charge through the analysis engine; ``None`` is
+        unlimited.  Cache hits charge their stored cost, so the trajectory
+        is cache-warmth independent (anytime: exhaustion returns the best
+        feasible candidate found so far).
     """
 
     step2_strategy: Step2Strategy = Step2Strategy.FIRST_IMPROVEMENT
@@ -105,6 +121,9 @@ class MapperConfig:
     analysis_probe_budget: int | None = None
     cost_model: CostModel = field(default_factory=CostModel)
     keep_step2_trace: bool = True
+    rescue_searchers: int = 0
+    rescue_attempts: int = 4
+    rescue_budget: int | None = 250_000
 
     def __post_init__(self) -> None:
         if self.step2_min_gain < 0:
@@ -121,3 +140,9 @@ class MapperConfig:
             raise ConfigurationError("analysis_event_budget must be positive or None")
         if self.analysis_probe_budget is not None and self.analysis_probe_budget < 1:
             raise ConfigurationError("analysis_probe_budget must be positive or None")
+        if self.rescue_searchers < 0:
+            raise ConfigurationError("rescue_searchers must be non-negative")
+        if self.rescue_attempts < 1:
+            raise ConfigurationError("rescue_attempts must be at least 1")
+        if self.rescue_budget is not None and self.rescue_budget < 1:
+            raise ConfigurationError("rescue_budget must be positive or None")

@@ -26,6 +26,7 @@ from repro.platform.state import PlatformState
 from repro.spatialmapper.cache import MapperCache
 from repro.spatialmapper.config import MapperConfig
 from repro.spatialmapper.feedback import ExclusionSet, Feedback, FeedbackKind
+from repro.spatialmapper.rescue import rescue_search
 from repro.spatialmapper.step1_implementation import select_implementations
 from repro.spatialmapper.step2_tile_assignment import refine_tile_assignment
 from repro.spatialmapper.step3_routing import route_channels
@@ -64,7 +65,10 @@ class SpatialMapper:
         #: by default each mapper owns a fresh engine built from its config.
         self.analysis = analysis if analysis is not None else AnalysisEngine.from_config(self.config)
         #: Trace of the most recent :meth:`map` call (step-2 iterations, feedback log).
-        #: A cache hit leaves the trace of the last *computed* call in place.
+        #: A cache hit resets this to an empty trace with
+        #: :attr:`~repro.spatialmapper.trace.MapperTrace.cache_hit` set, so
+        #: step windows and rescue counters can never be attributed to the
+        #: wrong request.
         self.last_trace: MapperTrace = MapperTrace()
         #: ``(start_ns, end_ns, hit)`` of the most recent call's cache
         #: lookup, or ``None`` when caching is disabled.  Consumers (the
@@ -122,7 +126,10 @@ class SpatialMapper:
                 cached is not None,
             )
             if cached is not None:
+                # ``lookup`` returns a fresh clone, so stamping the runtime
+                # never rewrites the stored entry (pinned by regression test).
                 cached.runtime_s = time.perf_counter() - start_time
+                self.last_trace = MapperTrace(cache_hit=True)
                 if raise_on_failure and cached.status is not MappingStatus.FEASIBLE:
                     raise NoFeasibleMappingError(
                         f"no feasible mapping found for application {als.name!r}: "
@@ -157,6 +164,12 @@ class SpatialMapper:
                 break
 
         assert best is not None
+        if (
+            best.status is not MappingStatus.FEASIBLE
+            and self.config.rescue_searchers > 0
+            and self.config.run_feasibility_analysis
+        ):
+            best = self._rescue(als, state, region, best, trace, diagnostics)
         best.runtime_s = time.perf_counter() - start_time
         best.diagnostics = diagnostics + best.diagnostics
         analysis_after = self.analysis.snapshot()
@@ -172,6 +185,59 @@ class SpatialMapper:
                 f"no feasible mapping found for application {als.name!r}: "
                 + (best.feasibility.reason if best.feasibility else best.status.value)
             )
+        return best
+
+    # ------------------------------------------------------------------ #
+    def _rescue(
+        self,
+        als: ApplicationLevelSpec,
+        state: PlatformState,
+        region,
+        best: MappingResult,
+        trace: MapperTrace,
+        diagnostics: list[str],
+    ) -> MappingResult:
+        """Run the stochastic rescue lane and adopt its result if feasible.
+
+        Called when the refinement loop ends without a feasible mapping (see
+        :mod:`repro.spatialmapper.rescue`).  Seeds derive from the same
+        fingerprint the cache keys on, so the lane is deterministic per
+        request and its outcome stays cacheable.
+        """
+        step_start_ns = time.perf_counter_ns()
+        fingerprint = (
+            region.fingerprint(state) if region is not None else state.fingerprint()
+        )
+        outcome = rescue_search(
+            als,
+            self.platform,
+            self.library,
+            state,
+            config=self.config,
+            analysis=self.analysis,
+            region=region,
+            fingerprint=fingerprint,
+        )
+        trace.step_windows.append(
+            ("mapper.rescue", step_start_ns, time.perf_counter_ns())
+        )
+        trace.rescue_searchers_run = outcome.searchers_run
+        trace.rescue_candidates = outcome.candidates
+        trace.rescue_feasible = outcome.feasible_found
+        trace.rescue_budget_exhausted = outcome.budget_exhausted
+        if outcome.result is not None:
+            trace.rescue_adopted = True
+            outcome.result.iterations = best.iterations
+            diagnostics.append(
+                f"rescue: adopted seeded random placement "
+                f"({outcome.feasible_found} feasible of {outcome.candidates} candidates, "
+                f"{outcome.events_used} analysis events)"
+            )
+            return outcome.result
+        diagnostics.append(
+            f"rescue: no feasible placement among {outcome.candidates} candidates"
+            + (" (budget exhausted)" if outcome.budget_exhausted else "")
+        )
         return best
 
     # ------------------------------------------------------------------ #
@@ -379,5 +445,11 @@ class SpatialMapper:
                     tile = result.mapping.tile_of(feedback.culprit_process)
                     if exclusions.placement_allowed(feedback.culprit_process, tile):
                         exclusions.ban_placement(feedback.culprit_process, tile)
+                        message = (
+                            f"feedback: banning placement of {feedback.culprit_process!r} "
+                            f"on tile {tile!r} (inadherent)"
+                        )
+                        trace.record_feedback(message)
+                        diagnostics.append(message)
                         added = True
         return added

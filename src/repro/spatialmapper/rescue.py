@@ -1,0 +1,239 @@
+"""Stochastic placement rescue lane: budgeted random search after refinement.
+
+The greedy steps 1-3 plus the refinement loop reject applications that a
+better placement would admit — at high fill the first-fit packing and the
+one-exclusion-per-iteration feedback simply cannot reshuffle fast enough.
+Following gerbmerge's ``TileSearch`` ("random placement + evaluation with a
+shared best-score works surprisingly well" for tile packing), this module
+runs K seeded random-placement searchers when the refinement loop ends
+without a :attr:`~repro.mapping.result.MappingStatus.FEASIBLE` result, each
+proposing full placements that are routed, adherence-checked and
+feasibility-analysed, and adopts the best feasible mapping found within an
+event budget.
+
+Three disciplines keep the lane decision-inert infrastructure-wise:
+
+* **Seeding** — every searcher owns a ``random.Random`` seeded from
+  ``crc32`` digests of the *request fingerprint* (the name-free
+  :func:`~repro.spatialmapper.region_score.shape_fingerprint` of the
+  application plus the region/state fingerprint the mapper cache keys on)
+  — the same no-global-RNG-state idiom as obs sampling.  Identical requests
+  draw identical placements on every executor, so serial/threaded/process
+  drains stay decision-identical and results stay cacheable; renamed but
+  identically-shaped applications draw the same seeds.
+* **Scratch transactions** — each candidate is evaluated inside a
+  :meth:`~repro.platform.state.PlatformState.transaction` that is rolled
+  back before the next candidate (the ``step3_routing``/``interregion``
+  scratch discipline), so the platform state is bit-identical afterwards.
+* **Budget charging** — all feasibility analysis of one rescue call is
+  charged against a single :class:`~repro.csdf.analysis.budget.AnalysisBudget`
+  ledger threaded through the shared
+  :class:`~repro.csdf.analysis.budget.AnalysisEngine`.  Cache hits charge
+  their stored cost, so the cut-off point is cache-warmth independent —
+  which is what preserves executor decision identity under finite budgets.
+  The search is *anytime*: an exhausted ledger returns the best feasible
+  candidate found so far.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from random import Random
+
+from repro.appmodel.library import ImplementationLibrary
+from repro.csdf.analysis.budget import AnalysisBudget, AnalysisEngine
+from repro.kpn.als import ApplicationLevelSpec
+from repro.mapping.assignment import ProcessAssignment
+from repro.mapping.cost import manhattan_cost, mapping_energy_nj
+from repro.mapping.mapping import Mapping
+from repro.mapping.properties import adherence_violations
+from repro.mapping.result import MappingResult, MappingStatus
+from repro.platform.platform import Platform
+from repro.platform.state import PlatformState
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.region_score import shape_fingerprint
+from repro.spatialmapper.residuals import ResidualTracker
+from repro.spatialmapper.step1_implementation import eligible_tiles
+from repro.spatialmapper.step3_routing import route_channels
+from repro.spatialmapper.step4_feasibility import check_feasibility
+
+
+def rescue_seed(
+    als: ApplicationLevelSpec,
+    library: ImplementationLibrary,
+    fingerprint: object,
+    searcher: int,
+) -> int:
+    """Deterministic seed of one rescue searcher.
+
+    Derived by ``crc32`` (no global RNG state, like obs trace sampling) from
+    the application's name-free shape fingerprint, the region/state
+    fingerprint the mapper cache keys on, and the searcher index.  Stable
+    under process/channel renaming and across executors, so the whole lane
+    replays bit-identically for identical requests.
+    """
+    base = zlib.crc32(repr((shape_fingerprint(als, library), fingerprint)).encode())
+    return zlib.crc32(f"{base}:{searcher}".encode())
+
+
+@dataclass
+class RescueOutcome:
+    """What one rescue-lane run did, for the mapper trace and diagnostics."""
+
+    result: MappingResult | None = None
+    searchers_run: int = 0
+    candidates: int = 0
+    feasible_found: int = 0
+    budget_exhausted: bool = False
+    events_used: int = 0
+
+
+def _random_placement(
+    rng: Random,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    library: ImplementationLibrary,
+    state: PlatformState,
+    allowed_tiles: frozenset[str] | None,
+) -> Mapping | None:
+    """One full random placement, or ``None`` when some process cannot fit.
+
+    Pinned processes keep their pinned tile; mappable processes are placed
+    in a shuffled order, each drawing uniformly from its currently-eligible
+    (implementation, tile) options.  The refinement loop's exclusions are
+    deliberately *not* applied: they encode why the greedy search failed,
+    and the rescue lane's whole point is to search outside that corridor.
+    """
+    mapping = Mapping(als.name)
+    for process in als.kpn.pinned_processes():
+        mapping.assign(ProcessAssignment(process.name, process.pinned_tile))
+    residuals = ResidualTracker.for_mapping(platform, state, mapping)
+
+    order = [process.name for process in als.kpn.mappable_processes()]
+    rng.shuffle(order)
+    for process_name in order:
+        options: list[tuple] = []
+        for implementation in library.implementations_for(process_name):
+            for tile_name in eligible_tiles(
+                implementation, platform, state, mapping,
+                residuals=residuals, allowed_tiles=allowed_tiles,
+            ):
+                options.append((implementation, tile_name))
+        if not options:
+            return None
+        implementation, tile_name = options[rng.randrange(len(options))]
+        mapping.assign(ProcessAssignment(process_name, tile_name, implementation))
+        residuals.place(tile_name, implementation.memory_bytes)
+    return mapping
+
+
+def rescue_search(
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    library: ImplementationLibrary,
+    state: PlatformState,
+    *,
+    config: MapperConfig,
+    analysis: AnalysisEngine,
+    region=None,
+    fingerprint: object = None,
+) -> RescueOutcome:
+    """Run the seeded random-placement portfolio and return the best result.
+
+    ``fingerprint`` is the region/state fingerprint the caller would key the
+    mapper cache with (seed derivation input); ``region`` confines placement
+    to the region's tiles and routing to its routers, exactly like the
+    refinement loop's region-scoped passes.
+    """
+    allowed_tiles = frozenset(region.tile_names) if region is not None else None
+    allowed_positions = region.positions if region is not None else None
+    ledger = AnalysisBudget(max_events=config.rescue_budget)
+    outcome = RescueOutcome()
+    best: MappingResult | None = None
+
+    for searcher in range(config.rescue_searchers):
+        if ledger.exhausted:
+            break
+        rng = Random(rescue_seed(als, library, fingerprint, searcher))
+        outcome.searchers_run += 1
+        for _ in range(config.rescue_attempts):
+            if ledger.exhausted:
+                break
+            mapping = _random_placement(
+                rng, als, platform, library, state, allowed_tiles
+            )
+            if mapping is None:
+                continue
+            outcome.candidates += 1
+            with state.transaction() as txn:
+                candidate = _evaluate(
+                    mapping,
+                    als,
+                    platform,
+                    library,
+                    state,
+                    config=config,
+                    analysis=analysis,
+                    allowed_positions=allowed_positions,
+                    ledger=ledger,
+                    best=best,
+                )
+                txn.rollback()
+            if candidate is not None:
+                outcome.feasible_found += 1
+                best = candidate
+
+    outcome.budget_exhausted = ledger.exhausted
+    outcome.events_used = ledger.events_used
+    outcome.result = best
+    return outcome
+
+
+def _evaluate(
+    mapping: Mapping,
+    als: ApplicationLevelSpec,
+    platform: Platform,
+    library: ImplementationLibrary,
+    state: PlatformState,
+    *,
+    config: MapperConfig,
+    analysis: AnalysisEngine,
+    allowed_positions,
+    ledger: AnalysisBudget,
+    best: MappingResult | None,
+) -> MappingResult | None:
+    """Route, adherence-check and analyse one candidate; ``None`` unless it
+    is feasible *and* beats the shared best on energy."""
+    step3 = route_channels(
+        mapping, als, platform,
+        state=state, config=config, allowed_positions=allowed_positions,
+    )
+    if not step3.succeeded:
+        return None
+    if adherence_violations(step3.mapping, platform, library, state, als):
+        return None
+    energy = mapping_energy_nj(step3.mapping, als, platform, config.cost_model)
+    # Shared-best cut: a candidate that cannot improve on the best feasible
+    # energy found so far is not worth a step-4 simulation.  The cut depends
+    # only on earlier (deterministic) candidates, so it is replay-stable.
+    if best is not None and energy >= best.energy_nj_per_iteration:
+        return None
+    step4 = check_feasibility(
+        step3.mapping, als, platform, library,
+        state=state, config=config, analysis=analysis, budget=ledger,
+    )
+    if not step4.feasible:
+        return None
+    result = MappingResult(
+        mapping=step4.mapping,
+        status=MappingStatus.FEASIBLE,
+        energy_nj_per_iteration=energy,
+        manhattan_cost=manhattan_cost(step4.mapping, als, platform),
+    )
+    result.feasibility = step4.report
+    result.mapped_csdf = step4.mapped_csdf
+    return result
+
+
+__all__ = ["RescueOutcome", "rescue_search", "rescue_seed"]

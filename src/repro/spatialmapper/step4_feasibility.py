@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.appmodel.library import ImplementationLibrary
-from repro.csdf.analysis.budget import AnalysisEngine
+from repro.csdf.analysis.budget import AnalysisBudget, AnalysisEngine
 from repro.csdf.graph import CSDFGraph
 from repro.csdf.repetition import repetition_vector
 from repro.exceptions import DeadlockError, InconsistentGraphError
@@ -84,13 +84,17 @@ def check_feasibility(
     state: PlatformState | None = None,
     config: MapperConfig | None = None,
     analysis: AnalysisEngine | None = None,
+    budget: AnalysisBudget | None = None,
 ) -> Step4Result:
     """Run the step-4 dataflow feasibility check on a routed mapping.
 
     ``analysis`` is the shared :class:`~repro.csdf.analysis.budget.AnalysisEngine`
     all simulations go through (early exit, verdict cache, budgets); when
     omitted a fresh engine is built from ``config``, which preserves the
-    analysis behaviour but starts with a cold cache.
+    analysis behaviour but starts with a cold cache.  ``budget`` optionally
+    charges every analysis call of this check (cache hits at their stored
+    cost) against one caller-owned ledger — the rescue lane's anytime
+    cut-off rides on it.
     """
     config = config or MapperConfig()
     if analysis is None:
@@ -112,7 +116,9 @@ def check_feasibility(
     # Throughput
     # ------------------------------------------------------------------ #
     try:
-        achieved = analysis.minimal_period_ns(graph, iterations=config.analysis_iterations)
+        achieved = analysis.minimal_period_ns(
+            graph, iterations=config.analysis_iterations, budget=budget
+        )
     except (DeadlockError, InconsistentGraphError) as error:
         report.reason = f"dataflow analysis failed: {error}"
         result.feedback.append(
@@ -143,11 +149,11 @@ def check_feasibility(
     try:
         if config.minimize_buffers:
             capacities = analysis.minimize_buffer_capacities(
-                graph, als.period_ns, iterations=config.analysis_iterations
+                graph, als.period_ns, iterations=config.analysis_iterations, budget=budget
             )
         else:
             capacities = analysis.sufficient_buffer_capacities(
-                graph, als.period_ns, iterations=config.analysis_iterations
+                graph, als.period_ns, iterations=config.analysis_iterations, budget=budget
             )
     except DeadlockError as error:
         report.reason = f"buffer analysis failed: {error}"
@@ -191,6 +197,7 @@ def check_feasibility(
                 sinks[0],
                 iterations=config.analysis_iterations,
                 source_period_ns=als.period_ns,
+                budget=budget,
             )
             report.latency_ns = latency
             if latency > als.qos.max_latency_ns * (1 + 1e-9):

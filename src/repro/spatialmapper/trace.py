@@ -90,6 +90,20 @@ class MapperTrace:
     simulated_events: int = 0
     analysis_cache_hits: int = 0
     budget_exhausted: int = 0
+    #: ``True`` when the owning :meth:`~repro.spatialmapper.mapper.SpatialMapper.map`
+    #: call was answered from the :class:`~repro.spatialmapper.cache.MapperCache`:
+    #: the trace is then a deliberately *empty* marker (no steps ran), never
+    #: a stale leftover of the last computed call.
+    cache_hit: bool = False
+    #: Rescue-lane counters (:mod:`repro.spatialmapper.rescue`): seeded
+    #: searchers actually run, full placements proposed, feasible placements
+    #: found, whether the best one replaced the refinement loop's result and
+    #: whether the lane's event budget ran out (anytime cut-off).
+    rescue_searchers_run: int = 0
+    rescue_candidates: int = 0
+    rescue_feasible: int = 0
+    rescue_adopted: bool = False
+    rescue_budget_exhausted: bool = False
     #: ``(step name, start_ns, end_ns)`` per executed mapper step, in
     #: execution order across all refinement iterations —
     #: ``perf_counter_ns`` stamps the observability layer turns into

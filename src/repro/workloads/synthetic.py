@@ -49,6 +49,11 @@ class SyntheticConfig:
         first entry is the general-purpose type every process supports; each
         process additionally gets an implementation on one random
         specialised type with probability ``specialisation_probability``.
+    memory_choices:
+        Implementation footprints (bytes) drawn uniformly per implementation.
+        Larger, more varied footprints against small multi-slot tiles turn
+        placement into the bin-packing shape the stochastic rescue lane's
+        fill sweep stresses.
     """
 
     stages: int = 6
@@ -59,6 +64,7 @@ class SyntheticConfig:
     tile_types: tuple[str, ...] = ("GPP", "DSP", "ACCEL")
     specialisation_probability: float = 0.8
     token_size_bits: int = 32
+    memory_choices: tuple[int, ...] = (2048, 4096, 8192)
 
 
 @dataclass
@@ -160,7 +166,7 @@ def _generate_library(
                 input_rates={DEFAULT_PORT: PhaseVector([incoming, 0.0, 0.0])},
                 output_rates={DEFAULT_PORT: PhaseVector([0.0, 0.0, outgoing])},
                 energy_nj_per_iteration=energy,
-                memory_bytes=rng.choice([2048, 4096, 8192]),
+                memory_bytes=rng.choice(list(config.memory_choices)),
             )
 
         gpp_wcet = preferred_wcet * rng.uniform(2.0, 4.0)
@@ -232,6 +238,8 @@ def generate_region_mesh(
     name: str | None = None,
     link_capacity_bits_per_s: float = 4e9,
     frequency_mhz: float = 200.0,
+    max_processes_per_tile: int = 1,
+    tile_memory_bytes: int = 128 * 1024,
 ) -> Platform:
     """A ``(regions*span)``-square mesh with one I/O tile per region.
 
@@ -243,6 +251,12 @@ def generate_region_mesh(
     inside one region, which is the topology region sharding needs to pay
     off.  Processing tiles alternate deterministically between GPP and a
     half-clocked DSP (heterogeneity without randomness).
+
+    ``max_processes_per_tile`` and ``tile_memory_bytes`` shape the packing
+    regime: the default single-slot tiles make placement a pure matching,
+    while multi-slot tiles with tight memory turn it into the bin-packing
+    shape where first-fit strands memory — the regime the stochastic rescue
+    lane's fill sweep stresses.
     """
     if regions < 1 or span < 1:
         raise ValueError("a region mesh needs at least one region and one router per edge")
@@ -268,7 +282,11 @@ def generate_region_mesh(
             tile_type = "DSP" if (x + y) % 3 == 0 else "GPP"
             counter += 1
             builder.tile(
-                f"{tile_type.lower()}{counter}", tile_type, (x, y), memory_bytes=128 * 1024
+                f"{tile_type.lower()}{counter}",
+                tile_type,
+                (x, y),
+                memory_bytes=tile_memory_bytes,
+                max_processes=max_processes_per_tile,
             )
     return builder.build()
 

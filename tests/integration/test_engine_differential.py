@@ -15,6 +15,7 @@ Two equivalences anchor the engine refactor:
 import pytest
 
 from repro.exceptions import AdmissionError
+from repro.platform.regions import RegionPartition
 from repro.runtime.accounting import EnergyAccount
 from repro.runtime.engine import (
     ProcessRegionExecutor,
@@ -23,13 +24,16 @@ from repro.runtime.engine import (
     WorkloadEngine,
 )
 from repro.runtime.events import StartEvent, StopEvent
+from repro.runtime.manager import RuntimeResourceManager
 from repro.runtime.scenario import ScenarioOutcome, run_scenario
+from repro.spatialmapper.config import MapperConfig
 from repro.workloads.arrivals import (
     PoissonArrivals,
     TrafficClass,
     generate_workload,
     offered_rate_per_s,
 )
+from repro.workloads.synthetic import SyntheticConfig, generate_region_mesh
 from tests.harness import (
     MILLISECOND,
     TWO_STAGE_CONFIG as CONFIG,
@@ -170,6 +174,102 @@ class TestParallelDrainDifferential:
         )
         assert parked.parked_retries_skipped >= 0
         assert plain.decided == parked.decided
+
+
+class TestRescueLaneDifferential:
+    """Serial vs threaded vs process drains with the rescue lane enabled.
+
+    The stochastic rescue lane must not cost executor decision identity:
+    its searcher seeds derive from the request fingerprints (never from
+    global RNG state or the wall clock), so the serial, threaded and
+    process drains of one event stream must decide identically — down to
+    bit-identical platform-state fingerprints — even while rescue
+    adoptions are flipping rejections into admissions.  The platform is
+    the packing regime (multi-slot tiles, tight memories) where the lane
+    actually fires; a rescue-off serial run pins that it did.
+    """
+
+    RESCUE_CONFIG = MapperConfig(
+        analysis_iterations=3, rescue_searchers=3, rescue_attempts=3
+    )
+
+    def make_rescue_manager(self, config):
+        platform = generate_region_mesh(
+            2, 2, max_processes_per_tile=3, tile_memory_bytes=12 * 1024
+        )
+        partition = RegionPartition.grid(platform, 2, 2)
+        return RuntimeResourceManager(platform, config=config, partition=partition)
+
+    def rescue_workload(self):
+        app_config = SyntheticConfig(
+            stages=4,
+            period_ns=60_000.0,
+            tokens_range=(16, 64),
+            tile_types=("GPP", "DSP"),
+            memory_choices=(2048, 4096, 8192, 12288),
+        )
+        classes = [
+            TrafficClass(
+                f"r{cx}_{cy}",
+                PoissonArrivals(rate_per_s=900.0),
+                config=app_config,
+                source_tile=f"io_r{cx}_{cy}",
+                sink_tile=f"io_r{cx}_{cy}",
+                hold_range_ns=(3 * MILLISECOND, 8 * MILLISECOND),
+            )
+            for cx in range(2)
+            for cy in range(2)
+        ]
+        return generate_workload(11, 7 * MILLISECOND, classes, name="rescue-diff")
+
+    def run_one(self, kind, config):
+        manager = self.make_rescue_manager(config)
+        if kind == "threaded":
+            executor = ThreadedRegionExecutor(manager.partition)
+        elif kind == "process":
+            executor = ProcessRegionExecutor(manager.partition, workers=2)
+        else:
+            executor = SerialRegionExecutor()
+        try:
+            outcome = WorkloadEngine(
+                manager, executor=executor, park_rejections=True
+            ).run(self.rescue_workload())
+        finally:
+            if kind == "process":
+                executor.close()
+        return manager, outcome
+
+    @pytest.fixture(scope="class")
+    def serial_rescue(self):
+        """The serial reference drain, shared by both differential tests."""
+        return self.run_one("serial", self.RESCUE_CONFIG)
+
+    def test_rescue_enabled_drains_are_decision_identical(self, serial_rescue):
+        serial_manager, serial = serial_rescue
+        for kind in ("threaded", "process"):
+            manager, outcome = self.run_one(kind, self.RESCUE_CONFIG)
+            assert serial.decision_log() == outcome.decision_log(), kind
+            assert serial_manager.decisions == manager.decisions, kind
+            assert sorted(serial_manager.state.occupied_tiles()) == sorted(
+                manager.state.occupied_tiles()
+            ), kind
+            assert (
+                serial_manager.state.link_loads() == manager.state.link_loads()
+            ), kind
+            # Bit-identical end states, not just equal-looking ones.
+            assert (
+                serial_manager.state.fingerprint() == manager.state.fingerprint()
+            ), kind
+            assert serial.departures == outcome.departures, kind
+
+    def test_rescue_actually_fired_on_this_stream(self, serial_rescue):
+        """The differential must exercise the lane, not an idle code path:
+        with rescue on, the same stream admits strictly more than with the
+        lane disabled (every extra admission is a rescue adoption)."""
+        _, without = self.run_one("serial", MapperConfig(analysis_iterations=3))
+        _, with_rescue = serial_rescue
+        assert with_rescue.decided == without.decided
+        assert len(with_rescue.admitted) > len(without.admitted)
 
 
 class TestOfferedLoadCurve:

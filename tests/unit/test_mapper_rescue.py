@@ -1,0 +1,346 @@
+"""The stochastic rescue lane, plus the mapper feedback/trace bugfixes.
+
+Covers the rescue lane itself (seeding, adoption, rollback, replay
+determinism, cacheability), the feedback-recording symmetry of
+``_apply_feedback`` (every branch must log to *both* the trace and the
+diagnostics — the INADHERENT branch used to record neither), and the
+cache-hit fixes (``last_trace`` resets to a marked empty trace; hits are
+clones whose stored ``runtime_s`` is never overwritten).
+"""
+
+import random
+from collections import deque
+from dataclasses import replace
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mapping.result import MappingStatus
+from repro.platform.regions import RegionPartition
+from repro.platform.state import PlatformState
+from repro.runtime.manager import RuntimeResourceManager
+from repro.spatialmapper.cache import MapperCache
+from repro.spatialmapper.config import MapperConfig
+from repro.spatialmapper.feedback import ExclusionSet, Feedback, FeedbackKind
+from repro.spatialmapper.mapper import SpatialMapper
+from repro.spatialmapper.rescue import rescue_seed
+from repro.spatialmapper.trace import MapperTrace
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_application,
+    generate_region_mesh,
+)
+
+BASE = MapperConfig(analysis_iterations=3)
+RESCUE = replace(BASE, rescue_searchers=6, rescue_attempts=4)
+
+
+def packing_app(seed, name="app", io_tile="io_r0_0", stages=4):
+    """A memory-heavy application for the packing regime (see fixture)."""
+    config = SyntheticConfig(
+        stages=stages,
+        period_ns=60_000.0,
+        tokens_range=(16, 64),
+        tile_types=("GPP", "DSP"),
+        memory_choices=(2048, 4096, 8192, 12288),
+    )
+    return generate_application(
+        seed, config, name=name, source_tile=io_tile, sink_tile=io_tile
+    )
+
+
+def assignments_of(result):
+    """Name-level view of a mapping for equality assertions."""
+    return sorted(
+        (
+            a.process,
+            a.tile,
+            a.implementation.tile_type if a.implementation else None,
+        )
+        for a in result.mapping.assignments
+    )
+
+
+@pytest.fixture(scope="module")
+def rescue_case():
+    """A live platform state plus an application the greedy mapper rejects
+    but the rescue lane admits.
+
+    Found by replaying a deterministic churny arrival sequence on a
+    multi-slot, memory-tight mesh — the packing regime where the first-fit
+    front end strands memory and channel buffers overflow
+    placement-dependently.  Everything is seeded, so the same (state,
+    application) pair is found on every run.
+    """
+    platform = generate_region_mesh(
+        2, 3, max_processes_per_tile=4, tile_memory_bytes=16 * 1024
+    )
+    partition = RegionPartition.grid(platform, 2, 2)
+    manager = RuntimeResourceManager(platform, config=BASE, partition=partition)
+    running = deque()
+    rng = random.Random(7)
+    cells = [(0, 0), (1, 0), (0, 1), (1, 1)]
+    for index in range(1, 121):
+        while len(running) >= 12:
+            manager.stop(running.popleft())
+        cell = cells[(index - 1) % 4]
+        io_tile = f"io_r{cell[0]}_{cell[1]}"
+        app = packing_app(
+            900 + index,
+            name=f"app{index}",
+            io_tile=io_tile,
+            stages=rng.choice((3, 4, 5, 6)),
+        )
+        decision = manager.admit(app.als, library=app.library)
+        if decision.admitted:
+            running.append(app.als.name)
+            continue
+        region = next(r for r in partition.regions if io_tile in r.tile_names)
+        mapper = SpatialMapper(platform, app.library, RESCUE)
+        result = mapper.map(app.als, manager.state, region=region)
+        if result.status is MappingStatus.FEASIBLE:
+            return platform, manager.state, region, app
+    pytest.fail("no rescueable rejection found in 120 arrivals")
+
+
+class TestRescueSeed:
+    def test_replay_deterministic(self):
+        app = packing_app(5)
+        fingerprint = ("state", 123)
+        first = rescue_seed(app.als, app.library, fingerprint, 0)
+        assert rescue_seed(app.als, app.library, fingerprint, 0) == first
+        assert rescue_seed(app.als, app.library, fingerprint, 1) != first
+
+    def test_rename_stable(self):
+        """Identically-shaped applications draw identical seeds regardless
+        of their names — the seed sees only the name-free shape fingerprint."""
+        alpha = packing_app(5, name="alpha")
+        beta = packing_app(5, name="beta")
+        fingerprint = ("state", 123)
+        for searcher in range(4):
+            assert rescue_seed(
+                alpha.als, alpha.library, fingerprint, searcher
+            ) == rescue_seed(beta.als, beta.library, fingerprint, searcher)
+
+    def test_state_fingerprint_enters_the_seed(self):
+        app = packing_app(5)
+        assert rescue_seed(app.als, app.library, ("state", 1), 0) != rescue_seed(
+            app.als, app.library, ("state", 2), 0
+        )
+
+
+class TestRescueLane:
+    def test_greedy_fails_but_rescue_adopts(self, rescue_case):
+        platform, state, region, app = rescue_case
+        greedy = SpatialMapper(platform, app.library, BASE).map(
+            app.als, state, region=region
+        )
+        assert greedy.status is not MappingStatus.FEASIBLE
+
+        mapper = SpatialMapper(platform, app.library, RESCUE)
+        result = mapper.map(app.als, state, region=region)
+        assert result.status is MappingStatus.FEASIBLE
+        trace = mapper.last_trace
+        assert trace.rescue_adopted
+        assert trace.rescue_searchers_run >= 1
+        assert trace.rescue_candidates >= trace.rescue_feasible >= 1
+        assert any(d.startswith("rescue: adopted") for d in result.diagnostics)
+        assert any(name == "mapper.rescue" for name, _, _ in trace.step_windows)
+
+    def test_replay_is_bit_identical(self, rescue_case):
+        platform, state, region, app = rescue_case
+        first = SpatialMapper(platform, app.library, RESCUE)
+        second = SpatialMapper(platform, app.library, RESCUE)
+        result_a = first.map(app.als, state, region=region)
+        result_b = second.map(app.als, state, region=region)
+        assert assignments_of(result_a) == assignments_of(result_b)
+        assert result_a.energy_nj_per_iteration == result_b.energy_nj_per_iteration
+        for counter in (
+            "rescue_searchers_run",
+            "rescue_candidates",
+            "rescue_feasible",
+            "rescue_adopted",
+            "rescue_budget_exhausted",
+        ):
+            assert getattr(first.last_trace, counter) == getattr(
+                second.last_trace, counter
+            )
+
+    def test_scratch_transactions_leave_state_untouched(self, rescue_case):
+        platform, state, region, app = rescue_case
+        before = state.fingerprint()
+        SpatialMapper(platform, app.library, RESCUE).map(app.als, state, region=region)
+        assert state.fingerprint() == before
+
+    def test_disabled_by_default_changes_nothing(self, rescue_case):
+        """``rescue_searchers=0`` (the default) must be decision-inert: the
+        result is the plain refinement-loop result, untouched."""
+        platform, state, region, app = rescue_case
+        mapper = SpatialMapper(platform, app.library, BASE)
+        result = mapper.map(app.als, state, region=region)
+        assert result.status is not MappingStatus.FEASIBLE
+        assert mapper.last_trace.rescue_searchers_run == 0
+        assert not mapper.last_trace.rescue_adopted
+        assert not any(d.startswith("rescue:") for d in result.diagnostics)
+        assert not any(
+            name == "mapper.rescue" for name, _, _ in mapper.last_trace.step_windows
+        )
+
+    def test_rescued_result_is_cacheable(self, rescue_case):
+        platform, state, region, app = rescue_case
+        cache = MapperCache()
+        mapper = SpatialMapper(platform, app.library, RESCUE, cache=cache)
+        computed = mapper.map(app.als, state, region=region)
+        assert computed.status is MappingStatus.FEASIBLE
+        hit = mapper.map(app.als, state, region=region)
+        assert cache.stats.hits == 1
+        assert hit.status is MappingStatus.FEASIBLE
+        assert assignments_of(hit) == assignments_of(computed)
+        assert mapper.last_trace.cache_hit
+
+
+class TestCacheHitTraceAndRuntime:
+    """Satellites: cache hits reset ``last_trace`` to a marked empty trace,
+    are served as clones, and never overwrite the stored ``runtime_s``."""
+
+    @pytest.fixture()
+    def cached_mapper(self):
+        app = packing_app(1, stages=3)
+        platform = generate_region_mesh(2, 2)
+        mapper = SpatialMapper(platform, app.library, BASE, cache=MapperCache())
+        return mapper, app
+
+    def test_cache_hit_resets_last_trace_to_marked_empty(self, cached_mapper):
+        mapper, app = cached_mapper
+        mapper.map(app.als)
+        computed_trace = mapper.last_trace
+        assert not computed_trace.cache_hit
+        assert computed_trace.step_windows
+
+        mapper.map(app.als)
+        trace = mapper.last_trace
+        assert trace.cache_hit
+        assert trace is not computed_trace
+        assert trace.step_windows == []
+        assert trace.refinement_iterations == 0
+        assert trace.rescue_searchers_run == 0
+        assert mapper.last_lookup is not None and mapper.last_lookup[2]
+
+    def test_hits_are_clones_and_stored_runtime_survives(self, cached_mapper):
+        mapper, app = cached_mapper
+        computed = mapper.map(app.als)
+        key = MapperCache.key(
+            app.als.name, None, PlatformState(mapper.platform).fingerprint()
+        )
+        stored_runtime = mapper.cache._entries[key].result.runtime_s
+        assert stored_runtime == computed.runtime_s
+
+        hit = mapper.map(app.als)
+        assert hit is not computed
+        assert hit.mapping is not computed.mapping
+        # The hit's runtime is stamped fresh on the clone...
+        hit.runtime_s = 123.0
+        hit.diagnostics.append("junk")
+        # ...and neither the stamp nor any caller mutation reaches the
+        # stored entry or later hits.
+        assert mapper.cache._entries[key].result.runtime_s == stored_runtime
+        second = mapper.map(app.als)
+        assert second.runtime_s != 123.0
+        assert "junk" not in second.diagnostics
+
+
+class TestFeedbackRecordingSymmetry:
+    """Every ``_apply_feedback`` branch that adds an exclusion must record
+    the same message in the trace's feedback log *and* the diagnostics —
+    the INADHERENT branch used to ban silently."""
+
+    @pytest.fixture(scope="class")
+    def mapped(self):
+        app = packing_app(1, stages=3)
+        platform = generate_region_mesh(2, 2)
+        mapper = SpatialMapper(platform, app.library, BASE)
+        result = mapper.map(app.als)
+        assert result.status is MappingStatus.FEASIBLE
+        return mapper, result
+
+    def apply_one(self, mapper, result, feedback):
+        work = replace(result)
+        work.pending_feedback = [feedback]
+        trace = MapperTrace()
+        diagnostics = []
+        added = mapper._apply_feedback(work, ExclusionSet(), trace, diagnostics)
+        return added, trace, diagnostics
+
+    def test_every_branch_records_to_trace_and_diagnostics(self, mapped):
+        mapper, result = mapped
+        assignment = next(
+            a for a in result.mapping.assignments if a.implementation is not None
+        )
+        cases = [
+            Feedback(
+                kind=FeedbackKind.THROUGHPUT_VIOLATED,
+                step=4,
+                message="m",
+                culprit_process=assignment.process,
+                culprit_tile_type=assignment.implementation.tile_type,
+            ),
+            Feedback(
+                kind=FeedbackKind.ROUTING_FAILED,
+                step=3,
+                message="m",
+                culprit_process=assignment.process,
+                culprit_tile=assignment.tile,
+            ),
+            Feedback(
+                kind=FeedbackKind.BUFFER_OVERFLOW,
+                step=4,
+                message="m",
+                culprit_tile=assignment.tile,
+            ),
+            Feedback(
+                kind=FeedbackKind.INADHERENT,
+                step=3,
+                message="m",
+                culprit_process=assignment.process,
+            ),
+        ]
+        for feedback in cases:
+            added, trace, diagnostics = self.apply_one(mapper, result, feedback)
+            assert added, feedback.kind
+            assert len(trace.feedback_log) == 1, feedback.kind
+            assert diagnostics == trace.feedback_log, feedback.kind
+            assert diagnostics[0].startswith("feedback: banning"), feedback.kind
+
+    def test_inadherent_branch_names_the_banned_placement(self, mapped):
+        mapper, result = mapped
+        assignment = next(
+            a for a in result.mapping.assignments if a.implementation is not None
+        )
+        feedback = Feedback(
+            kind=FeedbackKind.INADHERENT,
+            step=3,
+            message="m",
+            culprit_process=assignment.process,
+        )
+        added, trace, diagnostics = self.apply_one(mapper, result, feedback)
+        assert added
+        assert "(inadherent)" in diagnostics[0]
+        assert repr(assignment.process) in diagnostics[0]
+        assert repr(assignment.tile) in diagnostics[0]
+
+
+class TestRescueConfigValidation:
+    def test_negative_searchers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MapperConfig(rescue_searchers=-1)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MapperConfig(rescue_attempts=0)
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MapperConfig(rescue_budget=0)
+
+    def test_unlimited_budget_allowed(self):
+        assert MapperConfig(rescue_budget=None).rescue_budget is None
